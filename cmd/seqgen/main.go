@@ -1,0 +1,78 @@
+// Command seqgen generates the synthetic datasets used by the experiments
+// (NYT-like, AMZN-like, AMZN-F-like, CW-like) and writes them as text files:
+// a sequence file (one space-separated sequence per line) and a hierarchy
+// file ("child<TAB>parent1,parent2" per line).
+//
+// Example:
+//
+//	seqgen -dataset nyt -n 10000 -seed 1 -out ./data/nyt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"seqmine/internal/datagen"
+	"seqmine/internal/seqdb"
+)
+
+func main() {
+	dataset := flag.String("dataset", "nyt", "dataset to generate: nyt, amzn, amzn-f, cw")
+	n := flag.Int("n", 10000, "number of sequences to generate")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("out", ".", "output directory (created if missing)")
+	flag.Parse()
+
+	var (
+		raw [][]string
+		h   seqdb.Hierarchy
+	)
+	switch *dataset {
+	case "nyt":
+		raw, h = datagen.NYTRaw(datagen.NYTConfig{NumSentences: *n, Seed: *seed})
+	case "amzn":
+		raw, h = datagen.AmazonRaw(datagen.AmazonConfig{NumCustomers: *n, Seed: *seed})
+	case "amzn-f":
+		raw, h = datagen.AmazonRaw(datagen.AmazonConfig{NumCustomers: *n, Seed: *seed, Forest: true})
+	case "cw":
+		raw, h = datagen.ClueWebRaw(datagen.ClueWebConfig{NumSentences: *n, Seed: *seed})
+	default:
+		fmt.Fprintf(os.Stderr, "seqgen: unknown dataset %q (want nyt, amzn, amzn-f or cw)\n", *dataset)
+		os.Exit(2)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	seqPath := filepath.Join(*out, "sequences.txt")
+	hierPath := filepath.Join(*out, "hierarchy.txt")
+
+	sf, err := os.Create(seqPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := seqdb.WriteSequences(sf, raw); err != nil {
+		fatal(err)
+	}
+	if err := sf.Close(); err != nil {
+		fatal(err)
+	}
+	hf, err := os.Create(hierPath)
+	if err != nil {
+		fatal(err)
+	}
+	if err := seqdb.WriteHierarchy(hf, h); err != nil {
+		fatal(err)
+	}
+	if err := hf.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d sequences to %s and %d hierarchy entries to %s\n", len(raw), seqPath, len(h), hierPath)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seqgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command seqmine mines frequent sequences under a flexible subsequence
+// constraint from a text sequence file (and an optional hierarchy file).
+//
+// Example:
+//
+//	seqmine -data data/nyt/sequences.txt -hierarchy data/nyt/hierarchy.txt \
+//	        -pattern ".*ENTITY (VERB+ NOUN+? PREP?) ENTITY.*" -sigma 10 -algorithm dseq
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"seqmine"
+)
+
+func main() {
+	data := flag.String("data", "", "path to the sequence file (one space-separated sequence per line)")
+	hierarchy := flag.String("hierarchy", "", "path to the hierarchy file (optional)")
+	pattern := flag.String("pattern", "", "pattern expression, e.g. \".*(A)[(.^)|.]*(b).*\"")
+	sigma := flag.Int64("sigma", 2, "minimum support threshold")
+	algorithm := flag.String("algorithm", "dseq", "algorithm: dfs, count, dseq, dcand, naive, seminaive")
+	workers := flag.Int("workers", 0, "number of workers (0 = all CPUs)")
+	top := flag.Int("top", 25, "print only the top-k frequent sequences (0 = all)")
+	showMetrics := flag.Bool("metrics", true, "print shuffle/runtime metrics for distributed algorithms")
+	flag.Parse()
+
+	if *data == "" || *pattern == "" {
+		fmt.Fprintln(os.Stderr, "seqmine: -data and -pattern are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	algos := map[string]seqmine.Algorithm{
+		"dfs":       seqmine.SequentialDFS,
+		"count":     seqmine.SequentialCount,
+		"dseq":      seqmine.DSeq,
+		"dcand":     seqmine.DCand,
+		"naive":     seqmine.Naive,
+		"seminaive": seqmine.SemiNaive,
+	}
+	algo, ok := algos[strings.ToLower(*algorithm)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "seqmine: unknown algorithm %q\n", *algorithm)
+		os.Exit(2)
+	}
+
+	db, err := seqmine.ReadDatabaseFiles(*data, *hierarchy)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d sequences, %d dictionary items\n", db.NumSequences(), db.Dict.Size())
+
+	opts := seqmine.DefaultOptions()
+	opts.Algorithm = algo
+	opts.Workers = *workers
+	result, err := seqmine.Mine(db, *pattern, *sigma, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%d frequent sequences (algorithm %s, sigma %d)\n", len(result.Patterns), algo, *sigma)
+	limit := len(result.Patterns)
+	if *top > 0 && *top < limit {
+		limit = *top
+	}
+	for _, p := range result.Patterns[:limit] {
+		fmt.Printf("%8d  %s\n", p.Freq, seqmine.DecodePattern(db, p))
+	}
+	if *showMetrics && result.Metrics.ShuffleRecords > 0 {
+		m := result.Metrics
+		fmt.Printf("map time %v, reduce time %v, shuffle %d records / %d bytes over %d partitions\n",
+			m.MapTime, m.ReduceTime, m.ShuffleRecords, m.ShuffleBytes, m.Partitions)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seqmine:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// N-gram statistics: the "Google n-gram corpus" use case. On the synthetic
+// CW-like corpus (no hierarchy) we mine contiguous n-grams with the
+// traditional constraint T2(sigma, 0, 5) — a task that specialized engines
+// like MG-FSM or Suffix-sigma support — and contrast it with a flexible
+// variant that skips stop words, which only constraint-based miners can
+// express.
+//
+// Run with:
+//
+//	go run ./examples/ngrams
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seqmine"
+)
+
+func main() {
+	fmt.Println("generating synthetic CW-like corpus (30k sentences)...")
+	db, err := seqmine.GenerateClueWebLike(30000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := db.Stats()
+	fmt.Printf("corpus: %d sentences, %.1f words/sentence, %d distinct words\n\n",
+		stats.NumSequences, stats.MeanLength, stats.UniqueItems)
+
+	// Contiguous n-grams of length 2..5 (the T2 constraint of the paper, with
+	// the gap context written explicitly).
+	const ngrams = ".*(.)[.{0,0}(.)]{1,4}.*"
+	result, err := seqmine.Mine(db, ngrams, 200, seqmine.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("T2(200,0,5): %d frequent n-grams\n", len(result.Patterns))
+	longest := result.Patterns
+	for i, p := range longest {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %7d  %q\n", p.Freq, seqmine.DecodePattern(db, p))
+	}
+	fmt.Println()
+
+	// A flexible variant: n-grams that may skip one of the extremely frequent
+	// words "of" / "the" in the middle — not expressible with gap constraints
+	// alone.
+	const skipStop = ".*(.)[[of|the]{0,1}(.)]{1,3}.*"
+	result2, err := seqmine.Mine(db, skipStop, 200, seqmine.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("flexible variant (skipping 'of'/'the'): %d patterns\n", len(result2.Patterns))
+	for i, p := range result2.Patterns {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %7d  %q\n", p.Freq, seqmine.DecodePattern(db, p))
+	}
+}

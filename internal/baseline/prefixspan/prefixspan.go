@@ -1,0 +1,127 @@
+// Package prefixspan implements the PrefixSpan algorithm (Pei et al., ICDE'01)
+// with a maximum-length constraint, mirroring the constraint class of Spark
+// MLlib's distributed PrefixSpan used as the comparator of Fig. 13 in the
+// paper ("MLlib setting"): subsequences with arbitrary gaps, no hierarchy and
+// a maximum length. Work is parallelized over the frequent first items
+// (prefix-based partitioning, like MLlib).
+package prefixspan
+
+import (
+	"sort"
+	"sync"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/miner"
+)
+
+// Options configures PrefixSpan mining.
+type Options struct {
+	// MaxLength bounds the length of reported subsequences.
+	MaxLength int
+	// Workers is the number of concurrent prefix partitions to mine (default
+	// 1).
+	Workers int
+}
+
+// posting is the pseudo-projection of one sequence: the earliest position at
+// which the current prefix can end. With arbitrary gaps, greedy leftmost
+// matching is sufficient for deciding containment, so one position per
+// sequence suffices.
+type posting struct {
+	seq int
+	pos int
+}
+
+// Mine returns all subsequences of length 1..MaxLength (arbitrary gaps, no
+// hierarchy) whose support reaches sigma.
+func Mine(d *dict.Dictionary, db [][]dict.ItemID, sigma int64, opts Options) []miner.Pattern {
+	if opts.MaxLength <= 0 {
+		opts.MaxLength = 1<<31 - 1
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+
+	// Frequent items and their first occurrence per sequence.
+	first := map[dict.ItemID][]posting{}
+	for s, T := range db {
+		seen := map[dict.ItemID]bool{}
+		for p, t := range T {
+			if seen[t] || !d.IsFrequent(t, sigma) {
+				continue
+			}
+			seen[t] = true
+			first[t] = append(first[t], posting{seq: s, pos: p})
+		}
+	}
+	items := make([]dict.ItemID, 0, len(first))
+	for w, ps := range first {
+		if int64(len(ps)) >= sigma {
+			items = append(items, w)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	// Mine each prefix partition concurrently.
+	results := make([][]miner.Pattern, len(items))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opts.Workers)
+	for i, w := range items {
+		wg.Add(1)
+		go func(i int, w dict.ItemID) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			m := &psMiner{db: db, dict: d, sigma: sigma, maxLen: opts.MaxLength}
+			m.expand([]dict.ItemID{w}, first[w])
+			results[i] = m.out
+		}(i, w)
+	}
+	wg.Wait()
+
+	var out []miner.Pattern
+	for _, rs := range results {
+		out = append(out, rs...)
+	}
+	miner.SortPatterns(out)
+	return out
+}
+
+type psMiner struct {
+	db     [][]dict.ItemID
+	dict   *dict.Dictionary
+	sigma  int64
+	maxLen int
+	out    []miner.Pattern
+}
+
+func (m *psMiner) expand(prefix []dict.ItemID, ps []posting) {
+	m.out = append(m.out, miner.Pattern{Items: append([]dict.ItemID(nil), prefix...), Freq: int64(len(ps))})
+	if len(prefix) >= m.maxLen {
+		return
+	}
+	// Next items: earliest occurrence after the current position per sequence.
+	next := map[dict.ItemID][]posting{}
+	for _, p := range ps {
+		T := m.db[p.seq]
+		seen := map[dict.ItemID]bool{}
+		for j := p.pos + 1; j < len(T); j++ {
+			t := T[j]
+			if seen[t] || !m.dict.IsFrequent(t, m.sigma) {
+				continue
+			}
+			seen[t] = true
+			next[t] = append(next[t], posting{seq: p.seq, pos: j})
+		}
+	}
+	items := make([]dict.ItemID, 0, len(next))
+	for w, nps := range next {
+		if int64(len(nps)) >= m.sigma {
+			items = append(items, w)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, w := range items {
+		m.expand(append(prefix, w), next[w])
+	}
+}

@@ -1,0 +1,504 @@
+// Package datagen generates the synthetic datasets used by the experiment
+// harness. The paper evaluates on the New York Times Annotated Corpus, Amazon
+// product reviews and a ClueWeb sample, none of which can be redistributed;
+// the generators below produce deterministic, scaled-down datasets with the
+// same structural properties that the paper's subsequence constraints
+// exercise:
+//
+//   - NYT-like: sentences over a vocabulary with token→lemma→POS and
+//     entity→type→ENTITY hierarchies, containing relational phrases between
+//     entities (constraints N1–N5).
+//   - AMZN-like: per-customer product sequences over a
+//     product→category→department hierarchy, with correlated purchases
+//     (constraints A1–A4, T1, T3); an optional forest variant mirrors AMZN-F.
+//   - CW-like: plain sentences without a hierarchy (constraint T2).
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seqmine/internal/seqdb"
+)
+
+// ---------------------------------------------------------------------------
+// NYT-like text corpus
+// ---------------------------------------------------------------------------
+
+// NYTConfig configures the NYT-like generator.
+type NYTConfig struct {
+	// NumSentences is the number of input sequences to generate.
+	NumSentences int
+	// Seed makes the dataset deterministic.
+	Seed int64
+}
+
+// nytVocabulary holds the word lists of the NYT-like generator.
+type nytVocabulary struct {
+	hierarchy seqdb.Hierarchy
+	verbs     [][]string // inflected forms per lemma
+	nouns     []string
+	adjs      []string
+	advs      []string
+	dets      []string
+	preps     []string
+	entities  []string
+	fillers   []string   // all non-entity tokens, for noise
+	relations [][]string // relational phrases placed between entities
+}
+
+func buildNYTVocabulary() *nytVocabulary {
+	v := &nytVocabulary{hierarchy: seqdb.Hierarchy{}}
+	addWord := func(token, lemma, pos string) {
+		v.hierarchy[token] = []string{lemma}
+		if _, ok := v.hierarchy[lemma]; !ok {
+			v.hierarchy[lemma] = []string{pos}
+		}
+		if _, ok := v.hierarchy[pos]; !ok {
+			v.hierarchy[pos] = nil
+		}
+	}
+
+	verbLemmas := []string{
+		"be", "make", "live", "graduate", "survive", "offer", "bear", "lead", "join",
+		"found", "work", "serve", "win", "announce", "buy", "sell", "meet", "visit",
+		"support", "sign", "name", "own", "run", "direct", "teach", "marry", "play",
+		"write", "acquire", "sue",
+	}
+	for _, lemma := range verbLemmas {
+		var forms []string
+		if lemma == "be" {
+			forms = []string{"is", "was", "are", "been"}
+		} else {
+			forms = []string{lemma + "s", lemma + "ed", lemma + "ing"}
+		}
+		for _, f := range forms {
+			addWord(f, lemma, "VERB")
+		}
+		v.verbs = append(v.verbs, forms)
+	}
+
+	nounLemmas := []string{
+		"deal", "company", "president", "professor", "place", "city", "director",
+		"chairman", "member", "board", "team", "agreement", "contract", "university",
+		"government", "minister", "leader", "group", "bank", "court", "state", "war",
+		"plan", "report", "official", "spokesman", "condition", "anonymity", "rights",
+		"human", "student", "school", "election", "market", "share", "price", "year",
+		"month", "week", "time", "people", "family", "house", "country", "law",
+	}
+	for _, lemma := range nounLemmas {
+		addWord(lemma, lemma+"#n", "NOUN")
+		addWord(lemma+"s", lemma+"#n", "NOUN")
+		v.nouns = append(v.nouns, lemma, lemma+"s")
+	}
+
+	adjLemmas := []string{"great", "new", "former", "senior", "large", "public", "national",
+		"federal", "political", "chief", "local", "major", "young", "old", "good"}
+	for _, lemma := range adjLemmas {
+		addWord(lemma, lemma+"#a", "ADJ")
+		v.adjs = append(v.adjs, lemma)
+	}
+
+	advLemmas := []string{"also", "now", "recently", "formerly", "widely", "still", "once", "later"}
+	for _, lemma := range advLemmas {
+		addWord(lemma, lemma+"#r", "ADV")
+		v.advs = append(v.advs, lemma)
+	}
+
+	dets := []string{"the", "a", "an", "this", "its", "his", "her"}
+	for _, w := range dets {
+		addWord(w, w+"#d", "DET")
+		v.dets = append(v.dets, w)
+	}
+
+	preps := []string{"in", "of", "with", "from", "by", "to", "at", "for", "on", "as"}
+	for _, w := range preps {
+		addWord(w, w+"#p", "PREP")
+		v.preps = append(v.preps, w)
+	}
+
+	// Entities generalize to their type and further to ENTITY.
+	v.hierarchy["ENTITY"] = nil
+	for _, typ := range []string{"PER", "ORG", "LOC"} {
+		v.hierarchy[typ] = []string{"ENTITY"}
+	}
+	perNames := 120
+	orgNames := 80
+	locNames := 60
+	for i := 0; i < perNames; i++ {
+		name := fmt.Sprintf("per_%d", i)
+		v.hierarchy[name] = []string{"PER"}
+		v.entities = append(v.entities, name)
+	}
+	for i := 0; i < orgNames; i++ {
+		name := fmt.Sprintf("org_%d", i)
+		v.hierarchy[name] = []string{"ORG"}
+		v.entities = append(v.entities, name)
+	}
+	for i := 0; i < locNames; i++ {
+		name := fmt.Sprintf("loc_%d", i)
+		v.hierarchy[name] = []string{"LOC"}
+		v.entities = append(v.entities, name)
+	}
+
+	// Relational phrases placed between two entities. They reuse the verb,
+	// noun and preposition vocabulary above (so the token→lemma→POS hierarchy
+	// applies) and give constraints N1–N3 frequent patterns to find.
+	addWord("born", "bear", "VERB")
+	addWord("met", "meet", "VERB")
+	addWord("acquired", "acquire", "VERB")
+	addWord("sued", "sue", "VERB")
+	addWord("teaches", "teach", "VERB")
+	v.relations = [][]string{
+		{"lives", "in"},
+		{"works", "for"},
+		{"is", "president", "of"},
+		{"graduated", "from"},
+		{"is", "survived", "by"},
+		{"was", "born", "in"},
+		{"is", "director", "of"},
+		{"met", "with"},
+		{"signed", "with"},
+		{"plays", "for"},
+		{"is", "member", "of"},
+		{"joined"},
+		{"leads"},
+		{"acquired"},
+		{"sued"},
+		{"visited"},
+		{"teaches", "at"},
+		{"is", "chairman", "of"},
+	}
+
+	v.fillers = append(v.fillers, v.nouns...)
+	v.fillers = append(v.fillers, v.adjs...)
+	v.fillers = append(v.fillers, v.advs...)
+	v.fillers = append(v.fillers, v.dets...)
+	v.fillers = append(v.fillers, v.preps...)
+	return v
+}
+
+// zipf picks an index in [0, n) with a skewed (roughly Zipfian) distribution.
+func zipf(rng *rand.Rand, n int) int {
+	u := rng.Float64()
+	idx := int(u * u * u * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// NYTRaw generates the NYT-like corpus as raw sequences plus hierarchy.
+func NYTRaw(cfg NYTConfig) ([][]string, seqdb.Hierarchy) {
+	if cfg.NumSentences <= 0 {
+		cfg.NumSentences = 1000
+	}
+	v := buildNYTVocabulary()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	raw := make([][]string, 0, cfg.NumSentences)
+
+	entity := func() string { return v.entities[zipf(rng, len(v.entities))] }
+	filler := func() string { return v.fillers[zipf(rng, len(v.fillers))] }
+	verbForm := func() string {
+		forms := v.verbs[zipf(rng, len(v.verbs))]
+		return forms[rng.Intn(len(forms))]
+	}
+	appendNoise := func(seq []string, n int) []string {
+		for i := 0; i < n; i++ {
+			seq = append(seq, filler())
+		}
+		return seq
+	}
+
+	for i := 0; i < cfg.NumSentences; i++ {
+		var seq []string
+		switch r := rng.Float64(); {
+		case r < 0.45:
+			// Relational sentence: ENTITY relational-phrase ENTITY. Most
+			// sentences use one of the fixed relation templates (skewed), the
+			// rest compose a phrase randomly.
+			seq = appendNoise(seq, rng.Intn(6))
+			seq = append(seq, entity())
+			if rng.Float64() < 0.8 {
+				seq = append(seq, v.relations[zipf(rng, len(v.relations))]...)
+			} else {
+				seq = append(seq, verbForm())
+				if rng.Float64() < 0.35 {
+					seq = append(seq, v.nouns[zipf(rng, len(v.nouns))])
+				}
+				if rng.Float64() < 0.55 {
+					seq = append(seq, v.preps[zipf(rng, len(v.preps))])
+				}
+			}
+			seq = append(seq, entity())
+			seq = appendNoise(seq, rng.Intn(10))
+		case r < 0.6:
+			// Copular sentence: ENTITY is DET? ADV? ADJ? NOUN.
+			seq = appendNoise(seq, rng.Intn(4))
+			seq = append(seq, entity(), "is")
+			if rng.Float64() < 0.5 {
+				seq = append(seq, v.dets[rng.Intn(len(v.dets))])
+			}
+			if rng.Float64() < 0.3 {
+				seq = append(seq, v.advs[zipf(rng, len(v.advs))])
+			}
+			if rng.Float64() < 0.6 {
+				seq = append(seq, v.adjs[zipf(rng, len(v.adjs))])
+			}
+			seq = append(seq, v.nouns[zipf(rng, len(v.nouns))])
+			seq = appendNoise(seq, rng.Intn(8))
+		default:
+			// Plain sentence.
+			n := 6 + rng.Intn(25)
+			seq = appendNoise(seq, n)
+			if rng.Float64() < 0.3 {
+				seq = append(seq, entity())
+				seq = appendNoise(seq, rng.Intn(5))
+			}
+		}
+		if len(seq) == 0 {
+			seq = append(seq, filler())
+		}
+		raw = append(raw, seq)
+	}
+	return raw, v.hierarchy
+}
+
+// NYT builds the NYT-like database.
+func NYT(cfg NYTConfig) (*seqdb.Database, error) {
+	raw, h := NYTRaw(cfg)
+	return seqdb.Build(raw, h)
+}
+
+// ---------------------------------------------------------------------------
+// AMZN-like market-basket data
+// ---------------------------------------------------------------------------
+
+// AmazonConfig configures the AMZN-like generator.
+type AmazonConfig struct {
+	// NumCustomers is the number of input sequences (one per customer).
+	NumCustomers int
+	// Seed makes the dataset deterministic.
+	Seed int64
+	// Forest restricts the hierarchy to a forest (each item has at most one
+	// parent), mirroring the AMZN-F variant of the paper.
+	Forest bool
+}
+
+type amazonCatalog struct {
+	hierarchy  seqdb.Hierarchy
+	byCategory map[string][]string
+	categories map[string][]string // department -> categories
+	bookChains [][]string
+}
+
+func buildAmazonCatalog(forest bool, productsPerCategory int) *amazonCatalog {
+	c := &amazonCatalog{
+		hierarchy:  seqdb.Hierarchy{},
+		byCategory: map[string][]string{},
+		categories: map[string][]string{},
+	}
+	addDepartment := func(dep string) { c.hierarchy[dep] = nil }
+	addCategory := func(cat, dep string) {
+		c.hierarchy[cat] = []string{dep}
+		c.categories[dep] = append(c.categories[dep], cat)
+	}
+	addProduct := func(name, cat string, extra ...string) {
+		parents := []string{cat}
+		if !forest {
+			parents = append(parents, extra...)
+		}
+		c.hierarchy[name] = parents
+		c.byCategory[cat] = append(c.byCategory[cat], name)
+	}
+
+	addDepartment("Electr")
+	addDepartment("Book")
+	addDepartment("MusicInstr")
+	addDepartment("Home")
+	addDepartment("Clothing")
+	if !forest {
+		c.hierarchy["Accessories"] = []string{"Electr"}
+	}
+
+	electrCats := []string{"MP3Players", "Headphones", "Mice", "Keyboards", "DigitalCamera",
+		"Lenses", "Tripods", "Batteries", "SDCards", "Speakers"}
+	for _, cat := range electrCats {
+		addCategory(cat, "Electr")
+	}
+	bookCats := []string{"Fantasy", "SciFi", "Mystery", "Cooking"}
+	for _, cat := range bookCats {
+		addCategory(cat, "Book")
+	}
+	musicCats := []string{"Guitars", "Drums", "BagsCases", "Pianos"}
+	for _, cat := range musicCats {
+		addCategory(cat, "MusicInstr")
+	}
+	homeCats := []string{"Kitchen", "Furniture", "Garden"}
+	for _, cat := range homeCats {
+		addCategory(cat, "Home")
+	}
+	clothCats := []string{"Shoes", "Shirts", "Jackets"}
+	for _, cat := range clothCats {
+		addCategory(cat, "Clothing")
+	}
+
+	accessoryCats := map[string]bool{"Lenses": true, "Tripods": true, "Batteries": true,
+		"SDCards": true, "Headphones": true, "BagsCases": false}
+	for dep, cats := range c.categories {
+		for _, cat := range cats {
+			for i := 0; i < productsPerCategory; i++ {
+				name := fmt.Sprintf("p_%s_%d", cat, i)
+				if dep == "Electr" && accessoryCats[cat] && i%3 == 0 {
+					addProduct(name, cat, "Accessories")
+				} else {
+					addProduct(name, cat)
+				}
+			}
+		}
+	}
+
+	// Named book series so that constraint A2 can find sequel patterns.
+	c.bookChains = [][]string{
+		{"a-game-of-thrones", "a-clash-of-kings", "a-storm-of-swords", "a-feast-for-crows"},
+		{"dune", "dune-messiah", "children-of-dune"},
+		{"foundation", "foundation-and-empire", "second-foundation"},
+	}
+	for _, chain := range c.bookChains {
+		for _, title := range chain {
+			addProduct(title, "Fantasy")
+		}
+	}
+	return c
+}
+
+// AmazonRaw generates the AMZN-like dataset as raw sequences plus hierarchy.
+func AmazonRaw(cfg AmazonConfig) ([][]string, seqdb.Hierarchy) {
+	if cfg.NumCustomers <= 0 {
+		cfg.NumCustomers = 1000
+	}
+	c := buildAmazonCatalog(cfg.Forest, 25)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	departments := []string{"Electr", "Electr", "Book", "MusicInstr", "Home", "Clothing"}
+
+	pick := func(cat string) string {
+		prods := c.byCategory[cat]
+		return prods[zipf(rng, len(prods))]
+	}
+	raw := make([][]string, 0, cfg.NumCustomers)
+	for i := 0; i < cfg.NumCustomers; i++ {
+		var seq []string
+		dep := departments[rng.Intn(len(departments))]
+		// Sequence length: short on average with a heavy tail.
+		length := 1 + rng.Intn(4)
+		if rng.Float64() < 0.15 {
+			length += rng.Intn(12)
+		}
+		if rng.Float64() < 0.02 {
+			length += rng.Intn(40)
+		}
+		cats := c.categories[dep]
+		for len(seq) < length {
+			switch {
+			case dep == "Electr" && rng.Float64() < 0.3:
+				// Camera purchase followed by accessories (constraint A3).
+				seq = append(seq, pick("DigitalCamera"))
+				for _, acc := range []string{"Lenses", "Tripods", "Batteries", "SDCards"} {
+					if rng.Float64() < 0.4 {
+						seq = append(seq, pick(acc))
+					}
+				}
+			case dep == "Electr" && rng.Float64() < 0.3:
+				// MP3 player followed by headphones (constraint A1).
+				seq = append(seq, pick("MP3Players"))
+				if rng.Float64() < 0.6 {
+					seq = append(seq, pick("Headphones"))
+				}
+			case dep == "Book" && rng.Float64() < 0.35:
+				// Book series read in order (constraint A2).
+				chain := c.bookChains[rng.Intn(len(c.bookChains))]
+				start := rng.Intn(len(chain) - 1)
+				end := start + 1 + rng.Intn(len(chain)-start-1)
+				seq = append(seq, chain[start:end+1]...)
+			case dep == "MusicInstr" && rng.Float64() < 0.4:
+				// Instrument followed by bags & cases (constraint A4).
+				seq = append(seq, pick(cats[rng.Intn(len(cats))]))
+				seq = append(seq, pick("BagsCases"))
+			default:
+				seq = append(seq, pick(cats[rng.Intn(len(cats))]))
+			}
+			// Occasional purchase from an unrelated department (noise).
+			if rng.Float64() < 0.2 {
+				other := departments[rng.Intn(len(departments))]
+				oc := c.categories[other]
+				seq = append(seq, pick(oc[rng.Intn(len(oc))]))
+			}
+		}
+		raw = append(raw, seq)
+	}
+	return raw, c.hierarchy
+}
+
+// Amazon builds the AMZN-like database.
+func Amazon(cfg AmazonConfig) (*seqdb.Database, error) {
+	raw, h := AmazonRaw(cfg)
+	return seqdb.Build(raw, h)
+}
+
+// ---------------------------------------------------------------------------
+// CW-like plain text corpus (no hierarchy)
+// ---------------------------------------------------------------------------
+
+// ClueWebConfig configures the CW-like generator.
+type ClueWebConfig struct {
+	// NumSentences is the number of input sequences.
+	NumSentences int
+	// Seed makes the dataset deterministic.
+	Seed int64
+	// VocabularySize is the number of distinct words (default 5000).
+	VocabularySize int
+}
+
+// ClueWebRaw generates the CW-like corpus (no hierarchy).
+func ClueWebRaw(cfg ClueWebConfig) ([][]string, seqdb.Hierarchy) {
+	if cfg.NumSentences <= 0 {
+		cfg.NumSentences = 1000
+	}
+	if cfg.VocabularySize <= 0 {
+		cfg.VocabularySize = 5000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vocab := make([]string, cfg.VocabularySize)
+	for i := range vocab {
+		vocab[i] = fmt.Sprintf("w%d", i)
+	}
+	// Frequent collocations that T2 n-gram mining should rediscover.
+	collocations := [][]string{
+		{"most", "of", "the"},
+		{"spoke", "on", "condition", "of", "anonymity"},
+		{"as", "well", "as"},
+		{"one", "of", "the", "most"},
+		{"according", "to", "the"},
+	}
+	h := seqdb.Hierarchy{}
+	raw := make([][]string, 0, cfg.NumSentences)
+	for i := 0; i < cfg.NumSentences; i++ {
+		length := 8 + rng.Intn(24)
+		var seq []string
+		for len(seq) < length {
+			if rng.Float64() < 0.2 {
+				seq = append(seq, collocations[zipf(rng, len(collocations))]...)
+			} else {
+				seq = append(seq, vocab[zipf(rng, len(vocab))])
+			}
+		}
+		raw = append(raw, seq)
+	}
+	return raw, h
+}
+
+// ClueWeb builds the CW-like database.
+func ClueWeb(cfg ClueWebConfig) (*seqdb.Database, error) {
+	raw, h := ClueWebRaw(cfg)
+	return seqdb.Build(raw, h)
+}

@@ -1,0 +1,150 @@
+// Package dcand implements D-CAND (Sec. VI of the paper): distributed
+// frequent sequence mining with item-based partitioning and candidate
+// representation. The map phase enumerates the accepting runs of each input
+// sequence, builds one NFA per pivot item that accepts exactly the pivot's
+// candidate subsequences, minimizes the NFA and ships it in serialized form.
+// A combiner aggregates identical NFAs into weighted NFAs. The reduce phase
+// counts candidates directly on the compressed NFAs with a pattern-growth
+// miner.
+package dcand
+
+import (
+	"seqmine/internal/dict"
+	"seqmine/internal/fst"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+	"seqmine/internal/nfa"
+	"seqmine/internal/pivot"
+)
+
+// Options toggles the individual enhancements of D-CAND; they correspond to
+// the ablation study of Fig. 10b.
+type Options struct {
+	// Minimize enables minimization of the per-pivot tries before
+	// serialization. Without it, plain tries are shipped.
+	Minimize bool
+	// Aggregate enables the combiner that merges identical serialized NFAs
+	// into a single weighted NFA.
+	Aggregate bool
+}
+
+// DefaultOptions enables minimization and aggregation.
+func DefaultOptions() Options { return Options{Minimize: true, Aggregate: true} }
+
+// value is the communicated record: one serialized NFA and the number of
+// input sequences it represents.
+type value struct {
+	data   []byte
+	weight int64
+}
+
+// Mine runs D-CAND on the database and returns all frequent sequences
+// together with the engine metrics.
+func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics) {
+	d := f.Dict()
+
+	job := mapreduce.Job[[]dict.ItemID, dict.ItemID, value, miner.Pattern]{
+		Map: func(T []dict.ItemID, emit func(dict.ItemID, value)) {
+			builders := map[dict.ItemID]*nfa.Builder{}
+			f.ForEachRun(T, func(outputs [][]dict.ItemID) bool {
+				// Filter infrequent items from the output sets; skip the run
+				// if a position retains no output choice.
+				filtered := make([][]dict.ItemID, 0, len(outputs))
+				for _, set := range outputs {
+					if set == nil {
+						filtered = append(filtered, nil)
+						continue
+					}
+					keep := make([]dict.ItemID, 0, len(set))
+					for _, w := range set {
+						if d.IsFrequent(w, sigma) {
+							keep = append(keep, w)
+						}
+					}
+					if len(keep) == 0 {
+						return true // no Gσ candidate passes through this run
+					}
+					filtered = append(filtered, keep)
+				}
+				// Pivot items of the run (Theorem 1).
+				pivots := pivot.MergeAll(filtered...)
+				for _, k := range pivots {
+					path := make([][]dict.ItemID, 0, len(filtered))
+					for _, set := range filtered {
+						if set == nil {
+							continue
+						}
+						keep := make([]dict.ItemID, 0, len(set))
+						for _, w := range set {
+							if w <= k {
+								keep = append(keep, w)
+							}
+						}
+						if len(keep) > 0 {
+							path = append(path, keep)
+						}
+					}
+					if len(path) == 0 {
+						continue
+					}
+					b := builders[k]
+					if b == nil {
+						b = nfa.NewBuilder()
+						builders[k] = b
+					}
+					b.AddPath(path)
+				}
+				return true
+			})
+			for k, b := range builders {
+				var automaton *nfa.NFA
+				if opts.Minimize {
+					automaton = b.Minimize()
+				} else {
+					automaton = b.Trie()
+				}
+				emit(k, value{data: automaton.Serialize(), weight: 1})
+			}
+		},
+		Reduce: func(k dict.ItemID, vs []value, emit func(miner.Pattern)) {
+			weighted := make([]nfa.Weighted, 0, len(vs))
+			for _, v := range vs {
+				automaton, err := nfa.Deserialize(v.data)
+				if err != nil {
+					continue // cannot happen for locally produced data
+				}
+				weighted = append(weighted, nfa.Weighted{N: automaton, Weight: v.weight})
+			}
+			for _, p := range nfa.MinePartition(weighted, sigma, k) {
+				emit(p)
+			}
+		},
+		Hash:   func(k dict.ItemID) uint64 { return mapreduce.HashUint64(uint64(k)) },
+		SizeOf: func(_ dict.ItemID, v value) int { return len(v.data) + 2 + 2 },
+	}
+	if opts.Aggregate {
+		job.Combine = func(_ dict.ItemID, vs []value) []value {
+			grouped := map[string]*value{}
+			order := make([]string, 0, len(vs))
+			for _, v := range vs {
+				key := string(v.data)
+				if g, ok := grouped[key]; ok {
+					g.weight += v.weight
+					continue
+				}
+				vc := v
+				grouped[key] = &vc
+				order = append(order, key)
+			}
+			out := make([]value, 0, len(grouped))
+			for _, key := range order {
+				out = append(out, *grouped[key])
+			}
+			return out
+		}
+	}
+
+	out, metrics := mapreduce.Run(db, cfg, job)
+	miner.SortPatterns(out)
+	return out, metrics
+}

@@ -1,0 +1,130 @@
+// Package dseq implements D-SEQ (Sec. V of the paper): distributed frequent
+// sequence mining with item-based partitioning and sequence representation.
+// The map phase determines the pivot items K(T) of each input sequence with
+// the position–state grid, rewrites the sequence per pivot (dropping leading
+// and trailing irrelevant positions) and sends the rewritten sequence to the
+// pivot partitions. Each partition is mined locally with the pivot-restricted
+// DESQ-DFS miner.
+package dseq
+
+import (
+	"seqmine/internal/dict"
+	"seqmine/internal/fst"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+	"seqmine/internal/pivot"
+)
+
+// Options toggles the individual enhancements of D-SEQ; they correspond to
+// the ablation study of Fig. 10a.
+type Options struct {
+	// UseGrid enables the position–state grid during pivot search. Without
+	// it, pivots are found by enumerating all accepting runs.
+	UseGrid bool
+	// Rewrite enables sending rewritten (shortened) input sequences instead
+	// of the full sequences.
+	Rewrite bool
+	// EarlyStopping enables the local-mining heuristic that stops growing
+	// prefixes that can no longer contain the pivot item.
+	EarlyStopping bool
+	// Aggregate merges identical (rewritten) sequences sent to the same
+	// partition by a map worker into a single weighted record.
+	Aggregate bool
+}
+
+// DefaultOptions enables all enhancements.
+func DefaultOptions() Options {
+	return Options{UseGrid: true, Rewrite: true, EarlyStopping: true, Aggregate: true}
+}
+
+// value is the communicated record: a (possibly rewritten) input sequence
+// with a weight.
+type value struct {
+	items  []dict.ItemID
+	weight int64
+}
+
+// Mine runs D-SEQ on the database and returns all frequent sequences together
+// with the engine metrics.
+func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics) {
+	searcher := pivot.NewSearcher(f, sigma, pivot.Options{UseGrid: opts.UseGrid})
+
+	job := mapreduce.Job[[]dict.ItemID, dict.ItemID, value, miner.Pattern]{
+		Map: func(T []dict.ItemID, emit func(dict.ItemID, value)) {
+			analysis := searcher.Analyze(T)
+			for _, k := range analysis.Pivots {
+				rho := T
+				if opts.Rewrite {
+					rho = searcher.Rewrite(T, analysis, k)
+				}
+				emit(k, value{items: rho, weight: 1})
+			}
+		},
+		Reduce: func(k dict.ItemID, vs []value, emit func(miner.Pattern)) {
+			part := make([]miner.WeightedSequence, len(vs))
+			for i, v := range vs {
+				part[i] = miner.WeightedSequence{Items: v.items, Weight: v.weight}
+			}
+			patterns := miner.MineDFS(f, part, sigma, miner.DFSOptions{
+				Pivot:         k,
+				EarlyStopping: opts.EarlyStopping,
+			})
+			for _, p := range patterns {
+				emit(p)
+			}
+		},
+		Hash:   func(k dict.ItemID) uint64 { return mapreduce.HashUint64(uint64(k)) },
+		SizeOf: func(_ dict.ItemID, v value) int { return sequenceSize(v.items) + 2 },
+	}
+	if opts.Aggregate {
+		job.Combine = func(_ dict.ItemID, vs []value) []value {
+			grouped := map[string]*value{}
+			order := make([]string, 0, len(vs))
+			for _, v := range vs {
+				key := seqKey(v.items)
+				if g, ok := grouped[key]; ok {
+					g.weight += v.weight
+					continue
+				}
+				vc := v
+				grouped[key] = &vc
+				order = append(order, key)
+			}
+			out := make([]value, 0, len(grouped))
+			for _, key := range order {
+				out = append(out, *grouped[key])
+			}
+			return out
+		}
+	}
+
+	out, metrics := mapreduce.Run(db, cfg, job)
+	miner.SortPatterns(out)
+	return out, metrics
+}
+
+// sequenceSize estimates the varint-serialized size of a sequence in bytes.
+func sequenceSize(seq []dict.ItemID) int {
+	size := 1
+	for _, w := range seq {
+		switch {
+		case w < 1<<7:
+			size++
+		case w < 1<<14:
+			size += 2
+		case w < 1<<21:
+			size += 3
+		default:
+			size += 5
+		}
+	}
+	return size
+}
+
+func seqKey(seq []dict.ItemID) string {
+	buf := make([]byte, 0, len(seq)*4)
+	for _, w := range seq {
+		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	return string(buf)
+}

@@ -1,0 +1,125 @@
+package dseq_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/dseq"
+	"seqmine/internal/fst"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+	"seqmine/internal/paperex"
+)
+
+func TestDSeqRunningExample(t *testing.T) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	db := paperex.DB(d)
+	got, metrics := dseq.Mine(f, db, paperex.Sigma, dseq.DefaultOptions(), mapreduce.Config{MapWorkers: 2, ReduceWorkers: 2})
+	if m := miner.PatternsToMap(d, got); !reflect.DeepEqual(m, paperex.ExpectedFrequent()) {
+		t.Errorf("D-SEQ = %v, want %v", m, paperex.ExpectedFrequent())
+	}
+	// T1 is relevant for partitions a1 and c; T2 and T5 for a1; T3 and T4 for
+	// none. Without the combiner that is 4 shuffled sequences over 2
+	// partitions.
+	if metrics.Partitions != 2 {
+		t.Errorf("Partitions = %d, want 2", metrics.Partitions)
+	}
+	if metrics.MapOutputRecords != 4 {
+		t.Errorf("MapOutputRecords = %d, want 4", metrics.MapOutputRecords)
+	}
+}
+
+func TestDSeqRewriteReducesShuffle(t *testing.T) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	db := paperex.DB(d)
+	cfg := mapreduce.Config{MapWorkers: 1, ReduceWorkers: 1}
+	withRewrite := dseq.DefaultOptions()
+	withRewrite.Aggregate = false
+	noRewrite := withRewrite
+	noRewrite.Rewrite = false
+	_, m1 := dseq.Mine(f, db, paperex.Sigma, withRewrite, cfg)
+	_, m2 := dseq.Mine(f, db, paperex.Sigma, noRewrite, cfg)
+	// Rewriting trims the two leading "e e" items of T2 for partition a1.
+	if m1.ShuffleBytes >= m2.ShuffleBytes {
+		t.Errorf("rewriting should reduce shuffle size: %d vs %d", m1.ShuffleBytes, m2.ShuffleBytes)
+	}
+}
+
+func TestDSeqOptionCombinations(t *testing.T) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	db := paperex.DB(d)
+	cfg := mapreduce.Config{MapWorkers: 3, ReduceWorkers: 3}
+	want := paperex.ExpectedFrequent()
+	for _, grid := range []bool{false, true} {
+		for _, rewrite := range []bool{false, true} {
+			for _, early := range []bool{false, true} {
+				for _, agg := range []bool{false, true} {
+					opts := dseq.Options{UseGrid: grid, Rewrite: rewrite, EarlyStopping: early, Aggregate: agg}
+					got, _ := dseq.Mine(f, db, paperex.Sigma, opts, cfg)
+					if m := miner.PatternsToMap(d, got); !reflect.DeepEqual(m, want) {
+						t.Errorf("options %+v: %v, want %v", opts, m, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDSeqMatchesSequential is the central integration property: D-SEQ must
+// produce exactly the sequential DESQ-DFS result on random databases, for
+// several constraints, thresholds and worker counts.
+func TestDSeqMatchesSequential(t *testing.T) {
+	d := paperex.Dict()
+	patterns := []string{
+		paperex.PatternExpression,
+		"[.*(.)]{1,3}.*",
+		".*(A^)[.{0,1}(.^)]{1,2}.*",
+		".*(d) .* (b).*",
+	}
+	rng := rand.New(rand.NewSource(31))
+	for _, pat := range patterns {
+		f := fst.MustCompile(pat, d)
+		for trial := 0; trial < 3; trial++ {
+			db := make([][]dict.ItemID, 25)
+			for i := range db {
+				n := rng.Intn(7) + 1
+				seq := make([]dict.ItemID, n)
+				for j := range seq {
+					seq[j] = dict.ItemID(rng.Intn(d.Size()) + 1)
+				}
+				db[i] = seq
+			}
+			for _, sigma := range []int64{1, 2, 4} {
+				want := miner.PatternsToMap(d, miner.MineDFS(f, miner.Weighted(db), sigma, miner.DFSOptions{}))
+				for _, workers := range []int{1, 4} {
+					got, _ := dseq.Mine(f, db, sigma, dseq.DefaultOptions(),
+						mapreduce.Config{MapWorkers: workers, ReduceWorkers: workers})
+					if m := miner.PatternsToMap(d, got); !reflect.DeepEqual(m, want) {
+						t.Fatalf("pattern %q sigma %d workers %d: D-SEQ %v != sequential %v",
+							pat, sigma, workers, m, want)
+					}
+				}
+				// Ablation variants must not change the result either.
+				minimal := dseq.Options{UseGrid: false, Rewrite: false, EarlyStopping: false, Aggregate: false}
+				got, _ := dseq.Mine(f, db, sigma, minimal, mapreduce.Config{MapWorkers: 2, ReduceWorkers: 2})
+				if m := miner.PatternsToMap(d, got); !reflect.DeepEqual(m, want) {
+					t.Fatalf("pattern %q sigma %d minimal options: %v != %v", pat, sigma, m, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDSeqEmptyDatabase(t *testing.T) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	got, metrics := dseq.Mine(f, nil, 1, dseq.DefaultOptions(), mapreduce.Config{})
+	if len(got) != 0 || metrics.ShuffleRecords != 0 {
+		t.Errorf("empty database: got %v, metrics %+v", got, metrics)
+	}
+}

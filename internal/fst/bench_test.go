@@ -1,0 +1,81 @@
+package fst_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/fst"
+	"seqmine/internal/paperex"
+)
+
+// benchSequences builds a deterministic workload of random sequences over the
+// running-example vocabulary.
+func benchSequences(n, maxLen int) (*dict.Dictionary, [][]dict.ItemID) {
+	d := paperex.Dict()
+	rng := rand.New(rand.NewSource(1))
+	db := make([][]dict.ItemID, n)
+	for i := range db {
+		l := rng.Intn(maxLen) + 1
+		seq := make([]dict.ItemID, l)
+		for j := range seq {
+			seq[j] = dict.ItemID(rng.Intn(d.Size()) + 1)
+		}
+		db[i] = seq
+	}
+	return d, db
+}
+
+func BenchmarkCompile(b *testing.B) {
+	d := paperex.Dict()
+	patterns := map[string]string{
+		"running-example": paperex.PatternExpression,
+		"max-length":      "[.*(.)]{1,5}.*",
+		"gap-hierarchy":   ".*(.^)[.{0,1}(.^)]{1,4}.*",
+	}
+	for name, pat := range patterns {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fst.Compile(pat, d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAcceptMatrix(b *testing.B) {
+	d, db := benchSequences(200, 12)
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AcceptMatrix(db[i%len(db)])
+	}
+}
+
+func BenchmarkEnumerateCandidates(b *testing.B) {
+	d, db := benchSequences(200, 10)
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.EnumerateCandidates(db[i%len(db)], paperex.Sigma)
+	}
+}
+
+func BenchmarkForEachRun(b *testing.B) {
+	d, db := benchSequences(200, 10)
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ForEachRun(db[i%len(db)], func([][]dict.ItemID) bool { return true })
+	}
+}
+
+func BenchmarkAccepts(b *testing.B) {
+	d, db := benchSequences(200, 12)
+	f := fst.MustCompile(".*(.^)[.{0,1}(.^)]{1,4}.*", d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Accepts(db[i%len(db)])
+	}
+}

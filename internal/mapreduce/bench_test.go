@@ -1,0 +1,64 @@
+package mapreduce_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"seqmine/internal/mapreduce"
+)
+
+func benchLines(n int) []string {
+	rng := rand.New(rand.NewSource(5))
+	words := make([]string, 200)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%d", i)
+	}
+	lines := make([]string, n)
+	for i := range lines {
+		k := rng.Intn(15) + 5
+		parts := make([]string, k)
+		for j := range parts {
+			parts[j] = words[rng.Intn(len(words))]
+		}
+		lines[i] = strings.Join(parts, " ")
+	}
+	return lines
+}
+
+// BenchmarkWordCount measures the raw engine overhead with a classic word
+// count at different worker counts.
+func BenchmarkWordCount(b *testing.B) {
+	lines := benchLines(2000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			cfg := mapreduce.Config{MapWorkers: workers, ReduceWorkers: workers}
+			for i := 0; i < b.N; i++ {
+				mapreduce.Run(lines, cfg, wordCountJob())
+			}
+		})
+	}
+}
+
+// BenchmarkCombine measures the effect of the combiner on a highly redundant
+// input.
+func BenchmarkCombine(b *testing.B) {
+	lines := make([]string, 2000)
+	for i := range lines {
+		lines[i] = "alpha beta gamma alpha"
+	}
+	cfg := mapreduce.Config{MapWorkers: 2, ReduceWorkers: 2}
+	b.Run("with-combiner", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			mapreduce.Run(lines, cfg, wordCountJob())
+		}
+	})
+	b.Run("without-combiner", func(b *testing.B) {
+		job := wordCountJob()
+		job.Combine = nil
+		for i := 0; i < b.N; i++ {
+			mapreduce.Run(lines, cfg, job)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+// Package mapreduce provides a small in-process bulk synchronous parallel
+// engine with exactly one round of communication: a map phase over input
+// splits, an optional per-worker combine, a hash-partitioned shuffle and a
+// reduce phase over partitions. It stands in for the Spark/MapReduce clusters
+// used in the paper; the distributed FSM algorithms (D-SEQ, D-CAND, NAIVE,
+// SEMI-NAIVE) are expressed against this engine exactly as in Alg. 1 of the
+// paper. The engine instruments shuffle volume and per-stage wall-clock
+// times, which the experiment harness reports.
+package mapreduce
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config controls the parallelism of a job. The zero value uses one worker
+// per available CPU for both stages.
+type Config struct {
+	// MapWorkers is the number of concurrent map tasks ("executor cores").
+	MapWorkers int
+	// ReduceWorkers is the number of concurrent reduce tasks.
+	ReduceWorkers int
+}
+
+func (c Config) normalized() Config {
+	if c.MapWorkers <= 0 {
+		c.MapWorkers = runtime.NumCPU()
+	}
+	if c.ReduceWorkers <= 0 {
+		c.ReduceWorkers = runtime.NumCPU()
+	}
+	return c
+}
+
+// Metrics describes one job execution.
+type Metrics struct {
+	// MapTime is the wall-clock duration of the map phase (including the
+	// combine step).
+	MapTime time.Duration
+	// ReduceTime is the wall-clock duration of the shuffle grouping and
+	// reduce phase.
+	ReduceTime time.Duration
+	// MapOutputRecords counts key/value pairs emitted by mappers before
+	// combining.
+	MapOutputRecords int64
+	// ShuffleRecords counts key/value pairs after combining, i.e. the records
+	// that are communicated.
+	ShuffleRecords int64
+	// ShuffleBytes is the total serialized size of the communicated records
+	// as estimated by the job's SizeOf function.
+	ShuffleBytes int64
+	// Partitions is the number of distinct keys.
+	Partitions int64
+	// MaxPartitionRecords is the largest number of records received by a
+	// single key (partition skew indicator).
+	MaxPartitionRecords int64
+}
+
+// Total returns the total wall-clock time of the job.
+func (m Metrics) Total() time.Duration { return m.MapTime + m.ReduceTime }
+
+// Job describes a one-round BSP computation. I is the input record type, K
+// the partition key, V the communicated value and O the output type.
+type Job[I any, K comparable, V any, O any] struct {
+	// Map processes one input record and emits key/value pairs.
+	Map func(input I, emit func(K, V))
+	// Combine (optional) merges the values of one key emitted by a single map
+	// worker before they are shuffled, mirroring MapReduce combiners.
+	Combine func(key K, values []V) []V
+	// Reduce processes one partition (all values of one key) and emits output
+	// records.
+	Reduce func(key K, values []V, emit func(O))
+	// Hash assigns keys to reduce workers. When nil, all keys go to a single
+	// reduce worker.
+	Hash func(K) uint64
+	// SizeOf estimates the serialized size of one key/value pair in bytes for
+	// the shuffle-size metric. When nil, every record counts one byte.
+	SizeOf func(K, V) int
+}
+
+// Run executes the job on the given inputs and returns the concatenated
+// reduce outputs (in unspecified order) together with execution metrics.
+func Run[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K, V, O]) ([]O, Metrics) {
+	cfg = cfg.normalized()
+	var metrics Metrics
+
+	// ---- Map phase -------------------------------------------------------
+	mapStart := time.Now()
+	type workerState struct {
+		groups  map[K][]V
+		emitted int64
+	}
+	workers := make([]workerState, cfg.MapWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.MapWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			state := &workers[w]
+			state.groups = make(map[K][]V)
+			emit := func(k K, v V) {
+				state.groups[k] = append(state.groups[k], v)
+				state.emitted++
+			}
+			for i := w; i < len(inputs); i += cfg.MapWorkers {
+				job.Map(inputs[i], emit)
+			}
+			if job.Combine != nil {
+				for k, vs := range state.groups {
+					state.groups[k] = job.Combine(k, vs)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	metrics.MapTime = time.Since(mapStart)
+
+	// ---- Shuffle ----------------------------------------------------------
+	reduceStart := time.Now()
+	merged := make(map[K][]V)
+	for w := range workers {
+		metrics.MapOutputRecords += workers[w].emitted
+		for k, vs := range workers[w].groups {
+			metrics.ShuffleRecords += int64(len(vs))
+			if job.SizeOf != nil {
+				for _, v := range vs {
+					metrics.ShuffleBytes += int64(job.SizeOf(k, v))
+				}
+			} else {
+				metrics.ShuffleBytes += int64(len(vs))
+			}
+			merged[k] = append(merged[k], vs...)
+		}
+		workers[w].groups = nil
+	}
+	metrics.Partitions = int64(len(merged))
+	for _, vs := range merged {
+		if int64(len(vs)) > metrics.MaxPartitionRecords {
+			metrics.MaxPartitionRecords = int64(len(vs))
+		}
+	}
+
+	// Assign keys to reduce workers.
+	buckets := make([][]K, cfg.ReduceWorkers)
+	for k := range merged {
+		b := 0
+		if job.Hash != nil {
+			b = int(job.Hash(k) % uint64(cfg.ReduceWorkers))
+		}
+		buckets[b] = append(buckets[b], k)
+	}
+
+	// ---- Reduce phase ------------------------------------------------------
+	outs := make([][]O, cfg.ReduceWorkers)
+	for w := 0; w < cfg.ReduceWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			emit := func(o O) { outs[w] = append(outs[w], o) }
+			for _, k := range buckets[w] {
+				job.Reduce(k, merged[k], emit)
+			}
+		}(w)
+	}
+	wg.Wait()
+	metrics.ReduceTime = time.Since(reduceStart)
+
+	var out []O
+	for _, os := range outs {
+		out = append(out, os...)
+	}
+	return out, metrics
+}
+
+// HashUint64 is a convenience mixing function for integer keys
+// (splitmix64-style finalizer).
+func HashUint64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashString hashes a string key (FNV-1a).
+func HashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SortSlice sorts outputs with the given less function; a convenience for
+// callers that need deterministic result ordering.
+func SortSlice[O any](out []O, less func(a, b O) bool) {
+	sort.Slice(out, func(i, j int) bool { return less(out[i], out[j]) })
+}

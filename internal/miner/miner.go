@@ -1,0 +1,390 @@
+// Package miner implements the sequential mining algorithms of the DESQ
+// framework that the distributed algorithms of the paper build on:
+//
+//   - MineCount (DESQ-COUNT): enumerate the candidate subsequences of every
+//     input sequence and count them. Simple, but exponential in the worst
+//     case; used as the reference implementation and by the naive distributed
+//     baselines.
+//   - MineDFS (DESQ-DFS): pattern-growth mining with projected databases of
+//     FST snapshots. This is the local miner used by D-SEQ (Sec. V-C) and the
+//     sequential baseline of Table V. It supports pivot-restricted mining and
+//     the early-stopping heuristic of the paper.
+package miner
+
+import (
+	"sort"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/fst"
+)
+
+// Pattern is one mined frequent sequence together with its frequency.
+type Pattern struct {
+	Items []dict.ItemID
+	Freq  int64
+}
+
+// WeightedSequence is an input sequence with a multiplicity. Plain databases
+// use weight 1; aggregated representations (D-CAND NFAs, deduplicated
+// rewritten sequences) use larger weights.
+type WeightedSequence struct {
+	Items  []dict.ItemID
+	Weight int64
+}
+
+// Weighted wraps a plain database into weight-1 sequences.
+func Weighted(db [][]dict.ItemID) []WeightedSequence {
+	out := make([]WeightedSequence, len(db))
+	for i, s := range db {
+		out[i] = WeightedSequence{Items: s, Weight: 1}
+	}
+	return out
+}
+
+// SortPatterns orders patterns by decreasing frequency and then
+// lexicographically by items, in place.
+func SortPatterns(ps []Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Freq != ps[j].Freq {
+			return ps[i].Freq > ps[j].Freq
+		}
+		return lessSeq(ps[i].Items, ps[j].Items)
+	})
+}
+
+// PatternsToMap converts patterns into a map keyed by the decoded
+// space-separated item names. Mostly useful in tests.
+func PatternsToMap(d *dict.Dictionary, ps []Pattern) map[string]int64 {
+	out := make(map[string]int64, len(ps))
+	for _, p := range ps {
+		out[d.DecodeString(p.Items)] = p.Freq
+	}
+	return out
+}
+
+func lessSeq(a, b []dict.ItemID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// MineCount implements DESQ-COUNT: it enumerates Gσπ(T) for every input
+// sequence, sums the weights per candidate, and reports the candidates whose
+// support reaches sigma.
+func MineCount(f *fst.FST, db []WeightedSequence, sigma int64) []Pattern {
+	counts := make(map[string]int64)
+	seqs := make(map[string][]dict.ItemID)
+	for _, ws := range db {
+		for _, cand := range f.EnumerateCandidates(ws.Items, sigma) {
+			key := keyOf(cand)
+			if _, ok := seqs[key]; !ok {
+				seqs[key] = cand
+			}
+			counts[key] += ws.Weight
+		}
+	}
+	var out []Pattern
+	for key, freq := range counts {
+		if freq >= sigma {
+			out = append(out, Pattern{Items: seqs[key], Freq: freq})
+		}
+	}
+	SortPatterns(out)
+	return out
+}
+
+func keyOf(seq []dict.ItemID) string {
+	buf := make([]byte, 0, len(seq)*4)
+	for _, v := range seq {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+// DFSOptions configures MineDFS.
+type DFSOptions struct {
+	// Pivot restricts mining to a partition of item-based partitioning: only
+	// expansion items <= Pivot are considered and only patterns that contain
+	// Pivot are reported. Zero disables the restriction.
+	Pivot dict.ItemID
+	// EarlyStopping enables the heuristic of Sec. V-C: input sequences are
+	// not used to grow prefixes that do not yet contain the pivot item beyond
+	// the last position at which the pivot can still be produced. It has no
+	// effect when Pivot is zero.
+	EarlyStopping bool
+}
+
+// MineDFS implements DESQ-DFS, the pattern-growth miner. It reports every
+// subsequence S with fπ(S) >= sigma, subject to the pivot restriction in
+// opts.
+func MineDFS(f *fst.FST, db []WeightedSequence, sigma int64, opts DFSOptions) []Pattern {
+	m := &dfsMiner{
+		fst:   f,
+		dict:  f.Dict(),
+		db:    db,
+		sigma: sigma,
+		opts:  opts,
+		cache: make([]*seqCache, len(db)),
+	}
+	return m.run()
+}
+
+// seqCache holds the per-sequence matrices used during mining.
+type seqCache struct {
+	accept     [][]bool // accepting-reachable coordinates (any outputs)
+	finishable [][]bool // reachable end-of-input via ε-output transitions only
+	lastPivot  int      // last position that can produce the pivot item (-1 if none)
+}
+
+type dfsMiner struct {
+	fst   *fst.FST
+	dict  *dict.Dictionary
+	db    []WeightedSequence
+	sigma int64
+	opts  DFSOptions
+	cache []*seqCache
+	out   []Pattern
+}
+
+// snapshot is a position-state pair of the FST simulation of one sequence.
+type snapshot struct {
+	pos   int
+	state int
+}
+
+// postings holds the snapshots of a single input sequence for the current
+// prefix.
+type postings struct {
+	seq   int
+	snaps []snapshot
+}
+
+func (m *dfsMiner) run() []Pattern {
+	root := make([]postings, 0, len(m.db))
+	for i := range m.db {
+		if len(m.db[i].Items) == 0 {
+			continue
+		}
+		c := m.cacheFor(i)
+		if !c.accept[0][m.fst.Initial()] {
+			continue // sequence has no accepting run at all
+		}
+		root = append(root, postings{seq: i, snaps: []snapshot{{pos: 0, state: m.fst.Initial()}}})
+	}
+	if m.prefixSupport(root) >= m.sigma {
+		m.expand(nil, root)
+	}
+	SortPatterns(m.out)
+	return m.out
+}
+
+func (m *dfsMiner) cacheFor(i int) *seqCache {
+	if m.cache[i] != nil {
+		return m.cache[i]
+	}
+	T := m.db[i].Items
+	c := &seqCache{
+		accept:     m.fst.AcceptMatrix(T),
+		finishable: m.finishMatrix(T),
+		lastPivot:  -1,
+	}
+	if m.opts.Pivot != dict.None {
+		c.lastPivot = m.lastPivotPosition(T)
+	}
+	m.cache[i] = c
+	return c
+}
+
+// finishMatrix computes which coordinates can reach the end of the input in a
+// final state while producing no further output.
+func (m *dfsMiner) finishMatrix(T []dict.ItemID) [][]bool {
+	n := len(T)
+	numStates := m.fst.NumStates()
+	mat := make([][]bool, n+1)
+	for i := range mat {
+		mat[i] = make([]bool, numStates)
+	}
+	for q := 0; q < numStates; q++ {
+		mat[n][q] = m.fst.IsFinal(q)
+	}
+	for i := n - 1; i >= 0; i-- {
+		t := T[i]
+		for q := 0; q < numStates; q++ {
+			for _, tr := range m.fst.Transitions(q) {
+				if tr.Label.ProducesOutput() {
+					continue
+				}
+				if mat[i+1][tr.To] && tr.Label.Matches(m.dict, t) {
+					mat[i][q] = true
+					break
+				}
+			}
+		}
+	}
+	return mat
+}
+
+// lastPivotPosition returns the last position of T at which some transition
+// can output the pivot item (conservatively ignoring states), or -1.
+func (m *dfsMiner) lastPivotPosition(T []dict.ItemID) int {
+	last := -1
+	for i, t := range T {
+		for q := 0; q < m.fst.NumStates(); q++ {
+			for _, tr := range m.fst.Transitions(q) {
+				if !tr.Label.ProducesOutput() || !tr.Label.Matches(m.dict, t) {
+					continue
+				}
+				for _, w := range tr.Label.Outputs(m.dict, t) {
+					if w == m.opts.Pivot {
+						last = i
+						break
+					}
+				}
+			}
+		}
+	}
+	return last
+}
+
+// prefixSupport sums the weights of the sequences present in the projected
+// database (antimonotone pruning quantity).
+func (m *dfsMiner) prefixSupport(proj []postings) int64 {
+	var s int64
+	for _, p := range proj {
+		s += m.db[p.seq].Weight
+	}
+	return s
+}
+
+// completeSupport sums the weights of sequences for which the current prefix
+// is a complete candidate subsequence: some snapshot can reach the end of the
+// input in a final state without producing further output.
+func (m *dfsMiner) completeSupport(proj []postings) int64 {
+	var s int64
+	for _, p := range proj {
+		c := m.cache[p.seq]
+		for _, sn := range p.snaps {
+			if c.finishable[sn.pos][sn.state] {
+				s += m.db[p.seq].Weight
+				break
+			}
+		}
+	}
+	return s
+}
+
+// expand recursively grows the prefix by one output item at a time.
+func (m *dfsMiner) expand(prefix []dict.ItemID, proj []postings) {
+	// Report the prefix if it is a frequent (pivot) sequence.
+	if len(prefix) > 0 {
+		if m.opts.Pivot == dict.None || containsItem(prefix, m.opts.Pivot) {
+			if freq := m.completeSupport(proj); freq >= m.sigma {
+				m.out = append(m.out, Pattern{Items: append([]dict.ItemID(nil), prefix...), Freq: freq})
+			}
+		}
+	}
+
+	// Compute expansions: output item -> projected database.
+	type expState struct {
+		proj    []postings
+		lastSeq int
+	}
+	expansions := make(map[dict.ItemID]*expState)
+	hasPivot := m.opts.Pivot != dict.None && containsItem(prefix, m.opts.Pivot)
+
+	for _, p := range proj {
+		c := m.cache[p.seq]
+		T := m.db[p.seq].Items
+		// Per-sequence deduplication of (item, pos, state) targets.
+		type target struct {
+			item  dict.ItemID
+			pos   int
+			state int
+		}
+		seenTarget := map[target]bool{}
+		seenSnap := map[snapshot]bool{}
+		stack := make([]snapshot, 0, len(p.snaps))
+		for _, sn := range p.snaps {
+			if m.opts.EarlyStopping && m.opts.Pivot != dict.None && !hasPivot &&
+				c.lastPivot >= 0 && sn.pos > c.lastPivot {
+				continue // this snapshot can no longer produce the pivot
+			}
+			if !seenSnap[sn] {
+				seenSnap[sn] = true
+				stack = append(stack, sn)
+			}
+		}
+		for len(stack) > 0 {
+			sn := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if sn.pos >= len(T) {
+				continue
+			}
+			t := T[sn.pos]
+			for _, tr := range m.fst.Transitions(sn.state) {
+				if !c.accept[sn.pos+1][tr.To] || !tr.Label.Matches(m.dict, t) {
+					continue
+				}
+				if !tr.Label.ProducesOutput() {
+					next := snapshot{pos: sn.pos + 1, state: tr.To}
+					if !seenSnap[next] {
+						seenSnap[next] = true
+						stack = append(stack, next)
+					}
+					continue
+				}
+				for _, w := range tr.Label.Outputs(m.dict, t) {
+					if !m.dict.IsFrequent(w, m.sigma) {
+						continue
+					}
+					if m.opts.Pivot != dict.None && w > m.opts.Pivot {
+						continue
+					}
+					tg := target{item: w, pos: sn.pos + 1, state: tr.To}
+					if seenTarget[tg] {
+						continue
+					}
+					seenTarget[tg] = true
+					e := expansions[w]
+					if e == nil {
+						e = &expState{lastSeq: -1}
+						expansions[w] = e
+					}
+					if e.lastSeq != p.seq {
+						e.proj = append(e.proj, postings{seq: p.seq})
+						e.lastSeq = p.seq
+					}
+					last := &e.proj[len(e.proj)-1]
+					last.snaps = append(last.snaps, snapshot{pos: sn.pos + 1, state: tr.To})
+				}
+			}
+		}
+	}
+
+	// Recurse on sufficiently supported expansions, in ascending item order
+	// for deterministic output.
+	items := make([]dict.ItemID, 0, len(expansions))
+	for w := range expansions {
+		items = append(items, w)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, w := range items {
+		e := expansions[w]
+		if m.prefixSupport(e.proj) < m.sigma {
+			continue
+		}
+		m.expand(append(prefix, w), e.proj)
+	}
+}
+
+func containsItem(seq []dict.ItemID, w dict.ItemID) bool {
+	for _, it := range seq {
+		if it == w {
+			return true
+		}
+	}
+	return false
+}

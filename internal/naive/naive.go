@@ -1,0 +1,102 @@
+// Package naive implements the NAIVE and SEMI-NAIVE baselines of Sec. III-A:
+// subsequence-based partitioning in which every candidate subsequence is
+// communicated and counted like in word count. NAIVE generates Gπ(T);
+// SEMI-NAIVE restricts generation to candidates that consist of frequent
+// items only (Gσπ(T)). Both are simple but communicate all candidates and
+// can therefore be infeasible for loose constraints.
+package naive
+
+import (
+	"seqmine/internal/dict"
+	"seqmine/internal/fst"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+)
+
+// Variant selects the baseline.
+type Variant int
+
+const (
+	// Naive generates and communicates all candidate subsequences.
+	Naive Variant = iota
+	// SemiNaive generates only candidates consisting of frequent items.
+	SemiNaive
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == SemiNaive {
+		return "SemiNaive"
+	}
+	return "Naive"
+}
+
+// Mine runs the baseline on the database and returns the frequent sequences
+// together with the engine metrics.
+func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, variant Variant, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics) {
+	genSigma := int64(0)
+	if variant == SemiNaive {
+		genSigma = sigma
+	}
+	job := mapreduce.Job[[]dict.ItemID, string, int64, miner.Pattern]{
+		Map: func(T []dict.ItemID, emit func(string, int64)) {
+			for _, cand := range f.EnumerateCandidates(T, genSigma) {
+				emit(EncodeSequence(cand), 1)
+			}
+		},
+		Combine: func(_ string, vs []int64) []int64 {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			return []int64{s}
+		},
+		Reduce: func(key string, vs []int64, emit func(miner.Pattern)) {
+			var s int64
+			for _, v := range vs {
+				s += v
+			}
+			if s >= sigma {
+				emit(miner.Pattern{Items: DecodeSequence(key), Freq: s})
+			}
+		},
+		Hash:   mapreduce.HashString,
+		SizeOf: func(k string, _ int64) int { return len(k) + 8 },
+	}
+	out, metrics := mapreduce.Run(db, cfg, job)
+	miner.SortPatterns(out)
+	return out, metrics
+}
+
+// EncodeSequence renders a sequence of fids as a compact varint byte string,
+// used as the partition key of subsequence-based partitioning.
+func EncodeSequence(seq []dict.ItemID) string {
+	buf := make([]byte, 0, len(seq)*2)
+	for _, w := range seq {
+		v := uint32(w)
+		for v >= 0x80 {
+			buf = append(buf, byte(v)|0x80)
+			v >>= 7
+		}
+		buf = append(buf, byte(v))
+	}
+	return string(buf)
+}
+
+// DecodeSequence reverses EncodeSequence.
+func DecodeSequence(key string) []dict.ItemID {
+	var out []dict.ItemID
+	var v uint32
+	var shift uint
+	for i := 0; i < len(key); i++ {
+		b := key[i]
+		v |= uint32(b&0x7f) << shift
+		if b&0x80 == 0 {
+			out = append(out, dict.ItemID(v))
+			v, shift = 0, 0
+		} else {
+			shift += 7
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package nfa_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/nfa"
+)
+
+// benchPaths generates deterministic run paths resembling the ones D-CAND
+// builds for selective constraints.
+func benchPaths(numPaths int) [][][]dict.ItemID {
+	rng := rand.New(rand.NewSource(3))
+	paths := make([][][]dict.ItemID, numPaths)
+	for i := range paths {
+		length := rng.Intn(4) + 2
+		path := make([][]dict.ItemID, length)
+		for j := range path {
+			size := rng.Intn(2) + 1
+			set := map[dict.ItemID]bool{}
+			for len(set) < size {
+				set[dict.ItemID(rng.Intn(12)+1)] = true
+			}
+			var label []dict.ItemID
+			for w := range set {
+				label = append(label, w)
+			}
+			sort.Slice(label, func(a, b int) bool { return label[a] < label[b] })
+			path[j] = label
+		}
+		paths[i] = path
+	}
+	return paths
+}
+
+func buildBenchNFA(numPaths int) *nfa.NFA {
+	b := nfa.NewBuilder()
+	for _, p := range benchPaths(numPaths) {
+		b.AddPath(p)
+	}
+	return b.Minimize()
+}
+
+func BenchmarkBuilderAddPath(b *testing.B) {
+	paths := benchPaths(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := nfa.NewBuilder()
+		for _, p := range paths {
+			builder.AddPath(p)
+		}
+	}
+}
+
+func BenchmarkMinimize(b *testing.B) {
+	paths := benchPaths(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		builder := nfa.NewBuilder()
+		for _, p := range paths {
+			builder.AddPath(p)
+		}
+		builder.Minimize()
+	}
+}
+
+func BenchmarkSerialize(b *testing.B) {
+	n := buildBenchNFA(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Serialize()
+	}
+}
+
+func BenchmarkDeserialize(b *testing.B) {
+	data := buildBenchNFA(64).Serialize()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nfa.Deserialize(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinePartition(b *testing.B) {
+	var weighted []nfa.Weighted
+	for i := 0; i < 32; i++ {
+		weighted = append(weighted, nfa.Weighted{N: buildBenchNFA(16), Weight: int64(i%5 + 1)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nfa.MinePartition(weighted, 3, dict.None)
+	}
+}

@@ -1,0 +1,524 @@
+// Package nfa implements the candidate representation of D-CAND (Sec. VI of
+// the paper): the candidate subsequences that an input sequence generates for
+// one pivot item are encoded as an acyclic nondeterministic finite automaton
+// whose edges are labeled with output sets. The package provides trie
+// construction from accepting runs, minimization of the acyclic automaton
+// (suffix sharing, Revuz-style), the compact depth-first serialization of
+// Sec. VI-A, and the weighted pattern-growth miner used for local mining
+// (Sec. VI-B).
+package nfa
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/miner"
+)
+
+// Edge is one labeled transition of a candidate NFA. The label is a non-empty
+// output set, sorted by ascending fid: the edge accepts any single item of the
+// set.
+type Edge struct {
+	Label []dict.ItemID
+	To    int
+}
+
+// NFA is an acyclic automaton over items; it accepts a finite set of item
+// sequences (the candidate subsequences sent to one partition). State 0 is
+// the root.
+type NFA struct {
+	edges [][]Edge
+	final []bool
+}
+
+// NumStates returns the number of states.
+func (n *NFA) NumStates() int { return len(n.edges) }
+
+// NumEdges returns the number of edges.
+func (n *NFA) NumEdges() int {
+	c := 0
+	for _, es := range n.edges {
+		c += len(es)
+	}
+	return c
+}
+
+// IsFinal reports whether state q is accepting.
+func (n *NFA) IsFinal(q int) bool { return n.final[q] }
+
+// Edges returns the outgoing edges of state q. The slice must not be
+// modified.
+func (n *NFA) Edges(q int) []Edge { return n.edges[q] }
+
+// Accepted enumerates the distinct item sequences accepted by the NFA, in
+// lexicographic order. Intended for tests and small automata.
+func (n *NFA) Accepted() [][]dict.ItemID {
+	if len(n.edges) == 0 {
+		return nil
+	}
+	set := map[string][]dict.ItemID{}
+	var cur []dict.ItemID
+	var rec func(q int)
+	rec = func(q int) {
+		if n.final[q] && len(cur) > 0 {
+			key := labelKey(cur)
+			if _, ok := set[key]; !ok {
+				set[key] = append([]dict.ItemID(nil), cur...)
+			}
+		}
+		for _, e := range n.edges[q] {
+			for _, w := range e.Label {
+				cur = append(cur, w)
+				rec(e.To)
+				cur = cur[:len(cur)-1]
+			}
+		}
+	}
+	rec(0)
+	out := make([][]dict.ItemID, 0, len(set))
+	for _, s := range set {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessSeq(out[i], out[j]) })
+	return out
+}
+
+func lessSeq(a, b []dict.ItemID) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+func labelKey(items []dict.ItemID) string {
+	buf := make([]byte, 0, len(items)*4)
+	for _, v := range items {
+		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+	}
+	return string(buf)
+}
+
+// Builder accumulates the accepting-run paths of one input sequence for one
+// pivot item as a trie and turns them into a (optionally minimized) NFA.
+type Builder struct {
+	edges  [][]Edge
+	final  []bool
+	lookup []map[string]int // child lookup per state keyed by label
+}
+
+// NewBuilder returns a Builder containing only the root state.
+func NewBuilder() *Builder {
+	return &Builder{
+		edges:  [][]Edge{nil},
+		final:  []bool{false},
+		lookup: []map[string]int{nil},
+	}
+}
+
+// Empty reports whether no path has been added yet.
+func (b *Builder) Empty() bool { return len(b.edges) == 1 && !b.final[0] }
+
+// AddPath inserts one accepting-run path: a sequence of non-empty output
+// sets (ε sets must already be removed by the caller). Paths of length zero
+// are ignored.
+func (b *Builder) AddPath(sets [][]dict.ItemID) {
+	if len(sets) == 0 {
+		return
+	}
+	cur := 0
+	for _, set := range sets {
+		key := labelKey(set)
+		if b.lookup[cur] == nil {
+			b.lookup[cur] = map[string]int{}
+		}
+		next, ok := b.lookup[cur][key]
+		if !ok {
+			next = len(b.edges)
+			b.edges = append(b.edges, nil)
+			b.final = append(b.final, false)
+			b.lookup = append(b.lookup, nil)
+			label := append([]dict.ItemID(nil), set...)
+			b.edges[cur] = append(b.edges[cur], Edge{Label: label, To: next})
+			b.lookup[cur][key] = next
+		}
+		cur = next
+	}
+	b.final[cur] = true
+}
+
+// Trie returns the accumulated automaton without suffix sharing.
+func (b *Builder) Trie() *NFA {
+	edges := make([][]Edge, len(b.edges))
+	for i, es := range b.edges {
+		edges[i] = append([]Edge(nil), es...)
+	}
+	return &NFA{edges: edges, final: append([]bool(nil), b.final...)}
+}
+
+// Minimize returns the automaton with equivalent suffixes merged. Because the
+// trie is acyclic, a single bottom-up pass (processing states in reverse
+// topological order and hashing their behaviour) yields the minimal
+// deterministic automaton over output-set labels, in linear time (Revuz).
+func (b *Builder) Minimize() *NFA {
+	n := len(b.edges)
+	order := make([]int, 0, n)
+	visited := make([]bool, n)
+	var topo func(q int)
+	topo = func(q int) {
+		visited[q] = true
+		for _, e := range b.edges[q] {
+			if !visited[e.To] {
+				topo(e.To)
+			}
+		}
+		order = append(order, q) // children first
+	}
+	topo(0)
+
+	classOf := make([]int, n)
+	for i := range classOf {
+		classOf[i] = -1
+	}
+	signatures := map[string]int{}
+	type classInfo struct {
+		final bool
+		edges []Edge // labels + class ids
+	}
+	var classes []classInfo
+	for _, q := range order {
+		sigParts := make([]string, 0, len(b.edges[q])+1)
+		if b.final[q] {
+			sigParts = append(sigParts, "F")
+		}
+		es := make([]Edge, 0, len(b.edges[q]))
+		for _, e := range b.edges[q] {
+			es = append(es, Edge{Label: e.Label, To: classOf[e.To]})
+		}
+		sort.Slice(es, func(i, j int) bool {
+			if ki, kj := labelKey(es[i].Label), labelKey(es[j].Label); ki != kj {
+				return ki < kj
+			}
+			return es[i].To < es[j].To
+		})
+		for _, e := range es {
+			sigParts = append(sigParts, fmt.Sprintf("%s>%d", labelKey(e.Label), e.To))
+		}
+		sig := strings.Join(sigParts, "|")
+		if c, ok := signatures[sig]; ok {
+			classOf[q] = c
+			continue
+		}
+		c := len(classes)
+		signatures[sig] = c
+		classes = append(classes, classInfo{final: b.final[q], edges: es})
+		classOf[q] = c
+	}
+
+	// Renumber classes so the root's class is state 0 and states appear in a
+	// breadth-first order from the root (deterministic output).
+	rootClass := classOf[0]
+	id := make([]int, len(classes))
+	for i := range id {
+		id[i] = -1
+	}
+	queue := []int{rootClass}
+	id[rootClass] = 0
+	next := 1
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		for _, e := range classes[c].edges {
+			if id[e.To] == -1 {
+				id[e.To] = next
+				next++
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	out := &NFA{edges: make([][]Edge, next), final: make([]bool, next)}
+	for c, info := range classes {
+		if id[c] == -1 {
+			continue // unreachable class (cannot normally happen)
+		}
+		q := id[c]
+		out.final[q] = info.final
+		for _, e := range info.edges {
+			out.edges[q] = append(out.edges[q], Edge{Label: e.Label, To: id[e.To]})
+		}
+	}
+	return out
+}
+
+// flag bits of the serialization scheme (Sec. VI-A).
+const (
+	flagSourceGiven = 1 << 0 // the edge does not start at the previous edge's target
+	flagTargetGiven = 1 << 1 // the edge ends in an already-serialized state
+	flagTargetFinal = 1 << 2 // the (new) target state is final
+)
+
+// Serialize encodes the NFA with the depth-first scheme of the paper: edges
+// are written in DFS order; the source state is omitted when it equals the
+// previous edge's target, the target state is omitted when it is new, and new
+// final targets carry a final marker.
+func (n *NFA) Serialize() []byte {
+	var buf []byte
+	if n.NumStates() == 0 {
+		return buf
+	}
+	ids := make([]int, n.NumStates())
+	for i := range ids {
+		ids[i] = -1
+	}
+	ids[0] = 0
+	nextID := 1
+	prevTarget := 0
+	var dfs func(q int)
+	dfs = func(q int) {
+		for _, e := range n.edges[q] {
+			flags := byte(0)
+			if prevTarget != q {
+				flags |= flagSourceGiven
+			}
+			targetKnown := ids[e.To] != -1
+			if targetKnown {
+				flags |= flagTargetGiven
+			} else if n.final[e.To] {
+				flags |= flagTargetFinal
+			}
+			buf = append(buf, flags)
+			if flags&flagSourceGiven != 0 {
+				buf = appendUvarint(buf, uint64(ids[q]))
+			}
+			buf = appendUvarint(buf, uint64(len(e.Label)))
+			for _, w := range e.Label {
+				buf = appendUvarint(buf, uint64(w))
+			}
+			if targetKnown {
+				buf = appendUvarint(buf, uint64(ids[e.To]))
+				prevTarget = e.To
+			} else {
+				ids[e.To] = nextID
+				nextID++
+				prevTarget = e.To
+				dfs(e.To)
+			}
+		}
+	}
+	dfs(0)
+	return buf
+}
+
+// Deserialize decodes an NFA produced by Serialize.
+func Deserialize(data []byte) (*NFA, error) {
+	n := &NFA{edges: [][]Edge{nil}, final: []bool{false}}
+	pos := 0
+	prevTarget := 0
+	byID := []int{0} // serialization id -> state index
+	for pos < len(data) {
+		flags := data[pos]
+		pos++
+		source := prevTarget
+		if flags&flagSourceGiven != 0 {
+			v, np, err := readUvarint(data, pos)
+			if err != nil {
+				return nil, err
+			}
+			pos = np
+			if int(v) >= len(byID) {
+				return nil, fmt.Errorf("nfa: invalid source state %d", v)
+			}
+			source = byID[v]
+		}
+		count, np, err := readUvarint(data, pos)
+		if err != nil {
+			return nil, err
+		}
+		pos = np
+		if count == 0 {
+			return nil, errors.New("nfa: empty edge label")
+		}
+		label := make([]dict.ItemID, count)
+		for i := range label {
+			v, np, err := readUvarint(data, pos)
+			if err != nil {
+				return nil, err
+			}
+			pos = np
+			label[i] = dict.ItemID(v)
+		}
+		var target int
+		if flags&flagTargetGiven != 0 {
+			v, np, err := readUvarint(data, pos)
+			if err != nil {
+				return nil, err
+			}
+			pos = np
+			if int(v) >= len(byID) {
+				return nil, fmt.Errorf("nfa: invalid target state %d", v)
+			}
+			target = byID[v]
+		} else {
+			target = len(n.edges)
+			n.edges = append(n.edges, nil)
+			n.final = append(n.final, flags&flagTargetFinal != 0)
+			byID = append(byID, target)
+		}
+		n.edges[source] = append(n.edges[source], Edge{Label: label, To: target})
+		prevTarget = target
+	}
+	return n, nil
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+func readUvarint(data []byte, pos int) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for {
+		if pos >= len(data) {
+			return 0, 0, errors.New("nfa: truncated varint")
+		}
+		b := data[pos]
+		pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, pos, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, 0, errors.New("nfa: varint overflow")
+		}
+	}
+}
+
+// Weighted is an NFA together with the number of input sequences that sent
+// it (combiner aggregation of Sec. VI-A).
+type Weighted struct {
+	N      *NFA
+	Weight int64
+}
+
+// MinePartition counts the candidate subsequences accepted by the weighted
+// NFAs of one partition using pattern growth (Sec. VI-B) and returns the ones
+// whose support reaches sigma. Each NFA contributes its weight at most once
+// per candidate. When pivot is non-zero, only candidates containing the pivot
+// item are reported.
+func MinePartition(nfas []Weighted, sigma int64, pivot dict.ItemID) []miner.Pattern {
+	m := &nfaMiner{nfas: nfas, sigma: sigma, pivot: pivot}
+	// Root projection: every non-empty NFA at its root state.
+	root := make([]projEntry, 0, len(nfas))
+	for i, wn := range nfas {
+		if wn.N == nil || wn.N.NumStates() == 0 {
+			continue
+		}
+		root = append(root, projEntry{nfa: i, states: []int{0}})
+	}
+	m.expand(nil, root)
+	miner.SortPatterns(m.out)
+	return m.out
+}
+
+type projEntry struct {
+	nfa    int
+	states []int
+}
+
+type nfaMiner struct {
+	nfas  []Weighted
+	sigma int64
+	pivot dict.ItemID
+	out   []miner.Pattern
+}
+
+func (m *nfaMiner) expand(prefix []dict.ItemID, proj []projEntry) {
+	// Support of the prefix as a complete candidate.
+	if len(prefix) > 0 {
+		var freq int64
+		for _, p := range proj {
+			n := m.nfas[p.nfa].N
+			for _, q := range p.states {
+				if n.IsFinal(q) {
+					freq += m.nfas[p.nfa].Weight
+					break
+				}
+			}
+		}
+		if freq >= m.sigma && (m.pivot == dict.None || containsItem(prefix, m.pivot)) {
+			m.out = append(m.out, miner.Pattern{Items: append([]dict.ItemID(nil), prefix...), Freq: freq})
+		}
+	}
+
+	// Expansions per item.
+	type expState struct {
+		proj    []projEntry
+		lastNFA int
+	}
+	expansions := map[dict.ItemID]*expState{}
+	for _, p := range proj {
+		n := m.nfas[p.nfa].N
+		type target struct {
+			item  dict.ItemID
+			state int
+		}
+		seen := map[target]bool{}
+		for _, q := range p.states {
+			for _, e := range n.Edges(q) {
+				for _, w := range e.Label {
+					tg := target{item: w, state: e.To}
+					if seen[tg] {
+						continue
+					}
+					seen[tg] = true
+					es := expansions[w]
+					if es == nil {
+						es = &expState{lastNFA: -1}
+						expansions[w] = es
+					}
+					if es.lastNFA != p.nfa {
+						es.proj = append(es.proj, projEntry{nfa: p.nfa})
+						es.lastNFA = p.nfa
+					}
+					last := &es.proj[len(es.proj)-1]
+					last.states = append(last.states, e.To)
+				}
+			}
+		}
+	}
+
+	items := make([]dict.ItemID, 0, len(expansions))
+	for w := range expansions {
+		items = append(items, w)
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+	for _, w := range items {
+		es := expansions[w]
+		var support int64
+		for _, p := range es.proj {
+			support += m.nfas[p.nfa].Weight
+		}
+		if support < m.sigma {
+			continue
+		}
+		m.expand(append(prefix, w), es.proj)
+	}
+}
+
+func containsItem(seq []dict.ItemID, w dict.ItemID) bool {
+	for _, it := range seq {
+		if it == w {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,132 @@
+// Package paperex provides the running example of the paper (Fig. 2) as a
+// shared test fixture: the sequence database Dex, the item hierarchy, the item
+// frequencies, and the example constraint πex = .*(A)[(.^).*]*(b).* with σ = 2.
+//
+// The dictionary is constructed with the exact item order of Fig. 2c
+// (b < A < d < a1 < c < e < a2), so fids are:
+//
+//	b=1, A=2, d=3, a1=4, c=5, e=6, a2=7
+//
+// which makes the expected pivots, partitions and mining results of the paper
+// directly checkable in tests.
+package paperex
+
+import (
+	"math/rand"
+	"strings"
+
+	"seqmine/internal/dict"
+)
+
+// Sigma is the minimum support threshold used in the running example.
+const Sigma int64 = 2
+
+// PatternExpression is πex in the ASCII syntax of this library (↑ is ^).
+//
+// The paper writes πex = .*(A)[(.↑).*]*(b).*; its compiled FST (Fig. 4)
+// permits uncaptured gap items anywhere between the captured items, i.e. the
+// starred group behaves like [(.↑)|.]*. This library uses a strictly
+// language-preserving compilation of pattern expressions, so the fixture
+// states the gaps explicitly; the generated candidate sets are exactly those
+// of Fig. 3.
+const PatternExpression = ".*(A)[(.^)|.]*(b).*"
+
+// dictText is the Save/Load text form of the Fig. 2 dictionary, in the item
+// order of Fig. 2c so that fids match the paper's total order.
+const dictText = `b	5
+A	4
+d	3
+a1	3	A
+c	2
+e	1
+a2	1	A
+`
+
+// Dict returns the running-example dictionary.
+func Dict() *dict.Dictionary {
+	d, err := dict.Load(strings.NewReader(dictText))
+	if err != nil {
+		panic("paperex: " + err.Error())
+	}
+	return d
+}
+
+// rawDB is Dex of Fig. 2a.
+var rawDB = [][]string{
+	{"a1", "c", "d", "c", "b"},
+	{"e", "e", "a1", "e", "a1", "e", "b"},
+	{"c", "d", "c", "b"},
+	{"a2", "d", "b"},
+	{"a1", "a1", "b"},
+}
+
+// DB returns Dex encoded with the fixture dictionary.
+func DB(d *dict.Dictionary) [][]dict.ItemID {
+	out := make([][]dict.ItemID, len(rawDB))
+	for i, raw := range rawDB {
+		enc, err := d.EncodeSequence(raw)
+		if err != nil {
+			panic("paperex: " + err.Error())
+		}
+		out[i] = enc
+	}
+	return out
+}
+
+// RawDB returns Dex as item names (one slice per sequence).
+func RawDB() [][]string {
+	out := make([][]string, len(rawDB))
+	for i, s := range rawDB {
+		out[i] = append([]string(nil), s...)
+	}
+	return out
+}
+
+// RandomDatabase generates a random database over the running-example
+// vocabulary and hierarchy and builds a dictionary whose document frequencies
+// are consistent with that database (the "f-list is known" assumption of the
+// paper). It is used by tests that compare algorithms which rely on the
+// f-list with ones that count true support.
+func RandomDatabase(rng *rand.Rand, numSeqs, maxLen int) (*dict.Dictionary, [][]dict.ItemID) {
+	vocab := []string{"b", "A", "d", "a1", "c", "e", "a2"}
+	b := dict.NewBuilder()
+	b.AddItem("a1", "A")
+	b.AddItem("a2", "A")
+	for _, name := range vocab {
+		b.AddItem(name)
+	}
+	raw := make([][]string, numSeqs)
+	for i := range raw {
+		n := rng.Intn(maxLen) + 1
+		seq := make([]string, n)
+		for j := range seq {
+			seq[j] = vocab[rng.Intn(len(vocab))]
+		}
+		raw[i] = seq
+		b.AddSequence(seq)
+	}
+	d, err := b.Build()
+	if err != nil {
+		panic("paperex: " + err.Error())
+	}
+	db := make([][]dict.ItemID, numSeqs)
+	for i, seq := range raw {
+		enc, err := d.EncodeSequence(seq)
+		if err != nil {
+			panic("paperex: " + err.Error())
+		}
+		db[i] = enc
+	}
+	return d, db
+}
+
+// ExpectedFrequent maps each frequent subsequence of the running example
+// (under πex and σ=2) to its frequency, keyed by the space-separated decoded
+// pattern.
+func ExpectedFrequent() map[string]int64 {
+	return map[string]int64{
+		"a1 a1 b": 2,
+		"a1 A b":  2,
+		"a1 b":    3,
+	}
+}

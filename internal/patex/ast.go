@@ -1,0 +1,175 @@
+// Package patex implements the DESQ pattern-expression language used to state
+// flexible subsequence constraints (Sec. II of the paper).
+//
+// The ASCII syntax accepted by this package ("↑" of the paper is written "^"):
+//
+//	w        match any descendant of item w, no output
+//	w=       match exactly item w, no output
+//	w^       match any descendant of w, no output
+//	w^=      match any descendant of w, no output
+//	.        match any item, no output
+//	.^       match any item, no output
+//	(E)      capture: item expressions inside E produce output
+//	[E]      grouping
+//	E1 E2    concatenation
+//	[E1|E2]  alternation
+//	[E]*  [E]+  [E]?  [E]{n}  [E]{n,}  [E]{n,m}   repetition
+//
+// Output behaviour of captured item expressions (inside parentheses):
+//
+//	(w)    outputs the matched item
+//	(w=)   outputs w
+//	(w^)   outputs the matched item or any of its ancestors up to w
+//	(w^=)  outputs w (forced generalization)
+//	(.)    outputs the matched item
+//	(.^)   outputs the matched item or any of its ancestors
+//
+// Item names consist of letters, digits and the characters _ - # & ; names
+// containing other characters (e.g. spaces) are written in single quotes:
+// 'MP3 Players'.
+package patex
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is a node of the pattern-expression abstract syntax tree.
+type Node interface {
+	fmt.Stringer
+	node()
+}
+
+// ItemExpr matches a single input item and (when captured) produces output
+// items. Wildcard expressions ('.') leave Item empty.
+type ItemExpr struct {
+	Wildcard   bool   // '.'
+	Item       string // item name for non-wildcard expressions
+	Exact      bool   // '=' without '^': match only the item itself
+	Generalize bool   // '^'
+	ForceGen   bool   // '^=': always generalize the output to Item
+}
+
+func (e *ItemExpr) node() {}
+
+func (e *ItemExpr) String() string {
+	var b strings.Builder
+	if e.Wildcard {
+		b.WriteByte('.')
+	} else {
+		b.WriteString(quoteIfNeeded(e.Item))
+	}
+	if e.Generalize {
+		b.WriteByte('^')
+	}
+	if e.Exact || e.ForceGen {
+		b.WriteByte('=')
+	}
+	return b.String()
+}
+
+// Concat is the concatenation of its children.
+type Concat struct{ Children []Node }
+
+func (c *Concat) node() {}
+
+func (c *Concat) String() string {
+	parts := make([]string, len(c.Children))
+	for i, ch := range c.Children {
+		parts[i] = ch.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Union is the alternation of its children.
+type Union struct{ Children []Node }
+
+func (u *Union) node() {}
+
+func (u *Union) String() string {
+	parts := make([]string, len(u.Children))
+	for i, ch := range u.Children {
+		parts[i] = ch.String()
+	}
+	return "[" + strings.Join(parts, "|") + "]"
+}
+
+// Repeat repeats its child between Min and Max times. Unbounded Max is
+// represented by Unbounded == true ( '*', '+', '{n,}' ).
+type Repeat struct {
+	Child     Node
+	Min       int
+	Max       int
+	Unbounded bool
+}
+
+func (r *Repeat) node() {}
+
+func (r *Repeat) String() string {
+	suffix := ""
+	switch {
+	case r.Min == 0 && r.Unbounded:
+		suffix = "*"
+	case r.Min == 1 && r.Unbounded:
+		suffix = "+"
+	case r.Min == 0 && !r.Unbounded && r.Max == 1:
+		suffix = "?"
+	case r.Unbounded:
+		suffix = fmt.Sprintf("{%d,}", r.Min)
+	case r.Min == r.Max:
+		suffix = fmt.Sprintf("{%d}", r.Min)
+	default:
+		suffix = fmt.Sprintf("{%d,%d}", r.Min, r.Max)
+	}
+	return "[" + r.Child.String() + "]" + suffix
+}
+
+// Capture marks its child as captured: item expressions below it produce
+// output when they match.
+type Capture struct{ Child Node }
+
+func (c *Capture) node() {}
+
+func (c *Capture) String() string { return "(" + c.Child.String() + ")" }
+
+// quoteIfNeeded renders an item name, quoting it when it contains characters
+// outside the unquoted item alphabet.
+func quoteIfNeeded(name string) string {
+	for _, r := range name {
+		if !isItemRune(r) {
+			return "'" + strings.ReplaceAll(name, "'", `\'`) + "'"
+		}
+	}
+	return name
+}
+
+// Items returns the distinct non-wildcard item names referenced by the
+// expression tree rooted at n, in first-appearance order.
+func Items(n Node) []string {
+	var out []string
+	seen := map[string]bool{}
+	var walk func(Node)
+	walk = func(n Node) {
+		switch t := n.(type) {
+		case *ItemExpr:
+			if !t.Wildcard && !seen[t.Item] {
+				seen[t.Item] = true
+				out = append(out, t.Item)
+			}
+		case *Concat:
+			for _, c := range t.Children {
+				walk(c)
+			}
+		case *Union:
+			for _, c := range t.Children {
+				walk(c)
+			}
+		case *Repeat:
+			walk(t.Child)
+		case *Capture:
+			walk(t.Child)
+		}
+	}
+	walk(n)
+	return out
+}

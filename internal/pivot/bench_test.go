@@ -1,0 +1,76 @@
+package pivot_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/fst"
+	"seqmine/internal/paperex"
+	"seqmine/internal/pivot"
+)
+
+func benchWorkload(n, maxLen int) (*dict.Dictionary, *fst.FST, [][]dict.ItemID) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	rng := rand.New(rand.NewSource(2))
+	db := make([][]dict.ItemID, n)
+	for i := range db {
+		l := rng.Intn(maxLen) + 1
+		seq := make([]dict.ItemID, l)
+		for j := range seq {
+			seq[j] = dict.ItemID(rng.Intn(d.Size()) + 1)
+		}
+		db[i] = seq
+	}
+	return d, f, db
+}
+
+// BenchmarkAnalyzeGrid measures pivot search with the position-state grid
+// (the D-SEQ map phase).
+func BenchmarkAnalyzeGrid(b *testing.B) {
+	_, f, db := benchWorkload(200, 12)
+	s := pivot.NewSearcher(f, paperex.Sigma, pivot.DefaultOptions())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Analyze(db[i%len(db)])
+	}
+}
+
+// BenchmarkAnalyzeRuns measures the "no grid" ablation: pivot search by
+// enumerating all accepting runs.
+func BenchmarkAnalyzeRuns(b *testing.B) {
+	_, f, db := benchWorkload(200, 12)
+	s := pivot.NewSearcher(f, paperex.Sigma, pivot.Options{UseGrid: false})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Analyze(db[i%len(db)])
+	}
+}
+
+// BenchmarkRewrite measures relevant-range rewriting on top of the analysis.
+func BenchmarkRewrite(b *testing.B) {
+	_, f, db := benchWorkload(200, 12)
+	s := pivot.NewSearcher(f, paperex.Sigma, pivot.DefaultOptions())
+	analyses := make([]*pivot.Analysis, len(db))
+	for i, T := range db {
+		analyses[i] = s.Analyze(T)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := i % len(db)
+		for _, k := range analyses[idx].Pivots {
+			s.Rewrite(db[idx], analyses[idx], k)
+		}
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	d := paperex.Dict()
+	u := []dict.ItemID{d.MustFid("b"), d.MustFid("c")}
+	q := []dict.ItemID{d.MustFid("d"), d.MustFid("a1")}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pivot.Merge(u, q)
+	}
+}

@@ -1,0 +1,330 @@
+// Package pivot implements the pivot search of D-SEQ (Sec. V-A of the paper):
+// given an input sequence T and a compiled subsequence constraint, it
+// determines K(T) — the pivot items of all candidate subsequences in Gσπ(T) —
+// without enumerating the candidates, using the pivot-merge operator ⊕
+// (Theorem 1) and a position–state grid (memoized FST simulation). It also
+// determines the first and last relevant positions per pivot item, which are
+// the basis of the sequence rewriting ρk(T) of Sec. V-B.
+package pivot
+
+import (
+	"sort"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/fst"
+)
+
+// Merge implements the commutative and associative pivot-merge operator ⊕ of
+// Sec. V-A:
+//
+//	U ⊕ Q = { ω ∈ U | ω ≥ min(Q) } ∪ { ω ∈ Q | ω ≥ min(U) }
+//
+// Sets are sorted ascending slices of fids; dict.None (0) represents ε and is
+// smaller than every item. Empty input sets are treated as {ε}. The result is
+// sorted and duplicate free.
+func Merge(u, q []dict.ItemID) []dict.ItemID {
+	minU, minQ := dict.None, dict.None
+	if len(u) > 0 {
+		minU = u[0]
+	}
+	if len(q) > 0 {
+		minQ = q[0]
+	}
+	out := make([]dict.ItemID, 0, len(u)+len(q))
+	for _, w := range u {
+		if w >= minQ {
+			out = append(out, w)
+		}
+	}
+	for _, w := range q {
+		if w >= minU {
+			out = append(out, w)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupSorted(out)
+}
+
+func dedupSorted(s []dict.ItemID) []dict.ItemID {
+	if len(s) < 2 {
+		return s
+	}
+	j := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[j-1] {
+			s[j] = s[i]
+			j++
+		}
+	}
+	return s[:j]
+}
+
+// MergeAll folds ⊕ over a run's output sets and returns its pivot items K(r)
+// (Theorem 1), with ε removed.
+func MergeAll(sets ...[]dict.ItemID) []dict.ItemID {
+	acc := []dict.ItemID{dict.None}
+	for _, s := range sets {
+		if len(s) == 0 {
+			s = []dict.ItemID{dict.None}
+		}
+		acc = Merge(acc, s)
+	}
+	return dropEps(acc)
+}
+
+func dropEps(s []dict.ItemID) []dict.ItemID {
+	if len(s) > 0 && s[0] == dict.None {
+		return s[1:]
+	}
+	return s
+}
+
+// Options configures a Searcher.
+type Options struct {
+	// UseGrid enables the position–state grid (memoized simulation). When
+	// false, pivot items are computed by enumerating all accepting runs and
+	// applying Theorem 1 per run — the "no grid" ablation of Fig. 10a. The
+	// grid is also required for computing relevant-position ranges; without
+	// it Rewrite returns the input unchanged.
+	UseGrid bool
+}
+
+// DefaultOptions enables the grid.
+func DefaultOptions() Options { return Options{UseGrid: true} }
+
+// Searcher performs pivot search for one compiled constraint and threshold.
+// It is safe for concurrent use.
+type Searcher struct {
+	fst   *fst.FST
+	dict  *dict.Dictionary
+	sigma int64
+	opts  Options
+}
+
+// NewSearcher returns a Searcher for the constraint and minimum support.
+func NewSearcher(f *fst.FST, sigma int64, opts Options) *Searcher {
+	return &Searcher{fst: f, dict: f.Dict(), sigma: sigma, opts: opts}
+}
+
+// Analysis is the result of analyzing one input sequence.
+type Analysis struct {
+	// Pivots is K(T): the pivot items of the candidate subsequences in
+	// Gσπ(T), sorted ascending.
+	Pivots []dict.ItemID
+
+	n        int
+	haveRel  bool
+	firstRel map[dict.ItemID]int
+	lastRel  map[dict.ItemID]int
+}
+
+// Range returns the first and last relevant position (0-based, inclusive) of
+// the analyzed sequence for pivot k. When relevance information is not
+// available (grid disabled or k not a pivot), it returns the full range.
+func (a *Analysis) Range(k dict.ItemID) (first, last int) {
+	if !a.haveRel {
+		return 0, a.n - 1
+	}
+	f, ok1 := a.firstRel[k]
+	l, ok2 := a.lastRel[k]
+	if !ok1 || !ok2 {
+		return 0, a.n - 1
+	}
+	return f, l
+}
+
+// Analyze computes K(T) and the per-pivot relevant-position ranges for T.
+func (s *Searcher) Analyze(T []dict.ItemID) *Analysis {
+	if s.opts.UseGrid {
+		return s.analyzeGrid(T)
+	}
+	return s.analyzeRuns(T)
+}
+
+// analyzeRuns computes K(T) by enumerating all accepting runs (no grid).
+func (s *Searcher) analyzeRuns(T []dict.ItemID) *Analysis {
+	a := &Analysis{n: len(T)}
+	pivotSet := map[dict.ItemID]bool{}
+	s.fst.ForEachRun(T, func(outputs [][]dict.ItemID) bool {
+		acc := []dict.ItemID{dict.None}
+		for _, set := range outputs {
+			filtered := s.filterOutputs(set)
+			if filtered == nil {
+				if set != nil {
+					// All output choices at this position are infrequent: the
+					// run produces no Gσ candidates.
+					return true
+				}
+				filtered = []dict.ItemID{dict.None}
+			}
+			acc = Merge(acc, filtered)
+		}
+		for _, w := range dropEps(acc) {
+			pivotSet[w] = true
+		}
+		return true
+	})
+	for w := range pivotSet {
+		a.Pivots = append(a.Pivots, w)
+	}
+	sort.Slice(a.Pivots, func(i, j int) bool { return a.Pivots[i] < a.Pivots[j] })
+	return a
+}
+
+// filterOutputs drops infrequent items from an output set. It returns nil if
+// nothing remains (for a nil input set — ε — it also returns nil).
+func (s *Searcher) filterOutputs(set []dict.ItemID) []dict.ItemID {
+	if set == nil {
+		return nil
+	}
+	out := make([]dict.ItemID, 0, len(set))
+	for _, w := range set {
+		if s.dict.IsFrequent(w, s.sigma) {
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// analyzeGrid computes K(T) with the position–state grid: one forward pass
+// over the coordinates that lie on accepting runs, maintaining the pivot sets
+// K(i, q) and the relevance information per position.
+func (s *Searcher) analyzeGrid(T []dict.ItemID) *Analysis {
+	a := &Analysis{n: len(T), haveRel: true, firstRel: map[dict.ItemID]int{}, lastRel: map[dict.ItemID]int{}}
+	n := len(T)
+	if n == 0 {
+		return a
+	}
+	reach := s.fst.AcceptMatrix(T)
+	init := s.fst.Initial()
+	if !reach[0][init] {
+		return a
+	}
+	numStates := s.fst.NumStates()
+
+	// K(i, q) for the active coordinates of column i. nil = inactive.
+	cur := make([][]dict.ItemID, numStates)
+	next := make([][]dict.ItemID, numStates)
+	cur[init] = []dict.ItemID{dict.None}
+
+	// Per-position relevance summary: did any accepting-run edge at position i
+	// change state, and what is the smallest frequent output item produced at
+	// position i on any accepting-run edge (None if none)?
+	stateChange := make([]bool, n)
+	minOutput := make([]dict.ItemID, n)
+
+	for i := 0; i < n; i++ {
+		for q := range next {
+			next[q] = nil
+		}
+		t := T[i]
+		for q := 0; q < numStates; q++ {
+			kset := cur[q]
+			if kset == nil {
+				continue
+			}
+			for _, tr := range s.fst.Transitions(q) {
+				if !reach[i+1][tr.To] || !tr.Label.Matches(s.dict, t) {
+					continue
+				}
+				outs := s.filterOutputs(tr.Label.Outputs(s.dict, t))
+				if outs == nil && tr.Label.ProducesOutput() {
+					// Only infrequent outputs: edge cannot contribute Gσ
+					// candidates.
+					continue
+				}
+				if q != tr.To {
+					stateChange[i] = true
+				}
+				merged := kset
+				if outs != nil {
+					if minOutput[i] == dict.None || outs[0] < minOutput[i] {
+						minOutput[i] = outs[0]
+					}
+					merged = Merge(kset, outs)
+				}
+				if next[tr.To] == nil {
+					next[tr.To] = merged
+				} else {
+					next[tr.To] = unionSorted(next[tr.To], merged)
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+
+	pivotSet := map[dict.ItemID]bool{}
+	for q := 0; q < numStates; q++ {
+		if cur[q] == nil || !s.fst.IsFinal(q) {
+			continue
+		}
+		for _, w := range dropEps(cur[q]) {
+			pivotSet[w] = true
+		}
+	}
+	for w := range pivotSet {
+		a.Pivots = append(a.Pivots, w)
+	}
+	sort.Slice(a.Pivots, func(i, j int) bool { return a.Pivots[i] < a.Pivots[j] })
+
+	// Relevant-position ranges per pivot: position i is relevant for pivot k
+	// if an accepting-run edge at i changes state or can output a frequent
+	// item <= k.
+	for _, k := range a.Pivots {
+		first, last := -1, -1
+		for i := 0; i < n; i++ {
+			if stateChange[i] || (minOutput[i] != dict.None && minOutput[i] <= k) {
+				if first < 0 {
+					first = i
+				}
+				last = i
+			}
+		}
+		if first < 0 {
+			first, last = 0, n-1
+		}
+		a.firstRel[k] = first
+		a.lastRel[k] = last
+	}
+	return a
+}
+
+// unionSorted merges two sorted fid slices into a sorted duplicate-free slice.
+func unionSorted(a, b []dict.ItemID) []dict.ItemID {
+	out := make([]dict.ItemID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Rewrite returns ρk(T): the input sequence restricted to the range between
+// the first and last relevant position for pivot k (Sec. V-B). The result
+// aliases T's backing array.
+func (s *Searcher) Rewrite(T []dict.ItemID, a *Analysis, k dict.ItemID) []dict.ItemID {
+	if a == nil || !a.haveRel || len(T) == 0 {
+		return T
+	}
+	first, last := a.Range(k)
+	if first < 0 || last >= len(T) || first > last {
+		return T
+	}
+	return T[first : last+1]
+}

@@ -1,0 +1,295 @@
+package pivot_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/fst"
+	"seqmine/internal/paperex"
+	"seqmine/internal/pivot"
+)
+
+func fids(d *dict.Dictionary, names ...string) []dict.ItemID {
+	out := make([]dict.ItemID, len(names))
+	for i, n := range names {
+		out[i] = d.MustFid(n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestMergePaperExample reproduces the ⊕ examples of Sec. V-A.
+func TestMergePaperExample(t *testing.T) {
+	d := paperex.Dict()
+	set := func(names ...string) []dict.ItemID { return fids(d, names...) }
+
+	// Run r4 with output sets {b,c}–{A}–{d,a1} has pivots {c, d, a1}.
+	got := pivot.MergeAll(set("b", "c"), set("A"), set("d", "a1"))
+	if want := set("c", "d", "a1"); !reflect.DeepEqual(got, want) {
+		t.Errorf("K(r4) = %v, want %v", got, want)
+	}
+	// Run r4' of length 1: all items are pivots.
+	if got, want := pivot.MergeAll(set("b", "c")), set("b", "c"); !reflect.DeepEqual(got, want) {
+		t.Errorf("K(r4') = %v, want %v", got, want)
+	}
+	// Run r4'' = {b,c}–{A}: pivots {A, c}.
+	if got, want := pivot.MergeAll(set("b", "c"), set("A")), set("A", "c"); !reflect.DeepEqual(got, want) {
+		t.Errorf("K(r4'') = %v, want %v", got, want)
+	}
+	// ε sets do not constrain: {ε} ⊕ {a1} = {a1}.
+	if got, want := pivot.MergeAll(nil, set("a1")), set("a1"); !reflect.DeepEqual(got, want) {
+		t.Errorf("MergeAll(ε, {a1}) = %v, want %v", got, want)
+	}
+	// All-ε runs have no pivots.
+	if got := pivot.MergeAll(nil, nil); len(got) != 0 {
+		t.Errorf("MergeAll(ε, ε) = %v, want empty", got)
+	}
+}
+
+func TestMergeCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	randSet := func() []dict.ItemID {
+		n := rng.Intn(4)
+		m := map[dict.ItemID]bool{}
+		for i := 0; i < n; i++ {
+			m[dict.ItemID(rng.Intn(7)+1)] = true
+		}
+		var s []dict.ItemID
+		for v := range m {
+			s = append(s, v)
+		}
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s
+	}
+	for i := 0; i < 200; i++ {
+		a, b, c := randSet(), randSet(), randSet()
+		ab := pivot.Merge(a, b)
+		ba := pivot.Merge(b, a)
+		if !reflect.DeepEqual(ab, ba) {
+			t.Fatalf("not commutative: %v ⊕ %v", a, b)
+		}
+		left := pivot.Merge(pivot.Merge(a, b), c)
+		right := pivot.Merge(a, pivot.Merge(b, c))
+		if !reflect.DeepEqual(left, right) {
+			t.Fatalf("not associative: %v %v %v -> %v vs %v", a, b, c, left, right)
+		}
+	}
+}
+
+// bruteForcePivots computes K(T) from the candidate subsequences directly.
+func bruteForcePivots(f *fst.FST, T []dict.ItemID, sigma int64) []dict.ItemID {
+	set := map[dict.ItemID]bool{}
+	for _, cand := range f.EnumerateCandidates(T, sigma) {
+		set[dict.PivotOf(cand)] = true
+	}
+	out := make([]dict.ItemID, 0, len(set))
+	for w := range set {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestAnalyzeRunningExample checks K(T) for all sequences of the running
+// example against Fig. 3 (σ=2: infrequent pivots are excluded).
+func TestAnalyzeRunningExample(t *testing.T) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	db := paperex.DB(d)
+
+	want := [][]string{
+		{"a1", "c"}, // T1
+		{"a1"},      // T2 (e is infrequent)
+		{},          // T3
+		{},          // T4 (all candidates contain a2)
+		{"a1"},      // T5
+	}
+	for _, useGrid := range []bool{true, false} {
+		s := pivot.NewSearcher(f, paperex.Sigma, pivot.Options{UseGrid: useGrid})
+		for i, T := range db {
+			a := s.Analyze(T)
+			wantPivots := fids(d, want[i]...)
+			if len(wantPivots) == 0 {
+				wantPivots = nil
+			}
+			var got []dict.ItemID
+			if len(a.Pivots) > 0 {
+				got = a.Pivots
+			}
+			if !reflect.DeepEqual(got, wantPivots) {
+				t.Errorf("grid=%v: K(T%d) = %v, want %v", useGrid, i+1, decode(d, got), want[i])
+			}
+		}
+	}
+}
+
+// TestAnalyzeUnrestrictedSigma checks K(T) at σ=1 where nothing is excluded
+// (the keys shown in Fig. 3 including the crossed-out partitions).
+func TestAnalyzeUnrestrictedSigma(t *testing.T) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	db := paperex.DB(d)
+	s := pivot.NewSearcher(f, 1, pivot.DefaultOptions())
+
+	want := [][]string{
+		{"a1", "c"},
+		{"a1", "e"},
+		{},
+		{"a2"},
+		{"a1"},
+	}
+	for i, T := range db {
+		a := s.Analyze(T)
+		if got := decode(d, a.Pivots); !reflect.DeepEqual(got, sortedNames(d, want[i])) {
+			t.Errorf("K(T%d) = %v, want %v", i+1, got, want[i])
+		}
+	}
+}
+
+func decode(d *dict.Dictionary, items []dict.ItemID) []string {
+	if len(items) == 0 {
+		return nil
+	}
+	out := make([]string, len(items))
+	for i, w := range items {
+		out[i] = d.Name(w)
+	}
+	return out
+}
+
+func sortedNames(d *dict.Dictionary, names []string) []string {
+	if len(names) == 0 {
+		return nil
+	}
+	ids := fids(d, names...)
+	return decode(d, ids)
+}
+
+// TestRewriteRunningExample checks ρa1(T2) = a1 e a1 e b (Sec. V-B).
+func TestRewriteRunningExample(t *testing.T) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	db := paperex.DB(d)
+	s := pivot.NewSearcher(f, paperex.Sigma, pivot.DefaultOptions())
+
+	T2 := db[1]
+	a := s.Analyze(T2)
+	a1 := d.MustFid("a1")
+	first, last := a.Range(a1)
+	if first != 2 || last != 6 {
+		t.Errorf("Range(a1) = (%d,%d), want (2,6)", first, last)
+	}
+	got := d.DecodeString(s.Rewrite(T2, a, a1))
+	if got != "a1 e a1 e b" {
+		t.Errorf("ρa1(T2) = %q, want %q", got, "a1 e a1 e b")
+	}
+
+	// T5 is already minimal for pivot a1.
+	T5 := db[4]
+	a5 := s.Analyze(T5)
+	if got := d.DecodeString(s.Rewrite(T5, a5, a1)); got != "a1 a1 b" {
+		t.Errorf("ρa1(T5) = %q, want %q", got, "a1 a1 b")
+	}
+}
+
+func TestRewriteWithoutGridIsIdentity(t *testing.T) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	db := paperex.DB(d)
+	s := pivot.NewSearcher(f, paperex.Sigma, pivot.Options{UseGrid: false})
+	a := s.Analyze(db[1])
+	if got := d.DecodeString(s.Rewrite(db[1], a, d.MustFid("a1"))); got != d.DecodeString(db[1]) {
+		t.Errorf("rewrite without grid should be the identity, got %q", got)
+	}
+}
+
+// TestAnalyzeMatchesBruteForce compares grid-based and run-based pivot search
+// against a brute-force computation from Gσπ(T) on random sequences.
+func TestAnalyzeMatchesBruteForce(t *testing.T) {
+	d := paperex.Dict()
+	patterns := []string{
+		paperex.PatternExpression,
+		"[.*(.)]{1,3}.*",
+		".*(A^)[.{0,1}(.^)]{1,2}.*",
+		".*(d) .* (b).*",
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, pat := range patterns {
+		f := fst.MustCompile(pat, d)
+		grid := pivot.NewSearcher(f, paperex.Sigma, pivot.DefaultOptions())
+		noGrid := pivot.NewSearcher(f, paperex.Sigma, pivot.Options{UseGrid: false})
+		for trial := 0; trial < 150; trial++ {
+			n := rng.Intn(8)
+			T := make([]dict.ItemID, n)
+			for i := range T {
+				T[i] = dict.ItemID(rng.Intn(d.Size()) + 1)
+			}
+			want := bruteForcePivots(f, T, paperex.Sigma)
+			if len(want) == 0 {
+				want = nil
+			}
+			gotGrid := grid.Analyze(T).Pivots
+			gotRuns := noGrid.Analyze(T).Pivots
+			if !reflect.DeepEqual(gotGrid, want) {
+				t.Fatalf("pattern %q T=%v: grid pivots %v, want %v", pat, d.DecodeSequence(T), decode(d, gotGrid), decode(d, want))
+			}
+			if !reflect.DeepEqual(gotRuns, want) {
+				t.Fatalf("pattern %q T=%v: run pivots %v, want %v", pat, d.DecodeSequence(T), decode(d, gotRuns), decode(d, want))
+			}
+		}
+	}
+}
+
+// TestRewritePreservesPivotCandidates: for every pivot k of a random sequence
+// T, the pivot-k candidates of Gσπ(T) and Gσπ(ρk(T)) must coincide.
+func TestRewritePreservesPivotCandidates(t *testing.T) {
+	d := paperex.Dict()
+	patterns := []string{
+		paperex.PatternExpression,
+		"[.*(.)]{1,3}.*",
+		".*(A^)[.{0,1}(.^)]{1,2}.*",
+	}
+	rng := rand.New(rand.NewSource(23))
+	for _, pat := range patterns {
+		f := fst.MustCompile(pat, d)
+		s := pivot.NewSearcher(f, paperex.Sigma, pivot.DefaultOptions())
+		for trial := 0; trial < 150; trial++ {
+			n := rng.Intn(8)
+			T := make([]dict.ItemID, n)
+			for i := range T {
+				T[i] = dict.ItemID(rng.Intn(d.Size()) + 1)
+			}
+			a := s.Analyze(T)
+			for _, k := range a.Pivots {
+				want := pivotCandidates(f, T, paperex.Sigma, k)
+				got := pivotCandidates(f, s.Rewrite(T, a, k), paperex.Sigma, k)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("pattern %q T=%v pivot %s: rewrite changed pivot candidates\n got %v\nwant %v",
+						pat, d.DecodeSequence(T), d.Name(k), got, want)
+				}
+			}
+		}
+	}
+}
+
+func pivotCandidates(f *fst.FST, T []dict.ItemID, sigma int64, k dict.ItemID) map[string]bool {
+	out := map[string]bool{}
+	for _, cand := range f.EnumerateCandidates(T, sigma) {
+		if dict.PivotOf(cand) == k {
+			out[f.Dict().DecodeString(cand)] = true
+		}
+	}
+	return out
+}
+
+func TestAnalyzeEmptySequence(t *testing.T) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	s := pivot.NewSearcher(f, paperex.Sigma, pivot.DefaultOptions())
+	if a := s.Analyze(nil); len(a.Pivots) != 0 {
+		t.Errorf("empty sequence must have no pivots, got %v", a.Pivots)
+	}
+}

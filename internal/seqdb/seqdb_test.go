@@ -1,0 +1,131 @@
+package seqdb_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"seqmine/internal/paperex"
+	"seqmine/internal/seqdb"
+)
+
+func runningExampleDB(t *testing.T) *seqdb.Database {
+	t.Helper()
+	h := seqdb.Hierarchy{
+		"a1": {"A"},
+		"a2": {"A"},
+		"A":  nil,
+		"b":  nil, "c": nil, "d": nil, "e": nil,
+	}
+	db, err := seqdb.Build(paperex.RawDB(), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestBuildAndStats(t *testing.T) {
+	db := runningExampleDB(t)
+	s := db.Stats()
+	if s.NumSequences != 5 {
+		t.Errorf("NumSequences = %d, want 5", s.NumSequences)
+	}
+	if s.TotalItems != 22 {
+		t.Errorf("TotalItems = %d, want 22", s.TotalItems)
+	}
+	if s.MaxLength != 7 {
+		t.Errorf("MaxLength = %d, want 7", s.MaxLength)
+	}
+	if s.UniqueItems != 6 { // a1, a2, b, c, d, e appear; A does not appear literally
+		t.Errorf("UniqueItems = %d, want 6", s.UniqueItems)
+	}
+	if s.HierarchyItems != 7 {
+		t.Errorf("HierarchyItems = %d, want 7", s.HierarchyItems)
+	}
+	if s.MaxAncestors != 1 {
+		t.Errorf("MaxAncestors = %d, want 1", s.MaxAncestors)
+	}
+	if s.MeanLength < 4.3 || s.MeanLength > 4.5 {
+		t.Errorf("MeanLength = %f, want 4.4", s.MeanLength)
+	}
+	if s.String() == "" {
+		t.Error("Stats.String should not be empty")
+	}
+	// Document frequencies must match the paper's f-list.
+	if got := db.Dict.DocFreq(db.Dict.MustFid("A")); got != 4 {
+		t.Errorf("f(A) = %d, want 4", got)
+	}
+}
+
+func TestBuildUnknownParent(t *testing.T) {
+	_, err := seqdb.Build([][]string{{"x"}}, seqdb.Hierarchy{"x": {"y"}})
+	if err != nil {
+		t.Fatalf("parents declared in hierarchy should be interned automatically: %v", err)
+	}
+}
+
+func TestSample(t *testing.T) {
+	db := runningExampleDB(t)
+	half := db.Sample(0.5, 1)
+	if half.Dict != db.Dict {
+		t.Error("Sample must share the dictionary")
+	}
+	if half.NumSequences() > db.NumSequences() {
+		t.Error("Sample must not grow the database")
+	}
+	full := db.Sample(1.0, 1)
+	if full.NumSequences() != db.NumSequences() {
+		t.Error("Sample(1.0) must keep all sequences")
+	}
+	// Deterministic for a fixed seed.
+	again := db.Sample(0.5, 1)
+	if again.NumSequences() != half.NumSequences() {
+		t.Error("Sample must be deterministic for a fixed seed")
+	}
+}
+
+func TestSequenceIORoundTrip(t *testing.T) {
+	raw := paperex.RawDB()
+	var buf bytes.Buffer
+	if err := seqdb.WriteSequences(&buf, raw); err != nil {
+		t.Fatal(err)
+	}
+	back, err := seqdb.ReadSequences(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, raw) {
+		t.Errorf("sequence IO round trip mismatch: %v vs %v", back, raw)
+	}
+}
+
+func TestHierarchyIORoundTrip(t *testing.T) {
+	h := seqdb.Hierarchy{"a1": {"A"}, "a2": {"A"}, "A": nil}
+	var buf bytes.Buffer
+	if err := seqdb.WriteHierarchy(&buf, h); err != nil {
+		t.Fatal(err)
+	}
+	back, err := seqdb.ReadHierarchy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(h) {
+		t.Fatalf("hierarchy IO round trip: %v vs %v", back, h)
+	}
+	if !reflect.DeepEqual(back["a1"], []string{"A"}) {
+		t.Errorf("a1 parents = %v", back["a1"])
+	}
+	if len(back["A"]) != 0 {
+		t.Errorf("A parents = %v", back["A"])
+	}
+}
+
+func TestReadHierarchyBareItem(t *testing.T) {
+	h, err := seqdb.ReadHierarchy(bytes.NewReader([]byte("root-item\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parents, ok := h["root-item"]; !ok || len(parents) != 0 {
+		t.Errorf("bare item should be read with no parents, got %v", h)
+	}
+}

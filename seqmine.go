@@ -1,0 +1,285 @@
+// Package seqmine is a library for scalable frequent sequence mining with
+// flexible subsequence constraints. It reproduces the system described in
+// "Scalable Frequent Sequence Mining with Flexible Subsequence Constraints"
+// (Renz-Wieland, Bertsch, Gemulla; ICDE 2019): subsequence constraints are
+// stated in the DESQ pattern-expression language (regular expressions with
+// capture groups, item hierarchies and generalization), and mining can run
+// either sequentially (DESQ-DFS / DESQ-COUNT) or distributed over a bulk
+// synchronous parallel engine with one round of communication using the
+// D-SEQ and D-CAND algorithms of the paper (plus the NAIVE and SEMI-NAIVE
+// baselines).
+//
+// A minimal end-to-end use looks like this:
+//
+//	db, _ := seqmine.BuildDatabase(rawSequences, hierarchy)
+//	result, _ := seqmine.Mine(db, ".*(A)[(.^)|.]*(b).*", 2, seqmine.DefaultOptions())
+//	for _, p := range result.Patterns {
+//	    fmt.Println(seqmine.DecodePattern(db, p), p.Freq)
+//	}
+//
+// See the examples directory for complete programs and DESIGN.md for the
+// mapping between the paper and the packages of this repository.
+package seqmine
+
+import (
+	"fmt"
+	"os"
+
+	"seqmine/internal/datagen"
+	"seqmine/internal/dcand"
+	"seqmine/internal/dict"
+	"seqmine/internal/dseq"
+	"seqmine/internal/fst"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+	"seqmine/internal/naive"
+	"seqmine/internal/seqdb"
+)
+
+// ItemID identifies an item by its frequency rank; see the dict package.
+type ItemID = dict.ItemID
+
+// Dictionary is the vocabulary with hierarchy and document frequencies.
+type Dictionary = dict.Dictionary
+
+// Hierarchy maps an item to the names of its direct generalizations.
+type Hierarchy = seqdb.Hierarchy
+
+// Database is a sequence database together with its dictionary.
+type Database = seqdb.Database
+
+// Stats summarizes a database (Table II of the paper).
+type Stats = seqdb.Stats
+
+// Pattern is a mined frequent sequence with its frequency.
+type Pattern = miner.Pattern
+
+// Metrics describes the execution of a distributed mining job (stage times,
+// shuffle volume, partition counts).
+type Metrics = mapreduce.Metrics
+
+// Algorithm selects the mining algorithm.
+type Algorithm int
+
+const (
+	// SequentialDFS is the sequential DESQ-DFS pattern-growth miner.
+	SequentialDFS Algorithm = iota
+	// SequentialCount is the sequential DESQ-COUNT miner (enumerate and
+	// count).
+	SequentialCount
+	// DSeq is the distributed algorithm with sequence representation.
+	DSeq
+	// DCand is the distributed algorithm with candidate (NFA) representation.
+	DCand
+	// Naive is the distributed word-count style baseline over all candidates.
+	Naive
+	// SemiNaive is Naive restricted to candidates of frequent items.
+	SemiNaive
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case SequentialDFS:
+		return "DESQ-DFS"
+	case SequentialCount:
+		return "DESQ-COUNT"
+	case DSeq:
+		return "D-SEQ"
+	case DCand:
+		return "D-CAND"
+	case Naive:
+		return "Naive"
+	case SemiNaive:
+		return "SemiNaive"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Options configures Mine.
+type Options struct {
+	// Algorithm selects the miner (default D-SEQ).
+	Algorithm Algorithm
+	// Workers is the parallelism of the distributed algorithms (map and
+	// reduce workers); 0 uses all CPUs.
+	Workers int
+
+	// UseGrid enables the position–state grid during D-SEQ pivot search.
+	UseGrid bool
+	// Rewrite enables D-SEQ's sequence rewriting.
+	Rewrite bool
+	// EarlyStopping enables D-SEQ's local-mining early-stopping heuristic.
+	EarlyStopping bool
+	// AggregateSequences merges identical rewritten sequences per partition.
+	AggregateSequences bool
+
+	// MinimizeNFAs enables D-CAND's NFA minimization.
+	MinimizeNFAs bool
+	// AggregateNFAs enables D-CAND's combiner aggregation of identical NFAs.
+	AggregateNFAs bool
+}
+
+// DefaultOptions returns the recommended configuration: D-SEQ with all
+// enhancements enabled and one worker per CPU.
+func DefaultOptions() Options {
+	return Options{
+		Algorithm:          DSeq,
+		UseGrid:            true,
+		Rewrite:            true,
+		EarlyStopping:      true,
+		AggregateSequences: true,
+		MinimizeNFAs:       true,
+		AggregateNFAs:      true,
+	}
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	// Patterns are the frequent sequences, sorted by decreasing frequency.
+	Patterns []Pattern
+	// Metrics describes the distributed execution; it is zero for the
+	// sequential algorithms.
+	Metrics Metrics
+}
+
+// Constraint is a compiled subsequence constraint bound to a database's
+// dictionary.
+type Constraint struct {
+	expression string
+	fst        *fst.FST
+}
+
+// Expression returns the pattern expression the constraint was compiled from.
+func (c *Constraint) Expression() string { return c.expression }
+
+// BuildDatabase constructs a database (and its dictionary/f-list) from raw
+// sequences of item names and an item hierarchy.
+func BuildDatabase(raw [][]string, hierarchy Hierarchy) (*Database, error) {
+	return seqdb.Build(raw, hierarchy)
+}
+
+// ReadDatabaseFiles loads a database from a sequence file (one sequence per
+// line, space-separated items) and an optional hierarchy file
+// ("child<TAB>parent1,parent2" per line; empty path for no hierarchy).
+func ReadDatabaseFiles(sequencesPath, hierarchyPath string) (*Database, error) {
+	sf, err := os.Open(sequencesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	raw, err := seqdb.ReadSequences(sf)
+	if err != nil {
+		return nil, err
+	}
+	hierarchy := Hierarchy{}
+	if hierarchyPath != "" {
+		hf, err := os.Open(hierarchyPath)
+		if err != nil {
+			return nil, err
+		}
+		defer hf.Close()
+		hierarchy, err = seqdb.ReadHierarchy(hf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return seqdb.Build(raw, hierarchy)
+}
+
+// CompileConstraint parses and compiles a pattern expression against the
+// database's dictionary.
+func CompileConstraint(db *Database, expression string) (*Constraint, error) {
+	f, err := fst.Compile(expression, db.Dict)
+	if err != nil {
+		return nil, err
+	}
+	return &Constraint{expression: expression, fst: f}, nil
+}
+
+// Mine compiles the pattern expression and mines the database for frequent
+// sequences with minimum support sigma.
+func Mine(db *Database, expression string, sigma int64, opts Options) (*Result, error) {
+	c, err := CompileConstraint(db, expression)
+	if err != nil {
+		return nil, err
+	}
+	return MineConstraint(db, c, sigma, opts)
+}
+
+// MineConstraint mines the database with a previously compiled constraint.
+func MineConstraint(db *Database, c *Constraint, sigma int64, opts Options) (*Result, error) {
+	if sigma <= 0 {
+		return nil, fmt.Errorf("seqmine: minimum support must be positive, got %d", sigma)
+	}
+	cfg := mapreduce.Config{MapWorkers: opts.Workers, ReduceWorkers: opts.Workers}
+	res := &Result{}
+	switch opts.Algorithm {
+	case SequentialDFS:
+		res.Patterns = miner.MineDFS(c.fst, miner.Weighted(db.Sequences), sigma, miner.DFSOptions{})
+	case SequentialCount:
+		res.Patterns = miner.MineCount(c.fst, miner.Weighted(db.Sequences), sigma)
+	case DSeq:
+		res.Patterns, res.Metrics = dseq.Mine(c.fst, db.Sequences, sigma, dseq.Options{
+			UseGrid:       opts.UseGrid,
+			Rewrite:       opts.Rewrite,
+			EarlyStopping: opts.EarlyStopping,
+			Aggregate:     opts.AggregateSequences,
+		}, cfg)
+	case DCand:
+		res.Patterns, res.Metrics = dcand.Mine(c.fst, db.Sequences, sigma, dcand.Options{
+			Minimize:  opts.MinimizeNFAs,
+			Aggregate: opts.AggregateNFAs,
+		}, cfg)
+	case Naive:
+		res.Patterns, res.Metrics = naive.Mine(c.fst, db.Sequences, sigma, naive.Naive, cfg)
+	case SemiNaive:
+		res.Patterns, res.Metrics = naive.Mine(c.fst, db.Sequences, sigma, naive.SemiNaive, cfg)
+	default:
+		return nil, fmt.Errorf("seqmine: unknown algorithm %v", opts.Algorithm)
+	}
+	return res, nil
+}
+
+// DecodePattern renders a mined pattern as a space-separated string of item
+// names.
+func DecodePattern(db *Database, p Pattern) string {
+	return db.Dict.DecodeString(p.Items)
+}
+
+// PatternsAsMap converts mined patterns to a map keyed by the decoded pattern
+// string.
+func PatternsAsMap(db *Database, ps []Pattern) map[string]int64 {
+	return miner.PatternsToMap(db.Dict, ps)
+}
+
+// CountMatches returns how many input sequences satisfy the constraint (have
+// at least one candidate subsequence) — the "matched sequences" statistic of
+// Table IV.
+func CountMatches(db *Database, c *Constraint) int {
+	n := 0
+	for _, T := range db.Sequences {
+		if c.fst.Accepts(T) {
+			n++
+		}
+	}
+	return n
+}
+
+// GenerateNYTLike generates the synthetic NYT-like text corpus (see the
+// datagen package) with the given number of sentences and seed.
+func GenerateNYTLike(numSentences int, seed int64) (*Database, error) {
+	return datagen.NYT(datagen.NYTConfig{NumSentences: numSentences, Seed: seed})
+}
+
+// GenerateAmazonLike generates the synthetic AMZN-like market-basket dataset.
+// With forest == true the hierarchy is restricted to a forest (AMZN-F).
+func GenerateAmazonLike(numCustomers int, seed int64, forest bool) (*Database, error) {
+	return datagen.Amazon(datagen.AmazonConfig{NumCustomers: numCustomers, Seed: seed, Forest: forest})
+}
+
+// GenerateClueWebLike generates the synthetic CW-like plain-text corpus
+// without a hierarchy.
+func GenerateClueWebLike(numSentences int, seed int64) (*Database, error) {
+	return datagen.ClueWeb(datagen.ClueWebConfig{NumSentences: numSentences, Seed: seed})
+}
