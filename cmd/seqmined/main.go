@@ -1,0 +1,94 @@
+// Command seqmined is the seqmine mining daemon: a long-lived HTTP service
+// over the dataset registry, compiled-pattern cache and partitioned query
+// executor of internal/service.
+//
+// Example:
+//
+//	seqmined -addr :8080 -load nyt=data/nyt/sequences.txt,data/nyt/hierarchy.txt
+//	curl -s localhost:8080/mine -d '{"dataset":"nyt","pattern":"(.){2,4}","sigma":100}'
+//
+// Datasets can also be registered at runtime with PUT /datasets/{name}; see
+// DESIGN.md for the full HTTP API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"seqmine/internal/service"
+)
+
+// loadFlags collects repeated -load name=sequences[,hierarchy] flags.
+type loadFlags []string
+
+func (l *loadFlags) String() string     { return strings.Join(*l, " ") }
+func (l *loadFlags) Set(v string) error { *l = append(*l, v); return nil }
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache-size", 128, "compiled-pattern cache capacity (entries)")
+	workers := flag.Int("workers", 0, "default per-query worker pool size (0 = all CPUs)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "maximum queries mining at once (0 = unbounded)")
+	timeout := flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
+	var loads loadFlags
+	flag.Var(&loads, "load", "dataset to load at startup as name=sequences.txt[,hierarchy.txt] (repeatable)")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		CacheSize:      *cacheSize,
+		Workers:        *workers,
+		MaxConcurrent:  *maxConcurrent,
+		DefaultTimeout: *timeout,
+	})
+	for _, spec := range loads {
+		name, paths, ok := strings.Cut(spec, "=")
+		if !ok || name == "" {
+			fmt.Fprintf(os.Stderr, "seqmined: invalid -load %q, want name=sequences[,hierarchy]\n", spec)
+			os.Exit(2)
+		}
+		seqPath, hierPath, _ := strings.Cut(paths, ",")
+		start := time.Now()
+		if _, err := svc.LoadDataset(name, seqPath, hierPath); err != nil {
+			fmt.Fprintf(os.Stderr, "seqmined: loading dataset %q: %v\n", name, err)
+			os.Exit(1)
+		}
+		info, _ := svc.DatasetInfo(name)
+		log.Printf("loaded dataset %q in %v (%s)", name, time.Since(start).Round(time.Millisecond), info.Stats)
+	}
+
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     service.NewHandler(svc),
+		ReadTimeout: 30 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("seqmined listening on %s (%d datasets)", *addr, len(loads))
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("seqmined: %v", err)
+	case <-ctx.Done():
+		log.Printf("seqmined: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("seqmined: shutdown: %v", err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module seqmine
+
+go 1.24

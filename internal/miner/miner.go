@@ -104,6 +104,29 @@ func keyOf(seq []dict.ItemID) string {
 	return string(buf)
 }
 
+// Key returns a compact string key identifying a pattern, suitable for use as
+// a map key when merging partial results across database partitions.
+func Key(seq []dict.ItemID) string { return keyOf(seq) }
+
+// SupportOf computes the exact support in db of every pattern present in the
+// candidates set (keyed by Key). It is the counting phase of two-phase
+// partitioned mining: phase one mines each partition with a scaled-down local
+// threshold to obtain a candidate superset, phase two calls SupportOf per
+// partition and sums the returned counts. sigma is used only for the global
+// item-frequency pruning of candidate generation and must be the global
+// threshold.
+func SupportOf(f *fst.FST, db []WeightedSequence, sigma int64, candidates map[string]bool) map[string]int64 {
+	counts := make(map[string]int64, len(candidates))
+	for _, ws := range db {
+		for _, cand := range f.EnumerateCandidates(ws.Items, sigma) {
+			if k := keyOf(cand); candidates[k] {
+				counts[k] += ws.Weight
+			}
+		}
+	}
+	return counts
+}
+
 // DFSOptions configures MineDFS.
 type DFSOptions struct {
 	// Pivot restricts mining to a partition of item-based partitioning: only

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"os"
 	"strings"
 
 	"seqmine/internal/dict"
@@ -110,6 +111,35 @@ func (db *Database) Stats() Stats {
 func (s Stats) String() string {
 	return fmt.Sprintf("sequences=%d items=%d unique=%d maxLen=%d meanLen=%.1f hierarchyItems=%d maxAnc=%d meanAnc=%.1f",
 		s.NumSequences, s.TotalItems, s.UniqueItems, s.MaxLength, s.MeanLength, s.HierarchyItems, s.MaxAncestors, s.MeanAncestors)
+}
+
+// ReadFiles loads a database from a sequence file (one sequence per line,
+// space-separated items) and an optional hierarchy file
+// ("child<TAB>parent1,parent2" per line; empty path for no hierarchy). It is
+// the shared loading path of the root API and the service layer's registry.
+func ReadFiles(sequencesPath, hierarchyPath string) (*Database, error) {
+	sf, err := os.Open(sequencesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer sf.Close()
+	raw, err := ReadSequences(sf)
+	if err != nil {
+		return nil, err
+	}
+	hierarchy := Hierarchy{}
+	if hierarchyPath != "" {
+		hf, err := os.Open(hierarchyPath)
+		if err != nil {
+			return nil, err
+		}
+		defer hf.Close()
+		hierarchy, err = ReadHierarchy(hf)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return Build(raw, hierarchy)
 }
 
 // WriteSequences writes raw sequences in the text format used by the command

@@ -1,0 +1,339 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"seqmine/internal/dcand"
+	"seqmine/internal/dict"
+	"seqmine/internal/dseq"
+	"seqmine/internal/fst"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+	"seqmine/internal/naive"
+	"seqmine/internal/seqdb"
+)
+
+// Algorithm names a mining backend. The string values double as the wire
+// format of the HTTP API.
+type Algorithm string
+
+const (
+	AlgoDFS       Algorithm = "dfs"
+	AlgoCount     Algorithm = "count"
+	AlgoDSeq      Algorithm = "dseq"
+	AlgoDCand     Algorithm = "dcand"
+	AlgoNaive     Algorithm = "naive"
+	AlgoSemiNaive Algorithm = "seminaive"
+)
+
+// ParseAlgorithm validates an algorithm name; the empty string selects DSeq.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch a := Algorithm(strings.ToLower(s)); a {
+	case "":
+		return AlgoDSeq, nil
+	case AlgoDFS, AlgoCount, AlgoDSeq, AlgoDCand, AlgoNaive, AlgoSemiNaive:
+		return a, nil
+	default:
+		return "", fmt.Errorf("unknown algorithm %q", s)
+	}
+}
+
+// ExecOptions configures one query's execution. The zero value mines with
+// D-SEQ and none of the paper's enhancements enabled, mirroring the root
+// package's Options; start from DefaultExecOptions for the recommended
+// configuration.
+type ExecOptions struct {
+	// Algorithm selects the backend miner; empty means D-SEQ.
+	Algorithm Algorithm
+	// Workers bounds the worker pool mining the query; 0 uses all CPUs.
+	Workers int
+	// Shards is the number of database partitions for the sequential
+	// backends (dfs, count); 0 means one shard per worker. The distributed
+	// backends partition internally (by pivot item) and ignore it.
+	Shards int
+
+	// D-SEQ toggles (defaults on when zero-valued via DefaultExecOptions).
+	UseGrid            bool
+	Rewrite            bool
+	EarlyStopping      bool
+	AggregateSequences bool
+	// D-CAND toggles.
+	MinimizeNFAs  bool
+	AggregateNFAs bool
+}
+
+// DefaultExecOptions mirrors seqmine.DefaultOptions: D-SEQ with every
+// enhancement enabled.
+func DefaultExecOptions() ExecOptions {
+	return ExecOptions{
+		Algorithm:          AlgoDSeq,
+		UseGrid:            true,
+		Rewrite:            true,
+		EarlyStopping:      true,
+		AggregateSequences: true,
+		MinimizeNFAs:       true,
+		AggregateNFAs:      true,
+	}
+}
+
+// ExecStats describes how a query was executed.
+type ExecStats struct {
+	// Shards is the number of database partitions mined (1 when the backend
+	// ran unpartitioned).
+	Shards int `json:"shards"`
+	// Candidates is the size of the candidate superset produced by phase one
+	// of two-phase sharded mining (0 for unpartitioned backends).
+	Candidates int `json:"candidates"`
+}
+
+// Execute runs one mining job. The sequential backends (dfs, count) run as a
+// two-phase partitioned job over a bounded worker pool: phase one mines every
+// shard with a proportionally scaled local threshold (SON-style — any
+// globally frequent pattern is locally frequent in at least one shard), phase
+// two recounts the exact global support of the candidate superset and filters
+// by sigma, so the result is identical to the sequential miner on the whole
+// database. (Phase two counts by candidate enumeration, DESQ-COUNT style, so
+// for very loose constraints on long sequences Shards=1 or a distributed
+// backend is the better choice.) The distributed backends (dseq, dcand,
+// naive, seminaive) already partition internally by pivot item and run on the
+// in-process BSP engine with Workers map/reduce workers.
+//
+// Cancellation: the job runs in a goroutine and the call returns ctx.Err()
+// as soon as the context is done. Shard workers notice cancellation at shard
+// boundaries and stop early; a backend in the middle of a shard (or a BSP
+// round, which is not interruptible) finishes that unit in the background and
+// its result is dropped.
+func Execute(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma int64, opts ExecOptions) ([]miner.Pattern, mapreduce.Metrics, ExecStats, error) {
+	return execute(ctx, f, db, sigma, opts, nil)
+}
+
+// execute is Execute with a completion hook: onDone (when non-nil) is called
+// exactly once, after the mining goroutine has actually finished — even when
+// the call itself returned early on context cancellation. Callers use it to
+// hold resources (concurrency slots, dataset leases) for the true lifetime
+// of the work rather than the lifetime of the request.
+func execute(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma int64, opts ExecOptions, onDone func()) ([]miner.Pattern, mapreduce.Metrics, ExecStats, error) {
+	fail := func(err error) ([]miner.Pattern, mapreduce.Metrics, ExecStats, error) {
+		if onDone != nil {
+			onDone()
+		}
+		return nil, mapreduce.Metrics{}, ExecStats{}, err
+	}
+	if sigma <= 0 {
+		return fail(fmt.Errorf("minimum support must be positive, got %d", sigma))
+	}
+	if err := ctx.Err(); err != nil {
+		return fail(err)
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	type jobResult struct {
+		patterns []miner.Pattern
+		metrics  mapreduce.Metrics
+		stats    ExecStats
+		err      error
+	}
+	ch := make(chan jobResult, 1)
+	go func() {
+		var r jobResult
+		switch opts.Algorithm {
+		case AlgoDFS, AlgoCount:
+			r.patterns, r.metrics, r.stats, r.err = mineSharded(ctx, f, db, sigma, opts, workers)
+		case "", AlgoDSeq, AlgoDCand, AlgoNaive, AlgoSemiNaive:
+			r.patterns, r.metrics, r.stats, r.err = mineDistributed(f, db, sigma, opts, workers)
+		default:
+			r.err = fmt.Errorf("unknown algorithm %q", opts.Algorithm)
+		}
+		ch <- r
+		if onDone != nil {
+			onDone()
+		}
+	}()
+	select {
+	case <-ctx.Done():
+		return nil, mapreduce.Metrics{}, ExecStats{}, ctx.Err()
+	case r := <-ch:
+		return r.patterns, r.metrics, r.stats, r.err
+	}
+}
+
+// mineDistributed runs one of the BSP algorithms whole-database.
+func mineDistributed(f *fst.FST, db *seqdb.Database, sigma int64, opts ExecOptions, workers int) ([]miner.Pattern, mapreduce.Metrics, ExecStats, error) {
+	cfg := mapreduce.Config{MapWorkers: workers, ReduceWorkers: workers}
+	var (
+		patterns []miner.Pattern
+		metrics  mapreduce.Metrics
+	)
+	switch opts.Algorithm {
+	case "", AlgoDSeq:
+		patterns, metrics = dseq.Mine(f, db.Sequences, sigma, dseq.Options{
+			UseGrid:       opts.UseGrid,
+			Rewrite:       opts.Rewrite,
+			EarlyStopping: opts.EarlyStopping,
+			Aggregate:     opts.AggregateSequences,
+		}, cfg)
+	case AlgoDCand:
+		patterns, metrics = dcand.Mine(f, db.Sequences, sigma, dcand.Options{
+			Minimize:  opts.MinimizeNFAs,
+			Aggregate: opts.AggregateNFAs,
+		}, cfg)
+	case AlgoNaive:
+		patterns, metrics = naive.Mine(f, db.Sequences, sigma, naive.Naive, cfg)
+	case AlgoSemiNaive:
+		patterns, metrics = naive.Mine(f, db.Sequences, sigma, naive.SemiNaive, cfg)
+	}
+	return patterns, metrics, ExecStats{Shards: 1}, nil
+}
+
+// mineSharded is the two-phase partitioned executor for the sequential
+// backends.
+func mineSharded(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma int64, opts ExecOptions, workers int) ([]miner.Pattern, mapreduce.Metrics, ExecStats, error) {
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = workers
+	}
+	if shards > len(db.Sequences) {
+		shards = len(db.Sequences)
+	}
+	if shards <= 1 {
+		// Single shard: run the backend directly with the global threshold.
+		patterns, err := mineShardDirect(ctx, f, miner.Weighted(db.Sequences), sigma, opts.Algorithm)
+		return patterns, mapreduce.Metrics{}, ExecStats{Shards: 1}, err
+	}
+
+	parts := splitSequences(db.Sequences, shards)
+	total := int64(len(db.Sequences))
+
+	// Phase 1: mine each shard with the scaled local threshold. A pattern
+	// with global support >= sigma has support >= ceil(sigma*|shard|/|db|)
+	// in at least one shard, so the union is a superset of the answer.
+	partials := make([][]miner.Pattern, len(parts))
+	err := runPool(ctx, workers, len(parts), func(i int) error {
+		local := (sigma*int64(len(parts[i])) + total - 1) / total
+		if local < 1 {
+			local = 1
+		}
+		ps, err := mineShardDirect(ctx, f, miner.Weighted(parts[i]), local, opts.Algorithm)
+		partials[i] = ps
+		return err
+	})
+	if err != nil {
+		return nil, mapreduce.Metrics{}, ExecStats{}, err
+	}
+
+	candidates := make(map[string]bool)
+	shapes := make(map[string][]dict.ItemID)
+	for _, ps := range partials {
+		for _, p := range ps {
+			k := miner.Key(p.Items)
+			if !candidates[k] {
+				candidates[k] = true
+				shapes[k] = p.Items
+			}
+		}
+	}
+	stats := ExecStats{Shards: len(parts), Candidates: len(candidates)}
+
+	// Phase 2: exact support of every candidate, counted per shard in
+	// parallel and summed.
+	counts := make([]map[string]int64, len(parts))
+	err = runPool(ctx, workers, len(parts), func(i int) error {
+		counts[i] = miner.SupportOf(f, miner.Weighted(parts[i]), sigma, candidates)
+		return nil
+	})
+	if err != nil {
+		return nil, mapreduce.Metrics{}, stats, err
+	}
+	totals := make(map[string]int64, len(candidates))
+	for _, m := range counts {
+		for k, c := range m {
+			totals[k] += c
+		}
+	}
+	var out []miner.Pattern
+	for k, c := range totals {
+		if c >= sigma {
+			out = append(out, miner.Pattern{Items: shapes[k], Freq: c})
+		}
+	}
+	miner.SortPatterns(out)
+	return out, mapreduce.Metrics{}, stats, nil
+}
+
+// mineShardDirect runs a sequential backend on one partition.
+func mineShardDirect(ctx context.Context, f *fst.FST, part []miner.WeightedSequence, sigma int64, algo Algorithm) ([]miner.Pattern, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	switch algo {
+	case AlgoDFS:
+		return miner.MineDFS(f, part, sigma, miner.DFSOptions{}), nil
+	case AlgoCount:
+		return miner.MineCount(f, part, sigma), nil
+	default:
+		return nil, fmt.Errorf("algorithm %q is not a sequential backend", algo)
+	}
+}
+
+// splitSequences partitions the database round-robin into n parts so skewed
+// prefixes (e.g. sorted inputs) spread evenly.
+func splitSequences(seqs [][]dict.ItemID, n int) [][][]dict.ItemID {
+	parts := make([][][]dict.ItemID, n)
+	for i, s := range seqs {
+		parts[i%n] = append(parts[i%n], s)
+	}
+	return parts
+}
+
+// runPool executes tasks 0..n-1 on at most workers goroutines (strided
+// assignment, like the mapreduce engine's map phase), stopping early on the
+// first error or context cancellation.
+func runPool(ctx context.Context, workers, n int, task func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if failed() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					return
+				}
+				if err := task(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,196 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"seqmine/internal/seqdb"
+)
+
+// Request body caps: mining requests are small; dataset uploads may carry
+// inline sequences and get a generous limit.
+const (
+	maxMineBodyBytes    = 1 << 20   // 1 MiB
+	maxDatasetBodyBytes = 256 << 20 // 256 MiB
+)
+
+// MineRequest is the body of POST /mine.
+type MineRequest struct {
+	Dataset   string `json:"dataset"`
+	Pattern   string `json:"pattern"`
+	Sigma     int64  `json:"sigma"`
+	Algorithm string `json:"algorithm,omitempty"` // dfs|count|dseq|dcand|naive|seminaive; default dseq
+	Workers   int    `json:"workers,omitempty"`
+	Shards    int    `json:"shards,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+	// Limit truncates the response to the top-k patterns (0 = all).
+	Limit int `json:"limit,omitempty"`
+}
+
+// MinePattern is one mined pattern on the wire.
+type MinePattern struct {
+	Items []string `json:"items"`
+	Freq  int64    `json:"freq"`
+}
+
+// MineResponse is the body of a successful POST /mine.
+type MineResponse struct {
+	Patterns []MinePattern `json:"patterns"`
+	// Total is the number of patterns found before Limit truncation.
+	Total   int          `json:"total"`
+	Metrics QueryMetrics `json:"metrics"`
+}
+
+// DatasetRequest is the body of PUT /datasets/{name}: either file paths
+// (resolved on the server) or inline sequences with an optional hierarchy.
+type DatasetRequest struct {
+	Path          string              `json:"path,omitempty"`
+	HierarchyPath string              `json:"hierarchy_path,omitempty"`
+	Sequences     [][]string          `json:"sequences,omitempty"`
+	Hierarchy     map[string][]string `json:"hierarchy,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler returns the HTTP API of the service:
+//
+//	POST   /mine                 run a mining query
+//	GET    /datasets             list datasets
+//	PUT    /datasets/{name}      register a dataset (paths or inline data)
+//	GET    /datasets/{name}      one dataset's info
+//	DELETE /datasets/{name}      unregister a dataset
+//	GET    /metrics              aggregate service metrics
+//	GET    /healthz              liveness probe
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("POST /mine", func(w http.ResponseWriter, r *http.Request) {
+		var req MineRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxMineBodyBytes)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+			return
+		}
+		algo, err := ParseAlgorithm(req.Algorithm)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts := DefaultExecOptions()
+		opts.Algorithm = algo
+		opts.Workers = req.Workers
+		opts.Shards = req.Shards
+		resp, err := s.Mine(r.Context(), Query{
+			Dataset:    req.Dataset,
+			Expression: req.Pattern,
+			Sigma:      req.Sigma,
+			Options:    opts,
+			Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
+		})
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		out := MineResponse{Total: len(resp.Patterns), Metrics: resp.Metrics}
+		patterns := resp.Patterns
+		if req.Limit > 0 && len(patterns) > req.Limit {
+			patterns = patterns[:req.Limit]
+		}
+		out.Patterns = make([]MinePattern, len(patterns))
+		for i, p := range patterns {
+			out.Patterns[i] = MinePattern{Items: resp.Dict.DecodeSequence(p.Items), Freq: p.Freq}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+	mux.HandleFunc("GET /datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Datasets())
+	})
+	mux.HandleFunc("GET /datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		info, err := s.DatasetInfo(r.PathValue("name"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("PUT /datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		var req DatasetRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxDatasetBodyBytes)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+			return
+		}
+		var err error
+		switch {
+		case req.Path != "" && req.Sequences != nil:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("specify either path or sequences, not both"))
+			return
+		case req.Path != "":
+			_, err = s.LoadDataset(name, req.Path, req.HierarchyPath)
+		case req.Sequences != nil:
+			var db *seqdb.Database
+			db, err = seqdb.Build(req.Sequences, seqdb.Hierarchy(req.Hierarchy))
+			if err == nil {
+				_, err = s.RegisterDataset(name, db)
+			}
+		default:
+			writeError(w, http.StatusBadRequest, fmt.Errorf("specify path or sequences"))
+			return
+		}
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		info, err := s.DatasetInfo(name)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, info)
+	})
+	mux.HandleFunc("DELETE /datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !s.RemoveDataset(name) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown dataset %q", name))
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	case errors.Is(err, ErrUnknownDataset):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"sync/atomic"
+	"time"
+
+	"seqmine/internal/mapreduce"
+)
+
+// QueryMetrics describes the execution of one query, in the spirit of
+// mapreduce.Metrics: stage wall-clock times plus volume counters.
+type QueryMetrics struct {
+	Dataset    string    `json:"dataset"`
+	Expression string    `json:"expression"`
+	Algorithm  Algorithm `json:"algorithm"`
+	Sigma      int64     `json:"sigma"`
+
+	// CacheHit reports whether the compiled FST was served from the
+	// compiled-pattern cache (including piggybacking on an in-flight
+	// compilation) rather than compiled by this query.
+	CacheHit bool `json:"cache_hit"`
+	// CompileTime is the time spent obtaining the compiled FST. On a cache
+	// hit it is the (near-zero) lookup time.
+	CompileTime time.Duration `json:"compile_time_ns"`
+	// MineTime is the time spent mining.
+	MineTime time.Duration `json:"mine_time_ns"`
+	// Patterns is the number of frequent sequences found.
+	Patterns int `json:"patterns"`
+	// Exec describes the partitioned execution.
+	Exec ExecStats `json:"exec"`
+	// MapReduce carries the BSP engine metrics for distributed backends
+	// (zero for the sharded sequential backends).
+	MapReduce mapreduce.Metrics `json:"mapreduce"`
+}
+
+// Total returns the total serving time of the query.
+func (m QueryMetrics) Total() time.Duration { return m.CompileTime + m.MineTime }
+
+// aggregator accumulates service-wide counters across queries.
+type aggregator struct {
+	queries       atomic.Uint64
+	errors        atomic.Uint64
+	active        atomic.Int64
+	patterns      atomic.Uint64
+	cacheHits     atomic.Uint64
+	compileTimeNS atomic.Int64
+	mineTimeNS    atomic.Int64
+}
+
+func (a *aggregator) record(m QueryMetrics) {
+	a.queries.Add(1)
+	a.patterns.Add(uint64(m.Patterns))
+	if m.CacheHit {
+		a.cacheHits.Add(1)
+	}
+	a.compileTimeNS.Add(int64(m.CompileTime))
+	a.mineTimeNS.Add(int64(m.MineTime))
+}
+
+// Snapshot is a point-in-time view of the aggregate service metrics.
+type Snapshot struct {
+	Queries       uint64        `json:"queries"`
+	Errors        uint64        `json:"errors"`
+	ActiveQueries int64         `json:"active_queries"`
+	PatternsFound uint64        `json:"patterns_found"`
+	CacheHits     uint64        `json:"query_cache_hits"`
+	CacheHitRate  float64       `json:"query_cache_hit_rate"`
+	CompileTime   time.Duration `json:"compile_time_total_ns"`
+	MineTime      time.Duration `json:"mine_time_total_ns"`
+	Cache         cacheStats    `json:"compiled_pattern_cache"`
+	Datasets      []DatasetInfo `json:"datasets"`
+}
+
+func (a *aggregator) snapshot() Snapshot {
+	s := Snapshot{
+		Queries:       a.queries.Load(),
+		Errors:        a.errors.Load(),
+		ActiveQueries: a.active.Load(),
+		PatternsFound: a.patterns.Load(),
+		CacheHits:     a.cacheHits.Load(),
+		CompileTime:   time.Duration(a.compileTimeNS.Load()),
+		MineTime:      time.Duration(a.mineTimeNS.Load()),
+	}
+	if s.Queries > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(s.Queries)
+	}
+	return s
+}

@@ -1,0 +1,258 @@
+// Package service is the query-serving layer of seqmine: a long-lived,
+// concurrency-safe front end over the miners of the paper. It provides
+//
+//   - a dataset registry holding multiple named sequence databases
+//     (registered programmatically or loaded from files, leased to queries
+//     with reference counting so replacement never disturbs in-flight work);
+//   - a compiled-pattern cache, an LRU over compiled FSTs keyed by (dataset
+//     generation, pattern expression) with singleflight deduplication so
+//     concurrent identical queries compile once;
+//   - a partitioned query executor that shards the database over a bounded
+//     worker pool for the sequential backends (exact two-phase SON-style
+//     mining) and drives the BSP engine for the distributed ones, under a
+//     per-query context deadline;
+//   - per-query and aggregate metrics (compile/mine time, cache hit rate,
+//     patterns found) in the idiom of mapreduce.Metrics.
+//
+// The seqmined daemon (cmd/seqmined) exposes this over HTTP; the root
+// seqmine package re-exports it for library users.
+package service
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/fst"
+	"seqmine/internal/miner"
+	"seqmine/internal/seqdb"
+)
+
+// Config configures a Service.
+type Config struct {
+	// CacheSize is the capacity (entries) of the compiled-pattern cache;
+	// 0 means 128.
+	CacheSize int
+	// Workers bounds each query's worker pool when the query does not set
+	// its own; 0 uses all CPUs.
+	Workers int
+	// MaxConcurrent bounds the number of queries mining at once; excess
+	// queries wait (respecting their context). 0 means unbounded.
+	MaxConcurrent int
+	// DefaultTimeout is applied to queries that carry no deadline; 0 means
+	// no default deadline.
+	DefaultTimeout time.Duration
+}
+
+// Service is a concurrent mining service. All methods are safe for
+// concurrent use.
+type Service struct {
+	cfg   Config
+	reg   *Registry
+	cache *fstCache
+	agg   aggregator
+	slots chan struct{} // nil when MaxConcurrent == 0
+}
+
+// New creates a Service.
+func New(cfg Config) *Service {
+	s := &Service{
+		cfg:   cfg,
+		reg:   NewRegistry(),
+		cache: newFSTCache(cfg.CacheSize),
+	}
+	if cfg.MaxConcurrent > 0 {
+		s.slots = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return s
+}
+
+// RegisterDataset adds (or replaces) a database under the given name.
+// Replacement drops the previous generation's cached FSTs so the LRU is not
+// left holding unreachable entries.
+func (s *Service) RegisterDataset(name string, db *seqdb.Database) (uint64, error) {
+	gen, err := s.reg.Register(name, db)
+	if err == nil && gen > 1 {
+		s.cache.invalidateDataset(name)
+	}
+	return gen, err
+}
+
+// LoadDataset reads a database from files and registers it.
+func (s *Service) LoadDataset(name, sequencesPath, hierarchyPath string) (uint64, error) {
+	gen, err := s.reg.LoadFiles(name, sequencesPath, hierarchyPath)
+	if err == nil && gen > 1 {
+		s.cache.invalidateDataset(name)
+	}
+	return gen, err
+}
+
+// RemoveDataset unregisters a dataset and drops its cached FSTs. In-flight
+// queries are unaffected.
+func (s *Service) RemoveDataset(name string) bool {
+	ok := s.reg.Unregister(name)
+	if ok {
+		s.cache.invalidateDataset(name)
+	}
+	return ok
+}
+
+// Datasets lists the registered datasets.
+func (s *Service) Datasets() []DatasetInfo { return s.reg.List() }
+
+// DatasetInfo describes one dataset, or an error if it is not registered.
+func (s *Service) DatasetInfo(name string) (DatasetInfo, error) {
+	ds, err := s.reg.Acquire(name)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	defer ds.Release()
+	return DatasetInfo{
+		Name:          ds.Name,
+		Generation:    ds.Gen,
+		ActiveQueries: ds.entry.refs.Load() - 1, // exclude our own lease
+		Stats:         ds.entry.stats,
+	}, nil
+}
+
+// Query is one mining request.
+type Query struct {
+	// Dataset names a registered dataset.
+	Dataset string
+	// Expression is the DESQ pattern expression.
+	Expression string
+	// Sigma is the minimum support threshold (> 0).
+	Sigma int64
+	// Options configures the execution; the zero value mines with D-SEQ
+	// and no enhancements (see DefaultExecOptions for the recommended
+	// configuration).
+	Options ExecOptions
+	// Timeout overrides the service default deadline for this query; 0
+	// keeps the default.
+	Timeout time.Duration
+}
+
+// Response is the outcome of one query.
+type Response struct {
+	// Patterns are the frequent sequences, sorted by decreasing frequency.
+	Patterns []miner.Pattern
+	// Dict is the dictionary of the dataset generation the query ran
+	// against; use it to decode Patterns (immutable, safe to share).
+	Dict *dict.Dictionary
+	// Metrics describes the execution.
+	Metrics QueryMetrics
+}
+
+// Mine serves one query: it leases the dataset, obtains the compiled FST from
+// the compiled-pattern cache (compiling at most once across concurrent
+// identical queries), runs the partitioned executor and records metrics.
+func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
+	if q.Expression == "" {
+		return nil, s.fail(fmt.Errorf("empty pattern expression"))
+	}
+	if q.Sigma <= 0 {
+		return nil, s.fail(fmt.Errorf("minimum support must be positive, got %d", q.Sigma))
+	}
+	opts := q.Options
+	if opts.Workers <= 0 {
+		opts.Workers = s.cfg.Workers
+	}
+
+	timeout := q.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	// The concurrency slot, active counter and dataset lease are held for
+	// the true lifetime of the mining work: a query abandoned on deadline
+	// keeps its resources until the background goroutine finishes, so
+	// MaxConcurrent genuinely bounds concurrent mining.
+	if s.slots != nil {
+		select {
+		case s.slots <- struct{}{}:
+		case <-ctx.Done():
+			return nil, s.fail(ctx.Err())
+		}
+	}
+	s.agg.active.Add(1)
+	release := func() {
+		s.agg.active.Add(-1)
+		if s.slots != nil {
+			<-s.slots
+		}
+	}
+
+	ds, err := s.reg.Acquire(q.Dataset)
+	if err != nil {
+		release()
+		return nil, s.fail(err)
+	}
+	cleanup := func() {
+		ds.Release()
+		release()
+	}
+
+	m := QueryMetrics{
+		Dataset:    q.Dataset,
+		Expression: q.Expression,
+		Algorithm:  opts.Algorithm,
+		Sigma:      q.Sigma,
+	}
+	if m.Algorithm == "" {
+		m.Algorithm = AlgoDSeq
+	}
+
+	key := cacheKey{dataset: ds.Name, generation: ds.Gen, expression: q.Expression}
+	compileStart := time.Now()
+	f, hit, err := s.cache.get(key, func() (*fst.FST, error) {
+		return fst.Compile(q.Expression, ds.DB.Dict)
+	})
+	m.CompileTime = time.Since(compileStart)
+	m.CacheHit = hit
+	if err != nil {
+		cleanup()
+		return nil, s.fail(fmt.Errorf("compiling %q: %w", q.Expression, err))
+	}
+
+	mineStart := time.Now()
+	patterns, mrm, exec, err := execute(ctx, f, ds.DB, q.Sigma, opts, cleanup)
+	m.MineTime = time.Since(mineStart)
+	if err != nil {
+		return nil, s.fail(err)
+	}
+	m.Patterns = len(patterns)
+	m.Exec = exec
+	m.MapReduce = mrm
+	s.agg.record(m)
+	return &Response{Patterns: patterns, Dict: ds.DB.Dict, Metrics: m}, nil
+}
+
+// Decode renders a mined pattern against the named dataset's current
+// dictionary.
+func (s *Service) Decode(dataset string, p miner.Pattern) (string, error) {
+	ds, err := s.reg.Acquire(dataset)
+	if err != nil {
+		return "", err
+	}
+	defer ds.Release()
+	return ds.DB.Dict.DecodeString(p.Items), nil
+}
+
+// Metrics returns a snapshot of the aggregate service metrics.
+func (s *Service) Metrics() Snapshot {
+	snap := s.agg.snapshot()
+	snap.Cache = s.cache.stats()
+	snap.Datasets = s.reg.List()
+	return snap
+}
+
+func (s *Service) fail(err error) error {
+	s.agg.errors.Add(1)
+	return err
+}

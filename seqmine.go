@@ -17,23 +17,28 @@
 //	    fmt.Println(seqmine.DecodePattern(db, p), p.Freq)
 //	}
 //
+// For repeated queries, NewService returns a long-lived mining service with
+// a dataset registry, a compiled-pattern cache (identical queries compile the
+// FST once) and a partitioned executor; the seqmined daemon (cmd/seqmined)
+// exposes the same service over HTTP.
+//
 // See the examples directory for complete programs and DESIGN.md for the
-// mapping between the paper and the packages of this repository.
+// mapping between the paper and the packages of this repository, including
+// the service layer and its HTTP API.
 package seqmine
 
 import (
+	"context"
 	"fmt"
-	"os"
+	"time"
 
 	"seqmine/internal/datagen"
-	"seqmine/internal/dcand"
 	"seqmine/internal/dict"
-	"seqmine/internal/dseq"
 	"seqmine/internal/fst"
 	"seqmine/internal/mapreduce"
 	"seqmine/internal/miner"
-	"seqmine/internal/naive"
 	"seqmine/internal/seqdb"
+	"seqmine/internal/service"
 )
 
 // ItemID identifies an item by its frequency rank; see the dict package.
@@ -163,28 +168,7 @@ func BuildDatabase(raw [][]string, hierarchy Hierarchy) (*Database, error) {
 // line, space-separated items) and an optional hierarchy file
 // ("child<TAB>parent1,parent2" per line; empty path for no hierarchy).
 func ReadDatabaseFiles(sequencesPath, hierarchyPath string) (*Database, error) {
-	sf, err := os.Open(sequencesPath)
-	if err != nil {
-		return nil, err
-	}
-	defer sf.Close()
-	raw, err := seqdb.ReadSequences(sf)
-	if err != nil {
-		return nil, err
-	}
-	hierarchy := Hierarchy{}
-	if hierarchyPath != "" {
-		hf, err := os.Open(hierarchyPath)
-		if err != nil {
-			return nil, err
-		}
-		defer hf.Close()
-		hierarchy, err = seqdb.ReadHierarchy(hf)
-		if err != nil {
-			return nil, err
-		}
-	}
-	return seqdb.Build(raw, hierarchy)
+	return seqdb.ReadFiles(sequencesPath, hierarchyPath)
 }
 
 // CompileConstraint parses and compiles a pattern expression against the
@@ -208,37 +192,30 @@ func Mine(db *Database, expression string, sigma int64, opts Options) (*Result, 
 }
 
 // MineConstraint mines the database with a previously compiled constraint.
+// The backend dispatch is shared with the service layer (internal/service);
+// the sequential algorithms run unsharded here, exactly as in the paper.
 func MineConstraint(db *Database, c *Constraint, sigma int64, opts Options) (*Result, error) {
-	if sigma <= 0 {
-		return nil, fmt.Errorf("seqmine: minimum support must be positive, got %d", sigma)
+	patterns, metrics, _, err := service.Execute(context.Background(), c.fst, db, sigma, opts.execOptions(1))
+	if err != nil {
+		return nil, fmt.Errorf("seqmine: %w", err)
 	}
-	cfg := mapreduce.Config{MapWorkers: opts.Workers, ReduceWorkers: opts.Workers}
-	res := &Result{}
-	switch opts.Algorithm {
-	case SequentialDFS:
-		res.Patterns = miner.MineDFS(c.fst, miner.Weighted(db.Sequences), sigma, miner.DFSOptions{})
-	case SequentialCount:
-		res.Patterns = miner.MineCount(c.fst, miner.Weighted(db.Sequences), sigma)
-	case DSeq:
-		res.Patterns, res.Metrics = dseq.Mine(c.fst, db.Sequences, sigma, dseq.Options{
-			UseGrid:       opts.UseGrid,
-			Rewrite:       opts.Rewrite,
-			EarlyStopping: opts.EarlyStopping,
-			Aggregate:     opts.AggregateSequences,
-		}, cfg)
-	case DCand:
-		res.Patterns, res.Metrics = dcand.Mine(c.fst, db.Sequences, sigma, dcand.Options{
-			Minimize:  opts.MinimizeNFAs,
-			Aggregate: opts.AggregateNFAs,
-		}, cfg)
-	case Naive:
-		res.Patterns, res.Metrics = naive.Mine(c.fst, db.Sequences, sigma, naive.Naive, cfg)
-	case SemiNaive:
-		res.Patterns, res.Metrics = naive.Mine(c.fst, db.Sequences, sigma, naive.SemiNaive, cfg)
-	default:
-		return nil, fmt.Errorf("seqmine: unknown algorithm %v", opts.Algorithm)
+	return &Result{Patterns: patterns, Metrics: metrics}, nil
+}
+
+// execOptions maps Options to the service layer's execution options. shards
+// fixes the partition count of the sequential backends (1 = unsharded).
+func (o Options) execOptions(shards int) service.ExecOptions {
+	return service.ExecOptions{
+		Algorithm:          o.Algorithm.serviceName(),
+		Workers:            o.Workers,
+		Shards:             shards,
+		UseGrid:            o.UseGrid,
+		Rewrite:            o.Rewrite,
+		EarlyStopping:      o.EarlyStopping,
+		AggregateSequences: o.AggregateSequences,
+		MinimizeNFAs:       o.MinimizeNFAs,
+		AggregateNFAs:      o.AggregateNFAs,
 	}
-	return res, nil
 }
 
 // DecodePattern renders a mined pattern as a space-separated string of item
@@ -264,6 +241,104 @@ func CountMatches(db *Database, c *Constraint) int {
 		}
 	}
 	return n
+}
+
+// QueryMetrics describes the execution of one service query (compile/mine
+// time, cache hit, shard counts).
+type QueryMetrics = service.QueryMetrics
+
+// ServiceMetrics is a snapshot of a service's aggregate metrics (queries
+// served, cache hit rate, per-dataset info).
+type ServiceMetrics = service.Snapshot
+
+// ServiceOptions configures NewService.
+type ServiceOptions struct {
+	// CacheSize is the capacity (entries) of the compiled-pattern cache;
+	// 0 means 128.
+	CacheSize int
+	// Workers bounds each query's worker pool when the query does not set
+	// its own; 0 uses all CPUs.
+	Workers int
+	// MaxConcurrent bounds the number of queries mining at once; 0 means
+	// unbounded.
+	MaxConcurrent int
+	// DefaultTimeout is the per-query deadline applied when the caller's
+	// context has none; 0 means no default deadline.
+	DefaultTimeout time.Duration
+}
+
+// Service is a long-lived, concurrency-safe mining service: it holds named
+// datasets, caches compiled FSTs across queries (with singleflight
+// deduplication of concurrent identical compilations) and mines queries over
+// a partitioned executor. It is the library-level counterpart of the
+// seqmined daemon.
+type Service struct {
+	inner *service.Service
+}
+
+// NewService creates a mining service.
+func NewService(opts ServiceOptions) *Service {
+	return &Service{inner: service.New(service.Config{
+		CacheSize:      opts.CacheSize,
+		Workers:        opts.Workers,
+		MaxConcurrent:  opts.MaxConcurrent,
+		DefaultTimeout: opts.DefaultTimeout,
+	})}
+}
+
+// RegisterDatabase adds (or replaces) a database under the given name.
+func (s *Service) RegisterDatabase(name string, db *Database) error {
+	_, err := s.inner.RegisterDataset(name, db)
+	return err
+}
+
+// LoadDataset reads a database from a sequence file (and optional hierarchy
+// file) and registers it under name.
+func (s *Service) LoadDataset(name, sequencesPath, hierarchyPath string) error {
+	_, err := s.inner.LoadDataset(name, sequencesPath, hierarchyPath)
+	return err
+}
+
+// RemoveDataset unregisters a dataset; in-flight queries are unaffected.
+func (s *Service) RemoveDataset(name string) bool { return s.inner.RemoveDataset(name) }
+
+// Mine runs one query against a registered dataset. Repeated queries with
+// the same expression reuse the cached compiled FST; execution is partitioned
+// over the service's worker pool and honors ctx cancellation and deadlines.
+func (s *Service) Mine(ctx context.Context, dataset, expression string, sigma int64, opts Options) (*Result, QueryMetrics, error) {
+	resp, err := s.inner.Mine(ctx, service.Query{
+		Dataset:    dataset,
+		Expression: expression,
+		Sigma:      sigma,
+		Options:    opts.execOptions(0),
+	})
+	if err != nil {
+		return nil, QueryMetrics{}, err
+	}
+	return &Result{Patterns: resp.Patterns, Metrics: resp.Metrics.MapReduce}, resp.Metrics, nil
+}
+
+// Metrics returns a snapshot of the service's aggregate metrics.
+func (s *Service) Metrics() ServiceMetrics { return s.inner.Metrics() }
+
+// serviceName maps the Algorithm enum to the service layer's wire names.
+func (a Algorithm) serviceName() service.Algorithm {
+	switch a {
+	case SequentialDFS:
+		return service.AlgoDFS
+	case SequentialCount:
+		return service.AlgoCount
+	case DSeq:
+		return service.AlgoDSeq
+	case DCand:
+		return service.AlgoDCand
+	case Naive:
+		return service.AlgoNaive
+	case SemiNaive:
+		return service.AlgoSemiNaive
+	default:
+		return service.Algorithm(fmt.Sprintf("algorithm(%d)", int(a)))
+	}
 }
 
 // GenerateNYTLike generates the synthetic NYT-like text corpus (see the

@@ -1,6 +1,7 @@
 package seqmine_test
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -162,5 +163,43 @@ func TestGenerators(t *testing.T) {
 	}
 	if len(res.Patterns) == 0 {
 		t.Error("expected some frequent relational phrases on the NYT-like data")
+	}
+}
+
+func TestServiceMine(t *testing.T) {
+	db := runningExampleDB(t)
+	svc := seqmine.NewService(seqmine.ServiceOptions{CacheSize: 16, Workers: 2})
+	if err := svc.RegisterDatabase("ex", db); err != nil {
+		t.Fatal(err)
+	}
+
+	want := paperex.ExpectedFrequent()
+	for _, algo := range []seqmine.Algorithm{seqmine.SequentialDFS, seqmine.DSeq} {
+		opts := seqmine.DefaultOptions()
+		opts.Algorithm = algo
+		res, qm, err := svc.Mine(context.Background(), "ex", paperex.PatternExpression, paperex.Sigma, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if got := seqmine.PatternsAsMap(db, res.Patterns); !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: got %v, want %v", algo, got, want)
+		}
+		if algo == seqmine.SequentialDFS && qm.CacheHit {
+			t.Error("first query must not be a cache hit")
+		}
+		if algo == seqmine.DSeq && !qm.CacheHit {
+			t.Error("second query with the same expression must hit the compiled-pattern cache")
+		}
+	}
+
+	m := svc.Metrics()
+	if m.Queries != 2 || m.CacheHits != 1 {
+		t.Errorf("service metrics: queries=%d cacheHits=%d, want 2 and 1", m.Queries, m.CacheHits)
+	}
+	if !svc.RemoveDataset("ex") {
+		t.Error("RemoveDataset should report the dataset existed")
+	}
+	if _, _, err := svc.Mine(context.Background(), "ex", paperex.PatternExpression, paperex.Sigma, seqmine.DefaultOptions()); err == nil {
+		t.Error("mining a removed dataset should fail")
 	}
 }
