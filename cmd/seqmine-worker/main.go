@@ -1,0 +1,152 @@
+// Command seqmine-worker is one process of a seqmine mining cluster.
+//
+// In worker mode (the default) it serves two listeners: a control HTTP API
+// (POST /run, GET /healthz) on -listen and the TCP shuffle fabric on
+// -data-listen. A cluster is simply N of these processes:
+//
+//	seqmine-worker -listen :9090 -data-listen :9190 &
+//	seqmine-worker -listen :9091 -data-listen :9191 &
+//	seqmine-worker -listen :9092 -data-listen :9192 &
+//
+// With -submit it acts as the coordinator CLI instead: it loads a dataset,
+// splits it across the given workers, runs a distributed D-SEQ or D-CAND job
+// over the TCP transport and prints the merged patterns in the same format
+// as cmd/seqmine:
+//
+//	seqmine-worker -submit -workers http://localhost:9090,http://localhost:9091,http://localhost:9092 \
+//	               -data data/nyt/sequences.txt -hierarchy data/nyt/hierarchy.txt \
+//	               -pattern "(.){2,4}" -sigma 100 -algorithm dcand
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"seqmine/internal/cluster"
+	"seqmine/internal/seqdb"
+	"seqmine/internal/transport"
+)
+
+func main() {
+	// Worker mode flags.
+	listen := flag.String("listen", ":9090", "control HTTP listen address")
+	dataListen := flag.String("data-listen", ":9190", "shuffle (TCP transport) listen address")
+	dataAdvertise := flag.String("data-advertise", "", "shuffle address advertised to peers (default: the data listener's address)")
+
+	// Submit (coordinator) mode flags.
+	submit := flag.Bool("submit", false, "submit a job to a running cluster instead of serving")
+	workers := flag.String("workers", "", "comma-separated worker control URLs (submit mode)")
+	data := flag.String("data", "", "path to the sequence file (submit mode)")
+	hierarchy := flag.String("hierarchy", "", "path to the hierarchy file (optional, submit mode)")
+	pattern := flag.String("pattern", "", "pattern expression (submit mode)")
+	sigma := flag.Int64("sigma", 2, "minimum support threshold (submit mode)")
+	algorithm := flag.String("algorithm", "dcand", "algorithm: dseq or dcand (submit mode)")
+	top := flag.Int("top", 25, "print only the top-k frequent sequences (0 = all, submit mode)")
+	showMetrics := flag.Bool("metrics", true, "print shuffle/runtime metrics (submit mode)")
+	flag.Parse()
+
+	if *submit {
+		runSubmit(*workers, *data, *hierarchy, *pattern, *sigma, *algorithm, *top, *showMetrics)
+		return
+	}
+	runWorker(*listen, *dataListen, *dataAdvertise)
+}
+
+// runWorker serves the control API and the shuffle fabric until SIGINT/TERM.
+func runWorker(listen, dataListen, dataAdvertise string) {
+	node, err := transport.NewNode(dataListen, transport.Config{Advertise: dataAdvertise})
+	if err != nil {
+		fatal(err)
+	}
+	defer node.Close()
+
+	srv := &http.Server{
+		Addr:        listen,
+		Handler:     cluster.NewWorker(node).Handler(),
+		ReadTimeout: 30 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("seqmine-worker: control on %s, shuffle on %s", listen, node.Addr())
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("seqmine-worker: %v", err)
+	case <-ctx.Done():
+		log.Printf("seqmine-worker: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			log.Printf("seqmine-worker: shutdown: %v", err)
+		}
+	}
+}
+
+// runSubmit coordinates one distributed job and prints the merged result.
+func runSubmit(workers, data, hierarchy, pattern string, sigma int64, algorithm string, top int, showMetrics bool) {
+	var urls []string
+	for _, u := range strings.Split(workers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 || data == "" || pattern == "" {
+		fmt.Fprintln(os.Stderr, "seqmine-worker: -submit requires -workers, -data and -pattern")
+		flag.Usage()
+		os.Exit(2)
+	}
+	algo := strings.ToLower(algorithm)
+	if algo != cluster.AlgoDSeq && algo != cluster.AlgoDCand {
+		fmt.Fprintf(os.Stderr, "seqmine-worker: algorithm %q cannot run distributed (want dseq or dcand)\n", algorithm)
+		os.Exit(2)
+	}
+
+	db, err := seqdb.ReadFiles(data, hierarchy)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %d sequences, %d dictionary items\n", db.NumSequences(), db.Dict.Size())
+
+	coord := &cluster.Coordinator{Workers: urls}
+	start := time.Now()
+	res, err := coord.Mine(context.Background(), db, pattern, sigma, algo, cluster.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("%d frequent sequences (algorithm %s, sigma %d)\n", len(res.Patterns), algo, sigma)
+	limit := len(res.Patterns)
+	if top > 0 && top < limit {
+		limit = top
+	}
+	for _, p := range res.Patterns[:limit] {
+		fmt.Printf("%8d  %s\n", p.Freq, db.Dict.DecodeString(p.Items))
+	}
+	if showMetrics {
+		m := res.Metrics
+		fmt.Printf("%d workers, wall %v, map time %v, reduce time %v, shuffle %d records / %d bytes on the wire (%d read) over %d partitions\n",
+			len(urls), elapsed.Round(time.Millisecond), m.MapTime, m.ReduceTime,
+			m.ShuffleRecords, m.ShuffleBytes, res.WireBytesIn, m.Partitions)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seqmine-worker:", err)
+	os.Exit(1)
+}

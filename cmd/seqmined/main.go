@@ -39,15 +39,25 @@ func main() {
 	workers := flag.Int("workers", 0, "default per-query worker pool size (0 = all CPUs)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "maximum queries mining at once (0 = unbounded)")
 	timeout := flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
+	clusterWorkers := flag.String("cluster", "", "comma-separated seqmine-worker control URLs used by queries with \"distributed\": true")
 	var loads loadFlags
 	flag.Var(&loads, "load", "dataset to load at startup as name=sequences.txt[,hierarchy.txt] (repeatable)")
 	flag.Parse()
 
+	var clusterURLs []string
+	if *clusterWorkers != "" {
+		for _, u := range strings.Split(*clusterWorkers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				clusterURLs = append(clusterURLs, u)
+			}
+		}
+	}
 	svc := service.New(service.Config{
 		CacheSize:      *cacheSize,
 		Workers:        *workers,
 		MaxConcurrent:  *maxConcurrent,
 		DefaultTimeout: *timeout,
+		ClusterWorkers: clusterURLs,
 	})
 	for _, spec := range loads {
 		name, paths, ok := strings.Cut(spec, "=")

@@ -1,0 +1,103 @@
+// Package cluster fans a D-SEQ or D-CAND mining job out across worker
+// processes. The control plane is HTTP: a Coordinator splits the encoded
+// database round-robin, ships one JobSpec per worker (the shared dictionary
+// travels as dict.Save text so every worker sees identical fids and document
+// frequencies), and merges the per-partition results. The data plane is the
+// TCP shuffle fabric of internal/transport: during the job the workers
+// exchange serialized sequence/NFA frames directly with each other, so the
+// coordinator never touches shuffle traffic.
+//
+// Because the distributed miners partition by pivot item and every pivot key
+// is owned by exactly one worker, the union of the workers' pattern sets is
+// exactly the in-process engine's output — no deduplication is needed (the
+// equivalence tests and the CI multi-process smoke job assert this).
+package cluster
+
+import (
+	"seqmine/internal/dict"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+	"seqmine/internal/transport"
+)
+
+// AlgoDSeq and AlgoDCand are the algorithms that can run on the cluster.
+const (
+	AlgoDSeq  = "dseq"
+	AlgoDCand = "dcand"
+)
+
+// Options carries the paper's per-algorithm enhancement toggles plus the
+// local engine parallelism of each worker.
+type Options struct {
+	// D-SEQ toggles.
+	UseGrid            bool `json:"use_grid"`
+	Rewrite            bool `json:"rewrite"`
+	EarlyStopping      bool `json:"early_stopping"`
+	AggregateSequences bool `json:"aggregate_sequences"`
+	// D-CAND toggles.
+	MinimizeNFAs  bool `json:"minimize_nfas"`
+	AggregateNFAs bool `json:"aggregate_nfas"`
+	// Per-worker engine parallelism (0 = all CPUs of the worker).
+	MapWorkers    int `json:"map_workers,omitempty"`
+	ReduceWorkers int `json:"reduce_workers,omitempty"`
+}
+
+// DefaultOptions enables every enhancement, mirroring the single-process
+// defaults.
+func DefaultOptions() Options {
+	return Options{
+		UseGrid:            true,
+		Rewrite:            true,
+		EarlyStopping:      true,
+		AggregateSequences: true,
+		MinimizeNFAs:       true,
+		AggregateNFAs:      true,
+	}
+}
+
+// JobSpec is the unit of work POSTed to one worker: everything the worker
+// needs to run its share of the job and find its peers.
+type JobSpec struct {
+	// JobID names the job on the shuffle fabric; it must be identical on
+	// every peer of the job and unique per node at a time.
+	JobID string `json:"job_id"`
+	// Algorithm is AlgoDSeq or AlgoDCand.
+	Algorithm string `json:"algorithm"`
+	// Peer is this worker's index; DataPeers[Peer] is its shuffle address.
+	Peer int `json:"peer"`
+	// DataPeers are the shuffle (transport.Node) addresses of all peers.
+	DataPeers []string `json:"data_peers"`
+	// Expression is the DESQ pattern expression, compiled by each worker
+	// against the shared dictionary.
+	Expression string `json:"expression"`
+	// Sigma is the minimum support threshold.
+	Sigma int64 `json:"sigma"`
+	// Dict is the shared dictionary in dict.Save text form.
+	Dict string `json:"dict"`
+	// Split is this worker's input partition, encoded as fids of Dict.
+	Split [][]dict.ItemID `json:"split"`
+	// Options are the algorithm toggles.
+	Options Options `json:"options"`
+}
+
+// JobResult is one worker's share of a job's output.
+type JobResult struct {
+	// Patterns are the frequent sequences of the pivot partitions this
+	// worker owns.
+	Patterns []miner.Pattern `json:"patterns"`
+	// Metrics is the worker-local engine execution; ShuffleBytes is the
+	// actual bytes the worker wrote to its shuffle sockets.
+	Metrics mapreduce.Metrics `json:"metrics"`
+	// WireBytesIn is the actual bytes the worker read from its shuffle
+	// sockets.
+	WireBytesIn int64 `json:"wire_bytes_in"`
+	// PeerStats breaks the shuffle traffic down per remote peer.
+	PeerStats []transport.PeerStats `json:"peer_stats"`
+}
+
+// HealthResponse is the body of a worker's GET /healthz: it advertises the
+// shuffle address so a coordinator only needs to know control URLs.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	DataAddr string `json:"data_addr"`
+}

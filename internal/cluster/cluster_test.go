@@ -1,0 +1,147 @@
+package cluster_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"seqmine/internal/cluster"
+	"seqmine/internal/dcand"
+	"seqmine/internal/dseq"
+	"seqmine/internal/fst"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+	"seqmine/internal/paperex"
+	"seqmine/internal/seqdb"
+	"seqmine/internal/transport"
+)
+
+// startWorkers brings up n workers, each with its own shuffle node and
+// control HTTP server, and returns their control URLs.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		node, err := transport.NewNode("127.0.0.1:0", transport.Config{})
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		t.Cleanup(func() { node.Close() })
+		srv := httptest.NewServer(cluster.NewWorker(node).Handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	return urls
+}
+
+func paperDatabase(t *testing.T) *seqdb.Database {
+	t.Helper()
+	d := paperex.Dict()
+	return &seqdb.Database{Dict: d, Sequences: paperex.DB(d)}
+}
+
+func TestCoordinatorMatchesInProcess(t *testing.T) {
+	db := paperDatabase(t)
+	f := fst.MustCompile(paperex.PatternExpression, db.Dict)
+	coord := &cluster.Coordinator{Workers: startWorkers(t, 3)}
+
+	t.Run("dcand", func(t *testing.T) {
+		want, _ := dcand.Mine(f, db.Sequences, paperex.Sigma, dcand.DefaultOptions(), mapreduce.Config{})
+		res, err := coord.Mine(context.Background(), db, paperex.PatternExpression, paperex.Sigma, cluster.AlgoDCand, cluster.DefaultOptions())
+		if err != nil {
+			t.Fatalf("Mine: %v", err)
+		}
+		if got, wantM := miner.PatternsToMap(db.Dict, res.Patterns), miner.PatternsToMap(db.Dict, want); !reflect.DeepEqual(got, wantM) {
+			t.Errorf("distributed D-CAND = %v, want %v", got, wantM)
+		}
+		// ShuffleBytes must be real traffic: everything written was read.
+		if res.Metrics.ShuffleBytes <= 0 {
+			t.Errorf("ShuffleBytes = %d, want > 0", res.Metrics.ShuffleBytes)
+		}
+		if !res.Metrics.RemoteShuffle {
+			t.Error("metrics should be marked RemoteShuffle")
+		}
+		if res.Metrics.ShuffleBytes != res.WireBytesIn {
+			t.Errorf("bytes written %d != bytes read %d", res.Metrics.ShuffleBytes, res.WireBytesIn)
+		}
+	})
+
+	t.Run("dseq", func(t *testing.T) {
+		want, _ := dseq.Mine(f, db.Sequences, paperex.Sigma, dseq.DefaultOptions(), mapreduce.Config{})
+		res, err := coord.Mine(context.Background(), db, paperex.PatternExpression, paperex.Sigma, cluster.AlgoDSeq, cluster.DefaultOptions())
+		if err != nil {
+			t.Fatalf("Mine: %v", err)
+		}
+		if got, wantM := miner.PatternsToMap(db.Dict, res.Patterns), miner.PatternsToMap(db.Dict, want); !reflect.DeepEqual(got, wantM) {
+			t.Errorf("distributed D-SEQ = %v, want %v", got, wantM)
+		}
+		if res.Metrics.ShuffleBytes != res.WireBytesIn {
+			t.Errorf("bytes written %d != bytes read %d", res.Metrics.ShuffleBytes, res.WireBytesIn)
+		}
+	})
+}
+
+func TestCoordinatorRejectsBadAlgorithm(t *testing.T) {
+	db := paperDatabase(t)
+	coord := &cluster.Coordinator{Workers: startWorkers(t, 2)}
+	if _, err := coord.Mine(context.Background(), db, paperex.PatternExpression, paperex.Sigma, "naive", cluster.DefaultOptions()); err == nil {
+		t.Fatal("expected an error for a non-distributable algorithm")
+	}
+}
+
+func TestCoordinatorNoWorkers(t *testing.T) {
+	db := paperDatabase(t)
+	coord := &cluster.Coordinator{}
+	if _, err := coord.Mine(context.Background(), db, paperex.PatternExpression, paperex.Sigma, cluster.AlgoDCand, cluster.DefaultOptions()); err == nil {
+		t.Fatal("expected an error with no workers")
+	}
+}
+
+// TestCoordinatorManyWorkersRandomDB cross-checks the distributed engines
+// against the sequential miner on a larger random database with 4 workers.
+func TestCoordinatorManyWorkersRandomDB(t *testing.T) {
+	raw, hierarchy := fixtureRandomRaw()
+	db, err := seqdb.Build(raw, hierarchy)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	const expr, sigma = "[.*(.)]{1,3}.*", int64(4)
+	f := fst.MustCompile(expr, db.Dict)
+	want := miner.PatternsToMap(db.Dict, miner.MineDFS(f, miner.Weighted(db.Sequences), sigma, miner.DFSOptions{}))
+
+	coord := &cluster.Coordinator{Workers: startWorkers(t, 4)}
+	for _, algo := range []string{cluster.AlgoDSeq, cluster.AlgoDCand} {
+		res, err := coord.Mine(context.Background(), db, expr, sigma, algo, cluster.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if got := miner.PatternsToMap(db.Dict, res.Patterns); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: distributed = %v, want %v", algo, got, want)
+		}
+	}
+}
+
+// fixtureRandomRaw builds a deterministic pseudo-random raw database over a
+// small vocabulary with a two-level hierarchy.
+func fixtureRandomRaw() ([][]string, seqdb.Hierarchy) {
+	vocab := []string{"a1", "a2", "b1", "b2", "c", "d", "e"}
+	hierarchy := seqdb.Hierarchy{
+		"a1": {"A"}, "a2": {"A"},
+		"b1": {"B"}, "b2": {"B"},
+	}
+	state := uint64(42)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	raw := make([][]string, 60)
+	for i := range raw {
+		seq := make([]string, next(6)+1)
+		for j := range seq {
+			seq[j] = vocab[next(len(vocab))]
+		}
+		raw[i] = seq
+	}
+	return raw, hierarchy
+}

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+	"seqmine/internal/seqdb"
+)
+
+// Coordinator drives one mining job across a set of worker processes.
+type Coordinator struct {
+	// Workers are the control URLs of the worker processes
+	// ("http://host:port"), one per peer.
+	Workers []string
+	// Client issues the control requests; nil uses http.DefaultClient. Job
+	// requests run for the duration of the mining job, so a client with a
+	// short Timeout will abort long jobs.
+	Client *http.Client
+}
+
+// Result is the merged outcome of a distributed mining job.
+type Result struct {
+	// Patterns is the complete frequent-sequence set, sorted like the
+	// single-process miners sort it.
+	Patterns []miner.Pattern
+	// Metrics aggregates the workers' engine metrics: times are maxima
+	// (phases run in parallel), counts and bytes are sums. ShuffleBytes is
+	// the total bytes written to shuffle sockets across the cluster.
+	Metrics mapreduce.Metrics
+	// WireBytesIn is the total bytes read from shuffle sockets across the
+	// cluster; it equals Metrics.ShuffleBytes when every frame arrived.
+	WireBytesIn int64
+	// PerWorker holds each worker's own result (index = peer).
+	PerWorker []JobResult
+}
+
+// Mine runs one distributed job over the database. The database is split
+// round-robin across the workers; algorithm is AlgoDSeq or AlgoDCand.
+func (c *Coordinator) Mine(ctx context.Context, db *seqdb.Database, expression string, sigma int64, algorithm string, opts Options) (*Result, error) {
+	if len(c.Workers) == 0 {
+		return nil, fmt.Errorf("cluster: no workers configured")
+	}
+	if db == nil || db.Dict == nil {
+		return nil, fmt.Errorf("cluster: nil database")
+	}
+	client := c.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	// Resolve every worker's shuffle address from its health endpoint, so
+	// the coordinator configuration is control URLs only.
+	dataPeers := make([]string, len(c.Workers))
+	for i, base := range c.Workers {
+		var health HealthResponse
+		if err := getJSON(ctx, client, strings.TrimRight(base, "/")+"/healthz", &health); err != nil {
+			return nil, fmt.Errorf("cluster: worker %d (%s): %w", i, base, err)
+		}
+		if health.DataAddr == "" {
+			return nil, fmt.Errorf("cluster: worker %d (%s) advertises no shuffle address", i, base)
+		}
+		dataPeers[i] = health.DataAddr
+	}
+
+	var dictText strings.Builder
+	if err := db.Dict.Save(&dictText); err != nil {
+		return nil, fmt.Errorf("cluster: serializing dictionary: %w", err)
+	}
+	jobID, err := newJobID()
+	if err != nil {
+		return nil, err
+	}
+
+	// Fan the specs out; the workers shuffle among themselves and each
+	// returns its partitions' patterns. The first failure cancels the other
+	// requests and is the error reported (the canceled neighbors' errors are
+	// collateral, not the root cause).
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	results := make([]JobResult, len(c.Workers))
+	var (
+		wg       sync.WaitGroup
+		failOnce sync.Once
+		failErr  error
+	)
+	for p := range c.Workers {
+		spec := JobSpec{
+			JobID:      jobID,
+			Algorithm:  algorithm,
+			Peer:       p,
+			DataPeers:  dataPeers,
+			Expression: expression,
+			Sigma:      sigma,
+			Dict:       dictText.String(),
+			Split:      roundRobinSplit(db, p, len(c.Workers)),
+			Options:    opts,
+		}
+		wg.Add(1)
+		go func(p int, spec JobSpec) {
+			defer wg.Done()
+			err := postJSON(ctx, client, strings.TrimRight(c.Workers[p], "/")+"/run", spec, &results[p])
+			if err != nil {
+				failOnce.Do(func() {
+					failErr = fmt.Errorf("cluster: worker %d (%s): %w", p, c.Workers[p], err)
+					cancel()
+				})
+			}
+		}(p, spec)
+	}
+	wg.Wait()
+	if failErr != nil {
+		return nil, failErr
+	}
+
+	res := &Result{PerWorker: results}
+	res.Metrics.RemoteShuffle = true
+	for _, r := range results {
+		res.Patterns = append(res.Patterns, r.Patterns...)
+		res.WireBytesIn += r.WireBytesIn
+		m := r.Metrics
+		if m.MapTime > res.Metrics.MapTime {
+			res.Metrics.MapTime = m.MapTime
+		}
+		if m.ReduceTime > res.Metrics.ReduceTime {
+			res.Metrics.ReduceTime = m.ReduceTime
+		}
+		res.Metrics.MapOutputRecords += m.MapOutputRecords
+		res.Metrics.ShuffleRecords += m.ShuffleRecords
+		res.Metrics.ShuffleBytes += m.ShuffleBytes
+		res.Metrics.Partitions += m.Partitions // pivot keys are disjoint across peers
+		if m.MaxPartitionRecords > res.Metrics.MaxPartitionRecords {
+			res.Metrics.MaxPartitionRecords = m.MaxPartitionRecords
+		}
+	}
+	miner.SortPatterns(res.Patterns)
+	return res, nil
+}
+
+// roundRobinSplit returns peer p's share of the database.
+func roundRobinSplit(db *seqdb.Database, p, n int) [][]dict.ItemID {
+	var split [][]dict.ItemID
+	for i := p; i < len(db.Sequences); i += n {
+		split = append(split, db.Sequences[i])
+	}
+	return split
+}
+
+func newJobID() (string, error) {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("cluster: generating job id: %w", err)
+	}
+	return "job-" + hex.EncodeToString(b[:]), nil
+}
+
+func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return doJSON(client, req, out)
+}
+
+func postJSON(ctx context.Context, client *http.Client, url string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(client, req, out)
+}
+
+func doJSON(client *http.Client, req *http.Request, out any) error {
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		var je jsonError
+		if json.Unmarshal(msg, &je) == nil && je.Error != "" {
+			return fmt.Errorf("%s: %s", resp.Status, je.Error)
+		}
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

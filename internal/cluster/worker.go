@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"seqmine/internal/dcand"
+	"seqmine/internal/dict"
+	"seqmine/internal/dseq"
+	"seqmine/internal/fst"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+	"seqmine/internal/transport"
+)
+
+// maxSpecBodyBytes bounds a job spec upload (the dominant part is the
+// worker's input split).
+const maxSpecBodyBytes = 1 << 30
+
+// Worker executes job specs against a process-wide transport node. One
+// Worker serves any number of concurrent jobs (each job is isolated by its
+// JobID on the node).
+type Worker struct {
+	node *transport.Node
+}
+
+// NewWorker wraps a transport node.
+func NewWorker(node *transport.Node) *Worker { return &Worker{node: node} }
+
+// Node returns the underlying transport node.
+func (w *Worker) Node() *transport.Node { return w.node }
+
+// Run executes one job spec: it rebuilds the dictionary, compiles the
+// expression, opens the job's exchange on the node and runs the requested
+// miner over the local split.
+func (w *Worker) Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if spec.JobID == "" {
+		return nil, fmt.Errorf("cluster: empty job id")
+	}
+	if spec.Peer < 0 || spec.Peer >= len(spec.DataPeers) {
+		return nil, fmt.Errorf("cluster: peer %d out of range for %d data peers", spec.Peer, len(spec.DataPeers))
+	}
+	if spec.Sigma <= 0 {
+		return nil, fmt.Errorf("cluster: minimum support must be positive, got %d", spec.Sigma)
+	}
+	d, err := dict.Load(strings.NewReader(spec.Dict))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: loading dictionary: %w", err)
+	}
+	f, err := fst.Compile(spec.Expression, d)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: compiling %q: %w", spec.Expression, err)
+	}
+	for i, seq := range spec.Split {
+		for _, it := range seq {
+			if !d.Contains(it) {
+				return nil, fmt.Errorf("cluster: split sequence %d contains unknown fid %d", i, it)
+			}
+		}
+	}
+
+	bx, err := w.node.OpenExchange(spec.JobID, spec.Peer, spec.DataPeers)
+	if err != nil {
+		return nil, err
+	}
+	defer bx.Close()
+	// Propagate cancellation into the exchange: closing it fails every
+	// blocked Send/Recv, so an abandoned job (coordinator gone, peer failed)
+	// stops mining instead of waiting out the transport timeouts.
+	stopCancel := context.AfterFunc(ctx, func() { bx.Close() })
+	defer stopCancel()
+
+	cfg := mapreduce.Config{MapWorkers: spec.Options.MapWorkers, ReduceWorkers: spec.Options.ReduceWorkers}
+	var (
+		patterns []miner.Pattern
+		metrics  mapreduce.Metrics
+	)
+	switch spec.Algorithm {
+	case AlgoDSeq:
+		patterns, metrics, err = dseq.MinePeer(f, spec.Split, spec.Sigma, dseq.Options{
+			UseGrid:       spec.Options.UseGrid,
+			Rewrite:       spec.Options.Rewrite,
+			EarlyStopping: spec.Options.EarlyStopping,
+			Aggregate:     spec.Options.AggregateSequences,
+		}, cfg, bx)
+	case AlgoDCand:
+		patterns, metrics, err = dcand.MinePeer(f, spec.Split, spec.Sigma, dcand.Options{
+			Minimize:  spec.Options.MinimizeNFAs,
+			Aggregate: spec.Options.AggregateNFAs,
+		}, cfg, bx)
+	default:
+		err = fmt.Errorf("cluster: algorithm %q cannot run distributed (want %s or %s)", spec.Algorithm, AlgoDSeq, AlgoDCand)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &JobResult{
+		Patterns:    patterns,
+		Metrics:     metrics,
+		WireBytesIn: bx.WireBytesIn(),
+		PeerStats:   bx.Stats(),
+	}, nil
+}
+
+// Handler returns the worker's control API:
+//
+//	POST /run      execute one JobSpec, respond with the JobResult
+//	GET  /healthz  liveness probe, advertises the shuffle address
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, HealthResponse{Status: "ok", DataAddr: w.node.Addr()})
+	})
+	mux.HandleFunc("POST /run", func(rw http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(http.MaxBytesReader(rw, r.Body, maxSpecBodyBytes)).Decode(&spec); err != nil {
+			writeJSONError(rw, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
+			return
+		}
+		result, err := w.Run(r.Context(), spec)
+		if err != nil {
+			writeJSONError(rw, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(rw, http.StatusOK, result)
+	})
+	return mux
+}
+
+type jsonError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, jsonError{Error: err.Error()})
+}

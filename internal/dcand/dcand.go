@@ -9,6 +9,8 @@
 package dcand
 
 import (
+	"fmt"
+
 	"seqmine/internal/dict"
 	"seqmine/internal/fst"
 	"seqmine/internal/mapreduce"
@@ -38,9 +40,78 @@ type value struct {
 	weight int64
 }
 
+// codec is the wire encoding of one D-CAND shuffle record: the pivot key as
+// a varint and each value as weight varint, length varint and the serialized
+// NFA bytes. The same encoding backs the honest SizeOf estimate of
+// in-process runs.
+func codec() mapreduce.FrameCodec[dict.ItemID, value] {
+	return mapreduce.FrameCodec[dict.ItemID, value]{
+		AppendKey: func(buf []byte, k dict.ItemID) []byte {
+			return mapreduce.AppendUvarint(buf, uint64(k))
+		},
+		ReadKey: func(data []byte, pos int) (dict.ItemID, int, error) {
+			v, pos, err := mapreduce.ReadUvarint(data, pos)
+			return dict.ItemID(v), pos, err
+		},
+		AppendValue: func(buf []byte, v value) []byte {
+			buf = mapreduce.AppendUvarint(buf, uint64(v.weight))
+			buf = mapreduce.AppendUvarint(buf, uint64(len(v.data)))
+			return append(buf, v.data...)
+		},
+		ReadValue: func(data []byte, pos int) (value, int, error) {
+			var v value
+			weight, pos, err := mapreduce.ReadUvarint(data, pos)
+			if err != nil {
+				return v, 0, err
+			}
+			n, pos, err := mapreduce.ReadUvarint(data, pos)
+			if err != nil {
+				return v, 0, err
+			}
+			if n > uint64(len(data)-pos) {
+				return v, 0, fmt.Errorf("dcand: NFA claims %d bytes, %d left", n, len(data)-pos)
+			}
+			v.weight = int64(weight)
+			v.data = append([]byte(nil), data[pos:pos+int(n)]...)
+			return v, pos + int(n), nil
+		},
+	}
+}
+
+// recordSize is the exact single-record wire size of (k, v), replacing the
+// earlier hard-coded `len(data) + 2 + 2` guess so ShuffleBytes stays honest
+// across codecs.
+func recordSize(k dict.ItemID, v value) int {
+	return mapreduce.UvarintLen(uint64(k)) + mapreduce.UvarintLen(1) +
+		mapreduce.UvarintLen(uint64(v.weight)) + mapreduce.UvarintLen(uint64(len(v.data))) + len(v.data)
+}
+
 // Mine runs D-CAND on the database and returns all frequent sequences
 // together with the engine metrics.
 func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics) {
+	out, metrics := mapreduce.Run(db, cfg, buildJob(f, sigma, opts))
+	miner.SortPatterns(out)
+	return out, metrics
+}
+
+// MinePeer runs this process's share of a distributed D-CAND job: split is
+// the local input partition and bx the wire fabric connecting the
+// participating processes (internal/transport). The returned patterns are
+// those of the pivot partitions this peer owns; the union over all peers
+// equals Mine's output on the whole database. Metrics are local to this
+// peer, with ShuffleBytes measuring real transport traffic.
+func MinePeer(f *fst.FST, split [][]dict.ItemID, sigma int64, opts Options, cfg mapreduce.Config, bx mapreduce.ByteExchange) ([]miner.Pattern, mapreduce.Metrics, error) {
+	ex := mapreduce.NewFrameExchange(bx, codec())
+	out, metrics, err := mapreduce.RunExchange(split, cfg, buildJob(f, sigma, opts), ex)
+	if err != nil {
+		return nil, metrics, err
+	}
+	miner.SortPatterns(out)
+	return out, metrics, nil
+}
+
+// buildJob assembles the one-round BSP job of D-CAND.
+func buildJob(f *fst.FST, sigma int64, opts Options) mapreduce.Job[[]dict.ItemID, dict.ItemID, value, miner.Pattern] {
 	d := f.Dict()
 
 	job := mapreduce.Job[[]dict.ItemID, dict.ItemID, value, miner.Pattern]{
@@ -120,7 +191,7 @@ func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapredu
 			}
 		},
 		Hash:   func(k dict.ItemID) uint64 { return mapreduce.HashUint64(uint64(k)) },
-		SizeOf: func(_ dict.ItemID, v value) int { return len(v.data) + 2 + 2 },
+		SizeOf: recordSize,
 	}
 	if opts.Aggregate {
 		job.Combine = func(_ dict.ItemID, vs []value) []value {
@@ -144,7 +215,5 @@ func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapredu
 		}
 	}
 
-	out, metrics := mapreduce.Run(db, cfg, job)
-	miner.SortPatterns(out)
-	return out, metrics
+	return job
 }

@@ -8,6 +8,8 @@
 package dseq
 
 import (
+	"fmt"
+
 	"seqmine/internal/dict"
 	"seqmine/internal/fst"
 	"seqmine/internal/mapreduce"
@@ -44,9 +46,91 @@ type value struct {
 	weight int64
 }
 
+// codec is the wire encoding of one D-SEQ shuffle record: the pivot key and
+// each value as varints (weight, item count, items). The same encoding backs
+// the honest SizeOf estimate of in-process runs.
+func codec() mapreduce.FrameCodec[dict.ItemID, value] {
+	return mapreduce.FrameCodec[dict.ItemID, value]{
+		AppendKey: func(buf []byte, k dict.ItemID) []byte {
+			return mapreduce.AppendUvarint(buf, uint64(k))
+		},
+		ReadKey: func(data []byte, pos int) (dict.ItemID, int, error) {
+			v, pos, err := mapreduce.ReadUvarint(data, pos)
+			return dict.ItemID(v), pos, err
+		},
+		AppendValue: func(buf []byte, v value) []byte {
+			buf = mapreduce.AppendUvarint(buf, uint64(v.weight))
+			buf = mapreduce.AppendUvarint(buf, uint64(len(v.items)))
+			for _, w := range v.items {
+				buf = mapreduce.AppendUvarint(buf, uint64(w))
+			}
+			return buf
+		},
+		ReadValue: func(data []byte, pos int) (value, int, error) {
+			var v value
+			weight, pos, err := mapreduce.ReadUvarint(data, pos)
+			if err != nil {
+				return v, 0, err
+			}
+			n, pos, err := mapreduce.ReadUvarint(data, pos)
+			if err != nil {
+				return v, 0, err
+			}
+			if n > uint64(len(data)-pos) {
+				return v, 0, fmt.Errorf("dseq: sequence claims %d items in %d bytes", n, len(data)-pos)
+			}
+			v.weight = int64(weight)
+			v.items = make([]dict.ItemID, n)
+			for i := range v.items {
+				w, np, err := mapreduce.ReadUvarint(data, pos)
+				if err != nil {
+					return v, 0, err
+				}
+				pos = np
+				v.items[i] = dict.ItemID(w)
+			}
+			return v, pos, nil
+		},
+	}
+}
+
+// recordSize is the exact single-record wire size of (k, v) — the honest
+// per-record contribution to ShuffleBytes.
+func recordSize(k dict.ItemID, v value) int {
+	size := mapreduce.UvarintLen(uint64(k)) + mapreduce.UvarintLen(1) +
+		mapreduce.UvarintLen(uint64(v.weight)) + mapreduce.UvarintLen(uint64(len(v.items)))
+	for _, w := range v.items {
+		size += mapreduce.UvarintLen(uint64(w))
+	}
+	return size
+}
+
 // Mine runs D-SEQ on the database and returns all frequent sequences together
 // with the engine metrics.
 func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics) {
+	out, metrics := mapreduce.Run(db, cfg, buildJob(f, sigma, opts))
+	miner.SortPatterns(out)
+	return out, metrics
+}
+
+// MinePeer runs this process's share of a distributed D-SEQ job: split is the
+// local input partition and bx the wire fabric connecting the participating
+// processes (internal/transport). The returned patterns are those of the
+// pivot partitions this peer owns; the union over all peers equals Mine's
+// output on the whole database. Metrics are local to this peer, with
+// ShuffleBytes measuring real transport traffic.
+func MinePeer(f *fst.FST, split [][]dict.ItemID, sigma int64, opts Options, cfg mapreduce.Config, bx mapreduce.ByteExchange) ([]miner.Pattern, mapreduce.Metrics, error) {
+	ex := mapreduce.NewFrameExchange(bx, codec())
+	out, metrics, err := mapreduce.RunExchange(split, cfg, buildJob(f, sigma, opts), ex)
+	if err != nil {
+		return nil, metrics, err
+	}
+	miner.SortPatterns(out)
+	return out, metrics, nil
+}
+
+// buildJob assembles the one-round BSP job of D-SEQ.
+func buildJob(f *fst.FST, sigma int64, opts Options) mapreduce.Job[[]dict.ItemID, dict.ItemID, value, miner.Pattern] {
 	searcher := pivot.NewSearcher(f, sigma, pivot.Options{UseGrid: opts.UseGrid})
 
 	job := mapreduce.Job[[]dict.ItemID, dict.ItemID, value, miner.Pattern]{
@@ -74,7 +158,7 @@ func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapredu
 			}
 		},
 		Hash:   func(k dict.ItemID) uint64 { return mapreduce.HashUint64(uint64(k)) },
-		SizeOf: func(_ dict.ItemID, v value) int { return sequenceSize(v.items) + 2 },
+		SizeOf: recordSize,
 	}
 	if opts.Aggregate {
 		job.Combine = func(_ dict.ItemID, vs []value) []value {
@@ -98,27 +182,7 @@ func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapredu
 		}
 	}
 
-	out, metrics := mapreduce.Run(db, cfg, job)
-	miner.SortPatterns(out)
-	return out, metrics
-}
-
-// sequenceSize estimates the varint-serialized size of a sequence in bytes.
-func sequenceSize(seq []dict.ItemID) int {
-	size := 1
-	for _, w := range seq {
-		switch {
-		case w < 1<<7:
-			size++
-		case w < 1<<14:
-			size += 2
-		case w < 1<<21:
-			size += 3
-		default:
-			size += 5
-		}
-	}
-	return size
+	return job
 }
 
 func seqKey(seq []dict.ItemID) string {

@@ -1,0 +1,361 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// KeyBatch is the unit of communication of the shuffle phase: all values of
+// one key produced (and combined) by one map worker. Batching by key keeps
+// the in-process loopback zero-copy — the worker's value slice is handed to
+// the reducer side without copying — and amortizes the key encoding over the
+// values on wire transports.
+type KeyBatch[K comparable, V any] struct {
+	Key    K
+	Values []V
+}
+
+// Exchange routes the shuffle batches of one BSP job between peers. A peer is
+// one participant of the job — the single local process for the in-process
+// loopback, or one of N processes connected by a wire transport. The engine
+// sends every combined batch to the peer that owns the batch's key and
+// reduces exactly the keys it receives.
+//
+// Send is safe for concurrent use. Recv is called from a single receiver
+// goroutine that runs concurrently with the senders (an implementation may
+// therefore apply backpressure in Send without risking deadlock).
+type Exchange[K comparable, V any] interface {
+	// NumPeers returns the number of peers participating in the exchange.
+	NumPeers() int
+	// Self returns this peer's index in [0, NumPeers).
+	Self() int
+	// Send routes one batch to peer dst (dst may equal Self).
+	Send(dst int, b KeyBatch[K, V]) error
+	// CloseSend flushes outstanding batches and signals end-of-stream to
+	// every peer, including this one. No Send may follow CloseSend.
+	CloseSend() error
+	// Recv returns the next batch destined for this peer. It returns io.EOF
+	// after every peer (including this one) has closed its sending side.
+	Recv() (KeyBatch[K, V], error)
+}
+
+// WireMetrics is implemented by exchanges that move real bytes (wire
+// transports). When the engine detects it, Metrics.ShuffleBytes reports the
+// actual bytes written to the transport instead of the SizeOf estimate.
+type WireMetrics interface {
+	// WireBytesOut returns the total bytes this peer has written to the
+	// transport so far (frames and protocol overhead; self-deliveries, which
+	// never touch the transport, are excluded).
+	WireBytesOut() int64
+}
+
+// ---------------------------------------------------------------------------
+// In-process loopback
+// ---------------------------------------------------------------------------
+
+// loopbackMsg is either a batch or an end-of-stream marker from one sender.
+type loopbackMsg[K comparable, V any] struct {
+	batch KeyBatch[K, V]
+	eos   bool
+}
+
+// loopbackPeer is one endpoint of an in-memory exchange group. Batches are
+// passed by reference (zero-copy).
+type loopbackPeer[K comparable, V any] struct {
+	self    int
+	inboxes []chan loopbackMsg[K, V]
+	open    int // senders that have not yet delivered eos to us
+	closed  bool
+}
+
+// NewLoopbackGroup returns n exchanges connected in memory: a batch sent to
+// peer i is received by group[i]. With n == 1 this is the default in-process
+// shuffle of Run. The group applies bounded buffering, so senders experience
+// the same backpressure discipline as on a wire transport.
+func NewLoopbackGroup[K comparable, V any](n int) []Exchange[K, V] {
+	if n <= 0 {
+		n = 1
+	}
+	inboxes := make([]chan loopbackMsg[K, V], n)
+	for i := range inboxes {
+		inboxes[i] = make(chan loopbackMsg[K, V], 256)
+	}
+	group := make([]Exchange[K, V], n)
+	for i := range group {
+		group[i] = &loopbackPeer[K, V]{self: i, inboxes: inboxes, open: n}
+	}
+	return group
+}
+
+func (l *loopbackPeer[K, V]) NumPeers() int { return len(l.inboxes) }
+func (l *loopbackPeer[K, V]) Self() int     { return l.self }
+
+func (l *loopbackPeer[K, V]) Send(dst int, b KeyBatch[K, V]) error {
+	if dst < 0 || dst >= len(l.inboxes) {
+		return fmt.Errorf("mapreduce: send to unknown peer %d of %d", dst, len(l.inboxes))
+	}
+	l.inboxes[dst] <- loopbackMsg[K, V]{batch: b}
+	return nil
+}
+
+func (l *loopbackPeer[K, V]) CloseSend() error {
+	if l.closed {
+		return errors.New("mapreduce: CloseSend called twice")
+	}
+	l.closed = true
+	for _, inbox := range l.inboxes {
+		inbox <- loopbackMsg[K, V]{eos: true}
+	}
+	return nil
+}
+
+func (l *loopbackPeer[K, V]) Recv() (KeyBatch[K, V], error) {
+	for l.open > 0 {
+		msg := <-l.inboxes[l.self]
+		if msg.eos {
+			l.open--
+			continue
+		}
+		return msg.batch, nil
+	}
+	return KeyBatch[K, V]{}, io.EOF
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec and wire adapter
+// ---------------------------------------------------------------------------
+
+// ByteExchange is the peer-to-peer fabric implemented by wire transports
+// (internal/transport): it moves opaque frames between peers. Send and Recv
+// follow the same contract as Exchange. Frames sent to Self never reach a
+// ByteExchange — the frame adapter short-circuits them in memory.
+type ByteExchange interface {
+	NumPeers() int
+	Self() int
+	Send(dst int, frame []byte) error
+	CloseSend() error
+	Recv() ([]byte, error)
+	// WireBytesOut returns the actual bytes written to the transport so far.
+	WireBytesOut() int64
+}
+
+// FrameCodec serializes the keys and values of one job for a wire transport.
+// Distributed algorithms (internal/dseq, internal/dcand) define one codec per
+// communicated value type. All Read functions take the buffer and a position
+// and return the decoded value with the next position.
+type FrameCodec[K comparable, V any] struct {
+	AppendKey   func(buf []byte, k K) []byte
+	ReadKey     func(data []byte, pos int) (K, int, error)
+	AppendValue func(buf []byte, v V) []byte
+	ReadValue   func(data []byte, pos int) (V, int, error)
+}
+
+// EncodeBatch appends the wire form of one batch: key, value count, values.
+func (c FrameCodec[K, V]) EncodeBatch(buf []byte, b KeyBatch[K, V]) []byte {
+	buf = c.AppendKey(buf, b.Key)
+	buf = AppendUvarint(buf, uint64(len(b.Values)))
+	for _, v := range b.Values {
+		buf = c.AppendValue(buf, v)
+	}
+	return buf
+}
+
+// DecodeBatch decodes one frame produced by EncodeBatch. Trailing bytes are
+// an error.
+func (c FrameCodec[K, V]) DecodeBatch(frame []byte) (KeyBatch[K, V], error) {
+	var b KeyBatch[K, V]
+	k, pos, err := c.ReadKey(frame, 0)
+	if err != nil {
+		return b, err
+	}
+	b.Key = k
+	count, pos, err := ReadUvarint(frame, pos)
+	if err != nil {
+		return b, err
+	}
+	// Every value occupies at least one byte, so a count larger than the
+	// remaining payload is corrupt (and would otherwise allocate unboundedly).
+	if count > uint64(len(frame)-pos) {
+		return b, fmt.Errorf("mapreduce: batch claims %d values in %d bytes", count, len(frame)-pos)
+	}
+	b.Values = make([]V, 0, count)
+	for i := uint64(0); i < count; i++ {
+		v, np, err := c.ReadValue(frame, pos)
+		if err != nil {
+			return b, err
+		}
+		pos = np
+		b.Values = append(b.Values, v)
+	}
+	if pos != len(frame) {
+		return b, fmt.Errorf("mapreduce: %d trailing bytes after batch", len(frame)-pos)
+	}
+	return b, nil
+}
+
+// RecordSize returns the exact encoded size of a single-record batch for
+// (k, v). Jobs use it as an honest SizeOf: in-process runs then estimate
+// ShuffleBytes with the same encoding a wire transport would use.
+func (c FrameCodec[K, V]) RecordSize(k K, v V) int {
+	return len(c.AppendKey(nil, k)) + UvarintLen(1) + len(c.AppendValue(nil, v))
+}
+
+// frameExchange adapts a ByteExchange to an Exchange[K, V] with a FrameCodec.
+// Self-destined batches bypass the codec and transport entirely (in-memory,
+// zero-copy), matching how a distributed shuffle keeps local data local.
+//
+// The self queue is deliberately unbounded: the queued batches are
+// references into data the map phase already holds in memory, and a sender
+// that could block on local delivery deadlocks the shuffle — the engine's
+// receiver may be parked in the transport's Recv (remote frames sitting in
+// the peers' write buffers) and would never drain a bounded queue, while
+// every peer's sender is stuck before reaching CloseSend. Backpressure is a
+// remote concern only and is applied by the transport through TCP flow
+// control.
+type frameExchange[K comparable, V any] struct {
+	bx    ByteExchange
+	codec FrameCodec[K, V]
+
+	sendMu sync.Mutex
+	buf    []byte
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	selfQ      []KeyBatch[K, V]
+	selfClosed bool
+
+	remote bool // remote stream still open (not yet io.EOF); receiver-only
+}
+
+// NewFrameExchange wires a codec to a byte transport. The returned exchange
+// implements WireMetrics, so RunExchange reports true wire bytes.
+func NewFrameExchange[K comparable, V any](bx ByteExchange, codec FrameCodec[K, V]) Exchange[K, V] {
+	e := &frameExchange[K, V]{
+		bx:     bx,
+		codec:  codec,
+		remote: true,
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+func (e *frameExchange[K, V]) NumPeers() int       { return e.bx.NumPeers() }
+func (e *frameExchange[K, V]) Self() int           { return e.bx.Self() }
+func (e *frameExchange[K, V]) WireBytesOut() int64 { return e.bx.WireBytesOut() }
+
+func (e *frameExchange[K, V]) Send(dst int, b KeyBatch[K, V]) error {
+	if dst == e.bx.Self() {
+		e.mu.Lock()
+		e.selfQ = append(e.selfQ, b)
+		e.cond.Signal()
+		e.mu.Unlock()
+		return nil
+	}
+	e.sendMu.Lock()
+	e.buf = e.codec.EncodeBatch(e.buf[:0], b)
+	frame := e.buf
+	err := e.bx.Send(dst, frame)
+	e.sendMu.Unlock()
+	return err
+}
+
+func (e *frameExchange[K, V]) CloseSend() error {
+	e.mu.Lock()
+	e.selfClosed = true
+	e.cond.Signal()
+	e.mu.Unlock()
+	return e.bx.CloseSend()
+}
+
+// popSelf removes the next locally queued batch. With block set it waits
+// until a batch arrives or the local stream is closed and drained.
+func (e *frameExchange[K, V]) popSelf(block bool) (KeyBatch[K, V], bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if len(e.selfQ) > 0 {
+			b := e.selfQ[0]
+			e.selfQ = e.selfQ[1:]
+			return b, true
+		}
+		if !block || e.selfClosed {
+			return KeyBatch[K, V]{}, false
+		}
+		e.cond.Wait()
+	}
+}
+
+func (e *frameExchange[K, V]) Recv() (KeyBatch[K, V], error) {
+	for {
+		// Drain the local queue opportunistically; block on it only once the
+		// remote stream has ended. Both streams terminate: self when
+		// CloseSend has run and the queue is drained, the transport with
+		// io.EOF once every remote peer closed its side.
+		if b, ok := e.popSelf(!e.remote); ok {
+			return b, nil
+		}
+		if !e.remote {
+			return KeyBatch[K, V]{}, io.EOF
+		}
+		frame, err := e.bx.Recv()
+		if err == io.EOF {
+			e.remote = false
+			continue
+		}
+		if err != nil {
+			return KeyBatch[K, V]{}, err
+		}
+		b, err := e.codec.DecodeBatch(frame)
+		if err != nil {
+			return KeyBatch[K, V]{}, err
+		}
+		return b, nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Wire primitives shared by the codecs
+// ---------------------------------------------------------------------------
+
+// AppendUvarint appends v in LEB128 form.
+func AppendUvarint(buf []byte, v uint64) []byte {
+	for v >= 0x80 {
+		buf = append(buf, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(buf, byte(v))
+}
+
+// ReadUvarint decodes a LEB128 varint at pos and returns the value and the
+// next position.
+func ReadUvarint(data []byte, pos int) (uint64, int, error) {
+	var v uint64
+	var shift uint
+	for {
+		if pos >= len(data) {
+			return 0, 0, errors.New("mapreduce: truncated varint")
+		}
+		b := data[pos]
+		pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, pos, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, 0, errors.New("mapreduce: varint overflow")
+		}
+	}
+}
+
+// UvarintLen returns the encoded size of v in bytes.
+func UvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

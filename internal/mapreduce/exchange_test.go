@@ -1,0 +1,240 @@
+package mapreduce
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// wordCountJob is the shared fixture of the exchange tests.
+func wordCountJob() Job[string, string, int, string] {
+	return Job[string, string, int, string]{
+		Map: func(line string, emit func(string, int)) {
+			for _, w := range strings.Fields(line) {
+				emit(w, 1)
+			}
+		},
+		Combine: func(_ string, vs []int) []int {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			return []int{sum}
+		},
+		Reduce: func(k string, vs []int, emit func(string)) {
+			sum := 0
+			for _, v := range vs {
+				sum += v
+			}
+			emit(fmt.Sprintf("%s=%d", k, sum))
+		},
+		Hash:   HashString,
+		SizeOf: func(k string, _ int) int { return len(k) + 1 },
+	}
+}
+
+var wordCountInputs = []string{
+	"the quick brown fox",
+	"the lazy dog",
+	"the quick dog jumps over the lazy fox",
+	"a fox a dog a quick brown fox",
+}
+
+// runPeers executes the job across the given exchanges (one goroutine per
+// peer, round-robin input split) and returns the union of the local outputs.
+func runPeers(t *testing.T, job Job[string, string, int, string], group []Exchange[string, int]) []string {
+	t.Helper()
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		out  []string
+		errs []error
+	)
+	for p := range group {
+		var split []string
+		for i := p; i < len(wordCountInputs); i += len(group) {
+			split = append(split, wordCountInputs[i])
+		}
+		wg.Add(1)
+		go func(p int, split []string) {
+			defer wg.Done()
+			local, _, err := RunExchange(split, Config{MapWorkers: 2, ReduceWorkers: 2}, job, group[p])
+			mu.Lock()
+			out = append(out, local...)
+			if err != nil {
+				errs = append(errs, err)
+			}
+			mu.Unlock()
+		}(p, split)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		t.Fatalf("RunExchange: %v", err)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestRunExchangeMultiPeerLoopback(t *testing.T) {
+	job := wordCountJob()
+	want, _ := Run(wordCountInputs, Config{MapWorkers: 2, ReduceWorkers: 2}, job)
+	sort.Strings(want)
+
+	got := runPeers(t, job, NewLoopbackGroup[string, int](3))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("multi-peer output differs:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestRunExchangeRequiresHash(t *testing.T) {
+	job := wordCountJob()
+	job.Hash = nil
+	group := NewLoopbackGroup[string, int](2)
+	_, _, err := RunExchange(wordCountInputs, Config{}, job, group[0])
+	if err == nil {
+		t.Fatal("expected error for multi-peer job without Hash")
+	}
+}
+
+// memFabric is an in-memory ByteExchange used to test the frame adapter
+// without a real network. Frames are copied on Send (the contract allows the
+// caller to reuse the buffer) and byte counts include a mock frame header.
+type memFabric struct {
+	self    int
+	inboxes []chan []byte
+	open    int
+	mu      sync.Mutex
+	out     int64
+}
+
+func newMemFabric(n int) []*memFabric {
+	inboxes := make([]chan []byte, n)
+	for i := range inboxes {
+		inboxes[i] = make(chan []byte, 1024)
+	}
+	peers := make([]*memFabric, n)
+	for i := range peers {
+		peers[i] = &memFabric{self: i, inboxes: inboxes, open: n - 1}
+	}
+	return peers
+}
+
+func (m *memFabric) NumPeers() int { return len(m.inboxes) }
+func (m *memFabric) Self() int     { return m.self }
+
+func (m *memFabric) Send(dst int, frame []byte) error {
+	if dst == m.self {
+		return fmt.Errorf("self-send reached the fabric")
+	}
+	cp := append([]byte(nil), frame...)
+	m.mu.Lock()
+	m.out += int64(1 + UvarintLen(uint64(len(frame))) + len(frame))
+	m.mu.Unlock()
+	m.inboxes[dst] <- cp
+	return nil
+}
+
+func (m *memFabric) CloseSend() error {
+	for i, inbox := range m.inboxes {
+		if i != m.self {
+			inbox <- nil // end-of-stream marker
+		}
+	}
+	return nil
+}
+
+func (m *memFabric) Recv() ([]byte, error) {
+	for m.open > 0 {
+		frame := <-m.inboxes[m.self]
+		if frame == nil {
+			m.open--
+			continue
+		}
+		return frame, nil
+	}
+	return nil, io.EOF
+}
+
+func (m *memFabric) WireBytesOut() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.out
+}
+
+func testCodec() FrameCodec[string, int] {
+	return FrameCodec[string, int]{
+		AppendKey: func(buf []byte, k string) []byte {
+			buf = AppendUvarint(buf, uint64(len(k)))
+			return append(buf, k...)
+		},
+		ReadKey: func(data []byte, pos int) (string, int, error) {
+			n, pos, err := ReadUvarint(data, pos)
+			if err != nil {
+				return "", 0, err
+			}
+			if uint64(len(data)-pos) < n {
+				return "", 0, fmt.Errorf("truncated key")
+			}
+			return string(data[pos : pos+int(n)]), pos + int(n), nil
+		},
+		AppendValue: func(buf []byte, v int) []byte { return AppendUvarint(buf, uint64(v)) },
+		ReadValue: func(data []byte, pos int) (int, int, error) {
+			n, pos, err := ReadUvarint(data, pos)
+			return int(n), pos, err
+		},
+	}
+}
+
+func TestRunExchangeOverFrameFabric(t *testing.T) {
+	job := wordCountJob()
+	want, _ := Run(wordCountInputs, Config{MapWorkers: 2, ReduceWorkers: 2}, job)
+	sort.Strings(want)
+
+	fabrics := newMemFabric(3)
+	group := make([]Exchange[string, int], len(fabrics))
+	for i, f := range fabrics {
+		group[i] = NewFrameExchange(f, testCodec())
+	}
+	got := runPeers(t, job, group)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("frame-fabric output differs:\n got %v\nwant %v", got, want)
+	}
+	var total int64
+	for _, f := range fabrics {
+		total += f.WireBytesOut()
+	}
+	if total <= 0 {
+		t.Error("expected wire bytes on the fabric")
+	}
+}
+
+func TestFrameCodecBatchRoundTrip(t *testing.T) {
+	c := testCodec()
+	b := KeyBatch[string, int]{Key: "fox", Values: []int{1, 200, 3}}
+	frame := c.EncodeBatch(nil, b)
+	got, err := c.DecodeBatch(frame)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if !reflect.DeepEqual(got, b) {
+		t.Errorf("round trip: got %+v want %+v", got, b)
+	}
+	if size := c.RecordSize("fox", 200); size != len(c.EncodeBatch(nil, KeyBatch[string, int]{Key: "fox", Values: []int{200}})) {
+		t.Errorf("RecordSize mismatch: %d", size)
+	}
+	// Corrupt frames must error, not panic or over-allocate.
+	for _, bad := range [][]byte{
+		{},
+		{0x03, 'f', 'o'}, // truncated key
+		append(c.AppendKey(nil, "k"), 0xff, 0xff, 0xff, 0xff, 0x0f), // huge count
+		append(frame, 0x00), // trailing byte
+	} {
+		if _, err := c.DecodeBatch(bad); err == nil {
+			t.Errorf("DecodeBatch(%v) should fail", bad)
+		}
+	}
+}

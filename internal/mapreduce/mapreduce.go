@@ -9,6 +9,8 @@
 package mapreduce
 
 import (
+	"errors"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
@@ -48,9 +50,14 @@ type Metrics struct {
 	// ShuffleRecords counts key/value pairs after combining, i.e. the records
 	// that are communicated.
 	ShuffleRecords int64
-	// ShuffleBytes is the total serialized size of the communicated records
-	// as estimated by the job's SizeOf function.
+	// ShuffleBytes is the serialized size of the communicated records. On an
+	// in-process run it is estimated by the job's SizeOf function; on a wire
+	// exchange it is the actual number of bytes written to the transport
+	// (see WireMetrics).
 	ShuffleBytes int64
+	// RemoteShuffle reports whether ShuffleBytes measured real transport
+	// traffic rather than the SizeOf estimate.
+	RemoteShuffle bool
 	// Partitions is the number of distinct keys.
 	Partitions int64
 	// MaxPartitionRecords is the largest number of records received by a
@@ -81,10 +88,33 @@ type Job[I any, K comparable, V any, O any] struct {
 }
 
 // Run executes the job on the given inputs and returns the concatenated
-// reduce outputs (in unspecified order) together with execution metrics.
+// reduce outputs (in unspecified order) together with execution metrics. The
+// shuffle runs over the in-process loopback exchange (zero-copy).
 func Run[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K, V, O]) ([]O, Metrics) {
+	out, metrics, err := RunExchange(inputs, cfg, job, NewLoopbackGroup[K, V](1)[0])
+	if err != nil {
+		// The loopback exchange cannot fail and local jobs have no codec.
+		panic("mapreduce: in-process run failed: " + err.Error())
+	}
+	return out, metrics
+}
+
+// RunExchange executes this peer's share of the job: it maps the local
+// inputs, routes every combined batch through the exchange to the peer that
+// owns the batch's key (job.Hash modulo the peer count) and reduces the keys
+// it receives. The returned outputs are the local partition's share of the
+// job output; on a single-peer exchange they are the complete output.
+//
+// With more than one peer, every peer must call RunExchange with the same
+// job over its own input split; job.Hash is then mandatory so key ownership
+// is consistent across peers.
+func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K, V, O], ex Exchange[K, V]) ([]O, Metrics, error) {
 	cfg = cfg.normalized()
 	var metrics Metrics
+	npeers := ex.NumPeers()
+	if npeers > 1 && job.Hash == nil {
+		return nil, metrics, errors.New("mapreduce: multi-peer jobs require a Hash function")
+	}
 
 	// ---- Map phase -------------------------------------------------------
 	mapStart := time.Now()
@@ -118,22 +148,70 @@ func Run[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K
 	metrics.MapTime = time.Since(mapStart)
 
 	// ---- Shuffle ----------------------------------------------------------
+	// The receiver drains the exchange into the local partitions while the
+	// sender routes each combined batch to the peer owning its key; running
+	// both concurrently lets bounded transports apply backpressure without
+	// deadlock.
 	reduceStart := time.Now()
 	merged := make(map[K][]V)
+	recvDone := make(chan error, 1)
+	go func() {
+		for {
+			b, err := ex.Recv()
+			if err == io.EOF {
+				recvDone <- nil
+				return
+			}
+			if err != nil {
+				recvDone <- err
+				return
+			}
+			merged[b.Key] = append(merged[b.Key], b.Values...)
+		}
+	}()
+
+	// On a wire exchange the SizeOf estimate would be discarded in favor of
+	// the measured byte count, so skip computing it in the send hot loop.
+	_, wire := ex.(WireMetrics)
+	var sendErr error
 	for w := range workers {
 		metrics.MapOutputRecords += workers[w].emitted
 		for k, vs := range workers[w].groups {
 			metrics.ShuffleRecords += int64(len(vs))
-			if job.SizeOf != nil {
+			switch {
+			case wire:
+			case job.SizeOf != nil:
 				for _, v := range vs {
 					metrics.ShuffleBytes += int64(job.SizeOf(k, v))
 				}
-			} else {
+			default:
 				metrics.ShuffleBytes += int64(len(vs))
 			}
-			merged[k] = append(merged[k], vs...)
+			if sendErr == nil {
+				dst := 0
+				if npeers > 1 {
+					dst = int(job.Hash(k) % uint64(npeers))
+				}
+				if err := ex.Send(dst, KeyBatch[K, V]{Key: k, Values: vs}); err != nil {
+					sendErr = err
+				}
+			}
 		}
 		workers[w].groups = nil
+	}
+	if err := ex.CloseSend(); err != nil && sendErr == nil {
+		sendErr = err
+	}
+	if err := <-recvDone; err != nil && sendErr == nil {
+		sendErr = err
+	}
+	if sendErr != nil {
+		metrics.ReduceTime = time.Since(reduceStart)
+		return nil, metrics, sendErr
+	}
+	if wm, ok := ex.(WireMetrics); ok {
+		metrics.ShuffleBytes = wm.WireBytesOut()
+		metrics.RemoteShuffle = true
 	}
 	metrics.Partitions = int64(len(merged))
 	for _, vs := range merged {
@@ -171,7 +249,7 @@ func Run[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K
 	for _, os := range outs {
 		out = append(out, os...)
 	}
-	return out, metrics
+	return out, metrics, nil
 }
 
 // HashUint64 is a convenience mixing function for integer keys

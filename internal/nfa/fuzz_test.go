@@ -1,0 +1,87 @@
+package nfa
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"seqmine/internal/dict"
+)
+
+// FuzzDeserialize feeds arbitrary bytes into the NFA codec. Garbage must
+// fail cleanly (no panic, no unbounded allocation); any input that decodes
+// must reach a serialization fixed point: Serialize(Deserialize(x)) is
+// canonical, so re-decoding and re-encoding it reproduces the same bytes.
+// (Accepted() is not compared here because arbitrary input may encode cyclic
+// automata, on which language enumeration would not terminate.)
+func FuzzDeserialize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	b := NewBuilder()
+	b.AddPath([][]dict.ItemID{{1, 2}, {3}})
+	b.AddPath([][]dict.ItemID{{1}, {3}})
+	f.Add(b.Minimize().Serialize())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := Deserialize(data)
+		if err != nil {
+			return
+		}
+		canonical := n.Serialize()
+		n2, err := Deserialize(canonical)
+		if err != nil {
+			t.Fatalf("re-deserialize failed: %v (bytes %x)", err, canonical)
+		}
+		if again := n2.Serialize(); !bytes.Equal(again, canonical) {
+			t.Fatalf("serialization is not a fixed point:\n first %x\nsecond %x", canonical, again)
+		}
+	})
+}
+
+// FuzzBuilderRoundTrip derives a set of trie paths from the fuzz input,
+// builds both the plain trie and the minimized NFA, and checks that the
+// accepted language survives Serialize/Deserialize unchanged.
+func FuzzBuilderRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 0, 3})
+	f.Add([]byte{5, 5, 5, 0, 5, 5})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 64 {
+			data = data[:64] // keep language enumeration cheap
+		}
+		// Interpret the bytes as paths: 0 terminates a path, the low bits of
+		// every other byte pick an item and whether the output set has one or
+		// two items.
+		b := NewBuilder()
+		var path [][]dict.ItemID
+		flush := func() {
+			if len(path) > 0 {
+				b.AddPath(path)
+				path = nil
+			}
+		}
+		for _, c := range data {
+			if c == 0 {
+				flush()
+				continue
+			}
+			item := dict.ItemID(c&0x0f) + 1
+			set := []dict.ItemID{item}
+			if c&0x10 != 0 {
+				set = append(set, item+1)
+			}
+			path = append(path, set)
+		}
+		flush()
+
+		for _, n := range []*NFA{b.Trie(), b.Minimize()} {
+			want := n.Accepted()
+			decoded, err := Deserialize(n.Serialize())
+			if err != nil {
+				t.Fatalf("Deserialize(Serialize): %v", err)
+			}
+			if got := decoded.Accepted(); !reflect.DeepEqual(got, want) {
+				t.Fatalf("accepted language changed over the wire:\n got %v\nwant %v", got, want)
+			}
+		}
+	})
+}

@@ -329,7 +329,9 @@ func Deserialize(data []byte) (*NFA, error) {
 				return nil, err
 			}
 			pos = np
-			if int(v) >= len(byID) {
+			// Compare in uint64: converting first could overflow int and
+			// slip past the bounds check.
+			if v >= uint64(len(byID)) {
 				return nil, fmt.Errorf("nfa: invalid source state %d", v)
 			}
 			source = byID[v]
@@ -341,6 +343,12 @@ func Deserialize(data []byte) (*NFA, error) {
 		pos = np
 		if count == 0 {
 			return nil, errors.New("nfa: empty edge label")
+		}
+		// Every label item occupies at least one byte, so a count beyond the
+		// remaining payload is corrupt (and would otherwise pre-allocate an
+		// attacker-chosen amount of memory).
+		if count > uint64(len(data)-pos) {
+			return nil, fmt.Errorf("nfa: label claims %d items in %d bytes", count, len(data)-pos)
 		}
 		label := make([]dict.ItemID, count)
 		for i := range label {
@@ -358,7 +366,7 @@ func Deserialize(data []byte) (*NFA, error) {
 				return nil, err
 			}
 			pos = np
-			if int(v) >= len(byID) {
+			if v >= uint64(len(byID)) {
 				return nil, fmt.Errorf("nfa: invalid target state %d", v)
 			}
 			target = byID[v]

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"seqmine/internal/cluster"
 	"seqmine/internal/dcand"
 	"seqmine/internal/dict"
 	"seqmine/internal/dseq"
@@ -64,6 +65,23 @@ type ExecOptions struct {
 	// D-CAND toggles.
 	MinimizeNFAs  bool
 	AggregateNFAs bool
+
+	// Cluster, when non-nil, runs the distributed backends (dseq, dcand)
+	// across remote worker processes over the TCP shuffle transport instead
+	// of the in-process BSP engine.
+	Cluster *ClusterOptions
+}
+
+// ClusterOptions selects distributed execution across worker processes.
+type ClusterOptions struct {
+	// Workers are the control URLs of the worker processes
+	// ("http://host:port"), one per peer.
+	Workers []string
+	// Expression is the pattern expression shipped to the workers, which
+	// compile it against the dataset dictionary themselves. Service.Mine
+	// fills it in from the query; direct Execute callers must set it (the
+	// compiled FST cannot be sent over the wire).
+	Expression string
 }
 
 // DefaultExecOptions mirrors seqmine.DefaultOptions: D-SEQ with every
@@ -144,9 +162,20 @@ func execute(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma int64, o
 		var r jobResult
 		switch opts.Algorithm {
 		case AlgoDFS, AlgoCount:
-			r.patterns, r.metrics, r.stats, r.err = mineSharded(ctx, f, db, sigma, opts, workers)
+			if opts.Cluster != nil {
+				// Reject rather than silently running locally: the caller
+				// asked for cluster execution and would misread the local
+				// metrics as cluster metrics.
+				r.err = fmt.Errorf("algorithm %q cannot run on a worker cluster (want %s or %s)", opts.Algorithm, AlgoDSeq, AlgoDCand)
+			} else {
+				r.patterns, r.metrics, r.stats, r.err = mineSharded(ctx, f, db, sigma, opts, workers)
+			}
 		case "", AlgoDSeq, AlgoDCand, AlgoNaive, AlgoSemiNaive:
-			r.patterns, r.metrics, r.stats, r.err = mineDistributed(f, db, sigma, opts, workers)
+			if opts.Cluster != nil {
+				r.patterns, r.metrics, r.stats, r.err = mineCluster(ctx, db, sigma, opts)
+			} else {
+				r.patterns, r.metrics, r.stats, r.err = mineDistributed(f, db, sigma, opts, workers)
+			}
 		default:
 			r.err = fmt.Errorf("unknown algorithm %q", opts.Algorithm)
 		}
@@ -189,6 +218,38 @@ func mineDistributed(f *fst.FST, db *seqdb.Database, sigma int64, opts ExecOptio
 		patterns, metrics = naive.Mine(f, db.Sequences, sigma, naive.SemiNaive, cfg)
 	}
 	return patterns, metrics, ExecStats{Shards: 1}, nil
+}
+
+// mineCluster fans a distributed backend out across worker processes: the
+// coordinator splits the database over the configured workers, which shuffle
+// among themselves over the TCP transport and return their pivot partitions'
+// patterns. The merged metrics report real socket traffic as ShuffleBytes.
+func mineCluster(ctx context.Context, db *seqdb.Database, sigma int64, opts ExecOptions) ([]miner.Pattern, mapreduce.Metrics, ExecStats, error) {
+	var algo string
+	switch opts.Algorithm {
+	case "", AlgoDSeq:
+		algo = cluster.AlgoDSeq
+	case AlgoDCand:
+		algo = cluster.AlgoDCand
+	default:
+		return nil, mapreduce.Metrics{}, ExecStats{}, fmt.Errorf("algorithm %q cannot run on a worker cluster (want %s or %s)", opts.Algorithm, AlgoDSeq, AlgoDCand)
+	}
+	if opts.Cluster.Expression == "" {
+		return nil, mapreduce.Metrics{}, ExecStats{}, fmt.Errorf("cluster execution requires the pattern expression")
+	}
+	coord := &cluster.Coordinator{Workers: opts.Cluster.Workers}
+	res, err := coord.Mine(ctx, db, opts.Cluster.Expression, sigma, algo, cluster.Options{
+		UseGrid:            opts.UseGrid,
+		Rewrite:            opts.Rewrite,
+		EarlyStopping:      opts.EarlyStopping,
+		AggregateSequences: opts.AggregateSequences,
+		MinimizeNFAs:       opts.MinimizeNFAs,
+		AggregateNFAs:      opts.AggregateNFAs,
+	})
+	if err != nil {
+		return nil, mapreduce.Metrics{}, ExecStats{}, err
+	}
+	return res.Patterns, res.Metrics, ExecStats{Shards: len(opts.Cluster.Workers)}, nil
 }
 
 // mineSharded is the two-phase partitioned executor for the sequential

@@ -29,6 +29,12 @@ type MineRequest struct {
 	TimeoutMS int64  `json:"timeout_ms,omitempty"`
 	// Limit truncates the response to the top-k patterns (0 = all).
 	Limit int `json:"limit,omitempty"`
+	// ClusterWorkers runs a dseq/dcand query across these worker processes
+	// (control URLs) over the TCP shuffle transport.
+	ClusterWorkers []string `json:"cluster_workers,omitempty"`
+	// Distributed runs the query on the daemon's default worker cluster
+	// (seqmined -cluster); an error if none is configured.
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // MinePattern is one mined pattern on the wire.
@@ -91,6 +97,17 @@ func NewHandler(s *Service) http.Handler {
 		opts.Algorithm = algo
 		opts.Workers = req.Workers
 		opts.Shards = req.Shards
+		switch {
+		case len(req.ClusterWorkers) > 0:
+			opts.Cluster = &ClusterOptions{Workers: req.ClusterWorkers}
+		case req.Distributed:
+			workers := s.ClusterWorkers()
+			if len(workers) == 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("no default worker cluster configured (start the daemon with -cluster)"))
+				return
+			}
+			opts.Cluster = &ClusterOptions{Workers: workers}
+		}
 		resp, err := s.Mine(r.Context(), Query{
 			Dataset:    req.Dataset,
 			Expression: req.Pattern,

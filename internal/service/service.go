@@ -43,6 +43,10 @@ type Config struct {
 	// DefaultTimeout is applied to queries that carry no deadline; 0 means
 	// no default deadline.
 	DefaultTimeout time.Duration
+	// ClusterWorkers are the control URLs of a default worker cluster.
+	// Queries that request distributed execution without naming workers use
+	// it (see the HTTP API's "distributed" flag).
+	ClusterWorkers []string
 }
 
 // Service is a concurrent mining service. All methods are safe for
@@ -101,6 +105,9 @@ func (s *Service) RemoveDataset(name string) bool {
 // Datasets lists the registered datasets.
 func (s *Service) Datasets() []DatasetInfo { return s.reg.List() }
 
+// ClusterWorkers returns the configured default worker cluster (may be nil).
+func (s *Service) ClusterWorkers() []string { return s.cfg.ClusterWorkers }
+
 // DatasetInfo describes one dataset, or an error if it is not registered.
 func (s *Service) DatasetInfo(name string) (DatasetInfo, error) {
 	ds, err := s.reg.Acquire(name)
@@ -157,6 +164,13 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 	opts := q.Options
 	if opts.Workers <= 0 {
 		opts.Workers = s.cfg.Workers
+	}
+	if opts.Cluster != nil && opts.Cluster.Expression == "" {
+		// The workers compile the expression themselves; copy the options so
+		// the caller's struct is not mutated.
+		withExpr := *opts.Cluster
+		withExpr.Expression = q.Expression
+		opts.Cluster = &withExpr
 	}
 
 	timeout := q.Timeout

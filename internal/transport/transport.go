@@ -1,0 +1,663 @@
+// Package transport is the TCP shuffle fabric of the distributed miners: it
+// moves the serialized key/value frames of one BSP job (internal/mapreduce)
+// between worker processes over persistent, length-prefixed TCP connections.
+//
+// A process runs one Node, which owns a listening socket for the lifetime of
+// the process and demultiplexes inbound peer connections onto per-job
+// Exchanges by the job id carried in the connection handshake. An Exchange
+// implements mapreduce.ByteExchange: every ordered peer pair uses one
+// connection (opened by the sender), frames destined to a peer are streamed
+// as they are produced, and an end frame per connection forms the shuffle
+// barrier. Inbound frames are buffered in a bounded inbox, so a slow reducer
+// exerts backpressure on remote senders through TCP flow control.
+//
+// Failure semantics are fail-stop: a broken or missing connection fails the
+// whole exchange (every blocked Send/Recv returns the error); there is no
+// retry or speculative re-execution. The Exchange counts the actual bytes
+// written to and read from its sockets (handshake, data and end frames; the
+// one-byte handshake ack is excluded), which the engine reports as the true
+// ShuffleBytes.
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes a Node. The zero value is ready for use.
+type Config struct {
+	// Advertise is the address other peers should dial, when it differs from
+	// the listener's address (e.g. listening on ":9101" behind a hostname).
+	Advertise string
+	// HandshakeTimeout bounds connection setup (dial, handshake, ack);
+	// default 10s.
+	HandshakeTimeout time.Duration
+	// DialRetryWindow is how long an Exchange keeps retrying to reach a peer
+	// that refuses connections (it may not have started yet); default 20s.
+	DialRetryWindow time.Duration
+	// AdoptTimeout is how long an accepted connection waits for its job to
+	// be opened locally before it is dropped; default 60s.
+	AdoptTimeout time.Duration
+	// OpenTimeout is how long an Exchange waits for every remote peer to
+	// connect before the job fails; default 60s.
+	OpenTimeout time.Duration
+	// MaxFrame bounds the payload of one frame; default 64 MiB.
+	MaxFrame int
+	// InboxFrames bounds the number of buffered inbound frames per Exchange
+	// (the backpressure window); default 256.
+	InboxFrames int
+}
+
+func (c Config) withDefaults() Config {
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+	if c.DialRetryWindow <= 0 {
+		c.DialRetryWindow = 20 * time.Second
+	}
+	if c.AdoptTimeout <= 0 {
+		c.AdoptTimeout = 60 * time.Second
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 60 * time.Second
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = 64 << 20
+	}
+	if c.InboxFrames <= 0 {
+		c.InboxFrames = 256
+	}
+	return c
+}
+
+// Node owns a process's shuffle listener and the set of open exchanges.
+type Node struct {
+	cfg  Config
+	ln   net.Listener
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*jobEntry
+	closed bool
+}
+
+// jobEntry connects inbound connections to the local Exchange of a job. The
+// ready channel is closed once ex is set, so connections that arrive before
+// the job is opened locally can wait.
+type jobEntry struct {
+	ready chan struct{}
+	ex    *Exchange
+}
+
+// NewNode listens on addr ("host:port", ":0" for an ephemeral port) and
+// starts accepting peer connections.
+func NewNode(addr string, cfg Config) (*Node, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &Node{
+		cfg:  cfg.withDefaults(),
+		ln:   ln,
+		done: make(chan struct{}),
+		jobs: map[string]*jobEntry{},
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr returns the address peers should dial: the Advertise address when
+// configured, otherwise the listener's address (with unspecified hosts
+// rewritten to 127.0.0.1 so the result is dialable).
+func (n *Node) Addr() string {
+	if n.cfg.Advertise != "" {
+		return n.cfg.Advertise
+	}
+	addr, ok := n.ln.Addr().(*net.TCPAddr)
+	if !ok {
+		return n.ln.Addr().String()
+	}
+	if addr.IP == nil || addr.IP.IsUnspecified() {
+		return net.JoinHostPort("127.0.0.1", strconv.Itoa(addr.Port))
+	}
+	return addr.String()
+}
+
+// Close stops the listener and closes every open exchange.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil
+	}
+	n.closed = true
+	close(n.done)
+	jobs := n.jobs
+	n.jobs = map[string]*jobEntry{}
+	n.mu.Unlock()
+
+	err := n.ln.Close()
+	for _, entry := range jobs {
+		select {
+		case <-entry.ready:
+			entry.ex.Close()
+		default:
+		}
+	}
+	n.wg.Wait()
+	return err
+}
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go n.handleInbound(conn)
+	}
+}
+
+// handleInbound validates a peer connection's handshake and hands it to the
+// job's Exchange, waiting (bounded) for the job to be opened locally.
+func (n *Node) handleInbound(conn net.Conn) {
+	defer n.wg.Done()
+	cr := &countingReader{r: conn}
+	br := bufio.NewReader(cr)
+	_ = conn.SetDeadline(time.Now().Add(n.cfg.HandshakeTimeout))
+	jobID, sender, err := readHandshake(br)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if _, err := conn.Write([]byte{protocolVersion}); err != nil { // ack
+		conn.Close()
+		return
+	}
+	_ = conn.SetDeadline(time.Time{})
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	entry, ok := n.jobs[jobID]
+	if !ok {
+		entry = &jobEntry{ready: make(chan struct{})}
+		n.jobs[jobID] = entry
+	}
+	n.mu.Unlock()
+
+	timer := time.NewTimer(n.cfg.AdoptTimeout)
+	defer timer.Stop()
+	select {
+	case <-entry.ready:
+		entry.ex.adoptInbound(sender, conn, br, cr)
+	case <-timer.C:
+		conn.Close()
+		n.dropIfUnopened(jobID, entry)
+	case <-n.done:
+		conn.Close()
+	}
+}
+
+// dropIfUnopened removes a job entry that never got a local exchange, so job
+// ids of abandoned jobs (a peer dialing a worker whose own job setup failed,
+// or garbage connections with made-up job ids) do not accumulate in the
+// jobs map for the life of the node.
+func (n *Node) dropIfUnopened(jobID string, entry *jobEntry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if cur, ok := n.jobs[jobID]; ok && cur == entry {
+		select {
+		case <-entry.ready:
+			// Opened locally; Exchange.Close releases it.
+		default:
+			delete(n.jobs, jobID)
+		}
+	}
+}
+
+// release removes a finished job so its id can be reused.
+func (n *Node) release(jobID string, ex *Exchange) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if entry, ok := n.jobs[jobID]; ok && entry.ex == ex {
+		delete(n.jobs, jobID)
+	}
+}
+
+// PeerStats is the per-peer traffic of one Exchange. Bytes are real socket
+// bytes including protocol overhead.
+type PeerStats struct {
+	Addr      string `json:"addr"`
+	BytesOut  int64  `json:"bytes_out"`
+	FramesOut int64  `json:"frames_out"`
+	BytesIn   int64  `json:"bytes_in"`
+	FramesIn  int64  `json:"frames_in"`
+}
+
+type peerCounters struct {
+	bytesOut, framesOut, bytesIn, framesIn atomic.Int64
+}
+
+// outConn is the sending half of one peer pair: a persistent connection with
+// a buffered writer, serialized by a mutex so concurrent Sends interleave at
+// frame granularity.
+type outConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	err  error // sticky
+}
+
+// Exchange is the per-job shuffle endpoint of this process. It implements
+// mapreduce.ByteExchange.
+type Exchange struct {
+	node  *Node
+	jobID string
+	self  int
+	peers []string
+
+	outs  []*outConn // index per peer; nil for self
+	inbox chan []byte
+	stats []peerCounters
+
+	wireOut atomic.Int64
+	wireIn  atomic.Int64
+
+	mu         sync.Mutex
+	ins        []net.Conn // adopted inbound connections, index per peer
+	adopted    int
+	finished   int // remote peers whose end frame arrived
+	err        error
+	closed     bool
+	failed     chan struct{} // closed on first failure
+	closedCh   chan struct{} // closed by Close
+	allAdopted chan struct{} // closed when every remote peer connected
+}
+
+// OpenExchange creates the local endpoint of job jobID. peers lists the
+// shuffle address of every participant in peer order; self is this process's
+// index in it. The call dials every remote peer (retrying while the peer
+// starts up) and returns once all outbound connections are established;
+// inbound connections attach as the remote peers open their side.
+func (n *Node) OpenExchange(jobID string, self int, peers []string) (*Exchange, error) {
+	if jobID == "" || len(jobID) > maxJobIDLen {
+		return nil, fmt.Errorf("transport: job id length %d out of range", len(jobID))
+	}
+	if self < 0 || self >= len(peers) {
+		return nil, fmt.Errorf("transport: self index %d out of range for %d peers", self, len(peers))
+	}
+	if len(peers) > maxPeerIndex {
+		return nil, fmt.Errorf("transport: %d peers exceed the protocol limit", len(peers))
+	}
+	e := &Exchange{
+		node:       n,
+		jobID:      jobID,
+		self:       self,
+		peers:      append([]string(nil), peers...),
+		outs:       make([]*outConn, len(peers)),
+		inbox:      make(chan []byte, n.cfg.InboxFrames),
+		stats:      make([]peerCounters, len(peers)),
+		ins:        make([]net.Conn, len(peers)),
+		failed:     make(chan struct{}),
+		closedCh:   make(chan struct{}),
+		allAdopted: make(chan struct{}),
+	}
+
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, errors.New("transport: node is closed")
+	}
+	entry, ok := n.jobs[jobID]
+	if !ok {
+		entry = &jobEntry{ready: make(chan struct{})}
+		n.jobs[jobID] = entry
+	}
+	select {
+	case <-entry.ready:
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: job %q is already open on this node", jobID)
+	default:
+	}
+	entry.ex = e
+	close(entry.ready)
+	n.mu.Unlock()
+
+	if len(peers) == 1 {
+		close(e.allAdopted)
+		close(e.inbox) // no remote senders: the shuffle barrier is trivially met
+	} else {
+		go e.watchAdoption()
+	}
+
+	var wg sync.WaitGroup
+	dialErrs := make(chan error, len(peers))
+	for p := range peers {
+		if p == self {
+			continue
+		}
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			if err := e.dialPeer(p); err != nil {
+				dialErrs <- fmt.Errorf("transport: connecting to peer %d (%s): %w", p, peers[p], err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	select {
+	case err := <-dialErrs:
+		e.Close()
+		return nil, err
+	default:
+	}
+	return e, nil
+}
+
+// dialPeer establishes the outbound connection to peer p, retrying while the
+// peer process may still be starting.
+func (e *Exchange) dialPeer(p int) error {
+	cfg := e.node.cfg
+	deadline := time.Now().Add(cfg.DialRetryWindow)
+	var conn net.Conn
+	for {
+		var err error
+		conn, err = net.DialTimeout("tcp", e.peers[p], cfg.HandshakeTimeout)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		select {
+		case <-e.closedCh:
+			return errors.New("transport: exchange closed while dialing")
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	cw := &countingWriter{w: conn, sinks: []*atomic.Int64{&e.wireOut, &e.stats[p].bytesOut}}
+	bw := bufio.NewWriter(cw)
+	_ = conn.SetDeadline(time.Now().Add(cfg.HandshakeTimeout))
+	if _, err := bw.Write(appendHandshake(nil, e.jobID, e.self)); err != nil {
+		conn.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		conn.Close()
+		return err
+	}
+	ack := make([]byte, 1)
+	if _, err := io.ReadFull(conn, ack); err != nil {
+		conn.Close()
+		return fmt.Errorf("reading handshake ack: %w", err)
+	}
+	if ack[0] != protocolVersion {
+		conn.Close()
+		return fmt.Errorf("handshake ack version %d, want %d", ack[0], protocolVersion)
+	}
+	_ = conn.SetDeadline(time.Time{})
+	e.outs[p] = &outConn{conn: conn, bw: bw}
+	return nil
+}
+
+// watchAdoption fails the exchange if the remote peers do not all connect
+// within the open timeout.
+func (e *Exchange) watchAdoption() {
+	timer := time.NewTimer(e.node.cfg.OpenTimeout)
+	defer timer.Stop()
+	select {
+	case <-e.allAdopted:
+	case <-e.closedCh:
+	case <-timer.C:
+		e.fail(fmt.Errorf("transport: job %q: not all peers connected within %v", e.jobID, e.node.cfg.OpenTimeout))
+	}
+}
+
+// adoptInbound attaches an accepted, handshaken connection from a remote
+// sender and starts its read loop.
+func (e *Exchange) adoptInbound(sender int, conn net.Conn, br *bufio.Reader, cr *countingReader) {
+	e.mu.Lock()
+	if e.closed || sender < 0 || sender >= len(e.peers) || sender == e.self || e.ins[sender] != nil {
+		e.mu.Unlock()
+		conn.Close()
+		return
+	}
+	e.ins[sender] = conn
+	e.adopted++
+	if e.adopted == len(e.peers)-1 {
+		close(e.allAdopted)
+	}
+	e.mu.Unlock()
+	cr.attach(&e.wireIn, &e.stats[sender].bytesIn)
+	go e.readLoop(sender, br)
+}
+
+// readLoop pumps one inbound connection into the bounded inbox until the end
+// frame. The loop that completes the last open stream closes the inbox,
+// which is the EOF signal of Recv.
+func (e *Exchange) readLoop(sender int, br *bufio.Reader) {
+	for {
+		payload, end, err := readFrame(br, e.node.cfg.MaxFrame)
+		if err != nil {
+			e.fail(fmt.Errorf("transport: receiving from peer %d: %w", sender, err))
+			return
+		}
+		if end {
+			e.mu.Lock()
+			e.finished++
+			done := e.finished == len(e.peers)-1 && !e.closed
+			e.mu.Unlock()
+			if done {
+				close(e.inbox)
+			}
+			return
+		}
+		e.stats[sender].framesIn.Add(1)
+		select {
+		case e.inbox <- payload:
+		case <-e.closedCh:
+			return
+		}
+	}
+}
+
+// NumPeers returns the number of job participants.
+func (e *Exchange) NumPeers() int { return len(e.peers) }
+
+// Self returns this process's peer index.
+func (e *Exchange) Self() int { return e.self }
+
+// Send streams one frame to peer dst. The frame is fully buffered or written
+// before Send returns, so the caller may reuse the slice.
+func (e *Exchange) Send(dst int, frame []byte) error {
+	if dst == e.self {
+		return errors.New("transport: self-delivery must be short-circuited by the caller")
+	}
+	if dst < 0 || dst >= len(e.peers) {
+		return fmt.Errorf("transport: unknown peer %d of %d", dst, len(e.peers))
+	}
+	oc := e.outs[dst]
+	if oc == nil {
+		return fmt.Errorf("transport: peer %d is not connected", dst)
+	}
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.err != nil {
+		return oc.err
+	}
+	if err := writeFrame(oc.bw, frame); err != nil {
+		oc.err = err
+		e.fail(err)
+		return err
+	}
+	e.stats[dst].framesOut.Add(1)
+	return nil
+}
+
+// CloseSend writes the end frame to every peer and flushes the outbound
+// connections: the remote shuffle barrier for this sender.
+func (e *Exchange) CloseSend() error {
+	var first error
+	for _, oc := range e.outs {
+		if oc == nil {
+			continue
+		}
+		oc.mu.Lock()
+		err := oc.err
+		if err == nil {
+			err = writeEndFrame(oc.bw)
+			if err == nil {
+				err = oc.bw.Flush()
+			}
+			oc.err = err
+		}
+		oc.mu.Unlock()
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Recv returns the next inbound frame; io.EOF once every remote peer's end
+// frame has arrived. The returned slice is owned by the caller.
+func (e *Exchange) Recv() ([]byte, error) {
+	select {
+	case frame, ok := <-e.inbox:
+		if !ok {
+			return nil, io.EOF
+		}
+		return frame, nil
+	case <-e.failed:
+		return nil, e.Err()
+	case <-e.closedCh:
+		return nil, errors.New("transport: exchange is closed")
+	}
+}
+
+// Err returns the first failure of the exchange, if any.
+func (e *Exchange) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// WireBytesOut returns the bytes actually written to this peer's outbound
+// sockets so far.
+func (e *Exchange) WireBytesOut() int64 { return e.wireOut.Load() }
+
+// WireBytesIn returns the bytes actually read from the inbound sockets.
+func (e *Exchange) WireBytesIn() int64 { return e.wireIn.Load() }
+
+// Stats returns a per-peer traffic snapshot (this peer's own row is zero).
+func (e *Exchange) Stats() []PeerStats {
+	out := make([]PeerStats, len(e.peers))
+	for i := range e.peers {
+		out[i] = PeerStats{
+			Addr:      e.peers[i],
+			BytesOut:  e.stats[i].bytesOut.Load(),
+			FramesOut: e.stats[i].framesOut.Load(),
+			BytesIn:   e.stats[i].bytesIn.Load(),
+			FramesIn:  e.stats[i].framesIn.Load(),
+		}
+	}
+	return out
+}
+
+// Close tears down every connection of the exchange and releases its job id.
+// It is idempotent and safe to call while Sends or Recvs are blocked.
+func (e *Exchange) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	close(e.closedCh)
+	ins := append([]net.Conn(nil), e.ins...)
+	e.mu.Unlock()
+
+	for _, oc := range e.outs {
+		if oc != nil {
+			oc.conn.Close()
+		}
+	}
+	for _, conn := range ins {
+		if conn != nil {
+			conn.Close()
+		}
+	}
+	e.node.release(e.jobID, e)
+	return nil
+}
+
+// fail records the first error and wakes every blocked Recv.
+func (e *Exchange) fail(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err == nil {
+		e.err = err
+		close(e.failed)
+	}
+}
+
+// countingWriter forwards writes and adds the written byte counts to its
+// sinks. It sits directly on the socket, below the buffered writer, so the
+// counts are bytes that actually reached the kernel.
+type countingWriter struct {
+	w     io.Writer
+	sinks []*atomic.Int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	for _, s := range c.sinks {
+		s.Add(int64(n))
+	}
+	return n, err
+}
+
+// countingReader forwards reads and counts bytes. Before attach it counts
+// locally (the handshake is read before the owning exchange is known); attach
+// transfers the running count into the sinks and routes further reads there.
+// attach must not race with Read — the handshake reader has finished before
+// the read loop starts.
+type countingReader struct {
+	r     io.Reader
+	n     int64
+	sinks []*atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if c.sinks == nil {
+		c.n += int64(n)
+	} else {
+		for _, s := range c.sinks {
+			s.Add(int64(n))
+		}
+	}
+	return n, err
+}
+
+func (c *countingReader) attach(sinks ...*atomic.Int64) {
+	for _, s := range sinks {
+		s.Add(c.n)
+	}
+	c.sinks = sinks
+}

@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testCluster starts n nodes on ephemeral localhost ports.
+func testCluster(t *testing.T, n int) ([]*Node, []string) {
+	t.Helper()
+	nodes := make([]*Node, n)
+	addrs := make([]string, n)
+	for i := range nodes {
+		node, err := NewNode("127.0.0.1:0", Config{
+			HandshakeTimeout: 5 * time.Second,
+			DialRetryWindow:  5 * time.Second,
+			AdoptTimeout:     10 * time.Second,
+			OpenTimeout:      10 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		t.Cleanup(func() { node.Close() })
+		nodes[i] = node
+		addrs[i] = node.Addr()
+	}
+	return nodes, addrs
+}
+
+// runExchangePeer opens the job on one node, sends one tagged frame to every
+// other peer, and collects everything it receives until EOF.
+func runExchangePeer(t *testing.T, node *Node, jobID string, self int, addrs []string, frames int) ([]string, *Exchange) {
+	t.Helper()
+	ex, err := node.OpenExchange(jobID, self, addrs)
+	if err != nil {
+		t.Errorf("peer %d: OpenExchange: %v", self, err)
+		return nil, nil
+	}
+	var (
+		recvd []string
+		wg    sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			frame, err := ex.Recv()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Errorf("peer %d: Recv: %v", self, err)
+				return
+			}
+			recvd = append(recvd, string(frame))
+		}
+	}()
+	for dst := range addrs {
+		if dst == self {
+			continue
+		}
+		for f := 0; f < frames; f++ {
+			msg := fmt.Sprintf("%s:%d->%d:%d", jobID, self, dst, f)
+			if err := ex.Send(dst, []byte(msg)); err != nil {
+				t.Errorf("peer %d: Send: %v", self, err)
+			}
+		}
+	}
+	if err := ex.CloseSend(); err != nil {
+		t.Errorf("peer %d: CloseSend: %v", self, err)
+	}
+	wg.Wait()
+	return recvd, ex
+}
+
+func TestExchangeThreePeers(t *testing.T) {
+	nodes, addrs := testCluster(t, 3)
+
+	const frames = 50
+	recvd := make([][]string, 3)
+	exs := make([]*Exchange, 3)
+	var wg sync.WaitGroup
+	for p := range nodes {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			recvd[p], exs[p] = runExchangePeer(t, nodes[p], "job-3peer", p, addrs, frames)
+		}(p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var wantTotal, gotTotal int
+	for p := range recvd {
+		var want []string
+		for src := range addrs {
+			if src == p {
+				continue
+			}
+			for f := 0; f < frames; f++ {
+				want = append(want, fmt.Sprintf("job-3peer:%d->%d:%d", src, p, f))
+			}
+		}
+		got := append([]string(nil), recvd[p]...)
+		sort.Strings(got)
+		sort.Strings(want)
+		wantTotal += len(want)
+		gotTotal += len(got)
+		for i := range want {
+			if i >= len(got) || got[i] != want[i] {
+				t.Fatalf("peer %d: frame set mismatch:\n got %v\nwant %v", p, got, want)
+			}
+		}
+	}
+	if gotTotal != wantTotal {
+		t.Fatalf("received %d frames, want %d", gotTotal, wantTotal)
+	}
+
+	// The acceptance bar: bytes counted as written must equal bytes counted
+	// as read across the cluster — ShuffleBytes is real socket traffic.
+	var out, in int64
+	for p, ex := range exs {
+		out += ex.WireBytesOut()
+		in += ex.WireBytesIn()
+		if ex.WireBytesOut() <= 0 {
+			t.Errorf("peer %d reports no wire bytes out", p)
+		}
+		stats := ex.Stats()
+		if stats[p].BytesOut != 0 || stats[p].BytesIn != 0 {
+			t.Errorf("peer %d counts self traffic: %+v", p, stats[p])
+		}
+	}
+	if out != in {
+		t.Errorf("wire bytes out %d != wire bytes in %d", out, in)
+	}
+	for _, ex := range exs {
+		ex.Close()
+	}
+}
+
+func TestExchangeConcurrentJobsIsolated(t *testing.T) {
+	nodes, addrs := testCluster(t, 2)
+
+	jobs := []string{"job-a", "job-b"}
+	results := make(map[string][][]string)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, job := range jobs {
+		for p := range nodes {
+			wg.Add(1)
+			go func(job string, p int) {
+				defer wg.Done()
+				got, ex := runExchangePeer(t, nodes[p], job, p, addrs, 10)
+				if ex != nil {
+					defer ex.Close()
+				}
+				mu.Lock()
+				results[job] = append(results[job], got)
+				mu.Unlock()
+			}(job, p)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for job, peerFrames := range results {
+		for _, frames := range peerFrames {
+			for _, f := range frames {
+				if len(f) < len(job) || f[:len(job)] != job {
+					t.Errorf("job %s received foreign frame %q", job, f)
+				}
+			}
+		}
+	}
+}
+
+func TestExchangeJobIDReuseAfterClose(t *testing.T) {
+	nodes, addrs := testCluster(t, 2)
+	for round := 0; round < 2; round++ {
+		var wg sync.WaitGroup
+		for p := range nodes {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				_, ex := runExchangePeer(t, nodes[p], "job-reuse", p, addrs, 3)
+				if ex != nil {
+					ex.Close()
+				}
+			}(p)
+		}
+		wg.Wait()
+		if t.Failed() {
+			t.Fatalf("round %d failed", round)
+		}
+	}
+}
+
+func TestOpenExchangeDuplicateJob(t *testing.T) {
+	nodes, _ := testCluster(t, 1)
+	ex, err := nodes[0].OpenExchange("dup", 0, []string{nodes[0].Addr()})
+	if err != nil {
+		t.Fatalf("OpenExchange: %v", err)
+	}
+	defer ex.Close()
+	if _, err := nodes[0].OpenExchange("dup", 0, []string{nodes[0].Addr()}); err == nil {
+		t.Fatal("second OpenExchange with the same job id should fail")
+	}
+}
+
+func TestSinglePeerExchangeIsImmediatelyDone(t *testing.T) {
+	nodes, _ := testCluster(t, 1)
+	ex, err := nodes[0].OpenExchange("solo", 0, []string{nodes[0].Addr()})
+	if err != nil {
+		t.Fatalf("OpenExchange: %v", err)
+	}
+	defer ex.Close()
+	if err := ex.CloseSend(); err != nil {
+		t.Fatalf("CloseSend: %v", err)
+	}
+	if _, err := ex.Recv(); err != io.EOF {
+		t.Fatalf("Recv: got %v, want io.EOF", err)
+	}
+}
+
+func TestHandshakeRejectsGarbage(t *testing.T) {
+	nodes, addrs := testCluster(t, 1)
+	_ = nodes
+	conn, err := net.Dial("tcp", addrs[0])
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET / HTTP/1.1\r\n\r\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 16)
+	if n, err := conn.Read(buf); err == nil {
+		t.Fatalf("expected the node to drop a garbage connection, read %d bytes", n)
+	}
+}
+
+// TestUnadoptedJobEntryIsDropped: a handshaken connection for a job that is
+// never opened locally must not leak its entry in the node's jobs map.
+func TestUnadoptedJobEntryIsDropped(t *testing.T) {
+	node, err := NewNode("127.0.0.1:0", Config{AdoptTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("NewNode: %v", err)
+	}
+	defer node.Close()
+
+	conn, err := net.Dial("tcp", node.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(appendHandshake(nil, "ghost-job", 1)); err != nil {
+		t.Fatalf("write handshake: %v", err)
+	}
+	ack := make([]byte, 1)
+	if _, err := io.ReadFull(conn, ack); err != nil {
+		t.Fatalf("read ack: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		node.mu.Lock()
+		n := len(node.jobs)
+		node.mu.Unlock()
+		if n == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("jobs map still holds %d entries after adopt timeout", n)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestSendToSelfRejected(t *testing.T) {
+	nodes, _ := testCluster(t, 1)
+	ex, err := nodes[0].OpenExchange("selfsend", 0, []string{nodes[0].Addr()})
+	if err != nil {
+		t.Fatalf("OpenExchange: %v", err)
+	}
+	defer ex.Close()
+	if err := ex.Send(0, []byte("x")); err == nil {
+		t.Fatal("Send to self should be rejected")
+	}
+}
