@@ -1,0 +1,36 @@
+// Command benchgate records and enforces the benchmark baseline used by the
+// CI bench-compare job.
+//
+// Subcommands:
+//
+//	record    read `go test -bench` output on stdin, write BENCH_baseline.json
+//	compare   read current `go test -bench` output on stdin, compare medians
+//	          against the baseline and exit non-zero when the geometric mean
+//	          of the time ratios exceeds -max-ratio
+//	emit      render a baseline back as benchmark text (for benchstat)
+//	normalize re-emit benchmark text with normalized names (for benchstat)
+//
+// The gate normalizes cross-machine speed differences by the
+// BenchmarkCalibration workload (see the root bench_test.go), which is
+// excluded from the geomean. Typical CI usage:
+//
+//	go test -run '^$' -bench "$TIER1" -benchtime=3x -count=5 -cpu 2 ./... | tee bench.txt
+//	go run ./cmd/benchgate compare -baseline BENCH_baseline.json < bench.txt
+//
+// All command logic lives in internal/benchcmp (RunCLI), where it is unit
+// tested; this file is only the process shell.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"seqmine/internal/benchcmp"
+)
+
+func main() {
+	if err := benchcmp.RunCLI(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

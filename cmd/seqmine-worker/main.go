@@ -41,6 +41,7 @@ func main() {
 	listen := flag.String("listen", ":9090", "control HTTP listen address")
 	dataListen := flag.String("data-listen", ":9190", "shuffle (TCP transport) listen address")
 	dataAdvertise := flag.String("data-advertise", "", "shuffle address advertised to peers (default: the data listener's address)")
+	spillDir := flag.String("spill-dir", "", "directory for shuffle spill segments of jobs that enable spilling (default: system temp dir)")
 
 	// Submit (coordinator) mode flags.
 	submit := flag.Bool("submit", false, "submit a job to a running cluster instead of serving")
@@ -50,28 +51,31 @@ func main() {
 	pattern := flag.String("pattern", "", "pattern expression (submit mode)")
 	sigma := flag.Int64("sigma", 2, "minimum support threshold (submit mode)")
 	algorithm := flag.String("algorithm", "dcand", "algorithm: dseq or dcand (submit mode)")
+	spillThreshold := flag.Int64("spill-threshold", 0, "shuffle bytes each worker holds in memory before spilling to disk (0 = never spill, submit mode)")
 	top := flag.Int("top", 25, "print only the top-k frequent sequences (0 = all, submit mode)")
 	showMetrics := flag.Bool("metrics", true, "print shuffle/runtime metrics (submit mode)")
 	flag.Parse()
 
 	if *submit {
-		runSubmit(*workers, *data, *hierarchy, *pattern, *sigma, *algorithm, *top, *showMetrics)
+		runSubmit(*workers, *data, *hierarchy, *pattern, *sigma, *algorithm, *spillThreshold, *top, *showMetrics)
 		return
 	}
-	runWorker(*listen, *dataListen, *dataAdvertise)
+	runWorker(*listen, *dataListen, *dataAdvertise, *spillDir)
 }
 
 // runWorker serves the control API and the shuffle fabric until SIGINT/TERM.
-func runWorker(listen, dataListen, dataAdvertise string) {
+func runWorker(listen, dataListen, dataAdvertise, spillDir string) {
 	node, err := transport.NewNode(dataListen, transport.Config{Advertise: dataAdvertise})
 	if err != nil {
 		fatal(err)
 	}
 	defer node.Close()
 
+	worker := cluster.NewWorker(node)
+	worker.SpillDir = spillDir
 	srv := &http.Server{
 		Addr:        listen,
-		Handler:     cluster.NewWorker(node).Handler(),
+		Handler:     worker.Handler(),
 		ReadTimeout: 30 * time.Second,
 	}
 
@@ -98,7 +102,7 @@ func runWorker(listen, dataListen, dataAdvertise string) {
 }
 
 // runSubmit coordinates one distributed job and prints the merged result.
-func runSubmit(workers, data, hierarchy, pattern string, sigma int64, algorithm string, top int, showMetrics bool) {
+func runSubmit(workers, data, hierarchy, pattern string, sigma int64, algorithm string, spillThreshold int64, top int, showMetrics bool) {
 	var urls []string
 	for _, u := range strings.Split(workers, ",") {
 		if u = strings.TrimSpace(u); u != "" {
@@ -122,9 +126,11 @@ func runSubmit(workers, data, hierarchy, pattern string, sigma int64, algorithm 
 	}
 	fmt.Printf("loaded %d sequences, %d dictionary items\n", db.NumSequences(), db.Dict.Size())
 
+	copts := cluster.DefaultOptions()
+	copts.SpillThresholdBytes = spillThreshold
 	coord := &cluster.Coordinator{Workers: urls}
 	start := time.Now()
-	res, err := coord.Mine(context.Background(), db, pattern, sigma, algo, cluster.DefaultOptions())
+	res, err := coord.Mine(context.Background(), db, pattern, sigma, algo, copts)
 	if err != nil {
 		fatal(err)
 	}
@@ -143,6 +149,9 @@ func runSubmit(workers, data, hierarchy, pattern string, sigma int64, algorithm 
 		fmt.Printf("%d workers, wall %v, map time %v, reduce time %v, shuffle %d records / %d bytes on the wire (%d read) over %d partitions\n",
 			len(urls), elapsed.Round(time.Millisecond), m.MapTime, m.ReduceTime,
 			m.ShuffleRecords, m.ShuffleBytes, res.WireBytesIn, m.Partitions)
+		if m.SpillCount > 0 {
+			fmt.Printf("spilled %d bytes in %d segments across the cluster\n", m.SpilledBytes, m.SpillCount)
+		}
 	}
 }
 

@@ -23,6 +23,8 @@ func main() {
 	sigma := flag.Int64("sigma", 2, "minimum support threshold")
 	algorithm := flag.String("algorithm", "dseq", "algorithm: dfs, count, dseq, dcand, naive, seminaive")
 	workers := flag.Int("workers", 0, "number of workers (0 = all CPUs)")
+	spillThreshold := flag.Int64("spill-threshold", 0, "shuffle bytes held in memory before spilling to disk (distributed algorithms; 0 = never spill)")
+	spillDir := flag.String("spill-dir", "", "directory for shuffle spill segments (default: system temp dir)")
 	top := flag.Int("top", 25, "print only the top-k frequent sequences (0 = all)")
 	showMetrics := flag.Bool("metrics", true, "print shuffle/runtime metrics for distributed algorithms")
 	flag.Parse()
@@ -56,6 +58,8 @@ func main() {
 	opts := seqmine.DefaultOptions()
 	opts.Algorithm = algo
 	opts.Workers = *workers
+	opts.SpillThreshold = *spillThreshold
+	opts.SpillTmpDir = *spillDir
 	result, err := seqmine.Mine(db, *pattern, *sigma, opts)
 	if err != nil {
 		fatal(err)
@@ -73,6 +77,9 @@ func main() {
 		m := result.Metrics
 		fmt.Printf("map time %v, reduce time %v, shuffle %d records / %d bytes over %d partitions\n",
 			m.MapTime, m.ReduceTime, m.ShuffleRecords, m.ShuffleBytes, m.Partitions)
+		if m.SpillCount > 0 {
+			fmt.Printf("spilled %d bytes in %d segments\n", m.SpilledBytes, m.SpillCount)
+		}
 	}
 }
 

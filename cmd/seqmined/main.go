@@ -40,6 +40,8 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 0, "maximum queries mining at once (0 = unbounded)")
 	timeout := flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
 	clusterWorkers := flag.String("cluster", "", "comma-separated seqmine-worker control URLs used by queries with \"distributed\": true")
+	spillThreshold := flag.Int64("spill-threshold", 0, "default shuffle bytes a query holds in memory before spilling to disk (0 = never spill; queries override with \"spill_threshold_bytes\")")
+	spillDir := flag.String("spill-dir", "", "directory for shuffle spill segments (default: system temp dir)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "dataset to load at startup as name=sequences.txt[,hierarchy.txt] (repeatable)")
 	flag.Parse()
@@ -58,6 +60,8 @@ func main() {
 		MaxConcurrent:  *maxConcurrent,
 		DefaultTimeout: *timeout,
 		ClusterWorkers: clusterURLs,
+		SpillThreshold: *spillThreshold,
+		SpillTmpDir:    *spillDir,
 	})
 	for _, spec := range loads {
 		name, paths, ok := strings.Cut(spec, "=")

@@ -1,0 +1,246 @@
+// Package benchcmp parses `go test -bench` output and gates performance
+// regressions against a committed baseline (BENCH_baseline.json at the repo
+// root). The CI bench-compare job records the baseline once per runner class
+// and fails a change when the geometric mean of the per-benchmark time
+// ratios (current / baseline) exceeds a configured bound.
+//
+// Because the committed baseline may have been produced on different
+// hardware than the runner executing the comparison, the gate normalizes by
+// a calibration benchmark — a fixed, dataset-independent CPU workload
+// (BenchmarkCalibration in the root package) that scales with machine speed
+// but not with the code under test. The calibration ratio divides out the
+// constant machine factor and is excluded from the geomean.
+package benchcmp
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// Baseline is the committed benchmark reference (BENCH_baseline.json).
+type Baseline struct {
+	// Schema versions the file format.
+	Schema int `json:"schema"`
+	// Command documents how the samples were produced.
+	Command string `json:"command"`
+	// GoVersion is the toolchain that produced the samples.
+	GoVersion string `json:"go_version,omitempty"`
+	// Benchmarks maps the normalized benchmark name (GOMAXPROCS suffix
+	// stripped) to its ns/op samples.
+	Benchmarks map[string][]float64 `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+//
+//	BenchmarkAlgorithms_N1/D-SEQ-8   	     385	   3104660 ns/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// cpuSuffix strips the trailing -N GOMAXPROCS marker so runs from machines
+// with different core counts compare under the same name.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// NormalizeName removes the GOMAXPROCS suffix from a benchmark name.
+func NormalizeName(name string) string { return cpuSuffix.ReplaceAllString(name, "") }
+
+// Parse reads `go test -bench` output and returns ns/op samples keyed by
+// normalized benchmark name.
+func Parse(r io.Reader) (map[string][]float64, error) {
+	out := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchcmp: parsing %q: %w", sc.Text(), err)
+		}
+		name := NormalizeName(m[1])
+		out[name] = append(out[name], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchcmp: no benchmark result lines found")
+	}
+	return out, nil
+}
+
+// Median returns the middle sample (mean of the middle two for even counts).
+func Median(samples []float64) float64 {
+	if len(samples) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// Result is one benchmark's comparison against the baseline.
+type Result struct {
+	Name     string
+	Baseline float64 // median ns/op in the baseline
+	Current  float64 // median ns/op in the current run
+	Ratio    float64 // current/baseline after calibration scaling
+}
+
+// Report is the outcome of a comparison.
+type Report struct {
+	// Results holds the compared benchmarks, sorted by descending ratio.
+	Results []Result
+	// Geomean is the geometric mean of the ratios.
+	Geomean float64
+	// CalibrationScale is the machine-speed factor divided out of every
+	// ratio (1 when no calibration benchmark was present on both sides).
+	CalibrationScale float64
+	// MissingInCurrent are baseline benchmarks absent from the current run.
+	MissingInCurrent []string
+	// MissingInBaseline are current benchmarks absent from the baseline
+	// (informational — new benchmarks are not gated).
+	MissingInBaseline []string
+}
+
+// Compare evaluates the current samples against the baseline, normalizing by
+// calibration (the normalized name of the calibration benchmark; empty
+// disables normalization). Only benchmarks present in the baseline are
+// gated.
+func Compare(baseline *Baseline, current map[string][]float64, calibration string) (*Report, error) {
+	if len(baseline.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchcmp: baseline holds no benchmarks")
+	}
+	rep := &Report{CalibrationScale: 1}
+	if calibration != "" {
+		base, okB := baseline.Benchmarks[calibration]
+		cur, okC := current[calibration]
+		switch {
+		case okB && okC:
+			rep.CalibrationScale = Median(cur) / Median(base)
+		case okB && !okC:
+			// The baseline expects calibration but the current run skipped
+			// it: without the scale, cross-machine ratios are meaningless.
+			// Surface it as a missing benchmark so the gate refuses to pass
+			// on the partial run instead of silently comparing raw ns/op.
+			rep.MissingInCurrent = append(rep.MissingInCurrent, calibration)
+		}
+	}
+
+	logSum, n := 0.0, 0
+	for name, baseSamples := range baseline.Benchmarks {
+		if name == calibration {
+			continue
+		}
+		curSamples, ok := current[name]
+		if !ok {
+			rep.MissingInCurrent = append(rep.MissingInCurrent, name)
+			continue
+		}
+		base, cur := Median(baseSamples), Median(curSamples)
+		if base <= 0 || cur <= 0 {
+			return nil, fmt.Errorf("benchcmp: non-positive median for %s", name)
+		}
+		ratio := (cur / base) / rep.CalibrationScale
+		rep.Results = append(rep.Results, Result{Name: name, Baseline: base, Current: cur, Ratio: ratio})
+		logSum += math.Log(ratio)
+		n++
+	}
+	for name := range current {
+		if name == calibration {
+			continue
+		}
+		if _, ok := baseline.Benchmarks[name]; !ok {
+			rep.MissingInBaseline = append(rep.MissingInBaseline, name)
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("benchcmp: no benchmark overlaps the baseline")
+	}
+	rep.Geomean = math.Exp(logSum / float64(n))
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Ratio > rep.Results[j].Ratio })
+	sort.Strings(rep.MissingInCurrent)
+	sort.Strings(rep.MissingInBaseline)
+	return rep, nil
+}
+
+// Format renders the report as an aligned table.
+func (r *Report) Format(w io.Writer, maxRatio float64) {
+	fmt.Fprintf(w, "%-52s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
+	for _, res := range r.Results {
+		marker := ""
+		if res.Ratio > maxRatio {
+			marker = "  <-- above gate"
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %8.3f%s\n", res.Name, res.Baseline, res.Current, res.Ratio, marker)
+	}
+	if r.CalibrationScale != 1 {
+		fmt.Fprintf(w, "calibration scale (machine speed factor): %.3f\n", r.CalibrationScale)
+	}
+	for _, name := range r.MissingInCurrent {
+		fmt.Fprintf(w, "warning: %s is in the baseline but was not run\n", name)
+	}
+	for _, name := range r.MissingInBaseline {
+		fmt.Fprintf(w, "note: %s has no baseline entry (not gated)\n", name)
+	}
+	fmt.Fprintf(w, "geomean ratio %.3f (gate %.3f)\n", r.Geomean, maxRatio)
+}
+
+// WriteBaseline serializes a baseline as deterministic, indented JSON.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses BENCH_baseline.json.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("benchcmp: parsing baseline: %w", err)
+	}
+	if b.Schema != 1 {
+		return nil, fmt.Errorf("benchcmp: unsupported baseline schema %d", b.Schema)
+	}
+	return &b, nil
+}
+
+// EmitText renders a baseline back into `go test -bench` text form (one line
+// per sample), which tools like benchstat consume directly.
+func EmitText(w io.Writer, b *Baseline) error {
+	names := make([]string, 0, len(b.Benchmarks))
+	for name := range b.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, ns := range b.Benchmarks[name] {
+			// benchstat requires names to keep the Benchmark prefix; emit a
+			// fixed -1 proc suffix so current and baseline align.
+			if _, err := fmt.Fprintf(w, "%s-1 \t1\t%s ns/op\n", name, strconv.FormatFloat(ns, 'f', -1, 64)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SortedNames lists a sample map's benchmark names.
+func SortedNames(m map[string][]float64) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,194 @@
+package benchcmp_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"seqmine/internal/benchcmp"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: seqmine
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkAlgorithms_N1/D-SEQ-8         	       3	   2568312 ns/op
+BenchmarkAlgorithms_N1/D-SEQ-8         	       3	   2600000 ns/op
+BenchmarkAlgorithms_N1/D-CAND-8        	       3	   4034567 ns/op
+BenchmarkWordCount/workers-4-8         	       3	   1534256 ns/op
+BenchmarkCalibration-8                 	       3	   8000000 ns/op
+PASS
+ok  	seqmine	101.882s
+`
+
+func TestParse(t *testing.T) {
+	got, err := benchcmp.Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got["BenchmarkAlgorithms_N1/D-SEQ"]) != 2 {
+		t.Errorf("D-SEQ samples = %v, want 2 entries under the normalized name", got)
+	}
+	// The GOMAXPROCS suffix is stripped but a trailing sub-benchmark number
+	// is kept: workers-4 must survive.
+	if len(got["BenchmarkWordCount/workers-4"]) != 1 {
+		t.Errorf("workers-4 lost its identity: %v", benchcmp.SortedNames(got))
+	}
+	if _, err := benchcmp.Parse(strings.NewReader("no benchmarks here")); err == nil {
+		t.Error("expected an error for output without benchmark lines")
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := benchcmp.Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := benchcmp.Median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	if m := benchcmp.Median(nil); !math.IsNaN(m) {
+		t.Errorf("empty median = %v, want NaN", m)
+	}
+}
+
+func baseline(benches map[string][]float64) *benchcmp.Baseline {
+	return &benchcmp.Baseline{Schema: 1, Benchmarks: benches}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := baseline(map[string][]float64{
+		"BenchmarkA": {100, 100, 100},
+		"BenchmarkB": {200, 200, 200},
+	})
+	// 10% regression on A, none on B: geomean ~1.049, under a 1.15 gate.
+	rep, err := benchcmp.Compare(base, map[string][]float64{
+		"BenchmarkA": {110},
+		"BenchmarkB": {200},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Geomean > 1.15 || rep.Geomean < 1.0 {
+		t.Errorf("geomean = %v, want ~1.049", rep.Geomean)
+	}
+
+	// 50% regression on both: geomean 1.5, over the gate.
+	rep, err = benchcmp.Compare(base, map[string][]float64{
+		"BenchmarkA": {150},
+		"BenchmarkB": {300},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Geomean-1.5) > 1e-9 {
+		t.Errorf("geomean = %v, want 1.5", rep.Geomean)
+	}
+}
+
+func TestCompareCalibration(t *testing.T) {
+	base := baseline(map[string][]float64{
+		"BenchmarkA":           {100},
+		"BenchmarkCalibration": {1000},
+	})
+	// The current machine is 2x slower across the board: the calibration
+	// benchmark doubles too, so the normalized ratio is 1.
+	rep, err := benchcmp.Compare(base, map[string][]float64{
+		"BenchmarkA":           {200},
+		"BenchmarkCalibration": {2000},
+	}, "BenchmarkCalibration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.CalibrationScale-2.0) > 1e-9 {
+		t.Errorf("calibration scale = %v, want 2", rep.CalibrationScale)
+	}
+	if math.Abs(rep.Geomean-1.0) > 1e-9 {
+		t.Errorf("calibrated geomean = %v, want 1", rep.Geomean)
+	}
+	for _, res := range rep.Results {
+		if res.Name == "BenchmarkCalibration" {
+			t.Error("the calibration benchmark must be excluded from the gated results")
+		}
+	}
+}
+
+func TestCompareMissing(t *testing.T) {
+	base := baseline(map[string][]float64{"BenchmarkA": {100}, "BenchmarkGone": {50}})
+	rep, err := benchcmp.Compare(base, map[string][]float64{"BenchmarkA": {100}, "BenchmarkNew": {10}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.MissingInCurrent) != 1 || rep.MissingInCurrent[0] != "BenchmarkGone" {
+		t.Errorf("MissingInCurrent = %v", rep.MissingInCurrent)
+	}
+	if len(rep.MissingInBaseline) != 1 || rep.MissingInBaseline[0] != "BenchmarkNew" {
+		t.Errorf("MissingInBaseline = %v", rep.MissingInBaseline)
+	}
+	if _, err := benchcmp.Compare(base, map[string][]float64{"BenchmarkNew": {10}}, ""); err == nil {
+		t.Error("expected an error when nothing overlaps the baseline")
+	}
+}
+
+func TestBaselineRoundTripAndEmit(t *testing.T) {
+	samples, err := benchcmp.Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &benchcmp.Baseline{Schema: 1, Command: "test", GoVersion: "go0.0", Benchmarks: samples}
+	var buf bytes.Buffer
+	if err := benchcmp.WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := benchcmp.ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != len(b.Benchmarks) {
+		t.Errorf("round trip lost benchmarks: %d vs %d", len(got.Benchmarks), len(b.Benchmarks))
+	}
+
+	var text bytes.Buffer
+	if err := benchcmp.EmitText(&text, got); err != nil {
+		t.Fatal(err)
+	}
+	// The emitted text must parse back to the same normalized sample sets.
+	reparsed, err := benchcmp.Parse(bytes.NewReader(text.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range got.Benchmarks {
+		if len(reparsed[name]) != len(s) {
+			t.Errorf("%s: emitted text reparsed to %d samples, want %d", name, len(reparsed[name]), len(s))
+		}
+	}
+
+	if _, err := benchcmp.ReadBaseline(strings.NewReader(`{"schema":99}`)); err == nil {
+		t.Error("expected an error for an unsupported schema")
+	}
+}
+
+func TestCompareCalibrationMissingFromCurrent(t *testing.T) {
+	base := baseline(map[string][]float64{
+		"BenchmarkA":           {100},
+		"BenchmarkCalibration": {1000},
+	})
+	// The baseline expects calibration; a current run without it must be
+	// reported as missing so the CLI gate refuses the partial comparison.
+	rep, err := benchcmp.Compare(base, map[string][]float64{"BenchmarkA": {100}}, "BenchmarkCalibration")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, name := range rep.MissingInCurrent {
+		if name == "BenchmarkCalibration" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("MissingInCurrent = %v, want it to include the calibration benchmark", rep.MissingInCurrent)
+	}
+	if rep.CalibrationScale != 1 {
+		t.Errorf("scale = %v, want the neutral 1 when calibration is absent", rep.CalibrationScale)
+	}
+}

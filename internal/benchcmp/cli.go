@@ -1,0 +1,131 @@
+package benchcmp
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+)
+
+// RunCLI executes one benchgate subcommand (record, compare, emit,
+// normalize) with injected streams, so cmd/benchgate stays a thin shim and
+// the command logic is testable. It returns an error instead of exiting; a
+// failing gate is an error.
+func RunCLI(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: benchgate record|compare|emit|normalize [flags]")
+	}
+	switch cmd := args[0]; cmd {
+	case "record":
+		return runRecord(args[1:], stdin, stdout)
+	case "compare":
+		return runCompare(args[1:], stdin, stdout)
+	case "emit":
+		return runEmit(args[1:], stdout)
+	case "normalize":
+		return runNormalize(args[1:], stdin, stdout)
+	default:
+		return fmt.Errorf("benchgate: unknown subcommand %q (want record, compare, emit or normalize)", cmd)
+	}
+}
+
+func runRecord(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("record", flag.ContinueOnError)
+	out := fs.String("out", "BENCH_baseline.json", "baseline file to write")
+	command := fs.String("command", "go test -run '^$' -bench . -benchtime=3x -count=5", "provenance note stored in the baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	samples, err := Parse(stdin)
+	if err != nil {
+		return err
+	}
+	b := &Baseline{
+		Schema:     1,
+		Command:    *command,
+		GoVersion:  runtime.Version(),
+		Benchmarks: samples,
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := WriteBaseline(f, b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "recorded %d benchmarks to %s\n", len(samples), *out)
+	for _, name := range SortedNames(samples) {
+		fmt.Fprintf(stdout, "  %-60s median %12.0f ns/op (%d samples)\n", name, Median(samples[name]), len(samples[name]))
+	}
+	return nil
+}
+
+func runCompare(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "baseline file to compare against")
+	maxRatio := fs.Float64("max-ratio", 1.15, "fail when the geomean time ratio exceeds this bound")
+	calibration := fs.String("calibration", "BenchmarkCalibration", "machine-speed calibration benchmark (excluded from the geomean; empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	baseline, err := readBaselineFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := Parse(stdin)
+	if err != nil {
+		return err
+	}
+	rep, err := Compare(baseline, current, *calibration)
+	if err != nil {
+		return err
+	}
+	rep.Format(stdout, *maxRatio)
+	if len(rep.MissingInCurrent) > 0 {
+		return fmt.Errorf("benchgate: %d baseline benchmarks were not run; the gate cannot pass on partial results", len(rep.MissingInCurrent))
+	}
+	if rep.Geomean > *maxRatio {
+		return fmt.Errorf("benchgate: geomean ratio %.3f exceeds the %.3f gate — performance regression", rep.Geomean, *maxRatio)
+	}
+	fmt.Fprintln(stdout, "benchgate: PASS")
+	return nil
+}
+
+func runEmit(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("emit", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "BENCH_baseline.json", "baseline file to render")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	baseline, err := readBaselineFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	return EmitText(stdout, baseline)
+}
+
+func runNormalize(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("normalize", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	samples, err := Parse(stdin)
+	if err != nil {
+		return err
+	}
+	return EmitText(stdout, &Baseline{Schema: 1, Benchmarks: samples})
+}
+
+func readBaselineFile(path string) (*Baseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBaseline(f)
+}

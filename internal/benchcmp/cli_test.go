@@ -1,0 +1,110 @@
+package benchcmp_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seqmine/internal/benchcmp"
+)
+
+// runCLI invokes the benchgate CLI with captured stdout.
+func runCLI(t *testing.T, args []string, stdin string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := benchcmp.RunCLI(args, strings.NewReader(stdin), &out)
+	return out.String(), err
+}
+
+func TestCLIRecordCompareEmit(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+
+	out, err := runCLI(t, []string{"record", "-out", baseline, "-command", "test run"}, sampleOutput)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if !strings.Contains(out, "recorded 4 benchmarks") {
+		t.Errorf("record output: %q", out)
+	}
+	if _, err := os.Stat(baseline); err != nil {
+		t.Fatalf("baseline file: %v", err)
+	}
+
+	// Identical samples compare with geomean 1.0 and pass the gate.
+	out, err = runCLI(t, []string{"compare", "-baseline", baseline}, sampleOutput)
+	if err != nil {
+		t.Fatalf("compare: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "benchgate: PASS") {
+		t.Errorf("compare output: %q", out)
+	}
+
+	// A 2x regression on every benchmark fails the 1.15 gate (the slowdown
+	// does not touch the calibration benchmark, so it cannot hide there).
+	regressed := strings.NewReplacer(
+		"2568312 ns/op", "5136624 ns/op",
+		"2600000 ns/op", "5200000 ns/op",
+		"4034567 ns/op", "8069134 ns/op",
+		"1534256 ns/op", "3068512 ns/op",
+	).Replace(sampleOutput)
+	out, err = runCLI(t, []string{"compare", "-baseline", baseline}, regressed)
+	if err == nil {
+		t.Fatalf("compare must fail on a 2x regression; output:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "performance regression") {
+		t.Errorf("unexpected failure: %v", err)
+	}
+
+	// A partial run cannot pass the gate.
+	partial := "BenchmarkAlgorithms_N1/D-SEQ-8 \t3\t2568312 ns/op\n"
+	if _, err := runCLI(t, []string{"compare", "-baseline", baseline}, partial); err == nil {
+		t.Error("compare must fail when baseline benchmarks were not run")
+	}
+
+	// emit renders the baseline back as parseable benchmark text.
+	out, err = runCLI(t, []string{"emit", "-baseline", baseline}, "")
+	if err != nil {
+		t.Fatalf("emit: %v", err)
+	}
+	reparsed, err := benchcmp.Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("emit output does not parse: %v", err)
+	}
+	if len(reparsed) != 4 {
+		t.Errorf("emit reparsed to %d benchmarks, want 4", len(reparsed))
+	}
+}
+
+func TestCLINormalize(t *testing.T) {
+	out, err := runCLI(t, []string{"normalize"}, sampleOutput)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "-8 ") {
+		t.Errorf("normalize kept GOMAXPROCS suffixes:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkWordCount/workers-4-1 ") {
+		t.Errorf("normalize lost the sub-benchmark identity:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	if _, err := runCLI(t, nil, ""); err == nil {
+		t.Error("no subcommand must error")
+	}
+	if _, err := runCLI(t, []string{"bogus"}, ""); err == nil {
+		t.Error("unknown subcommand must error")
+	}
+	if _, err := runCLI(t, []string{"compare", "-baseline", "/nonexistent.json"}, sampleOutput); err == nil {
+		t.Error("missing baseline must error")
+	}
+	if _, err := runCLI(t, []string{"record", "-out", filepath.Join(t.TempDir(), "b.json")}, "no benchmarks"); err == nil {
+		t.Error("record without benchmark lines must error")
+	}
+	if _, err := runCLI(t, []string{"emit", "-baseline", "/nonexistent.json"}, ""); err == nil {
+		t.Error("emit with a missing baseline must error")
+	}
+}

@@ -40,6 +40,14 @@ type Options struct {
 	// Per-worker engine parallelism (0 = all CPUs of the worker).
 	MapWorkers    int `json:"map_workers,omitempty"`
 	ReduceWorkers int `json:"reduce_workers,omitempty"`
+	// SpillThresholdBytes bounds each worker's in-memory shuffle footprint:
+	// past it, shuffle partitions spill to sorted temp-file segments that
+	// the reduce phase merge-streams, so partitions larger than worker
+	// memory still complete. 0 keeps the shuffle in memory.
+	SpillThresholdBytes int64 `json:"spill_threshold_bytes,omitempty"`
+	// SpillTmpDir is where workers create spill segments; empty uses each
+	// worker's default (its -spill-dir flag, else the system temp dir).
+	SpillTmpDir string `json:"spill_tmp_dir,omitempty"`
 }
 
 // DefaultOptions enables every enhancement, mirroring the single-process

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"seqmine/internal/cluster"
+	"seqmine/internal/datagen"
 	"seqmine/internal/dcand"
 	"seqmine/internal/dseq"
 	"seqmine/internal/fst"
@@ -144,4 +145,60 @@ func fixtureRandomRaw() ([][]string, seqdb.Hierarchy) {
 		raw[i] = seq
 	}
 	return raw, hierarchy
+}
+
+// TestCoordinatorSpillMatchesInProcess runs a 3-worker distributed job with a
+// tiny spill threshold on a dataset whose shuffle dwarfs it: every worker must
+// spill, and the merged pattern set must equal the in-memory single-process
+// run.
+func TestCoordinatorSpillMatchesInProcess(t *testing.T) {
+	db, err := datagen.NYT(datagen.NYTConfig{NumSentences: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const expr, sigma = "[.*(.)]{1,3}.*", int64(20)
+	f := fst.MustCompile(expr, db.Dict)
+
+	coord := &cluster.Coordinator{Workers: startWorkers(t, 3)}
+	opts := cluster.DefaultOptions()
+	opts.SpillThresholdBytes = 2048
+	for _, algo := range []string{cluster.AlgoDSeq, cluster.AlgoDCand} {
+		res, err := coord.Mine(context.Background(), db, expr, sigma, algo, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		var want []miner.Pattern
+		switch algo {
+		case cluster.AlgoDSeq:
+			want, _ = dseq.Mine(f, db.Sequences, sigma, dseq.DefaultOptions(), mapreduce.Config{})
+		case cluster.AlgoDCand:
+			want, _ = dcand.Mine(f, db.Sequences, sigma, dcand.DefaultOptions(), mapreduce.Config{})
+		}
+		if len(want) == 0 {
+			t.Fatalf("%s: reference run found no patterns", algo)
+		}
+		if !reflect.DeepEqual(res.Patterns, want) {
+			t.Errorf("%s: spilled cluster run differs from in-memory run (%d vs %d patterns)",
+				algo, len(res.Patterns), len(want))
+		}
+		if res.Metrics.SpilledBytes == 0 || res.Metrics.SpillCount == 0 {
+			t.Errorf("%s: expected cluster-wide spilling, got %+v", algo, res.Metrics)
+		}
+		for p, r := range res.PerWorker {
+			if r.Metrics.SpilledBytes == 0 {
+				t.Errorf("%s: worker %d did not spill", algo, p)
+			}
+		}
+	}
+}
+
+func TestWorkerNodeAccessor(t *testing.T) {
+	node, err := transport.NewNode("127.0.0.1:0", transport.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if w := cluster.NewWorker(node); w.Node() != node {
+		t.Error("Node() must return the wrapped transport node")
+	}
 }

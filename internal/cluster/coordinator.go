@@ -142,6 +142,8 @@ func (c *Coordinator) Mine(ctx context.Context, db *seqdb.Database, expression s
 		if m.MaxPartitionRecords > res.Metrics.MaxPartitionRecords {
 			res.Metrics.MaxPartitionRecords = m.MaxPartitionRecords
 		}
+		res.Metrics.SpilledBytes += m.SpilledBytes
+		res.Metrics.SpillCount += m.SpillCount
 	}
 	miner.SortPatterns(res.Patterns)
 	return res, nil

@@ -25,6 +25,11 @@ const maxSpecBodyBytes = 1 << 30
 // JobID on the node).
 type Worker struct {
 	node *transport.Node
+
+	// SpillDir is the default directory for shuffle spill segments of jobs
+	// that enable spilling without naming a directory; empty uses the
+	// system temp directory.
+	SpillDir string
 }
 
 // NewWorker wraps a transport node.
@@ -76,7 +81,15 @@ func (w *Worker) Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	stopCancel := context.AfterFunc(ctx, func() { bx.Close() })
 	defer stopCancel()
 
-	cfg := mapreduce.Config{MapWorkers: spec.Options.MapWorkers, ReduceWorkers: spec.Options.ReduceWorkers}
+	spillDir := spec.Options.SpillTmpDir
+	if spillDir == "" {
+		spillDir = w.SpillDir
+	}
+	cfg := mapreduce.Config{
+		MapWorkers:    spec.Options.MapWorkers,
+		ReduceWorkers: spec.Options.ReduceWorkers,
+		Shuffle:       mapreduce.ShuffleConfig{SpillThreshold: spec.Options.SpillThresholdBytes, TmpDir: spillDir},
+	}
 	var (
 		patterns []miner.Pattern
 		metrics  mapreduce.Metrics

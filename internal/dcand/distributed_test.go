@@ -1,0 +1,93 @@
+package dcand_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"seqmine/internal/dcand"
+	"seqmine/internal/dict"
+	"seqmine/internal/fst"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+	"seqmine/internal/paperex"
+	"seqmine/internal/transport"
+)
+
+// TestDCandMinePeerMatchesMine runs D-CAND across three processes' worth of
+// transport nodes on localhost — with a tiny spill threshold so the NFA
+// shuffle exercises the on-disk path — and checks that the union of the
+// per-peer pattern sets is byte-identical to the in-process engine's output.
+func TestDCandMinePeerMatchesMine(t *testing.T) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	db := paperex.DB(d)
+	want, _ := dcand.Mine(f, db, paperex.Sigma, dcand.DefaultOptions(), mapreduce.Config{})
+
+	const npeers = 3
+	nodes := make([]*transport.Node, npeers)
+	addrs := make([]string, npeers)
+	for i := range nodes {
+		node, err := transport.NewNode("127.0.0.1:0", transport.Config{})
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		defer node.Close()
+		nodes[i] = node
+		addrs[i] = node.Addr()
+	}
+
+	opts := dcand.DefaultOptions()
+	opts.Spill = mapreduce.ShuffleConfig{SpillThreshold: 1, TmpDir: t.TempDir()}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		union    []miner.Pattern
+		spilled  int64
+		firstErr error
+	)
+	for p := 0; p < npeers; p++ {
+		var split [][]dict.ItemID
+		for i := p; i < len(db); i += npeers {
+			split = append(split, db[i])
+		}
+		wg.Add(1)
+		go func(p int, split [][]dict.ItemID) {
+			defer wg.Done()
+			bx, err := nodes[p].OpenExchange("dcand-test", p, addrs)
+			if err == nil {
+				defer bx.Close()
+				var (
+					local []miner.Pattern
+					m     mapreduce.Metrics
+				)
+				local, m, err = dcand.MinePeer(f, split, paperex.Sigma, opts, mapreduce.Config{MapWorkers: 2, ReduceWorkers: 2}, bx)
+				mu.Lock()
+				union = append(union, local...)
+				spilled += m.SpilledBytes
+				if !m.RemoteShuffle {
+					t.Errorf("peer %d: metrics should be marked RemoteShuffle", p)
+				}
+				mu.Unlock()
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(p, split)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatalf("distributed run: %v", firstErr)
+	}
+	miner.SortPatterns(union)
+	if !reflect.DeepEqual(miner.PatternsToMap(d, union), miner.PatternsToMap(d, want)) {
+		t.Errorf("distributed D-CAND = %v, want %v", miner.PatternsToMap(d, union), miner.PatternsToMap(d, want))
+	}
+	if spilled <= 0 {
+		t.Errorf("expected spilling at a 1-byte threshold, got %d spilled bytes", spilled)
+	}
+}

@@ -32,6 +32,13 @@ type Options struct {
 	// Aggregate merges identical (rewritten) sequences sent to the same
 	// partition by a map worker into a single weighted record.
 	Aggregate bool
+	// Spill bounds the shuffle's receive-side memory: past
+	// Spill.SpillThreshold buffered bytes a peer spills sorted runs to
+	// temp-file segments (the same varint wire encoding the TCP shuffle
+	// uses) and the reduce phase merge-streams them. The zero value keeps
+	// the shuffle in memory. When set it overrides the engine config's
+	// Shuffle field.
+	Spill mapreduce.ShuffleConfig
 }
 
 // DefaultOptions enables all enhancements.
@@ -106,11 +113,34 @@ func recordSize(k dict.ItemID, v value) int {
 }
 
 // Mine runs D-SEQ on the database and returns all frequent sequences together
-// with the engine metrics.
+// with the engine metrics. It panics on failure; a run can only fail when
+// spilling is enabled (Options.Spill / cfg.Shuffle), so callers that enable
+// it should prefer MineLocal.
 func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics) {
-	out, metrics := mapreduce.Run(db, cfg, buildJob(f, sigma, opts))
-	miner.SortPatterns(out)
+	out, metrics, err := MineLocal(f, db, sigma, opts, cfg)
+	if err != nil {
+		panic("dseq: " + err.Error())
+	}
 	return out, metrics
+}
+
+// MineLocal is Mine with error reporting: spill failures (the only way an
+// in-process run can fail) are returned instead of panicking.
+func MineLocal(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics, error) {
+	out, metrics, err := mapreduce.RunLocal(db, applySpill(cfg, opts), buildJob(f, sigma, opts))
+	if err != nil {
+		return nil, metrics, err
+	}
+	miner.SortPatterns(out)
+	return out, metrics, nil
+}
+
+// applySpill lets Options.Spill override the engine config's shuffle bounds.
+func applySpill(cfg mapreduce.Config, opts Options) mapreduce.Config {
+	if opts.Spill != (mapreduce.ShuffleConfig{}) {
+		cfg.Shuffle = opts.Spill
+	}
+	return cfg
 }
 
 // MinePeer runs this process's share of a distributed D-SEQ job: split is the
@@ -121,7 +151,7 @@ func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapredu
 // ShuffleBytes measuring real transport traffic.
 func MinePeer(f *fst.FST, split [][]dict.ItemID, sigma int64, opts Options, cfg mapreduce.Config, bx mapreduce.ByteExchange) ([]miner.Pattern, mapreduce.Metrics, error) {
 	ex := mapreduce.NewFrameExchange(bx, codec())
-	out, metrics, err := mapreduce.RunExchange(split, cfg, buildJob(f, sigma, opts), ex)
+	out, metrics, err := mapreduce.RunExchange(split, applySpill(cfg, opts), buildJob(f, sigma, opts), ex)
 	if err != nil {
 		return nil, metrics, err
 	}
@@ -160,6 +190,8 @@ func buildJob(f *fst.FST, sigma int64, opts Options) mapreduce.Job[[]dict.ItemID
 		Hash:   func(k dict.ItemID) uint64 { return mapreduce.HashUint64(uint64(k)) },
 		SizeOf: recordSize,
 	}
+	c := codec()
+	job.Codec = &c
 	if opts.Aggregate {
 		job.Combine = func(_ dict.ItemID, vs []value) []value {
 			grouped := map[string]*value{}

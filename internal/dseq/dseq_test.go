@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"seqmine/internal/datagen"
 	"seqmine/internal/dict"
 	"seqmine/internal/dseq"
 	"seqmine/internal/fst"
@@ -121,5 +122,44 @@ func TestDSeqEmptyDatabase(t *testing.T) {
 	got, metrics := dseq.Mine(f, nil, 1, dseq.DefaultOptions(), mapreduce.Config{})
 	if len(got) != 0 || metrics.ShuffleRecords != 0 {
 		t.Errorf("empty database: got %v, metrics %+v", got, metrics)
+	}
+}
+
+// TestDSeqSpillEquivalence mines a dataset whose shuffle footprint exceeds
+// the spill threshold by well over 10x and asserts the spilling run produces
+// byte-identical patterns to the in-memory run.
+func TestDSeqSpillEquivalence(t *testing.T) {
+	db, err := datagen.NYT(datagen.NYTConfig{NumSentences: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fst.MustCompile("[.*(.)]{1,3}.*", db.Dict)
+	const sigma = 30
+	cfg := mapreduce.Config{MapWorkers: 2, ReduceWorkers: 2}
+
+	want, wantMetrics := dseq.Mine(f, db.Sequences, sigma, dseq.DefaultOptions(), cfg)
+	if len(want) == 0 {
+		t.Fatal("reference run found no patterns; the equivalence test is vacuous")
+	}
+
+	const threshold = 1024
+	opts := dseq.DefaultOptions()
+	opts.Spill = mapreduce.ShuffleConfig{SpillThreshold: threshold, TmpDir: t.TempDir()}
+	got, metrics, err := dseq.MineLocal(f, db.Sequences, sigma, opts, cfg)
+	if err != nil {
+		t.Fatalf("MineLocal: %v", err)
+	}
+
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("spilling run differs: %d patterns vs %d", len(got), len(want))
+	}
+	if metrics.SpilledBytes == 0 || metrics.SpillCount == 0 {
+		t.Fatalf("expected spilling at threshold %d: %+v", threshold, metrics)
+	}
+	if metrics.ShuffleBytes < 10*threshold {
+		t.Fatalf("shuffle footprint %d bytes does not exceed threshold %d by 10x; grow the dataset", metrics.ShuffleBytes, threshold)
+	}
+	if metrics.Partitions != wantMetrics.Partitions {
+		t.Errorf("partitions: got %d want %d", metrics.Partitions, wantMetrics.Partitions)
 	}
 }

@@ -25,13 +25,16 @@ type KeyBatch[K comparable, V any] struct {
 //
 // Send is safe for concurrent use. Recv is called from a single receiver
 // goroutine that runs concurrently with the senders (an implementation may
-// therefore apply backpressure in Send without risking deadlock).
+// therefore apply backpressure in Send without risking deadlock). RunExchange
+// never sends to Self — self-destined batches are accumulated locally by the
+// engine (and bounded by its spill buffer, see ShuffleConfig) — so wire
+// implementations may reject dst == Self.
 type Exchange[K comparable, V any] interface {
 	// NumPeers returns the number of peers participating in the exchange.
 	NumPeers() int
 	// Self returns this peer's index in [0, NumPeers).
 	Self() int
-	// Send routes one batch to peer dst (dst may equal Self).
+	// Send routes one batch to peer dst.
 	Send(dst int, b KeyBatch[K, V]) error
 	// CloseSend flushes outstanding batches and signals end-of-stream to
 	// every peer, including this one. No Send may follow CloseSend.
@@ -165,34 +168,43 @@ func (c FrameCodec[K, V]) EncodeBatch(buf []byte, b KeyBatch[K, V]) []byte {
 // DecodeBatch decodes one frame produced by EncodeBatch. Trailing bytes are
 // an error.
 func (c FrameCodec[K, V]) DecodeBatch(frame []byte) (KeyBatch[K, V], error) {
+	b, _, err := c.decodeBatchKeyed(frame)
+	return b, err
+}
+
+// decodeBatchKeyed is DecodeBatch returning also the length of the frame's
+// encoded-key prefix, so callers that need the raw key bytes (the spill
+// merge orders runs by them) decode each frame exactly once.
+func (c FrameCodec[K, V]) decodeBatchKeyed(frame []byte) (KeyBatch[K, V], int, error) {
 	var b KeyBatch[K, V]
-	k, pos, err := c.ReadKey(frame, 0)
+	k, keyLen, err := c.ReadKey(frame, 0)
 	if err != nil {
-		return b, err
+		return b, 0, err
 	}
 	b.Key = k
+	pos := keyLen
 	count, pos, err := ReadUvarint(frame, pos)
 	if err != nil {
-		return b, err
+		return b, 0, err
 	}
 	// Every value occupies at least one byte, so a count larger than the
 	// remaining payload is corrupt (and would otherwise allocate unboundedly).
 	if count > uint64(len(frame)-pos) {
-		return b, fmt.Errorf("mapreduce: batch claims %d values in %d bytes", count, len(frame)-pos)
+		return b, 0, fmt.Errorf("mapreduce: batch claims %d values in %d bytes", count, len(frame)-pos)
 	}
 	b.Values = make([]V, 0, count)
 	for i := uint64(0); i < count; i++ {
 		v, np, err := c.ReadValue(frame, pos)
 		if err != nil {
-			return b, err
+			return b, 0, err
 		}
 		pos = np
 		b.Values = append(b.Values, v)
 	}
 	if pos != len(frame) {
-		return b, fmt.Errorf("mapreduce: %d trailing bytes after batch", len(frame)-pos)
+		return b, 0, fmt.Errorf("mapreduce: %d trailing bytes after batch", len(frame)-pos)
 	}
-	return b, nil
+	return b, keyLen, nil
 }
 
 // RecordSize returns the exact encoded size of a single-record batch for
@@ -203,42 +215,24 @@ func (c FrameCodec[K, V]) RecordSize(k K, v V) int {
 }
 
 // frameExchange adapts a ByteExchange to an Exchange[K, V] with a FrameCodec.
-// Self-destined batches bypass the codec and transport entirely (in-memory,
-// zero-copy), matching how a distributed shuffle keeps local data local.
-//
-// The self queue is deliberately unbounded: the queued batches are
-// references into data the map phase already holds in memory, and a sender
-// that could block on local delivery deadlocks the shuffle — the engine's
-// receiver may be parked in the transport's Recv (remote frames sitting in
-// the peers' write buffers) and would never drain a bounded queue, while
-// every peer's sender is stuck before reaching CloseSend. Backpressure is a
-// remote concern only and is applied by the transport through TCP flow
-// control.
+// Self-destined batches never reach it: the engine accumulates them locally
+// (bounded by its spill buffer, see ShuffleConfig), which replaced the
+// unbounded self-delivery queue this adapter used to keep — local data stays
+// local without a queue that could wedge senders against the receiver or
+// grow without limit. Backpressure is a remote concern only and is applied
+// by the transport through TCP flow control.
 type frameExchange[K comparable, V any] struct {
 	bx    ByteExchange
 	codec FrameCodec[K, V]
 
 	sendMu sync.Mutex
 	buf    []byte
-
-	mu         sync.Mutex
-	cond       *sync.Cond
-	selfQ      []KeyBatch[K, V]
-	selfClosed bool
-
-	remote bool // remote stream still open (not yet io.EOF); receiver-only
 }
 
 // NewFrameExchange wires a codec to a byte transport. The returned exchange
 // implements WireMetrics, so RunExchange reports true wire bytes.
 func NewFrameExchange[K comparable, V any](bx ByteExchange, codec FrameCodec[K, V]) Exchange[K, V] {
-	e := &frameExchange[K, V]{
-		bx:     bx,
-		codec:  codec,
-		remote: true,
-	}
-	e.cond = sync.NewCond(&e.mu)
-	return e
+	return &frameExchange[K, V]{bx: bx, codec: codec}
 }
 
 func (e *frameExchange[K, V]) NumPeers() int       { return e.bx.NumPeers() }
@@ -247,11 +241,7 @@ func (e *frameExchange[K, V]) WireBytesOut() int64 { return e.bx.WireBytesOut() 
 
 func (e *frameExchange[K, V]) Send(dst int, b KeyBatch[K, V]) error {
 	if dst == e.bx.Self() {
-		e.mu.Lock()
-		e.selfQ = append(e.selfQ, b)
-		e.cond.Signal()
-		e.mu.Unlock()
-		return nil
+		return errors.New("mapreduce: self-delivery must be short-circuited by the caller")
 	}
 	e.sendMu.Lock()
 	e.buf = e.codec.EncodeBatch(e.buf[:0], b)
@@ -261,58 +251,14 @@ func (e *frameExchange[K, V]) Send(dst int, b KeyBatch[K, V]) error {
 	return err
 }
 
-func (e *frameExchange[K, V]) CloseSend() error {
-	e.mu.Lock()
-	e.selfClosed = true
-	e.cond.Signal()
-	e.mu.Unlock()
-	return e.bx.CloseSend()
-}
-
-// popSelf removes the next locally queued batch. With block set it waits
-// until a batch arrives or the local stream is closed and drained.
-func (e *frameExchange[K, V]) popSelf(block bool) (KeyBatch[K, V], bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	for {
-		if len(e.selfQ) > 0 {
-			b := e.selfQ[0]
-			e.selfQ = e.selfQ[1:]
-			return b, true
-		}
-		if !block || e.selfClosed {
-			return KeyBatch[K, V]{}, false
-		}
-		e.cond.Wait()
-	}
-}
+func (e *frameExchange[K, V]) CloseSend() error { return e.bx.CloseSend() }
 
 func (e *frameExchange[K, V]) Recv() (KeyBatch[K, V], error) {
-	for {
-		// Drain the local queue opportunistically; block on it only once the
-		// remote stream has ended. Both streams terminate: self when
-		// CloseSend has run and the queue is drained, the transport with
-		// io.EOF once every remote peer closed its side.
-		if b, ok := e.popSelf(!e.remote); ok {
-			return b, nil
-		}
-		if !e.remote {
-			return KeyBatch[K, V]{}, io.EOF
-		}
-		frame, err := e.bx.Recv()
-		if err == io.EOF {
-			e.remote = false
-			continue
-		}
-		if err != nil {
-			return KeyBatch[K, V]{}, err
-		}
-		b, err := e.codec.DecodeBatch(frame)
-		if err != nil {
-			return KeyBatch[K, V]{}, err
-		}
-		return b, nil
+	frame, err := e.bx.Recv()
+	if err != nil {
+		return KeyBatch[K, V]{}, err // io.EOF once every remote peer closed
 	}
+	return e.codec.DecodeBatch(frame)
 }
 
 // ---------------------------------------------------------------------------

@@ -18,12 +18,17 @@ import (
 )
 
 // Config controls the parallelism of a job. The zero value uses one worker
-// per available CPU for both stages.
+// per available CPU for both stages and keeps the shuffle in memory.
 type Config struct {
 	// MapWorkers is the number of concurrent map tasks ("executor cores").
 	MapWorkers int
 	// ReduceWorkers is the number of concurrent reduce tasks.
 	ReduceWorkers int
+	// Shuffle bounds the receive-side memory of the shuffle: past
+	// Shuffle.SpillThreshold buffered bytes, partitions spill to sorted
+	// temp-file segments that the reduce phase merge-streams. Requires the
+	// job to carry a Codec. The zero value never spills.
+	Shuffle ShuffleConfig
 }
 
 func (c Config) normalized() Config {
@@ -63,6 +68,11 @@ type Metrics struct {
 	// MaxPartitionRecords is the largest number of records received by a
 	// single key (partition skew indicator).
 	MaxPartitionRecords int64
+	// SpilledBytes is the number of shuffle bytes this peer wrote to on-disk
+	// spill segments (0 when the whole shuffle fit in memory).
+	SpilledBytes int64
+	// SpillCount is the number of spill segments written.
+	SpillCount int64
 }
 
 // Total returns the total wall-clock time of the job.
@@ -85,18 +95,31 @@ type Job[I any, K comparable, V any, O any] struct {
 	// SizeOf estimates the serialized size of one key/value pair in bytes for
 	// the shuffle-size metric. When nil, every record counts one byte.
 	SizeOf func(K, V) int
+	// Codec serializes keys and values. It is required for spilling
+	// (Config.Shuffle) — spill segments use the same wire encoding a remote
+	// shuffle would — and optional otherwise.
+	Codec *FrameCodec[K, V]
 }
 
 // Run executes the job on the given inputs and returns the concatenated
 // reduce outputs (in unspecified order) together with execution metrics. The
-// shuffle runs over the in-process loopback exchange (zero-copy).
+// shuffle runs over the in-process loopback exchange (zero-copy). Run panics
+// on failure; an in-process run can only fail when Config.Shuffle enables
+// spilling (a misconfigured job or disk errors) — callers that enable it
+// should prefer RunLocal and handle the error.
 func Run[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K, V, O]) ([]O, Metrics) {
-	out, metrics, err := RunExchange(inputs, cfg, job, NewLoopbackGroup[K, V](1)[0])
+	out, metrics, err := RunLocal(inputs, cfg, job)
 	if err != nil {
-		// The loopback exchange cannot fail and local jobs have no codec.
 		panic("mapreduce: in-process run failed: " + err.Error())
 	}
 	return out, metrics
+}
+
+// RunLocal is Run with error reporting: identical execution, but spill
+// failures (the only way an in-process run can fail) are returned instead of
+// panicking.
+func RunLocal[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K, V, O]) ([]O, Metrics, error) {
+	return RunExchange(inputs, cfg, job, NewLoopbackGroup[K, V](1)[0])
 }
 
 // RunExchange executes this peer's share of the job: it maps the local
@@ -112,8 +135,12 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 	cfg = cfg.normalized()
 	var metrics Metrics
 	npeers := ex.NumPeers()
+	self := ex.Self()
 	if npeers > 1 && job.Hash == nil {
 		return nil, metrics, errors.New("mapreduce: multi-peer jobs require a Hash function")
+	}
+	if cfg.Shuffle.Enabled() && job.Codec == nil {
+		return nil, metrics, errSpillNeedsCodec
 	}
 
 	// ---- Map phase -------------------------------------------------------
@@ -148,25 +175,35 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 	metrics.MapTime = time.Since(mapStart)
 
 	// ---- Shuffle ----------------------------------------------------------
-	// The receiver drains the exchange into the local partitions while the
+	// The receiver drains the exchange into the local accumulator while the
 	// sender routes each combined batch to the peer owning its key; running
 	// both concurrently lets bounded transports apply backpressure without
-	// deadlock.
+	// deadlock. Batches this peer owns bypass the exchange entirely and go
+	// straight into the accumulator: self-delivery is bounded by the spill
+	// buffer (Config.Shuffle), not by a queue that could wedge or grow.
 	reduceStart := time.Now()
-	merged := make(map[K][]V)
+	acc := newShuffleAccumulator(cfg.Shuffle, job.Codec, job.SizeOf)
+	defer acc.cleanup()
 	recvDone := make(chan error, 1)
 	go func() {
+		var accErr error
 		for {
 			b, err := ex.Recv()
 			if err == io.EOF {
-				recvDone <- nil
+				recvDone <- accErr
 				return
 			}
 			if err != nil {
-				recvDone <- err
+				if accErr == nil {
+					accErr = err
+				}
+				recvDone <- accErr
 				return
 			}
-			merged[b.Key] = append(merged[b.Key], b.Values...)
+			if accErr != nil {
+				continue // keep draining so remote senders are not wedged
+			}
+			accErr = acc.add(b)
 		}
 	}()
 
@@ -192,7 +229,13 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 				if npeers > 1 {
 					dst = int(job.Hash(k) % uint64(npeers))
 				}
-				if err := ex.Send(dst, KeyBatch[K, V]{Key: k, Values: vs}); err != nil {
+				var err error
+				if dst == self {
+					err = acc.add(KeyBatch[K, V]{Key: k, Values: vs})
+				} else {
+					err = ex.Send(dst, KeyBatch[K, V]{Key: k, Values: vs})
+				}
+				if err != nil {
 					sendErr = err
 				}
 			}
@@ -213,14 +256,32 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 		metrics.ShuffleBytes = wm.WireBytesOut()
 		metrics.RemoteShuffle = true
 	}
+	metrics.SpilledBytes, metrics.SpillCount = acc.stats()
+
+	// ---- Reduce phase ------------------------------------------------------
+	var out []O
+	var reduceErr error
+	if acc.spilled() {
+		out, reduceErr = reduceStreaming(cfg, job, acc, &metrics)
+	} else {
+		out = reduceInMemory(cfg, job, acc.mem, &metrics)
+	}
+	metrics.ReduceTime = time.Since(reduceStart)
+	if reduceErr != nil {
+		return nil, metrics, reduceErr
+	}
+	return out, metrics, nil
+}
+
+// reduceInMemory is the historical reduce path: the whole shuffle fit in
+// memory, so keys are bucketed across the reduce workers by hash.
+func reduceInMemory[I any, K comparable, V any, O any](cfg Config, job Job[I, K, V, O], merged map[K][]V, metrics *Metrics) []O {
 	metrics.Partitions = int64(len(merged))
 	for _, vs := range merged {
 		if int64(len(vs)) > metrics.MaxPartitionRecords {
 			metrics.MaxPartitionRecords = int64(len(vs))
 		}
 	}
-
-	// Assign keys to reduce workers.
 	buckets := make([][]K, cfg.ReduceWorkers)
 	for k := range merged {
 		b := 0
@@ -229,9 +290,8 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 		}
 		buckets[b] = append(buckets[b], k)
 	}
-
-	// ---- Reduce phase ------------------------------------------------------
 	outs := make([][]O, cfg.ReduceWorkers)
+	var wg sync.WaitGroup
 	for w := 0; w < cfg.ReduceWorkers; w++ {
 		wg.Add(1)
 		go func(w int) {
@@ -243,13 +303,50 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 		}(w)
 	}
 	wg.Wait()
-	metrics.ReduceTime = time.Since(reduceStart)
-
 	var out []O
 	for _, os := range outs {
 		out = append(out, os...)
 	}
-	return out, metrics, nil
+	return out
+}
+
+// reduceStreaming reduces a spilled shuffle: a k-way merge over the on-disk
+// segments and the final in-memory run feeds one key group at a time to the
+// reduce workers through a bounded channel, so this peer never materializes
+// its full partition set — memory is bounded by the spill threshold plus the
+// in-flight groups.
+func reduceStreaming[I any, K comparable, V any, O any](cfg Config, job Job[I, K, V, O], acc *shuffleAccumulator[K, V], metrics *Metrics) ([]O, error) {
+	groups := make(chan KeyBatch[K, V], cfg.ReduceWorkers)
+	outs := make([][]O, cfg.ReduceWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.ReduceWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			emit := func(o O) { outs[w] = append(outs[w], o) }
+			for g := range groups {
+				job.Reduce(g.Key, g.Values, emit)
+			}
+		}(w)
+	}
+	mergeErr := acc.merge(func(k K, vs []V) error {
+		metrics.Partitions++
+		if int64(len(vs)) > metrics.MaxPartitionRecords {
+			metrics.MaxPartitionRecords = int64(len(vs))
+		}
+		groups <- KeyBatch[K, V]{Key: k, Values: vs}
+		return nil
+	})
+	close(groups)
+	wg.Wait()
+	if mergeErr != nil {
+		return nil, mergeErr
+	}
+	var out []O
+	for _, os := range outs {
+		out = append(out, os...)
+	}
+	return out, nil
 }
 
 // HashUint64 is a convenience mixing function for integer keys

@@ -1,0 +1,402 @@
+package mapreduce
+
+import (
+	"bufio"
+	"bytes"
+	"container/heap"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// ShuffleConfig bounds the memory footprint of the shuffle's receive side.
+// The zero value keeps the whole shuffle in memory (the historical behavior).
+type ShuffleConfig struct {
+	// SpillThreshold is the number of buffered shuffle bytes a peer holds in
+	// memory before it spills a sorted run to a temp-file segment; <= 0
+	// disables spilling. Sizes are measured with the job's SizeOf function
+	// (or the codec's exact record size when SizeOf is nil), i.e. in wire
+	// bytes, not Go heap bytes.
+	SpillThreshold int64
+	// TmpDir is the directory spill segments are created under; empty uses
+	// the system temp directory. Each job creates (and removes) its own
+	// subdirectory.
+	TmpDir string
+}
+
+// Enabled reports whether the configuration asks for spilling.
+func (c ShuffleConfig) Enabled() bool { return c.SpillThreshold > 0 }
+
+const (
+	// maxSpillFrame bounds one segment frame on read-back (corruption
+	// guard). It matches the TCP transport's default MaxFrame: a record too
+	// large to spill would not fit the wire shuffle either. The writer
+	// enforces it up front — a single encoded record near this size is
+	// rejected with a clear error instead of producing an unreadable
+	// segment.
+	maxSpillFrame = 64 << 20
+	// spillChunkBytes caps the encoded values of a single segment frame, so
+	// one hot key spanning a whole run still produces bounded frames (a
+	// frame holds at most spillChunkBytes of already-buffered values plus
+	// one record).
+	spillChunkBytes = 1 << 20
+)
+
+// shuffleAccumulator gathers the key batches a peer receives (or owns
+// itself) during the shuffle. Below the spill threshold it is a plain
+// in-memory group-by; past it, the current run is sorted by encoded key and
+// written to a temp-file segment in the FrameCodec wire encoding, and the
+// reduce phase streams a k-way merge over the segments plus the final
+// in-memory run. add is safe for concurrent use (the engine's sender and
+// receiver both feed it); merge and cleanup are called after the shuffle
+// barrier, single-goroutine.
+type shuffleAccumulator[K comparable, V any] struct {
+	codec  *FrameCodec[K, V]
+	cfg    ShuffleConfig
+	sizeOf func(K, V) int
+
+	mu       sync.Mutex
+	mem      map[K][]V
+	memBytes int64
+	dir      string // lazily created spill directory, removed by cleanup
+	segs     []*os.File
+
+	spilledBytes int64
+	buf          []byte // scratch encode buffer, reused across spills
+}
+
+// newShuffleAccumulator builds the accumulator for one RunExchange call.
+// codec may be nil when cfg does not enable spilling.
+func newShuffleAccumulator[K comparable, V any](cfg ShuffleConfig, codec *FrameCodec[K, V], sizeOf func(K, V) int) *shuffleAccumulator[K, V] {
+	a := &shuffleAccumulator[K, V]{codec: codec, cfg: cfg, mem: make(map[K][]V)}
+	if cfg.Enabled() {
+		if sizeOf == nil {
+			sizeOf = codec.RecordSize
+		}
+		a.sizeOf = sizeOf
+	}
+	return a
+}
+
+// add appends one batch to the current run, spilling it when the run exceeds
+// the threshold.
+func (a *shuffleAccumulator[K, V]) add(b KeyBatch[K, V]) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mem[b.Key] = append(a.mem[b.Key], b.Values...)
+	if !a.cfg.Enabled() {
+		return nil
+	}
+	for _, v := range b.Values {
+		a.memBytes += int64(a.sizeOf(b.Key, v))
+	}
+	if a.memBytes < a.cfg.SpillThreshold {
+		return nil
+	}
+	return a.spillLocked()
+}
+
+// spillLocked writes the current in-memory run, sorted by encoded key, as one
+// length-prefixed segment file and resets the run.
+func (a *shuffleAccumulator[K, V]) spillLocked() error {
+	if len(a.mem) == 0 {
+		return nil
+	}
+	if a.dir == "" {
+		dir, err := os.MkdirTemp(a.cfg.TmpDir, "seqmine-spill-")
+		if err != nil {
+			return fmt.Errorf("mapreduce: creating spill directory: %w", err)
+		}
+		a.dir = dir
+	}
+	keys := a.sortedRun()
+
+	f, err := os.CreateTemp(a.dir, fmt.Sprintf("seg-%04d-*.run", len(a.segs)))
+	if err != nil {
+		return fmt.Errorf("mapreduce: creating spill segment: %w", err)
+	}
+	cw := &spillCountingWriter{w: f}
+	bw := bufio.NewWriterSize(cw, 256<<10)
+	w := segmentWriter[K, V]{codec: a.codec, bw: bw, vbuf: a.buf}
+	for _, kr := range keys {
+		if err := w.writeKey(kr.keyBytes, a.mem[kr.key]); err != nil {
+			f.Close()
+			return fmt.Errorf("mapreduce: writing spill segment: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("mapreduce: flushing spill segment: %w", err)
+	}
+	a.segs = append(a.segs, f)
+	a.spilledBytes += cw.n
+	a.mem = make(map[K][]V, len(a.mem))
+	a.memBytes = 0
+	a.buf = w.vbuf // keep the grown scratch buffer for the next spill
+	return nil
+}
+
+// keyedRun is one key of the current in-memory run with its encoded form,
+// the sort key of segments and of the merge.
+type keyedRun[K comparable] struct {
+	keyBytes []byte
+	key      K
+}
+
+// sortedRun returns the current in-memory run's keys sorted by encoded key
+// bytes — the order segments are written in and the merge consumes.
+func (a *shuffleAccumulator[K, V]) sortedRun() []keyedRun[K] {
+	keys := make([]keyedRun[K], 0, len(a.mem))
+	for k := range a.mem {
+		keys = append(keys, keyedRun[K]{keyBytes: a.codec.AppendKey(nil, k), key: k})
+	}
+	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i].keyBytes, keys[j].keyBytes) < 0 })
+	return keys
+}
+
+// spilled reports whether any run went to disk.
+func (a *shuffleAccumulator[K, V]) spilled() bool { return len(a.segs) > 0 }
+
+// stats returns the spill volume written so far.
+func (a *shuffleAccumulator[K, V]) stats() (spilledBytes int64, spillCount int64) {
+	return a.spilledBytes, int64(len(a.segs))
+}
+
+// merge streams every key group — the union of all on-disk segments and the
+// final in-memory run — to fn in encoded-key order. Each key is delivered
+// exactly once with all of its values; fn therefore sees the same groups an
+// in-memory shuffle would have built, just one at a time.
+func (a *shuffleAccumulator[K, V]) merge(fn func(K, []V) error) error {
+	// Sort the final in-memory run like a segment.
+	memRun := a.sortedRun()
+	memNext := 0
+
+	h := &mergeHeap[K, V]{}
+	readers := make([]*segmentReader[K, V], len(a.segs))
+	for i, f := range a.segs {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("mapreduce: rewinding spill segment: %w", err)
+		}
+		readers[i] = newSegmentReader(a.codec, bufio.NewReaderSize(f, 256<<10), maxSpillFrame)
+	}
+	// advance pushes source src's next entry onto the heap. Source index
+	// len(readers) is the in-memory run.
+	advance := func(src int) error {
+		if src == len(readers) {
+			if memNext < len(memRun) {
+				e := memRun[memNext]
+				memNext++
+				heap.Push(h, mergeEntry[K, V]{keyBytes: e.keyBytes, batch: KeyBatch[K, V]{Key: e.key, Values: a.mem[e.key]}, src: src})
+			}
+			return nil
+		}
+		keyBytes, batch, err := readers[src].next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("mapreduce: reading spill segment %d: %w", src, err)
+		}
+		heap.Push(h, mergeEntry[K, V]{keyBytes: keyBytes, batch: batch, src: src})
+		return nil
+	}
+	for src := 0; src <= len(readers); src++ {
+		if err := advance(src); err != nil {
+			return err
+		}
+	}
+
+	for h.Len() > 0 {
+		top := heap.Pop(h).(mergeEntry[K, V])
+		if err := advance(top.src); err != nil {
+			return err
+		}
+		key := top.batch.Key
+		values := top.batch.Values
+		for h.Len() > 0 && bytes.Equal((*h)[0].keyBytes, top.keyBytes) {
+			next := heap.Pop(h).(mergeEntry[K, V])
+			values = append(values, next.batch.Values...)
+			if err := advance(next.src); err != nil {
+				return err
+			}
+		}
+		if err := fn(key, values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cleanup removes the spill segments and their directory. Safe to call when
+// nothing was spilled.
+func (a *shuffleAccumulator[K, V]) cleanup() {
+	for _, f := range a.segs {
+		f.Close()
+	}
+	a.segs = nil
+	if a.dir != "" {
+		os.RemoveAll(a.dir)
+		a.dir = ""
+	}
+}
+
+type mergeEntry[K comparable, V any] struct {
+	keyBytes []byte
+	batch    KeyBatch[K, V]
+	src      int
+}
+
+// mergeHeap is a min-heap of run heads ordered by encoded key bytes (ties
+// broken by source so the merge is deterministic).
+type mergeHeap[K comparable, V any] []mergeEntry[K, V]
+
+func (h mergeHeap[K, V]) Len() int { return len(h) }
+func (h mergeHeap[K, V]) Less(i, j int) bool {
+	if c := bytes.Compare(h[i].keyBytes, h[j].keyBytes); c != 0 {
+		return c < 0
+	}
+	return h[i].src < h[j].src
+}
+func (h mergeHeap[K, V]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap[K, V]) Push(x any)   { *h = append(*h, x.(mergeEntry[K, V])) }
+func (h *mergeHeap[K, V]) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// spillCountingWriter counts the bytes that reach the segment file.
+type spillCountingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *spillCountingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// segmentWriter emits one spill segment: a sequence of frames, each a uvarint
+// length prefix followed by the FrameCodec batch encoding (key, value count,
+// values). Keys appear in sorted order; a key whose encoded values exceed
+// spillChunkBytes is split across consecutive frames with the same key, which
+// the merge reunites like any other duplicate key. A key with no values
+// still writes one zero-count frame, so the spilling run reduces exactly the
+// keys the in-memory run would (a combiner may legitimately prune every
+// value of a key).
+type segmentWriter[K comparable, V any] struct {
+	codec    *FrameCodec[K, V]
+	bw       *bufio.Writer
+	vbuf     []byte // scratch for encoded values
+	maxFrame int    // 0 means maxSpillFrame
+}
+
+func (w *segmentWriter[K, V]) writeKey(keyBytes []byte, values []V) error {
+	bound := w.maxFrame
+	if bound <= 0 {
+		bound = maxSpillFrame
+	}
+	vbuf := w.vbuf[:0]
+	count := 0
+	empty := len(values) == 0
+	flush := func() error {
+		if count == 0 && !empty {
+			return nil
+		}
+		empty = false
+		frameLen := len(keyBytes) + UvarintLen(uint64(count)) + len(vbuf)
+		// A frame holds at most spillChunkBytes of buffered values plus one
+		// record; reject a frame the reader's corruption guard would refuse
+		// rather than write an unreadable segment. (The wire transport's
+		// default MaxFrame is the same bound, so such a record could not
+		// shuffle remotely either.)
+		if frameLen > bound {
+			return fmt.Errorf("frame of %d encoded bytes exceeds the %d-byte spill frame bound", frameLen, bound)
+		}
+		var hdr [binary.MaxVarintLen64]byte
+		if _, err := w.bw.Write(hdr[:binary.PutUvarint(hdr[:], uint64(frameLen))]); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(keyBytes); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(AppendUvarint(hdr[:0], uint64(count))); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(vbuf); err != nil {
+			return err
+		}
+		vbuf = vbuf[:0]
+		count = 0
+		return nil
+	}
+	for _, v := range values {
+		vbuf = w.codec.AppendValue(vbuf, v)
+		count++
+		if len(vbuf) >= spillChunkBytes {
+			if err := flush(); err != nil {
+				w.vbuf = vbuf[:0]
+				return err
+			}
+		}
+	}
+	err := flush()
+	w.vbuf = vbuf
+	return err
+}
+
+// segmentReader streams the frames of one spill segment back as decoded
+// batches. It is robust against corrupt input (truncated prefixes, oversized
+// frames, trailing garbage) and never allocates more than maxFrame per frame,
+// so it can also be driven by the fuzzer.
+type segmentReader[K comparable, V any] struct {
+	codec    *FrameCodec[K, V]
+	br       *bufio.Reader
+	maxFrame int
+}
+
+func newSegmentReader[K comparable, V any](codec *FrameCodec[K, V], br *bufio.Reader, maxFrame int) *segmentReader[K, V] {
+	if maxFrame <= 0 {
+		maxFrame = maxSpillFrame
+	}
+	return &segmentReader[K, V]{codec: codec, br: br, maxFrame: maxFrame}
+}
+
+// next returns the next batch and its encoded key (for merge ordering). It
+// returns io.EOF at a clean end of the segment.
+func (r *segmentReader[K, V]) next() ([]byte, KeyBatch[K, V], error) {
+	var zero KeyBatch[K, V]
+	n, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return nil, zero, io.EOF
+	}
+	if err != nil {
+		return nil, zero, fmt.Errorf("reading frame length: %w", err)
+	}
+	if n == 0 || n > uint64(r.maxFrame) {
+		return nil, zero, fmt.Errorf("frame length %d out of range (max %d)", n, r.maxFrame)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r.br, frame); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, zero, fmt.Errorf("reading %d-byte frame: %w", n, err)
+	}
+	batch, keyLen, err := r.codec.decodeBatchKeyed(frame)
+	if err != nil {
+		return nil, zero, err
+	}
+	return frame[:keyLen], batch, nil
+}
+
+// errSpillNeedsCodec is returned when spilling is requested for a job that
+// cannot serialize its records.
+var errSpillNeedsCodec = errors.New("mapreduce: ShuffleConfig.SpillThreshold requires a job Codec to serialize spilled records")

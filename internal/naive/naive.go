@@ -7,6 +7,8 @@
 package naive
 
 import (
+	"fmt"
+
 	"seqmine/internal/dict"
 	"seqmine/internal/fst"
 	"seqmine/internal/mapreduce"
@@ -31,9 +33,49 @@ func (v Variant) String() string {
 	return "Naive"
 }
 
+// codec is the wire/spill encoding of one shuffle record: the candidate key
+// as length-prefixed bytes and the count as a varint.
+func codec() mapreduce.FrameCodec[string, int64] {
+	return mapreduce.FrameCodec[string, int64]{
+		AppendKey: func(buf []byte, k string) []byte {
+			buf = mapreduce.AppendUvarint(buf, uint64(len(k)))
+			return append(buf, k...)
+		},
+		ReadKey: func(data []byte, pos int) (string, int, error) {
+			n, pos, err := mapreduce.ReadUvarint(data, pos)
+			if err != nil {
+				return "", 0, err
+			}
+			if n > uint64(len(data)-pos) {
+				return "", 0, fmt.Errorf("naive: key claims %d bytes, %d left", n, len(data)-pos)
+			}
+			return string(data[pos : pos+int(n)]), pos + int(n), nil
+		},
+		AppendValue: func(buf []byte, v int64) []byte {
+			return mapreduce.AppendUvarint(buf, uint64(v))
+		},
+		ReadValue: func(data []byte, pos int) (int64, int, error) {
+			v, pos, err := mapreduce.ReadUvarint(data, pos)
+			return int64(v), pos, err
+		},
+	}
+}
+
 // Mine runs the baseline on the database and returns the frequent sequences
-// together with the engine metrics.
+// together with the engine metrics. It panics on failure; a run can only
+// fail when spilling is enabled (cfg.Shuffle), so callers that enable it
+// should prefer MineLocal.
 func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, variant Variant, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics) {
+	out, metrics, err := MineLocal(f, db, sigma, variant, cfg)
+	if err != nil {
+		panic("naive: " + err.Error())
+	}
+	return out, metrics
+}
+
+// MineLocal is Mine with error reporting: spill failures (the only way an
+// in-process run can fail) are returned instead of panicking.
+func MineLocal(f *fst.FST, db [][]dict.ItemID, sigma int64, variant Variant, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics, error) {
 	genSigma := int64(0)
 	if variant == SemiNaive {
 		genSigma = sigma
@@ -60,12 +102,22 @@ func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, variant Variant, cfg mapr
 				emit(miner.Pattern{Items: DecodeSequence(key), Freq: s})
 			}
 		},
-		Hash:   mapreduce.HashString,
-		SizeOf: func(k string, _ int64) int { return len(k) + 8 },
+		Hash: mapreduce.HashString,
+		// The exact single-record wire size of (k, v) under codec(), so
+		// ShuffleBytes and the spill-threshold accounting stay honest.
+		SizeOf: func(k string, v int64) int {
+			return mapreduce.UvarintLen(uint64(len(k))) + len(k) +
+				mapreduce.UvarintLen(1) + mapreduce.UvarintLen(uint64(v))
+		},
 	}
-	out, metrics := mapreduce.Run(db, cfg, job)
+	c := codec()
+	job.Codec = &c
+	out, metrics, err := mapreduce.RunLocal(db, cfg, job)
+	if err != nil {
+		return nil, metrics, err
+	}
 	miner.SortPatterns(out)
-	return out, metrics
+	return out, metrics, nil
 }
 
 // EncodeSequence renders a sequence of fids as a compact varint byte string,

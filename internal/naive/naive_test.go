@@ -95,3 +95,26 @@ func TestNaiveMatchesSequential(t *testing.T) {
 		}
 	}
 }
+
+// TestNaiveSpillEquivalence asserts the baselines also mine identically when
+// their candidate shuffle spills to disk (exercising the string-key codec).
+func TestNaiveSpillEquivalence(t *testing.T) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	db := paperex.DB(d)
+	for _, variant := range []naive.Variant{naive.Naive, naive.SemiNaive} {
+		want, _ := naive.Mine(f, db, paperex.Sigma, variant, mapreduce.Config{})
+		cfg := mapreduce.Config{MapWorkers: 2, ReduceWorkers: 2,
+			Shuffle: mapreduce.ShuffleConfig{SpillThreshold: 1, TmpDir: t.TempDir()}}
+		got, metrics, err := naive.MineLocal(f, db, paperex.Sigma, variant, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", variant, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: spilling run differs from in-memory run", variant)
+		}
+		if metrics.SpilledBytes == 0 || metrics.SpillCount == 0 {
+			t.Errorf("%v: expected spilling, got %+v", variant, metrics)
+		}
+	}
+}

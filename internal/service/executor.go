@@ -66,6 +66,21 @@ type ExecOptions struct {
 	MinimizeNFAs  bool
 	AggregateNFAs bool
 
+	// SpillThreshold bounds the in-memory shuffle footprint of the
+	// distributed backends, in bytes per peer: past it, shuffle partitions
+	// spill to sorted temp-file segments that the reduce phase
+	// merge-streams, so shuffles larger than memory still complete.
+	// 0 inherits the service default (Config.SpillThreshold) when run
+	// through Service.Mine; <= 0 at Execute time keeps the shuffle in
+	// memory. The sequential backends (dfs, count) do not shuffle and
+	// ignore it.
+	SpillThreshold int64
+	// SpillTmpDir is where spill segments are created for in-process runs;
+	// empty uses the system temp directory. It is a daemon-local path and is
+	// never shipped to cluster workers — they spill into their own
+	// -spill-dir.
+	SpillTmpDir string
+
 	// Cluster, when non-nil, runs the distributed backends (dseq, dcand)
 	// across remote worker processes over the TCP shuffle transport instead
 	// of the in-process BSP engine.
@@ -194,30 +209,42 @@ func execute(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma int64, o
 
 // mineDistributed runs one of the BSP algorithms whole-database.
 func mineDistributed(f *fst.FST, db *seqdb.Database, sigma int64, opts ExecOptions, workers int) ([]miner.Pattern, mapreduce.Metrics, ExecStats, error) {
-	cfg := mapreduce.Config{MapWorkers: workers, ReduceWorkers: workers}
+	cfg := mapreduce.Config{MapWorkers: workers, ReduceWorkers: workers, Shuffle: opts.shuffleConfig()}
 	var (
 		patterns []miner.Pattern
 		metrics  mapreduce.Metrics
+		err      error
 	)
 	switch opts.Algorithm {
 	case "", AlgoDSeq:
-		patterns, metrics = dseq.Mine(f, db.Sequences, sigma, dseq.Options{
+		patterns, metrics, err = dseq.MineLocal(f, db.Sequences, sigma, dseq.Options{
 			UseGrid:       opts.UseGrid,
 			Rewrite:       opts.Rewrite,
 			EarlyStopping: opts.EarlyStopping,
 			Aggregate:     opts.AggregateSequences,
 		}, cfg)
 	case AlgoDCand:
-		patterns, metrics = dcand.Mine(f, db.Sequences, sigma, dcand.Options{
+		patterns, metrics, err = dcand.MineLocal(f, db.Sequences, sigma, dcand.Options{
 			Minimize:  opts.MinimizeNFAs,
 			Aggregate: opts.AggregateNFAs,
 		}, cfg)
 	case AlgoNaive:
-		patterns, metrics = naive.Mine(f, db.Sequences, sigma, naive.Naive, cfg)
+		patterns, metrics, err = naive.MineLocal(f, db.Sequences, sigma, naive.Naive, cfg)
 	case AlgoSemiNaive:
-		patterns, metrics = naive.Mine(f, db.Sequences, sigma, naive.SemiNaive, cfg)
+		patterns, metrics, err = naive.MineLocal(f, db.Sequences, sigma, naive.SemiNaive, cfg)
+	}
+	if err != nil {
+		return nil, metrics, ExecStats{}, err
 	}
 	return patterns, metrics, ExecStats{Shards: 1}, nil
+}
+
+// shuffleConfig maps the spill options to the engine's shuffle bounds.
+func (o ExecOptions) shuffleConfig() mapreduce.ShuffleConfig {
+	if o.SpillThreshold <= 0 {
+		return mapreduce.ShuffleConfig{}
+	}
+	return mapreduce.ShuffleConfig{SpillThreshold: o.SpillThreshold, TmpDir: o.SpillTmpDir}
 }
 
 // mineCluster fans a distributed backend out across worker processes: the
@@ -237,15 +264,23 @@ func mineCluster(ctx context.Context, db *seqdb.Database, sigma int64, opts Exec
 	if opts.Cluster.Expression == "" {
 		return nil, mapreduce.Metrics{}, ExecStats{}, fmt.Errorf("cluster execution requires the pattern expression")
 	}
-	coord := &cluster.Coordinator{Workers: opts.Cluster.Workers}
-	res, err := coord.Mine(ctx, db, opts.Cluster.Expression, sigma, algo, cluster.Options{
+	copts := cluster.Options{
 		UseGrid:            opts.UseGrid,
 		Rewrite:            opts.Rewrite,
 		EarlyStopping:      opts.EarlyStopping,
 		AggregateSequences: opts.AggregateSequences,
 		MinimizeNFAs:       opts.MinimizeNFAs,
 		AggregateNFAs:      opts.AggregateNFAs,
-	})
+	}
+	if opts.SpillThreshold > 0 {
+		copts.SpillThresholdBytes = opts.SpillThreshold
+		// SpillTmpDir is deliberately NOT forwarded: it names a path on the
+		// daemon's filesystem (often the -spill-dir service default), which
+		// is meaningless on remote workers. Left empty in the JobSpec, each
+		// worker spills into its own -spill-dir (or system temp dir).
+	}
+	coord := &cluster.Coordinator{Workers: opts.Cluster.Workers}
+	res, err := coord.Mine(ctx, db, opts.Cluster.Expression, sigma, algo, copts)
 	if err != nil {
 		return nil, mapreduce.Metrics{}, ExecStats{}, err
 	}

@@ -35,6 +35,12 @@ type MineRequest struct {
 	// Distributed runs the query on the daemon's default worker cluster
 	// (seqmined -cluster); an error if none is configured.
 	Distributed bool `json:"distributed,omitempty"`
+	// SpillThresholdBytes bounds the in-memory shuffle footprint per peer
+	// for the distributed algorithms: past it, shuffle partitions spill to
+	// disk and are merge-streamed into the reducers. 0 uses the daemon
+	// default (-spill-threshold); a negative value forces in-memory
+	// shuffles for this query.
+	SpillThresholdBytes int64 `json:"spill_threshold_bytes,omitempty"`
 }
 
 // MinePattern is one mined pattern on the wire.
@@ -97,6 +103,7 @@ func NewHandler(s *Service) http.Handler {
 		opts.Algorithm = algo
 		opts.Workers = req.Workers
 		opts.Shards = req.Shards
+		opts.SpillThreshold = req.SpillThresholdBytes
 		switch {
 		case len(req.ClusterWorkers) > 0:
 			opts.Cluster = &ClusterOptions{Workers: req.ClusterWorkers}

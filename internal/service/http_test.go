@@ -296,3 +296,34 @@ func TestMineFromLoadedFiles(t *testing.T) {
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+// TestMineSpillThresholdOverHTTP drives the spill path through the wire API:
+// "spill_threshold_bytes" must reach the engine, produce identical patterns,
+// and surface the spill metrics in the response.
+func TestMineSpillThresholdOverHTTP(t *testing.T) {
+	srv, _ := newTestServer(t)
+	putExampleDataset(t, srv, "ex")
+
+	want := paperex.ExpectedFrequent()
+	var out service.MineResponse
+	resp := doJSON(t, http.MethodPost, srv.URL+"/mine", service.MineRequest{
+		Dataset:             "ex",
+		Pattern:             paperex.PatternExpression,
+		Sigma:               paperex.Sigma,
+		Algorithm:           "dseq",
+		SpillThresholdBytes: 1, // every record spills on the tiny example
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /mine: status %d", resp.StatusCode)
+	}
+	got := map[string]int64{}
+	for _, p := range out.Patterns {
+		got[strings.Join(p.Items, " ")] = p.Freq
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("patterns = %v, want %v", got, want)
+	}
+	if out.Metrics.MapReduce.SpilledBytes == 0 || out.Metrics.MapReduce.SpillCount == 0 {
+		t.Errorf("expected spill metrics in the response, got %+v", out.Metrics.MapReduce)
+	}
+}

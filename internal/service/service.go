@@ -47,6 +47,13 @@ type Config struct {
 	// Queries that request distributed execution without naming workers use
 	// it (see the HTTP API's "distributed" flag).
 	ClusterWorkers []string
+	// SpillThreshold is the default shuffle spill threshold in bytes per
+	// peer applied to queries that do not set their own (see
+	// ExecOptions.SpillThreshold); 0 keeps shuffles in memory.
+	SpillThreshold int64
+	// SpillTmpDir is the default directory for shuffle spill segments;
+	// empty uses the system temp directory.
+	SpillTmpDir string
 }
 
 // Service is a concurrent mining service. All methods are safe for
@@ -164,6 +171,12 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 	opts := q.Options
 	if opts.Workers <= 0 {
 		opts.Workers = s.cfg.Workers
+	}
+	if opts.SpillThreshold == 0 {
+		opts.SpillThreshold = s.cfg.SpillThreshold
+	}
+	if opts.SpillTmpDir == "" {
+		opts.SpillTmpDir = s.cfg.SpillTmpDir
 	}
 	if opts.Cluster != nil && opts.Cluster.Expression == "" {
 		// The workers compile the expression themselves; copy the options so

@@ -311,3 +311,74 @@ func TestRegistryLifecycle(t *testing.T) {
 		t.Error("nil database should be rejected")
 	}
 }
+
+// TestSpillThresholdThroughService exercises the spill path end-to-end
+// through the service layer: a query-level spill threshold (and the service
+// default) must produce the same patterns as the in-memory run, with spill
+// metrics reported, for every distributed backend.
+func TestSpillThresholdThroughService(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, seqs := paperex.RandomDatabase(rng, 300, 9)
+	db := &seqdb.Database{Dict: d, Sequences: seqs}
+	svc := service.New(service.Config{})
+	if _, err := svc.RegisterDataset("rnd", db); err != nil {
+		t.Fatal(err)
+	}
+	const pat = "[.*(.)]{1,3}.*"
+	const sigma = 10
+	for _, algo := range []service.Algorithm{service.AlgoDSeq, service.AlgoDCand, service.AlgoSemiNaive} {
+		base := service.DefaultExecOptions()
+		base.Algorithm = algo
+		ref, err := svc.Mine(context.Background(), service.Query{Dataset: "rnd", Expression: pat, Sigma: sigma, Options: base})
+		if err != nil {
+			t.Fatalf("%s reference: %v", algo, err)
+		}
+		if ref.Metrics.MapReduce.SpilledBytes != 0 {
+			t.Fatalf("%s reference run spilled unexpectedly", algo)
+		}
+
+		spilling := base
+		spilling.SpillThreshold = 512
+		spilling.SpillTmpDir = t.TempDir()
+		got, err := svc.Mine(context.Background(), service.Query{Dataset: "rnd", Expression: pat, Sigma: sigma, Options: spilling})
+		if err != nil {
+			t.Fatalf("%s spilling: %v", algo, err)
+		}
+		if !reflect.DeepEqual(got.Patterns, ref.Patterns) {
+			t.Errorf("%s: spilling run differs from in-memory run", algo)
+		}
+		if got.Metrics.MapReduce.SpilledBytes == 0 || got.Metrics.MapReduce.SpillCount == 0 {
+			t.Errorf("%s: expected spill metrics, got %+v", algo, got.Metrics.MapReduce)
+		}
+	}
+}
+
+// TestServiceDefaultSpillThreshold checks that Config.SpillThreshold applies
+// to queries that do not set their own, and that a negative query threshold
+// opts back out.
+func TestServiceDefaultSpillThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, seqs := paperex.RandomDatabase(rng, 200, 9)
+	db := &seqdb.Database{Dict: d, Sequences: seqs}
+	svc := service.New(service.Config{SpillThreshold: 512, SpillTmpDir: t.TempDir()})
+	if _, err := svc.RegisterDataset("rnd", db); err != nil {
+		t.Fatal(err)
+	}
+	q := service.Query{Dataset: "rnd", Expression: "[.*(.)]{1,3}.*", Sigma: 10, Options: service.DefaultExecOptions()}
+	resp, err := svc.Mine(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Metrics.MapReduce.SpilledBytes == 0 {
+		t.Error("expected the service default threshold to trigger spilling")
+	}
+
+	q.Options.SpillThreshold = -1 // explicit opt-out
+	resp, err = svc.Mine(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Metrics.MapReduce.SpilledBytes != 0 {
+		t.Error("a negative query threshold must disable the service default")
+	}
+}

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_baseline.json, the committed reference for the CI
+# bench-compare regression gate. Run this ON THE CI RUNNER CLASS (or rely on
+# the BenchmarkCalibration normalization for moderate machine differences)
+# whenever the tier-1 benchmark set changes or a deliberate performance
+# change shifts the baseline.
+#
+# Tier-1 benchmarks are the end-to-end per-algorithm runs plus the hot-path
+# component suites of the BSP engine, the DESQ-DFS/COUNT miner and the pivot
+# search — the code the paper's results depend on:
+#
+#   - root:               BenchmarkAlgorithms_N1/*, BenchmarkAlgorithms_T3/*
+#   - internal/mapreduce: the shuffle/spill engine
+#   - internal/miner:     the local miners
+#   - internal/pivot:     the pivot search
+#
+# BenchmarkCalibration is recorded alongside them for machine-speed
+# normalization; it is excluded from the gate's geomean.
+#
+# -cpu 2 pins GOMAXPROCS so benchmark names carry the same "-2" suffix on
+# every machine (benchgate strips exactly one trailing "-N"; without a fixed
+# -cpu, a single-core recorder would emit suffix-less names that cannot be
+# matched against a multi-core runner's).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+benchtime=3x
+count=5
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+echo "== running tier-1 benchmarks (-benchtime=$benchtime -count=$count -cpu 2)"
+go test -run '^$' -bench '^(BenchmarkAlgorithms_N1|BenchmarkAlgorithms_T3|BenchmarkCalibration)$' \
+    -benchtime="$benchtime" -count="$count" -cpu 2 . | tee "$out"
+go test -run '^$' -bench . -benchtime="$benchtime" -count="$count" -cpu 2 \
+    ./internal/mapreduce ./internal/miner ./internal/pivot | tee -a "$out"
+
+echo "== recording BENCH_baseline.json"
+go run ./cmd/benchgate record \
+    -command "scripts/bench-baseline.sh (go test -bench tier-1 -benchtime=$benchtime -count=$count)" \
+    <"$out"

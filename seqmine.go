@@ -123,6 +123,16 @@ type Options struct {
 	MinimizeNFAs bool
 	// AggregateNFAs enables D-CAND's combiner aggregation of identical NFAs.
 	AggregateNFAs bool
+
+	// SpillThreshold bounds the in-memory shuffle footprint of the
+	// distributed algorithms, in bytes: past it, shuffle partitions spill
+	// to sorted temp-file segments and the reduce phase merge-streams
+	// them, so datasets whose shuffle exceeds RAM still mine. 0 keeps the
+	// shuffle in memory.
+	SpillThreshold int64
+	// SpillTmpDir is where spill segments are created; empty uses the
+	// system temp directory.
+	SpillTmpDir string
 }
 
 // DefaultOptions returns the recommended configuration: D-SEQ with all
@@ -215,6 +225,8 @@ func (o Options) execOptions(shards int) service.ExecOptions {
 		AggregateSequences: o.AggregateSequences,
 		MinimizeNFAs:       o.MinimizeNFAs,
 		AggregateNFAs:      o.AggregateNFAs,
+		SpillThreshold:     o.SpillThreshold,
+		SpillTmpDir:        o.SpillTmpDir,
 	}
 }
 
@@ -265,6 +277,13 @@ type ServiceOptions struct {
 	// DefaultTimeout is the per-query deadline applied when the caller's
 	// context has none; 0 means no default deadline.
 	DefaultTimeout time.Duration
+	// SpillThreshold is the default shuffle spill threshold in bytes per
+	// peer for queries that do not set their own; 0 keeps shuffles in
+	// memory.
+	SpillThreshold int64
+	// SpillTmpDir is where shuffle spill segments are created; empty uses
+	// the system temp directory.
+	SpillTmpDir string
 }
 
 // Service is a long-lived, concurrency-safe mining service: it holds named
@@ -283,6 +302,8 @@ func NewService(opts ServiceOptions) *Service {
 		Workers:        opts.Workers,
 		MaxConcurrent:  opts.MaxConcurrent,
 		DefaultTimeout: opts.DefaultTimeout,
+		SpillThreshold: opts.SpillThreshold,
+		SpillTmpDir:    opts.SpillTmpDir,
 	})}
 }
 
