@@ -52,12 +52,19 @@ func main() {
 	sigma := flag.Int64("sigma", 2, "minimum support threshold (submit mode)")
 	algorithm := flag.String("algorithm", "dcand", "algorithm: dseq or dcand (submit mode)")
 	spillThreshold := flag.Int64("spill-threshold", 0, "shuffle bytes each worker holds in memory before spilling to disk (0 = never spill, submit mode)")
+	sendBuffer := flag.Int64("send-buffer", 0, "per-peer streaming send-buffer bytes on each worker (0 = barrier mode, submit mode)")
+	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress the workers' spill segments (submit mode)")
 	top := flag.Int("top", 25, "print only the top-k frequent sequences (0 = all, submit mode)")
 	showMetrics := flag.Bool("metrics", true, "print shuffle/runtime metrics (submit mode)")
 	flag.Parse()
 
 	if *submit {
-		runSubmit(*workers, *data, *hierarchy, *pattern, *sigma, *algorithm, *spillThreshold, *top, *showMetrics)
+		runSubmit(submitConfig{
+			workers: *workers, data: *data, hierarchy: *hierarchy,
+			pattern: *pattern, sigma: *sigma, algorithm: *algorithm,
+			spillThreshold: *spillThreshold, sendBuffer: *sendBuffer, compressSpill: *compressSpill,
+			top: *top, showMetrics: *showMetrics,
+		})
 		return
 	}
 	runWorker(*listen, *dataListen, *dataAdvertise, *spillDir)
@@ -101,54 +108,68 @@ func runWorker(listen, dataListen, dataAdvertise, spillDir string) {
 	}
 }
 
+// submitConfig carries the coordinator CLI's flags.
+type submitConfig struct {
+	workers, data, hierarchy, pattern, algorithm string
+	sigma, spillThreshold, sendBuffer            int64
+	compressSpill                                bool
+	top                                          int
+	showMetrics                                  bool
+}
+
 // runSubmit coordinates one distributed job and prints the merged result.
-func runSubmit(workers, data, hierarchy, pattern string, sigma int64, algorithm string, spillThreshold int64, top int, showMetrics bool) {
+func runSubmit(sc submitConfig) {
 	var urls []string
-	for _, u := range strings.Split(workers, ",") {
+	for _, u := range strings.Split(sc.workers, ",") {
 		if u = strings.TrimSpace(u); u != "" {
 			urls = append(urls, u)
 		}
 	}
-	if len(urls) == 0 || data == "" || pattern == "" {
+	if len(urls) == 0 || sc.data == "" || sc.pattern == "" {
 		fmt.Fprintln(os.Stderr, "seqmine-worker: -submit requires -workers, -data and -pattern")
 		flag.Usage()
 		os.Exit(2)
 	}
-	algo := strings.ToLower(algorithm)
+	algo := strings.ToLower(sc.algorithm)
 	if algo != cluster.AlgoDSeq && algo != cluster.AlgoDCand {
-		fmt.Fprintf(os.Stderr, "seqmine-worker: algorithm %q cannot run distributed (want dseq or dcand)\n", algorithm)
+		fmt.Fprintf(os.Stderr, "seqmine-worker: algorithm %q cannot run distributed (want dseq or dcand)\n", sc.algorithm)
 		os.Exit(2)
 	}
 
-	db, err := seqdb.ReadFiles(data, hierarchy)
+	db, err := seqdb.ReadFiles(sc.data, sc.hierarchy)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("loaded %d sequences, %d dictionary items\n", db.NumSequences(), db.Dict.Size())
 
 	copts := cluster.DefaultOptions()
-	copts.SpillThresholdBytes = spillThreshold
+	copts.SpillThresholdBytes = sc.spillThreshold
+	copts.SendBufferBytes = sc.sendBuffer
+	copts.CompressSpill = sc.compressSpill
 	coord := &cluster.Coordinator{Workers: urls}
 	start := time.Now()
-	res, err := coord.Mine(context.Background(), db, pattern, sigma, algo, copts)
+	res, err := coord.Mine(context.Background(), db, sc.pattern, sc.sigma, algo, copts)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("%d frequent sequences (algorithm %s, sigma %d)\n", len(res.Patterns), algo, sigma)
+	fmt.Printf("%d frequent sequences (algorithm %s, sigma %d)\n", len(res.Patterns), algo, sc.sigma)
 	limit := len(res.Patterns)
-	if top > 0 && top < limit {
-		limit = top
+	if sc.top > 0 && sc.top < limit {
+		limit = sc.top
 	}
 	for _, p := range res.Patterns[:limit] {
 		fmt.Printf("%8d  %s\n", p.Freq, db.Dict.DecodeString(p.Items))
 	}
-	if showMetrics {
+	if sc.showMetrics {
 		m := res.Metrics
 		fmt.Printf("%d workers, wall %v, map time %v, reduce time %v, shuffle %d records / %d bytes on the wire (%d read) over %d partitions\n",
 			len(urls), elapsed.Round(time.Millisecond), m.MapTime, m.ReduceTime,
 			m.ShuffleRecords, m.ShuffleBytes, res.WireBytesIn, m.Partitions)
+		if m.StreamedBatches > 0 {
+			fmt.Printf("streamed %d batches across the cluster (max shuffle time %v overlapping the map phase)\n", m.StreamedBatches, m.ShuffleTime)
+		}
 		if m.SpillCount > 0 {
 			fmt.Printf("spilled %d bytes in %d segments across the cluster\n", m.SpilledBytes, m.SpillCount)
 		}

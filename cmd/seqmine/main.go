@@ -25,6 +25,8 @@ func main() {
 	workers := flag.Int("workers", 0, "number of workers (0 = all CPUs)")
 	spillThreshold := flag.Int64("spill-threshold", 0, "shuffle bytes held in memory before spilling to disk (distributed algorithms; 0 = never spill)")
 	spillDir := flag.String("spill-dir", "", "directory for shuffle spill segments (default: system temp dir)")
+	sendBuffer := flag.Int64("send-buffer", 0, "per-peer streaming send-buffer bytes: map workers stream the shuffle while mapping instead of after a barrier (distributed algorithms; 0 = barrier mode)")
+	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress shuffle spill segments")
 	top := flag.Int("top", 25, "print only the top-k frequent sequences (0 = all)")
 	showMetrics := flag.Bool("metrics", true, "print shuffle/runtime metrics for distributed algorithms")
 	flag.Parse()
@@ -60,6 +62,8 @@ func main() {
 	opts.Workers = *workers
 	opts.SpillThreshold = *spillThreshold
 	opts.SpillTmpDir = *spillDir
+	opts.SendBufferBytes = *sendBuffer
+	opts.CompressSpill = *compressSpill
 	result, err := seqmine.Mine(db, *pattern, *sigma, opts)
 	if err != nil {
 		fatal(err)
@@ -77,6 +81,9 @@ func main() {
 		m := result.Metrics
 		fmt.Printf("map time %v, reduce time %v, shuffle %d records / %d bytes over %d partitions\n",
 			m.MapTime, m.ReduceTime, m.ShuffleRecords, m.ShuffleBytes, m.Partitions)
+		if m.StreamedBatches > 0 {
+			fmt.Printf("streamed %d batches (shuffle time %v overlapping the map phase)\n", m.StreamedBatches, m.ShuffleTime)
+		}
 		if m.SpillCount > 0 {
 			fmt.Printf("spilled %d bytes in %d segments\n", m.SpilledBytes, m.SpillCount)
 		}

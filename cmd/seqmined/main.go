@@ -42,6 +42,8 @@ func main() {
 	clusterWorkers := flag.String("cluster", "", "comma-separated seqmine-worker control URLs used by queries with \"distributed\": true")
 	spillThreshold := flag.Int64("spill-threshold", 0, "default shuffle bytes a query holds in memory before spilling to disk (0 = never spill; queries override with \"spill_threshold_bytes\")")
 	spillDir := flag.String("spill-dir", "", "directory for shuffle spill segments (default: system temp dir)")
+	sendBuffer := flag.Int64("send-buffer", 0, "default per-peer streaming send-buffer bytes (0 = barrier-mode shuffles; queries override with \"send_buffer_bytes\")")
+	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress shuffle spill segments by default (queries opt in with \"compress_spill\")")
 	var loads loadFlags
 	flag.Var(&loads, "load", "dataset to load at startup as name=sequences.txt[,hierarchy.txt] (repeatable)")
 	flag.Parse()
@@ -55,13 +57,15 @@ func main() {
 		}
 	}
 	svc := service.New(service.Config{
-		CacheSize:      *cacheSize,
-		Workers:        *workers,
-		MaxConcurrent:  *maxConcurrent,
-		DefaultTimeout: *timeout,
-		ClusterWorkers: clusterURLs,
-		SpillThreshold: *spillThreshold,
-		SpillTmpDir:    *spillDir,
+		CacheSize:       *cacheSize,
+		Workers:         *workers,
+		MaxConcurrent:   *maxConcurrent,
+		DefaultTimeout:  *timeout,
+		ClusterWorkers:  clusterURLs,
+		SpillThreshold:  *spillThreshold,
+		SpillTmpDir:     *spillDir,
+		SendBufferBytes: *sendBuffer,
+		CompressSpill:   *compressSpill,
 	})
 	for _, spec := range loads {
 		name, paths, ok := strings.Cut(spec, "=")

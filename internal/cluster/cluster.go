@@ -48,6 +48,14 @@ type Options struct {
 	// SpillTmpDir is where workers create spill segments; empty uses each
 	// worker's default (its -spill-dir flag, else the system temp dir).
 	SpillTmpDir string `json:"spill_tmp_dir,omitempty"`
+	// SendBufferBytes, when > 0, switches each worker to the streaming
+	// pipelined shuffle: map workers emit into bounded per-peer send buffers
+	// drained over the TCP fabric while mapping continues, overlapping map
+	// compute with network transfer. 0 keeps the phase-synchronous barrier.
+	SendBufferBytes int64 `json:"send_buffer_bytes,omitempty"`
+	// CompressSpill compresses the workers' spill segments (receive-side
+	// runs and map-side send overflow) with DEFLATE.
+	CompressSpill bool `json:"compress_spill,omitempty"`
 }
 
 // DefaultOptions enables every enhancement, mirroring the single-process

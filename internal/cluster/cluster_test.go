@@ -202,3 +202,61 @@ func TestWorkerNodeAccessor(t *testing.T) {
 		t.Error("Node() must return the wrapped transport node")
 	}
 }
+
+// TestCoordinatorStreamingMatchesInProcess runs a 3-worker distributed job
+// with the streaming pipelined shuffle (a tiny per-peer send buffer, plus a
+// compressed-spill variant): the merged pattern set must be byte-identical
+// to the in-memory single-process barrier run, and the workers must report
+// streamed batches.
+func TestCoordinatorStreamingMatchesInProcess(t *testing.T) {
+	db, err := datagen.NYT(datagen.NYTConfig{NumSentences: 200, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const expr, sigma = "[.*(.)]{1,3}.*", int64(20)
+	f := fst.MustCompile(expr, db.Dict)
+
+	coord := &cluster.Coordinator{Workers: startWorkers(t, 3)}
+	variants := map[string]cluster.Options{}
+	streaming := cluster.DefaultOptions()
+	streaming.SendBufferBytes = 1024
+	variants["streaming"] = streaming
+	everything := streaming
+	everything.SpillThresholdBytes = 2048
+	everything.CompressSpill = true
+	variants["streaming+spill+deflate"] = everything
+
+	for _, algo := range []string{cluster.AlgoDSeq, cluster.AlgoDCand} {
+		var want []miner.Pattern
+		switch algo {
+		case cluster.AlgoDSeq:
+			want, _ = dseq.Mine(f, db.Sequences, sigma, dseq.DefaultOptions(), mapreduce.Config{})
+		case cluster.AlgoDCand:
+			want, _ = dcand.Mine(f, db.Sequences, sigma, dcand.DefaultOptions(), mapreduce.Config{})
+		}
+		if len(want) == 0 {
+			t.Fatalf("%s: reference run found no patterns", algo)
+		}
+		for name, opts := range variants {
+			res, err := coord.Mine(context.Background(), db, expr, sigma, algo, opts)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", algo, name, err)
+			}
+			if !reflect.DeepEqual(res.Patterns, want) {
+				t.Errorf("%s/%s: streaming cluster run differs from in-memory run (%d vs %d patterns)",
+					algo, name, len(res.Patterns), len(want))
+			}
+			if res.Metrics.StreamedBatches == 0 {
+				t.Errorf("%s/%s: expected streamed batches, got %+v", algo, name, res.Metrics)
+			}
+			for p, r := range res.PerWorker {
+				if r.Metrics.StreamedBatches == 0 {
+					t.Errorf("%s/%s: worker %d streamed no batches", algo, name, p)
+				}
+			}
+			if opts.SpillThresholdBytes > 0 && res.Metrics.SpilledBytes == 0 {
+				t.Errorf("%s/%s: expected cluster-wide spilling, got %+v", algo, name, res.Metrics)
+			}
+		}
+	}
+}

@@ -132,6 +132,9 @@ func (c *Coordinator) Mine(ctx context.Context, db *seqdb.Database, expression s
 		if m.MapTime > res.Metrics.MapTime {
 			res.Metrics.MapTime = m.MapTime
 		}
+		if m.ShuffleTime > res.Metrics.ShuffleTime {
+			res.Metrics.ShuffleTime = m.ShuffleTime
+		}
 		if m.ReduceTime > res.Metrics.ReduceTime {
 			res.Metrics.ReduceTime = m.ReduceTime
 		}
@@ -144,6 +147,7 @@ func (c *Coordinator) Mine(ctx context.Context, db *seqdb.Database, expression s
 		}
 		res.Metrics.SpilledBytes += m.SpilledBytes
 		res.Metrics.SpillCount += m.SpillCount
+		res.Metrics.StreamedBatches += m.StreamedBatches
 	}
 	miner.SortPatterns(res.Patterns)
 	return res, nil

@@ -88,7 +88,12 @@ func (w *Worker) Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	cfg := mapreduce.Config{
 		MapWorkers:    spec.Options.MapWorkers,
 		ReduceWorkers: spec.Options.ReduceWorkers,
-		Shuffle:       mapreduce.ShuffleConfig{SpillThreshold: spec.Options.SpillThresholdBytes, TmpDir: spillDir},
+		Shuffle: mapreduce.ShuffleConfig{
+			SpillThreshold:  spec.Options.SpillThresholdBytes,
+			TmpDir:          spillDir,
+			SendBufferBytes: spec.Options.SendBufferBytes,
+			Compression:     spec.Options.CompressSpill,
+		},
 	}
 	var (
 		patterns []miner.Pattern

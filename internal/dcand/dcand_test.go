@@ -186,3 +186,41 @@ func TestDCandSpillEquivalence(t *testing.T) {
 		t.Errorf("partitions: got %d want %d", metrics.Partitions, wantMetrics.Partitions)
 	}
 }
+
+// TestDCandStreamingEquivalence asserts the streaming pipelined shuffle (tiny
+// send buffers, with and without spill + compression) produces byte-identical
+// patterns to the barrier run.
+func TestDCandStreamingEquivalence(t *testing.T) {
+	db, err := datagen.NYT(datagen.NYTConfig{NumSentences: 300, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fst.MustCompile("[.*(.)]{1,3}.*", db.Dict)
+	const sigma = 30
+	cfg := mapreduce.Config{MapWorkers: 2, ReduceWorkers: 2}
+	want, _ := dcand.Mine(f, db.Sequences, sigma, dcand.DefaultOptions(), cfg)
+	if len(want) == 0 {
+		t.Fatal("reference run found no patterns; the equivalence test is vacuous")
+	}
+
+	cases := map[string]mapreduce.ShuffleConfig{
+		"streaming":               {SendBufferBytes: 512},
+		"streaming+spill":         {SendBufferBytes: 512, SpillThreshold: 1024},
+		"streaming+spill+deflate": {SendBufferBytes: 512, SpillThreshold: 1024, Compression: true},
+	}
+	for name, sc := range cases {
+		sc.TmpDir = t.TempDir()
+		opts := dcand.DefaultOptions()
+		opts.Spill = sc
+		got, metrics, err := dcand.MineLocal(f, db.Sequences, sigma, opts, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: streaming run differs: %d patterns vs %d", name, len(got), len(want))
+		}
+		if metrics.StreamedBatches == 0 {
+			t.Errorf("%s: expected streamed batches, got %+v", name, metrics)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package dminer holds the engine-facing scaffolding shared by the
+// distributed miners (internal/dseq, internal/dcand, internal/naive): the
+// Mine/MineLocal/MinePeer run wrappers, the per-call shuffle-config override
+// and the fingerprint-grouping combiner. The packages used to carry
+// near-identical copies of this plumbing, so every new shuffle knob (spill
+// thresholds, streaming send buffers, segment compression) had to be
+// threaded three times; now it is threaded once here.
+package dminer
+
+import (
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+)
+
+// ApplyShuffle lets a per-call ShuffleConfig (the miners' Options.Spill)
+// override the engine config's shuffle bounds. The zero value leaves the
+// engine config untouched.
+func ApplyShuffle(cfg mapreduce.Config, sc mapreduce.ShuffleConfig) mapreduce.Config {
+	if sc != (mapreduce.ShuffleConfig{}) {
+		cfg.Shuffle = sc
+	}
+	return cfg
+}
+
+// Mine runs the job on the in-process engine and panics on failure. A run
+// can only fail when the shuffle is bounded (spilling or streaming), so
+// callers that bound it should prefer MineLocal. name prefixes the panic
+// message ("dseq", "dcand", ...).
+func Mine[I any, K comparable, V any](name string, inputs []I, cfg mapreduce.Config, sc mapreduce.ShuffleConfig, job mapreduce.Job[I, K, V, miner.Pattern]) ([]miner.Pattern, mapreduce.Metrics) {
+	out, metrics, err := MineLocal(inputs, cfg, sc, job)
+	if err != nil {
+		panic(name + ": " + err.Error())
+	}
+	return out, metrics
+}
+
+// MineLocal runs the job on the in-process engine and returns the sorted
+// patterns with error reporting.
+func MineLocal[I any, K comparable, V any](inputs []I, cfg mapreduce.Config, sc mapreduce.ShuffleConfig, job mapreduce.Job[I, K, V, miner.Pattern]) ([]miner.Pattern, mapreduce.Metrics, error) {
+	out, metrics, err := mapreduce.RunLocal(inputs, ApplyShuffle(cfg, sc), job)
+	if err != nil {
+		return nil, metrics, err
+	}
+	miner.SortPatterns(out)
+	return out, metrics, nil
+}
+
+// MinePeer runs this process's share of a distributed job over the wire
+// fabric bx, adapting it with the job's codec. The returned patterns are
+// those of the partitions this peer owns, sorted like MineLocal's.
+func MinePeer[I any, K comparable, V any](inputs []I, cfg mapreduce.Config, sc mapreduce.ShuffleConfig, job mapreduce.Job[I, K, V, miner.Pattern], codec mapreduce.FrameCodec[K, V], bx mapreduce.ByteExchange) ([]miner.Pattern, mapreduce.Metrics, error) {
+	ex := mapreduce.NewFrameExchange(bx, codec)
+	out, metrics, err := mapreduce.RunExchange(inputs, ApplyShuffle(cfg, sc), job, ex)
+	if err != nil {
+		return nil, metrics, err
+	}
+	miner.SortPatterns(out)
+	return out, metrics, nil
+}
+
+// GroupCombiner builds the combiner shared by the weighted-record miners: it
+// groups a key's values by fingerprint, merging duplicates into the first
+// occurrence (in first-seen order, so combining is deterministic given the
+// input order).
+func GroupCombiner[K comparable, V any](fingerprint func(V) string, merge func(dst *V, src V)) func(K, []V) []V {
+	return func(_ K, vs []V) []V {
+		grouped := make(map[string]*V, len(vs))
+		order := make([]string, 0, len(vs))
+		for _, v := range vs {
+			fp := fingerprint(v)
+			if g, ok := grouped[fp]; ok {
+				merge(g, v)
+				continue
+			}
+			vc := v
+			grouped[fp] = &vc
+			order = append(order, fp)
+		}
+		out := make([]V, 0, len(order))
+		for _, fp := range order {
+			out = append(out, *grouped[fp])
+		}
+		return out
+	}
+}

@@ -1,0 +1,140 @@
+package dminer
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+)
+
+// countJob is a minimal distributed-miner-shaped job: it counts item
+// occurrences and emits one single-item pattern per frequent item.
+func countJob(sigma int64) mapreduce.Job[int, int, int64, miner.Pattern] {
+	job := mapreduce.Job[int, int, int64, miner.Pattern]{
+		Map: func(v int, emit func(int, int64)) { emit(v, 1) },
+		Reduce: func(k int, vs []int64, emit func(miner.Pattern)) {
+			var sum int64
+			for _, v := range vs {
+				sum += v
+			}
+			if sum >= sigma {
+				emit(miner.Pattern{Items: []dict.ItemID{dict.ItemID(k)}, Freq: sum})
+			}
+		},
+		Hash: func(k int) uint64 { return mapreduce.HashUint64(uint64(k)) },
+	}
+	codec := mapreduce.FrameCodec[int, int64]{
+		AppendKey: func(buf []byte, k int) []byte { return mapreduce.AppendUvarint(buf, uint64(k)) },
+		ReadKey: func(data []byte, pos int) (int, int, error) {
+			v, pos, err := mapreduce.ReadUvarint(data, pos)
+			return int(v), pos, err
+		},
+		AppendValue: func(buf []byte, v int64) []byte { return mapreduce.AppendUvarint(buf, uint64(v)) },
+		ReadValue: func(data []byte, pos int) (int64, int, error) {
+			v, pos, err := mapreduce.ReadUvarint(data, pos)
+			return int64(v), pos, err
+		},
+	}
+	job.Codec = &codec
+	return job
+}
+
+var countInputs = []int{3, 1, 2, 3, 3, 2, 1, 3}
+
+func TestApplyShuffle(t *testing.T) {
+	base := mapreduce.Config{MapWorkers: 2, Shuffle: mapreduce.ShuffleConfig{SpillThreshold: 7}}
+	if got := ApplyShuffle(base, mapreduce.ShuffleConfig{}); got.Shuffle.SpillThreshold != 7 {
+		t.Errorf("zero override must keep the engine config, got %+v", got.Shuffle)
+	}
+	override := mapreduce.ShuffleConfig{SendBufferBytes: 9, Compression: true}
+	if got := ApplyShuffle(base, override); got.Shuffle != override {
+		t.Errorf("override not applied: %+v", got.Shuffle)
+	}
+}
+
+func TestMineLocalSortsPatterns(t *testing.T) {
+	out, metrics, err := MineLocal(countInputs, mapreduce.Config{MapWorkers: 2, ReduceWorkers: 2},
+		mapreduce.ShuffleConfig{SendBufferBytes: 4}, countJob(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []miner.Pattern{
+		{Items: []dict.ItemID{3}, Freq: 4},
+		{Items: []dict.ItemID{1}, Freq: 2},
+		{Items: []dict.ItemID{2}, Freq: 2},
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("MineLocal = %+v, want %+v", out, want)
+	}
+	if metrics.StreamedBatches == 0 {
+		t.Error("the streaming override should have streamed batches")
+	}
+}
+
+func TestMinePanicsOnFailure(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected a panic for a bounded shuffle without a codec")
+		}
+		if msg, ok := r.(string); !ok || !strings.HasPrefix(msg, "testminer: ") {
+			t.Errorf("panic %v should carry the miner name", r)
+		}
+	}()
+	job := countJob(1)
+	job.Codec = nil
+	Mine("testminer", countInputs, mapreduce.Config{}, mapreduce.ShuffleConfig{SpillThreshold: 1}, job)
+}
+
+func TestMineReturnsOutput(t *testing.T) {
+	out, _ := Mine("testminer", countInputs, mapreduce.Config{}, mapreduce.ShuffleConfig{}, countJob(4))
+	if len(out) != 1 || out[0].Freq != 4 {
+		t.Errorf("Mine = %+v, want the single frequent item", out)
+	}
+}
+
+// soloFabric is a single-peer ByteExchange: MinePeer over it reduces every
+// key locally, which exercises the frame-adapter wiring without a network.
+type soloFabric struct{}
+
+func (soloFabric) NumPeers() int          { return 1 }
+func (soloFabric) Self() int              { return 0 }
+func (soloFabric) Send(int, []byte) error { panic("single-peer job must not send") }
+func (soloFabric) CloseSend() error       { return nil }
+func (soloFabric) Recv() ([]byte, error)  { return nil, io.EOF }
+func (soloFabric) WireBytesOut() int64    { return 0 }
+
+func TestMinePeerSinglePeer(t *testing.T) {
+	job := countJob(2)
+	out, metrics, err := MinePeer(countInputs, mapreduce.Config{MapWorkers: 2, ReduceWorkers: 2},
+		mapreduce.ShuffleConfig{}, job, *job.Codec, soloFabric{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Errorf("MinePeer = %+v, want 3 patterns", out)
+	}
+	if !metrics.RemoteShuffle {
+		t.Error("wire metrics should be reported for a frame exchange")
+	}
+}
+
+func TestGroupCombiner(t *testing.T) {
+	type rec struct {
+		id     string
+		weight int64
+	}
+	combine := GroupCombiner[int](
+		func(r rec) string { return r.id },
+		func(dst *rec, src rec) { dst.weight += src.weight },
+	)
+	got := combine(0, []rec{{"a", 1}, {"b", 2}, {"a", 3}, {"c", 1}, {"b", 1}})
+	want := []rec{{"a", 4}, {"b", 3}, {"c", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("GroupCombiner = %+v, want %+v (first-seen order, merged weights)", got, want)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"seqmine/internal/dict"
+	"seqmine/internal/dminer"
 	"seqmine/internal/fst"
 	"seqmine/internal/mapreduce"
 	"seqmine/internal/miner"
@@ -32,12 +33,14 @@ type Options struct {
 	// Aggregate merges identical (rewritten) sequences sent to the same
 	// partition by a map worker into a single weighted record.
 	Aggregate bool
-	// Spill bounds the shuffle's receive-side memory: past
-	// Spill.SpillThreshold buffered bytes a peer spills sorted runs to
-	// temp-file segments (the same varint wire encoding the TCP shuffle
-	// uses) and the reduce phase merge-streams them. The zero value keeps
-	// the shuffle in memory. When set it overrides the engine config's
-	// Shuffle field.
+	// Spill bounds the shuffle's memory: past Spill.SpillThreshold buffered
+	// bytes a peer spills sorted runs to temp-file segments (the same varint
+	// wire encoding the TCP shuffle uses) that the reduce phase
+	// merge-streams, and with Spill.SendBufferBytes > 0 map workers stream
+	// through bounded per-peer send buffers instead of a phase barrier
+	// (optionally compressing segments with Spill.Compression). The zero
+	// value keeps the shuffle in memory behind the barrier. When set it
+	// overrides the engine config's Shuffle field.
 	Spill mapreduce.ShuffleConfig
 }
 
@@ -113,34 +116,17 @@ func recordSize(k dict.ItemID, v value) int {
 }
 
 // Mine runs D-SEQ on the database and returns all frequent sequences together
-// with the engine metrics. It panics on failure; a run can only fail when
-// spilling is enabled (Options.Spill / cfg.Shuffle), so callers that enable
-// it should prefer MineLocal.
+// with the engine metrics. It panics on failure; a run can only fail when the
+// shuffle is bounded (Options.Spill / cfg.Shuffle), so callers that bound it
+// should prefer MineLocal.
 func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics) {
-	out, metrics, err := MineLocal(f, db, sigma, opts, cfg)
-	if err != nil {
-		panic("dseq: " + err.Error())
-	}
-	return out, metrics
+	return dminer.Mine("dseq", db, cfg, opts.Spill, buildJob(f, sigma, opts))
 }
 
-// MineLocal is Mine with error reporting: spill failures (the only way an
-// in-process run can fail) are returned instead of panicking.
+// MineLocal is Mine with error reporting: bounded-shuffle failures (the only
+// way an in-process run can fail) are returned instead of panicking.
 func MineLocal(f *fst.FST, db [][]dict.ItemID, sigma int64, opts Options, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics, error) {
-	out, metrics, err := mapreduce.RunLocal(db, applySpill(cfg, opts), buildJob(f, sigma, opts))
-	if err != nil {
-		return nil, metrics, err
-	}
-	miner.SortPatterns(out)
-	return out, metrics, nil
-}
-
-// applySpill lets Options.Spill override the engine config's shuffle bounds.
-func applySpill(cfg mapreduce.Config, opts Options) mapreduce.Config {
-	if opts.Spill != (mapreduce.ShuffleConfig{}) {
-		cfg.Shuffle = opts.Spill
-	}
-	return cfg
+	return dminer.MineLocal(db, cfg, opts.Spill, buildJob(f, sigma, opts))
 }
 
 // MinePeer runs this process's share of a distributed D-SEQ job: split is the
@@ -150,13 +136,7 @@ func applySpill(cfg mapreduce.Config, opts Options) mapreduce.Config {
 // output on the whole database. Metrics are local to this peer, with
 // ShuffleBytes measuring real transport traffic.
 func MinePeer(f *fst.FST, split [][]dict.ItemID, sigma int64, opts Options, cfg mapreduce.Config, bx mapreduce.ByteExchange) ([]miner.Pattern, mapreduce.Metrics, error) {
-	ex := mapreduce.NewFrameExchange(bx, codec())
-	out, metrics, err := mapreduce.RunExchange(split, applySpill(cfg, opts), buildJob(f, sigma, opts), ex)
-	if err != nil {
-		return nil, metrics, err
-	}
-	miner.SortPatterns(out)
-	return out, metrics, nil
+	return dminer.MinePeer(split, cfg, opts.Spill, buildJob(f, sigma, opts), codec(), bx)
 }
 
 // buildJob assembles the one-round BSP job of D-SEQ.
@@ -193,25 +173,10 @@ func buildJob(f *fst.FST, sigma int64, opts Options) mapreduce.Job[[]dict.ItemID
 	c := codec()
 	job.Codec = &c
 	if opts.Aggregate {
-		job.Combine = func(_ dict.ItemID, vs []value) []value {
-			grouped := map[string]*value{}
-			order := make([]string, 0, len(vs))
-			for _, v := range vs {
-				key := seqKey(v.items)
-				if g, ok := grouped[key]; ok {
-					g.weight += v.weight
-					continue
-				}
-				vc := v
-				grouped[key] = &vc
-				order = append(order, key)
-			}
-			out := make([]value, 0, len(grouped))
-			for _, key := range order {
-				out = append(out, *grouped[key])
-			}
-			return out
-		}
+		job.Combine = dminer.GroupCombiner[dict.ItemID](
+			func(v value) string { return seqKey(v.items) },
+			func(dst *value, src value) { dst.weight += src.weight },
+		)
 	}
 
 	return job

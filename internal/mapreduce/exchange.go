@@ -221,18 +221,27 @@ func (c FrameCodec[K, V]) RecordSize(k K, v V) int {
 // local without a queue that could wedge senders against the receiver or
 // grow without limit. Backpressure is a remote concern only and is applied
 // by the transport through TCP flow control.
+//
+// Encoding state is per destination peer, so the streaming shuffle's
+// dedicated sender goroutines (one per peer) encode and send concurrently
+// without contending on a shared buffer; the transport below serializes
+// frames per connection.
 type frameExchange[K comparable, V any] struct {
 	bx    ByteExchange
 	codec FrameCodec[K, V]
+	peers []peerEncoder
+}
 
-	sendMu sync.Mutex
-	buf    []byte
+// peerEncoder is one destination's serialized encode scratch state.
+type peerEncoder struct {
+	mu  sync.Mutex
+	buf []byte
 }
 
 // NewFrameExchange wires a codec to a byte transport. The returned exchange
 // implements WireMetrics, so RunExchange reports true wire bytes.
 func NewFrameExchange[K comparable, V any](bx ByteExchange, codec FrameCodec[K, V]) Exchange[K, V] {
-	return &frameExchange[K, V]{bx: bx, codec: codec}
+	return &frameExchange[K, V]{bx: bx, codec: codec, peers: make([]peerEncoder, bx.NumPeers())}
 }
 
 func (e *frameExchange[K, V]) NumPeers() int       { return e.bx.NumPeers() }
@@ -243,11 +252,14 @@ func (e *frameExchange[K, V]) Send(dst int, b KeyBatch[K, V]) error {
 	if dst == e.bx.Self() {
 		return errors.New("mapreduce: self-delivery must be short-circuited by the caller")
 	}
-	e.sendMu.Lock()
-	e.buf = e.codec.EncodeBatch(e.buf[:0], b)
-	frame := e.buf
-	err := e.bx.Send(dst, frame)
-	e.sendMu.Unlock()
+	if dst < 0 || dst >= len(e.peers) {
+		return fmt.Errorf("mapreduce: send to unknown peer %d of %d", dst, len(e.peers))
+	}
+	pe := &e.peers[dst]
+	pe.mu.Lock()
+	pe.buf = e.codec.EncodeBatch(pe.buf[:0], b)
+	err := e.bx.Send(dst, pe.buf)
+	pe.mu.Unlock()
 	return err
 }
 

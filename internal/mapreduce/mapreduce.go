@@ -24,10 +24,13 @@ type Config struct {
 	MapWorkers int
 	// ReduceWorkers is the number of concurrent reduce tasks.
 	ReduceWorkers int
-	// Shuffle bounds the receive-side memory of the shuffle: past
-	// Shuffle.SpillThreshold buffered bytes, partitions spill to sorted
-	// temp-file segments that the reduce phase merge-streams. Requires the
-	// job to carry a Codec. The zero value never spills.
+	// Shuffle bounds the memory of the shuffle: past Shuffle.SpillThreshold
+	// buffered bytes, partitions spill to sorted temp-file segments that the
+	// reduce phase merge-streams (receive side), and with
+	// Shuffle.SendBufferBytes > 0 map workers stream through bounded
+	// per-peer send buffers instead of a phase barrier (map side). Both
+	// require the job to carry a Codec. The zero value keeps everything in
+	// memory and shuffles after the map barrier.
 	Shuffle ShuffleConfig
 }
 
@@ -44,10 +47,16 @@ func (c Config) normalized() Config {
 // Metrics describes one job execution.
 type Metrics struct {
 	// MapTime is the wall-clock duration of the map phase (including the
-	// combine step).
+	// combine step; with a streaming shuffle the combiner runs on every
+	// send-buffer flush inside this window).
 	MapTime time.Duration
-	// ReduceTime is the wall-clock duration of the shuffle grouping and
-	// reduce phase.
+	// ShuffleTime is the wall-clock duration of the shuffle (sending plus
+	// draining the exchange until the end-frame barrier). In barrier mode it
+	// is a sub-interval of ReduceTime; with a streaming shuffle it starts
+	// with the map phase and overlaps MapTime — that overlap is the point.
+	ShuffleTime time.Duration
+	// ReduceTime is the wall-clock duration after the map phase: the shuffle
+	// tail (barrier mode: the whole shuffle) plus the reduce phase.
 	ReduceTime time.Duration
 	// MapOutputRecords counts key/value pairs emitted by mappers before
 	// combining.
@@ -69,10 +78,15 @@ type Metrics struct {
 	// single key (partition skew indicator).
 	MaxPartitionRecords int64
 	// SpilledBytes is the number of shuffle bytes this peer wrote to on-disk
-	// spill segments (0 when the whole shuffle fit in memory).
+	// spill segments — receive-side sorted runs plus map-side send-buffer
+	// overflow (0 when the whole shuffle fit in memory). With
+	// ShuffleConfig.Compression it is the compressed on-disk size.
 	SpilledBytes int64
 	// SpillCount is the number of spill segments written.
 	SpillCount int64
+	// StreamedBatches counts the key batches flushed out of the bounded
+	// per-peer send buffers by the streaming shuffle (0 in barrier mode).
+	StreamedBatches int64
 }
 
 // Total returns the total wall-clock time of the job.
@@ -104,9 +118,9 @@ type Job[I any, K comparable, V any, O any] struct {
 // Run executes the job on the given inputs and returns the concatenated
 // reduce outputs (in unspecified order) together with execution metrics. The
 // shuffle runs over the in-process loopback exchange (zero-copy). Run panics
-// on failure; an in-process run can only fail when Config.Shuffle enables
-// spilling (a misconfigured job or disk errors) — callers that enable it
-// should prefer RunLocal and handle the error.
+// on failure; an in-process run can only fail when Config.Shuffle bounds the
+// shuffle (a misconfigured job or disk errors while spilling or streaming) —
+// callers that enable those should prefer RunLocal and handle the error.
 func Run[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K, V, O]) ([]O, Metrics) {
 	out, metrics, err := RunLocal(inputs, cfg, job)
 	if err != nil {
@@ -135,15 +149,91 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 	cfg = cfg.normalized()
 	var metrics Metrics
 	npeers := ex.NumPeers()
-	self := ex.Self()
 	if npeers > 1 && job.Hash == nil {
 		return nil, metrics, errors.New("mapreduce: multi-peer jobs require a Hash function")
 	}
-	if cfg.Shuffle.Enabled() && job.Codec == nil {
-		return nil, metrics, errSpillNeedsCodec
+	if (cfg.Shuffle.Enabled() || cfg.Shuffle.Streaming()) && job.Codec == nil {
+		return nil, metrics, errShuffleNeedsCodec
 	}
 
-	// ---- Map phase -------------------------------------------------------
+	// The accumulator gathers the key batches this peer receives (or owns
+	// itself); it is bounded by the spill threshold. The receiver drains the
+	// exchange into it concurrently with the senders, so bounded transports
+	// can apply backpressure without deadlock. It starts before the map
+	// phase: peers running a streaming shuffle deliver while this peer still
+	// maps, and even in barrier mode a peer that finishes mapping early may
+	// start sending.
+	acc := newShuffleAccumulator(cfg.Shuffle, job.Codec, job.SizeOf)
+	defer acc.cleanup()
+	recvDone := make(chan error, 1)
+	go func() {
+		var accErr error
+		for {
+			b, err := ex.Recv()
+			if err == io.EOF {
+				recvDone <- accErr
+				return
+			}
+			if err != nil {
+				if accErr == nil {
+					accErr = err
+				}
+				recvDone <- accErr
+				return
+			}
+			if accErr != nil {
+				continue // keep draining so remote senders are not wedged
+			}
+			accErr = acc.add(b)
+		}
+	}()
+
+	// ---- Map + shuffle (up to the end-frame barrier) ----------------------
+	// On a wire exchange the SizeOf estimate would be discarded in favor of
+	// the measured byte count, so the send paths skip computing it.
+	_, wire := ex.(WireMetrics)
+	var (
+		mapEnd     time.Time
+		shuffleErr error
+	)
+	if cfg.Shuffle.Streaming() {
+		mapEnd, shuffleErr = runStreamingMapShuffle(inputs, cfg, job, ex, acc, recvDone, wire, &metrics)
+	} else {
+		mapEnd, shuffleErr = runBarrierMapShuffle(inputs, cfg, job, ex, acc, recvDone, wire, &metrics)
+	}
+	if shuffleErr != nil {
+		metrics.ReduceTime = time.Since(mapEnd)
+		return nil, metrics, shuffleErr
+	}
+	if wm, ok := ex.(WireMetrics); ok {
+		metrics.ShuffleBytes = wm.WireBytesOut()
+		metrics.RemoteShuffle = true
+	}
+	accSpilled, accCount := acc.stats()
+	metrics.SpilledBytes += accSpilled
+	metrics.SpillCount += accCount
+
+	// ---- Reduce phase ------------------------------------------------------
+	var out []O
+	var reduceErr error
+	if acc.spilled() {
+		out, reduceErr = reduceStreaming(cfg, job, acc, &metrics)
+	} else {
+		out = reduceInMemory(cfg, job, acc.mem, &metrics)
+	}
+	metrics.ReduceTime = time.Since(mapEnd)
+	if reduceErr != nil {
+		return nil, metrics, reduceErr
+	}
+	return out, metrics, nil
+}
+
+// runBarrierMapShuffle is the historical phase-synchronous path: every map
+// worker accumulates all of its groups, and nothing is sent until the whole
+// map phase has finished. It returns when the shuffle barrier is complete
+// (own sends flushed, every remote end frame received).
+func runBarrierMapShuffle[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K, V, O], ex Exchange[K, V], acc *shuffleAccumulator[K, V], recvDone <-chan error, wire bool, metrics *Metrics) (time.Time, error) {
+	npeers, self := ex.NumPeers(), ex.Self()
 	mapStart := time.Now()
 	type workerState struct {
 		groups  map[K][]V
@@ -172,44 +262,13 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 		}(w)
 	}
 	wg.Wait()
-	metrics.MapTime = time.Since(mapStart)
+	mapEnd := time.Now()
+	metrics.MapTime = mapEnd.Sub(mapStart)
 
-	// ---- Shuffle ----------------------------------------------------------
-	// The receiver drains the exchange into the local accumulator while the
-	// sender routes each combined batch to the peer owning its key; running
-	// both concurrently lets bounded transports apply backpressure without
-	// deadlock. Batches this peer owns bypass the exchange entirely and go
-	// straight into the accumulator: self-delivery is bounded by the spill
-	// buffer (Config.Shuffle), not by a queue that could wedge or grow.
-	reduceStart := time.Now()
-	acc := newShuffleAccumulator(cfg.Shuffle, job.Codec, job.SizeOf)
-	defer acc.cleanup()
-	recvDone := make(chan error, 1)
-	go func() {
-		var accErr error
-		for {
-			b, err := ex.Recv()
-			if err == io.EOF {
-				recvDone <- accErr
-				return
-			}
-			if err != nil {
-				if accErr == nil {
-					accErr = err
-				}
-				recvDone <- accErr
-				return
-			}
-			if accErr != nil {
-				continue // keep draining so remote senders are not wedged
-			}
-			accErr = acc.add(b)
-		}
-	}()
-
-	// On a wire exchange the SizeOf estimate would be discarded in favor of
-	// the measured byte count, so skip computing it in the send hot loop.
-	_, wire := ex.(WireMetrics)
+	// Route each combined batch to the peer owning its key. Batches this
+	// peer owns bypass the exchange entirely and go straight into the
+	// accumulator: self-delivery is bounded by the spill buffer
+	// (Config.Shuffle), not by a queue that could wedge or grow.
 	var sendErr error
 	for w := range workers {
 		metrics.MapOutputRecords += workers[w].emitted
@@ -248,29 +307,64 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 	if err := <-recvDone; err != nil && sendErr == nil {
 		sendErr = err
 	}
-	if sendErr != nil {
-		metrics.ReduceTime = time.Since(reduceStart)
-		return nil, metrics, sendErr
-	}
-	if wm, ok := ex.(WireMetrics); ok {
-		metrics.ShuffleBytes = wm.WireBytesOut()
-		metrics.RemoteShuffle = true
-	}
-	metrics.SpilledBytes, metrics.SpillCount = acc.stats()
+	metrics.ShuffleTime = time.Since(mapEnd)
+	return mapEnd, sendErr
+}
 
-	// ---- Reduce phase ------------------------------------------------------
-	var out []O
-	var reduceErr error
-	if acc.spilled() {
-		out, reduceErr = reduceStreaming(cfg, job, acc, &metrics)
-	} else {
-		out = reduceInMemory(cfg, job, acc.mem, &metrics)
+// runStreamingMapShuffle is the pipelined path (ShuffleConfig.SendBufferBytes
+// > 0): map workers emit into bounded per-peer send buffers drained by
+// dedicated sender goroutines while mapping continues, so network transfer
+// overlaps map compute (see stream.go). It returns when the shuffle barrier
+// is complete.
+func runStreamingMapShuffle[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K, V, O], ex Exchange[K, V], acc *shuffleAccumulator[K, V], recvDone <-chan error, wire bool, metrics *Metrics) (time.Time, error) {
+	npeers := ex.NumPeers()
+	ss := newStreamShuffle(cfg.Shuffle, jobShape[K, V]{
+		combine: job.Combine,
+		sizeOf:  job.SizeOf,
+		codec:   job.Codec,
+		wire:    wire,
+	}, acc, ex)
+	defer ss.cleanup()
+
+	mapStart := time.Now()
+	emitted := make([]int64, cfg.MapWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.MapWorkers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			emit := func(k K, v V) {
+				emitted[w]++
+				dst := 0
+				if npeers > 1 {
+					dst = int(job.Hash(k) % uint64(npeers))
+				}
+				ss.emit(dst, k, v)
+			}
+			for i := w; i < len(inputs); i += cfg.MapWorkers {
+				job.Map(inputs[i], emit)
+			}
+		}(w)
 	}
-	metrics.ReduceTime = time.Since(reduceStart)
-	if reduceErr != nil {
-		return nil, metrics, reduceErr
+	wg.Wait()
+	mapEnd := time.Now()
+	metrics.MapTime = mapEnd.Sub(mapStart)
+	for _, n := range emitted {
+		metrics.MapOutputRecords += n
 	}
-	return out, metrics, nil
+
+	// Final flush, join the senders, then the end-frame barrier. All three
+	// steps run even after an error so remote peers are never wedged.
+	streamErr := ss.finish()
+	if err := ex.CloseSend(); err != nil && streamErr == nil {
+		streamErr = err
+	}
+	if err := <-recvDone; err != nil && streamErr == nil {
+		streamErr = err
+	}
+	metrics.ShuffleTime = time.Since(mapStart)
+	ss.fold(metrics)
+	return mapEnd, streamErr
 }
 
 // reduceInMemory is the historical reduce path: the whole shuffle fit in

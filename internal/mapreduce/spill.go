@@ -3,6 +3,7 @@ package mapreduce
 import (
 	"bufio"
 	"bytes"
+	"compress/flate"
 	"container/heap"
 	"encoding/binary"
 	"errors"
@@ -13,8 +14,11 @@ import (
 	"sync"
 )
 
-// ShuffleConfig bounds the memory footprint of the shuffle's receive side.
-// The zero value keeps the whole shuffle in memory (the historical behavior).
+// ShuffleConfig bounds the memory footprint of the shuffle. SpillThreshold
+// bounds the receive side (spilling overflow to disk); SendBufferBytes bounds
+// the map side and switches the engine to the streaming pipelined shuffle.
+// The zero value keeps the whole shuffle in memory with a phase-synchronous
+// barrier (the historical behavior).
 type ShuffleConfig struct {
 	// SpillThreshold is the number of buffered shuffle bytes a peer holds in
 	// memory before it spills a sorted run to a temp-file segment; <= 0
@@ -26,10 +30,28 @@ type ShuffleConfig struct {
 	// the system temp directory. Each job creates (and removes) its own
 	// subdirectory.
 	TmpDir string
+	// SendBufferBytes, when > 0, enables the streaming pipelined shuffle: map
+	// workers emit into bounded per-peer send buffers (partial combine runs
+	// on every flush) that dedicated sender goroutines drain over the
+	// exchange while mapping continues, so network transfer overlaps map
+	// compute. Each peer's buffer holds at most SendBufferBytes (plus one
+	// record), measured like SpillThreshold; when the buffer is full and the
+	// sender is still busy, the flushed run overflows to an on-disk segment
+	// the sender drains later, so a slow network never stalls map compute
+	// and never grows sender memory. Requires the job to carry a Codec.
+	SendBufferBytes int64
+	// Compression compresses spill segments (receive-side runs and map-side
+	// send overflow) with DEFLATE. Metrics.SpilledBytes then reports the
+	// compressed on-disk size.
+	Compression bool
 }
 
 // Enabled reports whether the configuration asks for spilling.
 func (c ShuffleConfig) Enabled() bool { return c.SpillThreshold > 0 }
+
+// Streaming reports whether the configuration asks for the streaming
+// pipelined shuffle.
+func (c ShuffleConfig) Streaming() bool { return c.SendBufferBytes > 0 }
 
 const (
 	// maxSpillFrame bounds one segment frame on read-back (corruption
@@ -115,29 +137,86 @@ func (a *shuffleAccumulator[K, V]) spillLocked() error {
 	}
 	keys := a.sortedRun()
 
-	f, err := os.CreateTemp(a.dir, fmt.Sprintf("seg-%04d-*.run", len(a.segs)))
+	sink, err := newSegmentSink(a.dir, len(a.segs), a.cfg.Compression)
 	if err != nil {
-		return fmt.Errorf("mapreduce: creating spill segment: %w", err)
+		return err
 	}
-	cw := &spillCountingWriter{w: f}
-	bw := bufio.NewWriterSize(cw, 256<<10)
-	w := segmentWriter[K, V]{codec: a.codec, bw: bw, vbuf: a.buf}
+	w := segmentWriter[K, V]{codec: a.codec, bw: sink.bw, vbuf: a.buf}
 	for _, kr := range keys {
 		if err := w.writeKey(kr.keyBytes, a.mem[kr.key]); err != nil {
-			f.Close()
+			sink.abort()
 			return fmt.Errorf("mapreduce: writing spill segment: %w", err)
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		f.Close()
-		return fmt.Errorf("mapreduce: flushing spill segment: %w", err)
+	if err := sink.finish(); err != nil {
+		return err
 	}
-	a.segs = append(a.segs, f)
-	a.spilledBytes += cw.n
+	a.segs = append(a.segs, sink.f)
+	a.spilledBytes += sink.cw.n
 	a.mem = make(map[K][]V, len(a.mem))
 	a.memBytes = 0
 	a.buf = w.vbuf // keep the grown scratch buffer for the next spill
 	return nil
+}
+
+// segmentSink is the write stack of one spill segment file: buffered writes,
+// optionally DEFLATE-compressed, over a counting writer that measures the
+// bytes actually reaching disk (the SpilledBytes metric).
+type segmentSink struct {
+	f  *os.File
+	cw *spillCountingWriter
+	fw *flate.Writer // nil without compression
+	bw *bufio.Writer
+}
+
+// newSegmentSink creates one segment file under dir.
+func newSegmentSink(dir string, index int, compress bool) (*segmentSink, error) {
+	f, err := os.CreateTemp(dir, fmt.Sprintf("seg-%04d-*.run", index))
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: creating spill segment: %w", err)
+	}
+	s := &segmentSink{f: f, cw: &spillCountingWriter{w: f}}
+	var w io.Writer = s.cw
+	if compress {
+		// BestSpeed: spill segments are written once and read once; cheap
+		// compression wins as soon as it beats the disk.
+		s.fw, _ = flate.NewWriter(w, flate.BestSpeed)
+		w = s.fw
+	}
+	s.bw = bufio.NewWriterSize(w, 256<<10)
+	return s, nil
+}
+
+// finish flushes every layer of the write stack. The file stays open for
+// read-back; the caller owns closing it.
+func (s *segmentSink) finish() error {
+	if err := s.bw.Flush(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("mapreduce: flushing spill segment: %w", err)
+	}
+	if s.fw != nil {
+		if err := s.fw.Close(); err != nil {
+			s.f.Close()
+			return fmt.Errorf("mapreduce: closing compressed spill segment: %w", err)
+		}
+	}
+	return nil
+}
+
+// abort closes the file of a segment whose write failed.
+func (s *segmentSink) abort() { s.f.Close() }
+
+// openSegment rewinds a finished segment file and returns its read stack
+// (mirroring the write stack of newSegmentSink).
+func openSegment[K comparable, V any](codec *FrameCodec[K, V], f *os.File, compress bool) (*segmentReader[K, V], error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("mapreduce: rewinding spill segment: %w", err)
+	}
+	var r io.Reader = bufio.NewReaderSize(f, 256<<10)
+	if compress {
+		r = flate.NewReader(r)
+	}
+	return newSegmentReader(codec, bufio.NewReaderSize(r, 64<<10), maxSpillFrame), nil
 }
 
 // keyedRun is one key of the current in-memory run with its encoded form,
@@ -178,10 +257,11 @@ func (a *shuffleAccumulator[K, V]) merge(fn func(K, []V) error) error {
 	h := &mergeHeap[K, V]{}
 	readers := make([]*segmentReader[K, V], len(a.segs))
 	for i, f := range a.segs {
-		if _, err := f.Seek(0, io.SeekStart); err != nil {
-			return fmt.Errorf("mapreduce: rewinding spill segment: %w", err)
+		r, err := openSegment(a.codec, f, a.cfg.Compression)
+		if err != nil {
+			return err
 		}
-		readers[i] = newSegmentReader(a.codec, bufio.NewReaderSize(f, 256<<10), maxSpillFrame)
+		readers[i] = r
 	}
 	// advance pushes source src's next entry onto the heap. Source index
 	// len(readers) is the in-memory run.
@@ -397,6 +477,6 @@ func (r *segmentReader[K, V]) next() ([]byte, KeyBatch[K, V], error) {
 	return frame[:keyLen], batch, nil
 }
 
-// errSpillNeedsCodec is returned when spilling is requested for a job that
-// cannot serialize its records.
-var errSpillNeedsCodec = errors.New("mapreduce: ShuffleConfig.SpillThreshold requires a job Codec to serialize spilled records")
+// errShuffleNeedsCodec is returned when spilling or streaming is requested
+// for a job that cannot serialize its records.
+var errShuffleNeedsCodec = errors.New("mapreduce: ShuffleConfig.SpillThreshold and SendBufferBytes require a job Codec to serialize shuffle records")

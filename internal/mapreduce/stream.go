@@ -1,0 +1,445 @@
+package mapreduce
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sendOverflowGrace is how long a flush with a full sender queue waits for
+// the sender before overflowing the run to disk. A full queue usually means
+// the sender goroutine merely lost a scheduling race (or the box is briefly
+// oversubscribed), not that the network stalled; paying disk for that would
+// be far more expensive than the wait. Once a flush does time out, the peer
+// is marked lagging and further overflow goes to disk immediately (no
+// repeated stalls) until the sender catches up.
+const sendOverflowGrace = 100 * time.Millisecond
+
+// senderIdleCheck is how long the sender waits on an empty queue before
+// replaying an overflow segment. Replaying while the map workers are still
+// producing turns one overflow into a spiral (the replay blocks the queue,
+// stalling flushes into more spill), so segments wait for a genuinely idle
+// queue — or the end of the map phase, which drains them unconditionally.
+const senderIdleCheck = 20 * time.Millisecond
+
+// This file implements the streaming pipelined shuffle
+// (ShuffleConfig.SendBufferBytes > 0): instead of accumulating the whole map
+// output and shuffling after a phase barrier, map workers emit into bounded
+// per-peer send buffers that dedicated sender goroutines drain over the
+// exchange while mapping continues. Network transfer therefore overlaps map
+// compute, and a peer's sender memory is capped by SendBufferBytes per peer:
+//
+//   - a buffer that reaches the cap is flushed — the combiner runs on the
+//     buffered groups (partial combine; the reducers merge the partial
+//     results exactly like batches from different peers), and the combined
+//     batches are handed to the peer's sender goroutine;
+//   - when the sender is still busy with the previous run (the network is
+//     applying backpressure), the flushed run overflows to an on-disk
+//     segment in the FrameCodec wire encoding — the same machinery the
+//     receive side spills with — and the sender replays those segments as
+//     the network catches up, so map compute never stalls and sender memory
+//     never grows;
+//   - batches this peer owns flush into the shuffle accumulator, which is
+//     itself bounded by the spill threshold.
+//
+// Streaming and barrier mode produce identical mining results: the reduce
+// phase sees the same multiset of values per key either way, only grouped
+// into different partial batches.
+
+// testSendBufferProbe, when non-nil, observes the per-peer send-buffer
+// occupancy (in accounted bytes) after every emit. Tests use it to assert
+// the SendBufferBytes bound; it must be set before the job starts and not
+// changed while one runs.
+var testSendBufferProbe func(peer int, occupancyBytes int64)
+
+// jobShape is the slice of Job the streaming shuffle needs, avoiding a type
+// parameter tangle with the job's input and output types.
+type jobShape[K comparable, V any] struct {
+	combine func(K, []V) []V
+	sizeOf  func(K, V) int
+	codec   *FrameCodec[K, V]
+	wire    bool // ShuffleBytes comes from WireMetrics, skip the estimate
+}
+
+// streamShuffle is the per-RunExchange state of the streaming shuffle.
+type streamShuffle[K comparable, V any] struct {
+	cfg     ShuffleConfig
+	combine func(K, []V) []V
+	sizeOf  func(K, V) int
+	codec   *FrameCodec[K, V]
+	wire    bool
+
+	acc    *shuffleAccumulator[K, V]
+	states []*peerSendState[K, V]
+
+	dir     string // lazily created overflow-segment directory
+	dirOnce sync.Once
+	dirErr  error
+
+	senders sync.WaitGroup
+	err     atomic.Value // first sender/flush error, wrapped in errBox
+}
+
+type errBox struct{ err error }
+
+// peerSendState is one destination's bounded send buffer.
+type peerSendState[K comparable, V any] struct {
+	owner *streamShuffle[K, V]
+	dst   int
+	self  bool
+
+	mu      sync.Mutex
+	groups  map[K][]V
+	bytes   int64
+	dead    bool // a sender/flush error was recorded; drop further data
+	lagging bool // the sender timed the grace out; overflow goes straight to disk
+
+	// queue hands flushed runs to the sender goroutine (remote peers only).
+	// Its small capacity absorbs scheduler jitter — the sender losing the
+	// CPU for a couple of timeslices must not stall the map workers or send
+	// runs to disk. Flushes beyond a full queue overflow to disk after the
+	// grace, so in-flight sender memory stays a small constant multiple of
+	// SendBufferBytes per peer.
+	queue chan []KeyBatch[K, V]
+
+	// overflow segments, completed and not yet sent (remote peers only).
+	segs         []*os.File
+	spilledBytes int64
+	spillCount   int64
+	buf          []byte // scratch encode buffer for overflow segments
+
+	// accounting, folded into Metrics after the barrier.
+	records   int64 // post-combine records flushed (ShuffleRecords share)
+	batches   int64 // flushed batches (StreamedBatches share)
+	sizeBytes int64 // SizeOf estimate of flushed records (non-wire runs)
+}
+
+// newStreamShuffle prepares the send states and starts one sender goroutine
+// per remote peer.
+func newStreamShuffle[K comparable, V any](cfg ShuffleConfig, job jobShape[K, V], acc *shuffleAccumulator[K, V], ex Exchange[K, V]) *streamShuffle[K, V] {
+	sizeOf := job.sizeOf
+	if sizeOf == nil {
+		sizeOf = job.codec.RecordSize
+	}
+	s := &streamShuffle[K, V]{
+		cfg:     cfg,
+		combine: job.combine,
+		sizeOf:  sizeOf,
+		codec:   job.codec,
+		wire:    job.wire,
+		acc:     acc,
+		states:  make([]*peerSendState[K, V], ex.NumPeers()),
+	}
+	self := ex.Self()
+	for p := range s.states {
+		st := &peerSendState[K, V]{owner: s, dst: p, self: p == self, groups: make(map[K][]V)}
+		s.states[p] = st
+		if p == self {
+			continue
+		}
+		st.queue = make(chan []KeyBatch[K, V], 4)
+		s.senders.Add(1)
+		go st.runSender(ex)
+	}
+	return s
+}
+
+// emit routes one record into the owning peer's send buffer, flushing the
+// buffer first when adding the record would exceed the cap (so occupancy
+// stays within SendBufferBytes, plus one record when a single record is
+// larger than the whole cap).
+func (s *streamShuffle[K, V]) emit(dst int, k K, v V) {
+	st := s.states[dst]
+	sz := int64(s.sizeOf(k, v))
+	st.mu.Lock()
+	if st.dead {
+		st.mu.Unlock()
+		return
+	}
+	if st.bytes > 0 && st.bytes+sz > s.cfg.SendBufferBytes {
+		if err := st.flushLocked(false); err != nil {
+			st.dead = true
+			st.groups = nil
+			st.mu.Unlock()
+			s.fail(err)
+			return
+		}
+	}
+	st.groups[k] = append(st.groups[k], v)
+	st.bytes += sz
+	if testSendBufferProbe != nil {
+		testSendBufferProbe(dst, st.bytes)
+	}
+	st.mu.Unlock()
+}
+
+// flushLocked combines the buffered groups and hands them off: self-owned
+// batches go to the shuffle accumulator, remote batches to the sender's
+// queue, or — when the sender is busy and this is not the final flush — to
+// an overflow segment on disk. Callers hold st.mu.
+func (st *peerSendState[K, V]) flushLocked(final bool) error {
+	if len(st.groups) == 0 {
+		return nil
+	}
+	s := st.owner
+	batches := make([]KeyBatch[K, V], 0, len(st.groups))
+	for k, vs := range st.groups {
+		if s.combine != nil {
+			vs = s.combine(k, vs)
+		}
+		st.records += int64(len(vs))
+		if !s.wire {
+			for _, v := range vs {
+				st.sizeBytes += int64(s.sizeOf(k, v))
+			}
+		}
+		batches = append(batches, KeyBatch[K, V]{Key: k, Values: vs})
+	}
+	st.batches += int64(len(batches))
+	st.groups = make(map[K][]V, len(st.groups))
+	st.bytes = 0
+
+	if st.self {
+		for _, b := range batches {
+			if err := s.acc.add(b); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if final {
+		st.queue <- batches // mapping is done; blocking costs nothing
+		return nil
+	}
+	select {
+	case st.queue <- batches:
+		st.lagging = false
+		return nil
+	default:
+	}
+	if !st.lagging {
+		// Give the sender a short grace before paying disk. Holding st.mu
+		// here is deliberate: other map workers bound for this peer block on
+		// the mutex, which is exactly the backpressure the full buffer
+		// means. The sender never needs st.mu to drain the queue, so it can
+		// free a slot (and end the wait) while we hold it.
+		timer := time.NewTimer(sendOverflowGrace)
+		defer timer.Stop()
+		select {
+		case st.queue <- batches:
+			return nil
+		case <-timer.C:
+			st.lagging = true
+		}
+	}
+	return st.spillRunLocked(batches)
+}
+
+// spillRunLocked writes one flushed run to a fresh overflow segment the
+// sender replays later. Runs are unsorted — unlike receive-side segments
+// they are never merged, only replayed — so the write is a straight encode.
+func (st *peerSendState[K, V]) spillRunLocked(batches []KeyBatch[K, V]) error {
+	s := st.owner
+	s.dirOnce.Do(func() {
+		dir, err := os.MkdirTemp(s.cfg.TmpDir, "seqmine-sendspill-")
+		if err != nil {
+			s.dirErr = fmt.Errorf("mapreduce: creating send-overflow directory: %w", err)
+			return
+		}
+		s.dir = dir
+	})
+	if s.dirErr != nil {
+		return s.dirErr
+	}
+	sink, err := newSegmentSink(s.dir, int(st.spillCount), s.cfg.Compression)
+	if err != nil {
+		return err
+	}
+	w := segmentWriter[K, V]{codec: s.codec, bw: sink.bw, vbuf: st.buf}
+	for _, b := range batches {
+		if err := w.writeKey(s.codec.AppendKey(nil, b.Key), b.Values); err != nil {
+			sink.abort()
+			return fmt.Errorf("mapreduce: writing send-overflow segment: %w", err)
+		}
+	}
+	if err := sink.finish(); err != nil {
+		return err
+	}
+	st.buf = w.vbuf
+	st.segs = append(st.segs, sink.f)
+	st.spilledBytes += sink.cw.n
+	st.spillCount++
+	return nil
+}
+
+// popSegment takes the oldest unsent overflow segment, if any.
+func (st *peerSendState[K, V]) popSegment() *os.File {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.segs) == 0 {
+		return nil
+	}
+	f := st.segs[0]
+	st.segs = st.segs[1:]
+	return f
+}
+
+// runSender drains the peer's queue and overflow segments over the exchange
+// until the queue is closed and every segment is replayed. On a send error
+// it keeps consuming (discarding) so flushes never block against a dead
+// peer; the error surfaces after the barrier.
+func (st *peerSendState[K, V]) runSender(ex Exchange[K, V]) {
+	s := st.owner
+	defer s.senders.Done()
+	failed := false
+	send := func(batches []KeyBatch[K, V]) {
+		for _, b := range batches {
+			if failed {
+				return
+			}
+			if err := ex.Send(st.dst, b); err != nil {
+				s.fail(err)
+				failed = true
+			}
+		}
+	}
+	replaySegment := func(f *os.File) {
+		name := f.Name()
+		defer func() {
+			f.Close()
+			os.Remove(name)
+		}()
+		if failed {
+			return
+		}
+		r, err := openSegment(s.codec, f, s.cfg.Compression)
+		if err != nil {
+			s.fail(err)
+			failed = true
+			return
+		}
+		for !failed {
+			_, b, err := r.next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				s.fail(fmt.Errorf("mapreduce: replaying send-overflow segment: %w", err))
+				failed = true
+				return
+			}
+			send([]KeyBatch[K, V]{b})
+		}
+	}
+	drainSegments := func() {
+		for {
+			f := st.popSegment()
+			if f == nil {
+				return
+			}
+			replaySegment(f)
+		}
+	}
+	for {
+		// Strictly prefer queued in-memory runs: replaying a segment blocks
+		// the queue for its whole duration, and doing that while the map
+		// workers are still producing turns one overflow into a spiral
+		// (stalled flushes → more spill → more replay). Segments are
+		// replayed only after the queue has stayed idle for a beat — the
+		// network has genuinely caught up — or when the map is done.
+		select {
+		case batches, ok := <-st.queue:
+			if !ok {
+				drainSegments()
+				return
+			}
+			send(batches)
+			continue
+		default:
+		}
+		idle := time.NewTimer(senderIdleCheck)
+		select {
+		case batches, ok := <-st.queue:
+			idle.Stop()
+			if !ok {
+				drainSegments()
+				return
+			}
+			send(batches)
+		case <-idle.C:
+			if f := st.popSegment(); f != nil {
+				replaySegment(f)
+			} else {
+				batches, ok := <-st.queue
+				if !ok {
+					drainSegments()
+					return
+				}
+				send(batches)
+			}
+		}
+	}
+}
+
+// finish flushes every buffer, joins the senders and returns the first
+// streaming error. After finish, CloseSend forms the barrier as usual.
+func (s *streamShuffle[K, V]) finish() error {
+	for _, st := range s.states {
+		st.mu.Lock()
+		err := st.flushLocked(true)
+		if err != nil {
+			st.dead = true
+		}
+		st.mu.Unlock()
+		if err != nil {
+			s.fail(err)
+		}
+	}
+	for _, st := range s.states {
+		if st.queue != nil {
+			close(st.queue)
+		}
+	}
+	s.senders.Wait()
+	if b, ok := s.err.Load().(errBox); ok {
+		return b.err
+	}
+	return nil
+}
+
+// fold adds the streaming counters to the job metrics. Call after finish.
+func (s *streamShuffle[K, V]) fold(metrics *Metrics) {
+	for _, st := range s.states {
+		metrics.ShuffleRecords += st.records
+		metrics.StreamedBatches += st.batches
+		metrics.SpilledBytes += st.spilledBytes
+		metrics.SpillCount += st.spillCount
+		if !s.wire {
+			metrics.ShuffleBytes += st.sizeBytes
+		}
+	}
+}
+
+// cleanup removes overflow segments that were never replayed (error paths)
+// and the overflow directory. Safe to call when nothing overflowed.
+func (s *streamShuffle[K, V]) cleanup() {
+	for _, st := range s.states {
+		st.mu.Lock()
+		for _, f := range st.segs {
+			f.Close()
+		}
+		st.segs = nil
+		st.mu.Unlock()
+	}
+	if s.dir != "" {
+		os.RemoveAll(s.dir)
+	}
+}
+
+// fail records the first streaming error.
+func (s *streamShuffle[K, V]) fail(err error) {
+	s.err.CompareAndSwap(nil, errBox{err})
+}

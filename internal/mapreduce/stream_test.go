@@ -1,0 +1,308 @@
+package mapreduce
+
+import (
+	"reflect"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// streamingConfig is the fixture streaming configuration of these tests: a
+// tiny send buffer so even the small word-count inputs flush many times.
+func streamingConfig(t *testing.T, sendBuffer int64) Config {
+	t.Helper()
+	return Config{MapWorkers: 3, ReduceWorkers: 3,
+		Shuffle: ShuffleConfig{SendBufferBytes: sendBuffer, TmpDir: t.TempDir()}}
+}
+
+// TestStreamingMatchesBarrier is the core equivalence property: for random
+// inputs, worker counts and buffer sizes, the streaming shuffle must produce
+// byte-identical output to the barrier shuffle.
+func TestStreamingMatchesBarrier(t *testing.T) {
+	inputs := spillInputs(200)
+	job := spillWordCountJob()
+	want, wantMetrics := Run(inputs, Config{MapWorkers: 2, ReduceWorkers: 2}, job)
+	sort.Strings(want)
+	if wantMetrics.StreamedBatches != 0 {
+		t.Fatalf("barrier run reported streamed batches: %+v", wantMetrics)
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		for _, buffer := range []int64{64, 512, 1 << 20} {
+			cfg := Config{MapWorkers: workers, ReduceWorkers: workers,
+				Shuffle: ShuffleConfig{SendBufferBytes: buffer, TmpDir: t.TempDir()}}
+			got, metrics := Run(inputs, cfg, job)
+			sort.Strings(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d buffer=%d: streaming output differs from barrier output", workers, buffer)
+			}
+			if metrics.StreamedBatches == 0 {
+				t.Errorf("workers=%d buffer=%d: expected streamed batches", workers, buffer)
+			}
+			if metrics.MapOutputRecords != wantMetrics.MapOutputRecords {
+				t.Errorf("workers=%d buffer=%d: MapOutputRecords = %d, want %d",
+					workers, buffer, metrics.MapOutputRecords, wantMetrics.MapOutputRecords)
+			}
+			if metrics.Partitions != wantMetrics.Partitions {
+				t.Errorf("workers=%d buffer=%d: Partitions = %d, want %d",
+					workers, buffer, metrics.Partitions, wantMetrics.Partitions)
+			}
+			// Per-flush combining still merges duplicates within a buffer, so
+			// the communicated records stay within the plausible envelope.
+			if metrics.ShuffleRecords > metrics.MapOutputRecords || metrics.ShuffleRecords < metrics.Partitions {
+				t.Errorf("workers=%d buffer=%d: implausible ShuffleRecords %d (map output %d, partitions %d)",
+					workers, buffer, metrics.ShuffleRecords, metrics.MapOutputRecords, metrics.Partitions)
+			}
+			if metrics.ShuffleBytes <= 0 || metrics.ShuffleTime <= 0 {
+				t.Errorf("workers=%d buffer=%d: streaming metrics not populated: %+v", workers, buffer, metrics)
+			}
+		}
+	}
+}
+
+// TestStreamingSendBufferBound asserts the acceptance criterion directly:
+// per-peer send-buffer occupancy never exceeds SendBufferBytes.
+func TestStreamingSendBufferBound(t *testing.T) {
+	const bufCap = 256
+	var max atomic.Int64
+	testSendBufferProbe = func(_ int, occupancy int64) {
+		for {
+			cur := max.Load()
+			if occupancy <= cur || max.CompareAndSwap(cur, occupancy) {
+				return
+			}
+		}
+	}
+	defer func() { testSendBufferProbe = nil }()
+
+	inputs := spillInputs(150)
+	job := spillWordCountJob()
+	want, _ := Run(inputs, Config{MapWorkers: 2, ReduceWorkers: 2}, job)
+	sort.Strings(want)
+
+	got, metrics := Run(inputs, streamingConfig(t, bufCap), job)
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("streaming output differs from barrier output")
+	}
+	if metrics.StreamedBatches == 0 {
+		t.Fatal("expected streamed batches")
+	}
+	// Every record of the fixture is far smaller than the cap, so occupancy
+	// must stay within it exactly (the documented slack of one record only
+	// applies to records larger than the whole buffer).
+	if got := max.Load(); got > bufCap {
+		t.Errorf("send-buffer occupancy reached %d bytes, cap is %d", got, bufCap)
+	}
+	if max.Load() == 0 {
+		t.Error("probe observed no occupancy")
+	}
+}
+
+// TestStreamingMultiPeerLoopback checks equivalence across a 3-peer loopback
+// group with streaming enabled on every peer.
+func TestStreamingMultiPeerLoopback(t *testing.T) {
+	inputs := spillInputs(200)
+	job := spillWordCountJob()
+	want, _ := Run(inputs, Config{MapWorkers: 2, ReduceWorkers: 2}, job)
+	sort.Strings(want)
+
+	group := NewLoopbackGroup[string, int](3)
+	results := make([][]string, len(group))
+	metricses := make([]Metrics, len(group))
+	errs := make([]error, len(group))
+	var wg sync.WaitGroup
+	for p := range group {
+		var split []string
+		for i := p; i < len(inputs); i += len(group) {
+			split = append(split, inputs[i])
+		}
+		wg.Add(1)
+		go func(p int, split []string) {
+			defer wg.Done()
+			cfg := Config{MapWorkers: 2, ReduceWorkers: 2,
+				Shuffle: ShuffleConfig{SendBufferBytes: 256, TmpDir: t.TempDir()}}
+			results[p], metricses[p], errs[p] = RunExchange(split, cfg, job, group[p])
+		}(p, split)
+	}
+	wg.Wait()
+	var out []string
+	var streamed int64
+	for p := range group {
+		if errs[p] != nil {
+			t.Fatalf("peer %d: %v", p, errs[p])
+		}
+		out = append(out, results[p]...)
+		streamed += metricses[p].StreamedBatches
+	}
+	sort.Strings(out)
+	if !reflect.DeepEqual(out, want) {
+		t.Error("multi-peer streaming output differs from single-process barrier output")
+	}
+	if streamed == 0 {
+		t.Error("expected streamed batches across the group")
+	}
+}
+
+// TestStreamingWithSpillAndCompression combines every shuffle bound: tiny
+// send buffers, a tiny receive-side spill threshold and compressed segments.
+// The output must still be byte-identical, and SpilledBytes must report the
+// (smaller) compressed on-disk size.
+func TestStreamingWithSpillAndCompression(t *testing.T) {
+	inputs := spillInputs(300)
+	job := spillWordCountJob()
+	want, _ := Run(inputs, Config{MapWorkers: 3, ReduceWorkers: 3}, job)
+	sort.Strings(want)
+
+	base := ShuffleConfig{SendBufferBytes: 128, SpillThreshold: 256}
+	var plain, compressed Metrics
+	for _, compress := range []bool{false, true} {
+		sc := base
+		sc.Compression = compress
+		sc.TmpDir = t.TempDir()
+		cfg := Config{MapWorkers: 3, ReduceWorkers: 3, Shuffle: sc}
+		got, metrics := Run(inputs, cfg, job)
+		sort.Strings(got)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("compression=%v: bounded-shuffle output differs from in-memory output", compress)
+		}
+		if metrics.SpillCount == 0 || metrics.SpilledBytes == 0 {
+			t.Fatalf("compression=%v: expected spilling, got %+v", compress, metrics)
+		}
+		if compress {
+			compressed = metrics
+		} else {
+			plain = metrics
+		}
+	}
+	// The fixture words are highly redundant; DEFLATE must shrink the
+	// on-disk segments.
+	if compressed.SpilledBytes >= plain.SpilledBytes {
+		t.Errorf("compressed spill (%d bytes) is not smaller than plain spill (%d bytes)",
+			compressed.SpilledBytes, plain.SpilledBytes)
+	}
+}
+
+// gatedExchange blocks every Send until the gate channel is closed,
+// simulating a network that has stalled completely: the per-peer sender
+// goroutines wedge on their first frame, so full send buffers must overflow
+// to map-side spill segments instead of stalling the map workers forever.
+type gatedExchange[K comparable, V any] struct {
+	Exchange[K, V]
+	gate <-chan struct{}
+}
+
+func (g *gatedExchange[K, V]) Send(dst int, b KeyBatch[K, V]) error {
+	<-g.gate
+	return g.Exchange.Send(dst, b)
+}
+
+// TestStreamingBackpressureOverflowsToDisk pins the bounded-memory claim: a
+// sender that cannot keep up must push flushed runs to disk instead of
+// stalling map workers or growing the buffer, and the replayed segments must
+// still produce identical output once the network recovers.
+func TestStreamingBackpressureOverflowsToDisk(t *testing.T) {
+	inputs := spillInputs(120)
+	job := spillWordCountJob()
+	want, _ := Run(inputs, Config{MapWorkers: 2, ReduceWorkers: 2}, job)
+	sort.Strings(want)
+
+	gate := make(chan struct{})
+	group := NewLoopbackGroup[string, int](2)
+	results := make([][]string, len(group))
+	metricses := make([]Metrics, len(group))
+	errs := make([]error, len(group))
+	var wg sync.WaitGroup
+	for p := range group {
+		var split []string
+		for i := p; i < len(inputs); i += len(group) {
+			split = append(split, inputs[i])
+		}
+		wg.Add(1)
+		go func(p int, split []string) {
+			defer wg.Done()
+			cfg := Config{MapWorkers: 2, ReduceWorkers: 2,
+				Shuffle: ShuffleConfig{SendBufferBytes: 64, TmpDir: t.TempDir()}}
+			ex := &gatedExchange[string, int]{Exchange: group[p], gate: gate}
+			results[p], metricses[p], errs[p] = RunExchange(split, cfg, job, ex)
+		}(p, split)
+	}
+	// Leave the network stalled long enough for the map phases (fast) plus
+	// the overflow grace to elapse, then let the senders drain everything.
+	time.Sleep(4 * sendOverflowGrace)
+	close(gate)
+	wg.Wait()
+	var out []string
+	var spilled int64
+	for p := range group {
+		if errs[p] != nil {
+			t.Fatalf("peer %d: %v", p, errs[p])
+		}
+		out = append(out, results[p]...)
+		spilled += metricses[p].SpilledBytes
+	}
+	sort.Strings(out)
+	if !reflect.DeepEqual(out, want) {
+		t.Error("backpressured streaming output differs from barrier output")
+	}
+	if spilled == 0 {
+		t.Error("expected map-side send overflow to spill under backpressure")
+	}
+}
+
+// TestStreamingRequiresCodec mirrors the spill precondition.
+func TestStreamingRequiresCodec(t *testing.T) {
+	job := wordCountJob() // no codec
+	cfg := Config{Shuffle: ShuffleConfig{SendBufferBytes: 64}}
+	_, _, err := RunLocal(wordCountInputs, cfg, job)
+	if err == nil {
+		t.Fatal("expected an error for streaming without a codec")
+	}
+}
+
+// TestStreamingEmptyInput: no emits, no flushes, no batches — and no hang.
+func TestStreamingEmptyInput(t *testing.T) {
+	out, metrics := Run(nil, streamingConfig(t, 128), spillWordCountJob())
+	if len(out) != 0 || metrics.StreamedBatches != 0 || metrics.ShuffleRecords != 0 {
+		t.Errorf("empty streaming input should produce nothing: %v %+v", out, metrics)
+	}
+}
+
+// TestStreamingPreservesEmptyValueKeys: the per-flush combiner may prune
+// every value of a key; the key must still reach Reduce (same contract as
+// the spill path).
+func TestStreamingPreservesEmptyValueKeys(t *testing.T) {
+	job := spillWordCountJob()
+	job.Combine = func(k string, vs []int) []int {
+		if k == "word000" {
+			return nil
+		}
+		return vs
+	}
+	job.Reduce = func(k string, vs []int, emit func(string)) {
+		emit(k)
+	}
+	inputs := spillInputs(150)
+	want, _ := Run(inputs, Config{MapWorkers: 2, ReduceWorkers: 2}, job)
+	sort.Strings(want)
+
+	got, metrics := Run(inputs, streamingConfig(t, 128), job)
+	sort.Strings(got)
+	if metrics.StreamedBatches == 0 {
+		t.Fatal("expected streamed batches")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("streaming run dropped or altered keys: got %d keys, want %d", len(got), len(want))
+	}
+	found := false
+	for _, s := range got {
+		if s == "word000" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("the empty-value key must still reach Reduce in the streaming run")
+	}
+}

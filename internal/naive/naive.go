@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"seqmine/internal/dict"
+	"seqmine/internal/dminer"
 	"seqmine/internal/fst"
 	"seqmine/internal/mapreduce"
 	"seqmine/internal/miner"
@@ -61,21 +62,39 @@ func codec() mapreduce.FrameCodec[string, int64] {
 	}
 }
 
-// Mine runs the baseline on the database and returns the frequent sequences
-// together with the engine metrics. It panics on failure; a run can only
-// fail when spilling is enabled (cfg.Shuffle), so callers that enable it
-// should prefer MineLocal.
-func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, variant Variant, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics) {
-	out, metrics, err := MineLocal(f, db, sigma, variant, cfg)
-	if err != nil {
-		panic("naive: " + err.Error())
-	}
-	return out, metrics
+// Options configures the baselines' shuffle. Unlike D-SEQ/D-CAND the
+// baselines have no algorithmic enhancement toggles; the struct exists so
+// the shuffle knobs thread through the same way.
+type Options struct {
+	// Spill bounds the shuffle's memory exactly like dseq.Options.Spill /
+	// dcand.Options.Spill. Spill.SendBufferBytes is particularly relevant
+	// here: it bounds the baselines' map-side combine, whose candidate
+	// groups are otherwise proportional to the whole map output — the
+	// combiner then runs per send-buffer flush instead of over one unbounded
+	// map per worker. The zero value keeps the shuffle in memory behind the
+	// barrier. When set it overrides the engine config's Shuffle field.
+	Spill mapreduce.ShuffleConfig
 }
 
-// MineLocal is Mine with error reporting: spill failures (the only way an
-// in-process run can fail) are returned instead of panicking.
-func MineLocal(f *fst.FST, db [][]dict.ItemID, sigma int64, variant Variant, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics, error) {
+// DefaultOptions keeps the shuffle unbounded (the historical behavior).
+func DefaultOptions() Options { return Options{} }
+
+// Mine runs the baseline on the database and returns the frequent sequences
+// together with the engine metrics. It panics on failure; a run can only
+// fail when the shuffle is bounded (Options.Spill / cfg.Shuffle), so callers
+// that bound it should prefer MineLocal.
+func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, variant Variant, opts Options, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics) {
+	return dminer.Mine("naive", db, cfg, opts.Spill, buildJob(f, sigma, variant))
+}
+
+// MineLocal is Mine with error reporting: bounded-shuffle failures (the only
+// way an in-process run can fail) are returned instead of panicking.
+func MineLocal(f *fst.FST, db [][]dict.ItemID, sigma int64, variant Variant, opts Options, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics, error) {
+	return dminer.MineLocal(db, cfg, opts.Spill, buildJob(f, sigma, variant))
+}
+
+// buildJob assembles the word-count style BSP job of the baselines.
+func buildJob(f *fst.FST, sigma int64, variant Variant) mapreduce.Job[[]dict.ItemID, string, int64, miner.Pattern] {
 	genSigma := int64(0)
 	if variant == SemiNaive {
 		genSigma = sigma
@@ -112,12 +131,7 @@ func MineLocal(f *fst.FST, db [][]dict.ItemID, sigma int64, variant Variant, cfg
 	}
 	c := codec()
 	job.Codec = &c
-	out, metrics, err := mapreduce.RunLocal(db, cfg, job)
-	if err != nil {
-		return nil, metrics, err
-	}
-	miner.SortPatterns(out)
-	return out, metrics, nil
+	return job
 }
 
 // EncodeSequence renders a sequence of fids as a compact varint byte string,

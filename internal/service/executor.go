@@ -80,6 +80,17 @@ type ExecOptions struct {
 	// never shipped to cluster workers — they spill into their own
 	// -spill-dir.
 	SpillTmpDir string
+	// SendBufferBytes, when > 0, switches the distributed backends to the
+	// streaming pipelined shuffle: map workers emit into bounded per-peer
+	// send buffers drained while mapping continues, overlapping map compute
+	// with transfer and bounding map-side memory. 0 inherits the service
+	// default (Config.SendBufferBytes) when run through Service.Mine; <= 0
+	// at Execute time keeps the phase-synchronous barrier.
+	SendBufferBytes int64
+	// CompressSpill compresses spill segments (receive-side runs and
+	// map-side send overflow) with DEFLATE; SpilledBytes then reports the
+	// compressed on-disk size.
+	CompressSpill bool
 
 	// Cluster, when non-nil, runs the distributed backends (dseq, dcand)
 	// across remote worker processes over the TCP shuffle transport instead
@@ -229,9 +240,9 @@ func mineDistributed(f *fst.FST, db *seqdb.Database, sigma int64, opts ExecOptio
 			Aggregate: opts.AggregateNFAs,
 		}, cfg)
 	case AlgoNaive:
-		patterns, metrics, err = naive.MineLocal(f, db.Sequences, sigma, naive.Naive, cfg)
+		patterns, metrics, err = naive.MineLocal(f, db.Sequences, sigma, naive.Naive, naive.Options{Spill: cfg.Shuffle}, cfg)
 	case AlgoSemiNaive:
-		patterns, metrics, err = naive.MineLocal(f, db.Sequences, sigma, naive.SemiNaive, cfg)
+		patterns, metrics, err = naive.MineLocal(f, db.Sequences, sigma, naive.SemiNaive, naive.Options{Spill: cfg.Shuffle}, cfg)
 	}
 	if err != nil {
 		return nil, metrics, ExecStats{}, err
@@ -239,12 +250,22 @@ func mineDistributed(f *fst.FST, db *seqdb.Database, sigma int64, opts ExecOptio
 	return patterns, metrics, ExecStats{Shards: 1}, nil
 }
 
-// shuffleConfig maps the spill options to the engine's shuffle bounds.
+// shuffleConfig maps the spill/streaming options to the engine's shuffle
+// bounds.
 func (o ExecOptions) shuffleConfig() mapreduce.ShuffleConfig {
-	if o.SpillThreshold <= 0 {
-		return mapreduce.ShuffleConfig{}
+	var sc mapreduce.ShuffleConfig
+	if o.SpillThreshold > 0 {
+		sc.SpillThreshold = o.SpillThreshold
 	}
-	return mapreduce.ShuffleConfig{SpillThreshold: o.SpillThreshold, TmpDir: o.SpillTmpDir}
+	if o.SendBufferBytes > 0 {
+		sc.SendBufferBytes = o.SendBufferBytes
+	}
+	if sc == (mapreduce.ShuffleConfig{}) {
+		return sc
+	}
+	sc.TmpDir = o.SpillTmpDir
+	sc.Compression = o.CompressSpill
+	return sc
 }
 
 // mineCluster fans a distributed backend out across worker processes: the
@@ -279,6 +300,10 @@ func mineCluster(ctx context.Context, db *seqdb.Database, sigma int64, opts Exec
 		// is meaningless on remote workers. Left empty in the JobSpec, each
 		// worker spills into its own -spill-dir (or system temp dir).
 	}
+	if opts.SendBufferBytes > 0 {
+		copts.SendBufferBytes = opts.SendBufferBytes
+	}
+	copts.CompressSpill = opts.CompressSpill
 	coord := &cluster.Coordinator{Workers: opts.Cluster.Workers}
 	res, err := coord.Mine(ctx, db, opts.Cluster.Expression, sigma, algo, copts)
 	if err != nil {

@@ -41,6 +41,17 @@ type MineRequest struct {
 	// default (-spill-threshold); a negative value forces in-memory
 	// shuffles for this query.
 	SpillThresholdBytes int64 `json:"spill_threshold_bytes,omitempty"`
+	// SendBufferBytes switches the distributed algorithms to the streaming
+	// pipelined shuffle with the given per-peer send-buffer bound. 0 uses
+	// the daemon default (-send-buffer); a negative value forces the
+	// phase-synchronous barrier for this query.
+	SendBufferBytes int64 `json:"send_buffer_bytes,omitempty"`
+	// CompressSpill compresses spill segments with DEFLATE. It is a pure
+	// opt-in: when the daemon runs with -compress-spill, compression is on
+	// for every query and "compress_spill": false does not disable it
+	// (compression only changes the on-disk segment representation, never
+	// results).
+	CompressSpill bool `json:"compress_spill,omitempty"`
 }
 
 // MinePattern is one mined pattern on the wire.
@@ -104,6 +115,8 @@ func NewHandler(s *Service) http.Handler {
 		opts.Workers = req.Workers
 		opts.Shards = req.Shards
 		opts.SpillThreshold = req.SpillThresholdBytes
+		opts.SendBufferBytes = req.SendBufferBytes
+		opts.CompressSpill = req.CompressSpill
 		switch {
 		case len(req.ClusterWorkers) > 0:
 			opts.Cluster = &ClusterOptions{Workers: req.ClusterWorkers}

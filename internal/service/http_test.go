@@ -327,3 +327,43 @@ func TestMineSpillThresholdOverHTTP(t *testing.T) {
 		t.Errorf("expected spill metrics in the response, got %+v", out.Metrics.MapReduce)
 	}
 }
+
+// TestMineStreamingOverHTTP drives the streaming shuffle through the wire
+// API: "send_buffer_bytes" must reach the engine, produce identical patterns
+// and surface StreamedBatches both per query and in the GET /metrics totals.
+func TestMineStreamingOverHTTP(t *testing.T) {
+	srv, _ := newTestServer(t)
+	putExampleDataset(t, srv, "ex")
+
+	want := paperex.ExpectedFrequent()
+	var out service.MineResponse
+	resp := doJSON(t, http.MethodPost, srv.URL+"/mine", service.MineRequest{
+		Dataset:         "ex",
+		Pattern:         paperex.PatternExpression,
+		Sigma:           paperex.Sigma,
+		Algorithm:       "dseq",
+		SendBufferBytes: 32, // tiny buffer: every few records flush and stream
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /mine: status %d", resp.StatusCode)
+	}
+	got := map[string]int64{}
+	for _, p := range out.Patterns {
+		got[strings.Join(p.Items, " ")] = p.Freq
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("patterns = %v, want %v", got, want)
+	}
+	if out.Metrics.MapReduce.StreamedBatches == 0 {
+		t.Errorf("expected streaming metrics in the response, got %+v", out.Metrics.MapReduce)
+	}
+
+	var snap service.Snapshot
+	resp = doJSON(t, http.MethodGet, srv.URL+"/metrics", nil, &snap)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if snap.StreamedBatches == 0 {
+		t.Errorf("GET /metrics should total streamed batches, got %+v", snap)
+	}
+}

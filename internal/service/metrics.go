@@ -38,13 +38,16 @@ func (m QueryMetrics) Total() time.Duration { return m.CompileTime + m.MineTime 
 
 // aggregator accumulates service-wide counters across queries.
 type aggregator struct {
-	queries       atomic.Uint64
-	errors        atomic.Uint64
-	active        atomic.Int64
-	patterns      atomic.Uint64
-	cacheHits     atomic.Uint64
-	compileTimeNS atomic.Int64
-	mineTimeNS    atomic.Int64
+	queries         atomic.Uint64
+	errors          atomic.Uint64
+	active          atomic.Int64
+	patterns        atomic.Uint64
+	cacheHits       atomic.Uint64
+	compileTimeNS   atomic.Int64
+	mineTimeNS      atomic.Int64
+	spilledBytes    atomic.Int64
+	spillCount      atomic.Int64
+	streamedBatches atomic.Int64
 }
 
 func (a *aggregator) record(m QueryMetrics) {
@@ -55,6 +58,9 @@ func (a *aggregator) record(m QueryMetrics) {
 	}
 	a.compileTimeNS.Add(int64(m.CompileTime))
 	a.mineTimeNS.Add(int64(m.MineTime))
+	a.spilledBytes.Add(m.MapReduce.SpilledBytes)
+	a.spillCount.Add(m.MapReduce.SpillCount)
+	a.streamedBatches.Add(m.MapReduce.StreamedBatches)
 }
 
 // Snapshot is a point-in-time view of the aggregate service metrics.
@@ -67,19 +73,28 @@ type Snapshot struct {
 	CacheHitRate  float64       `json:"query_cache_hit_rate"`
 	CompileTime   time.Duration `json:"compile_time_total_ns"`
 	MineTime      time.Duration `json:"mine_time_total_ns"`
-	Cache         cacheStats    `json:"compiled_pattern_cache"`
-	Datasets      []DatasetInfo `json:"datasets"`
+	// SpilledBytes/SpillCount/StreamedBatches total the shuffle's disk and
+	// streaming activity across all served queries (per-query values live in
+	// each response's MapReduce metrics).
+	SpilledBytes    int64         `json:"spilled_bytes_total"`
+	SpillCount      int64         `json:"spill_count_total"`
+	StreamedBatches int64         `json:"streamed_batches_total"`
+	Cache           cacheStats    `json:"compiled_pattern_cache"`
+	Datasets        []DatasetInfo `json:"datasets"`
 }
 
 func (a *aggregator) snapshot() Snapshot {
 	s := Snapshot{
-		Queries:       a.queries.Load(),
-		Errors:        a.errors.Load(),
-		ActiveQueries: a.active.Load(),
-		PatternsFound: a.patterns.Load(),
-		CacheHits:     a.cacheHits.Load(),
-		CompileTime:   time.Duration(a.compileTimeNS.Load()),
-		MineTime:      time.Duration(a.mineTimeNS.Load()),
+		Queries:         a.queries.Load(),
+		Errors:          a.errors.Load(),
+		ActiveQueries:   a.active.Load(),
+		PatternsFound:   a.patterns.Load(),
+		CacheHits:       a.cacheHits.Load(),
+		CompileTime:     time.Duration(a.compileTimeNS.Load()),
+		MineTime:        time.Duration(a.mineTimeNS.Load()),
+		SpilledBytes:    a.spilledBytes.Load(),
+		SpillCount:      a.spillCount.Load(),
+		StreamedBatches: a.streamedBatches.Load(),
 	}
 	if s.Queries > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(s.Queries)

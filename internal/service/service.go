@@ -54,6 +54,15 @@ type Config struct {
 	// SpillTmpDir is the default directory for shuffle spill segments;
 	// empty uses the system temp directory.
 	SpillTmpDir string
+	// SendBufferBytes is the default streaming send-buffer size in bytes
+	// per peer applied to queries that do not set their own (see
+	// ExecOptions.SendBufferBytes); 0 keeps the phase-synchronous barrier.
+	SendBufferBytes int64
+	// CompressSpill compresses spill segments with DEFLATE by default.
+	// Queries can additionally opt in per request but cannot opt out of a
+	// daemon-wide default (compression only changes the on-disk segment
+	// representation, never results).
+	CompressSpill bool
 }
 
 // Service is a concurrent mining service. All methods are safe for
@@ -177,6 +186,12 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 	}
 	if opts.SpillTmpDir == "" {
 		opts.SpillTmpDir = s.cfg.SpillTmpDir
+	}
+	if opts.SendBufferBytes == 0 {
+		opts.SendBufferBytes = s.cfg.SendBufferBytes
+	}
+	if !opts.CompressSpill {
+		opts.CompressSpill = s.cfg.CompressSpill
 	}
 	if opts.Cluster != nil && opts.Cluster.Expression == "" {
 		// The workers compile the expression themselves; copy the options so

@@ -382,3 +382,86 @@ func TestServiceDefaultSpillThreshold(t *testing.T) {
 		t.Error("a negative query threshold must disable the service default")
 	}
 }
+
+// TestStreamingThroughService exercises the streaming pipelined shuffle
+// end-to-end through the service layer: a query-level send buffer (with and
+// without compressed spill) must produce byte-identical patterns for every
+// distributed backend, with streaming metrics reported and aggregated into
+// the service totals.
+func TestStreamingThroughService(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, seqs := paperex.RandomDatabase(rng, 300, 9)
+	db := &seqdb.Database{Dict: d, Sequences: seqs}
+	svc := service.New(service.Config{})
+	if _, err := svc.RegisterDataset("rnd", db); err != nil {
+		t.Fatal(err)
+	}
+	const pat = "[.*(.)]{1,3}.*"
+	const sigma = 10
+	for _, algo := range []service.Algorithm{service.AlgoDSeq, service.AlgoDCand, service.AlgoSemiNaive} {
+		base := service.DefaultExecOptions()
+		base.Algorithm = algo
+		ref, err := svc.Mine(context.Background(), service.Query{Dataset: "rnd", Expression: pat, Sigma: sigma, Options: base})
+		if err != nil {
+			t.Fatalf("%s reference: %v", algo, err)
+		}
+		if ref.Metrics.MapReduce.StreamedBatches != 0 {
+			t.Fatalf("%s reference run streamed unexpectedly", algo)
+		}
+
+		streaming := base
+		streaming.SendBufferBytes = 256
+		streaming.SpillThreshold = 512
+		streaming.CompressSpill = true
+		streaming.SpillTmpDir = t.TempDir()
+		got, err := svc.Mine(context.Background(), service.Query{Dataset: "rnd", Expression: pat, Sigma: sigma, Options: streaming})
+		if err != nil {
+			t.Fatalf("%s streaming: %v", algo, err)
+		}
+		if !reflect.DeepEqual(got.Patterns, ref.Patterns) {
+			t.Errorf("%s: streaming run differs from in-memory run", algo)
+		}
+		if got.Metrics.MapReduce.StreamedBatches == 0 {
+			t.Errorf("%s: expected streaming metrics, got %+v", algo, got.Metrics.MapReduce)
+		}
+	}
+
+	// The aggregate snapshot must total the per-query spill/stream activity.
+	snap := svc.Metrics()
+	if snap.StreamedBatches == 0 {
+		t.Error("GET /metrics totals: StreamedBatches not aggregated")
+	}
+	if snap.SpilledBytes == 0 || snap.SpillCount == 0 {
+		t.Error("GET /metrics totals: spill metrics not aggregated")
+	}
+}
+
+// TestServiceDefaultSendBuffer checks that Config.SendBufferBytes applies to
+// queries that do not set their own, and that a negative query value opts
+// back out to the barrier shuffle.
+func TestServiceDefaultSendBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d, seqs := paperex.RandomDatabase(rng, 80, 6)
+	db := &seqdb.Database{Dict: d, Sequences: seqs}
+	svc := service.New(service.Config{SendBufferBytes: 128, SpillTmpDir: t.TempDir()})
+	if _, err := svc.RegisterDataset("rnd", db); err != nil {
+		t.Fatal(err)
+	}
+	q := service.Query{Dataset: "rnd", Expression: "[.*(.)]{1,3}.*", Sigma: 5, Options: service.DefaultExecOptions()}
+	resp, err := svc.Mine(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Metrics.MapReduce.StreamedBatches == 0 {
+		t.Error("expected the service default send buffer to enable streaming")
+	}
+
+	q.Options.SendBufferBytes = -1 // explicit opt-out
+	resp, err = svc.Mine(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Metrics.MapReduce.StreamedBatches != 0 {
+		t.Error("a negative send buffer must force the barrier shuffle")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -294,5 +295,119 @@ func TestSendToSelfRejected(t *testing.T) {
 	defer ex.Close()
 	if err := ex.Send(0, []byte("x")); err == nil {
 		t.Fatal("Send to self should be rejected")
+	}
+}
+
+// TestAbruptPeerDisconnectFailsLivePeers is the fail-stop contract under a
+// mid-stream crash: one peer tears its connections down without sending end
+// frames while the others are still streaming. Every live peer must surface
+// an error from its exchange (no silent truncation), none may wedge, and the
+// node goroutines must all wind down (no leaks).
+func TestAbruptPeerDisconnectFailsLivePeers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	nodes, addrs := testCluster(t, 3)
+
+	exs := make([]*Exchange, 3)
+	for p, node := range nodes {
+		ex, err := node.OpenExchange("job-crash", p, addrs)
+		if err != nil {
+			t.Fatalf("peer %d: OpenExchange: %v", p, err)
+		}
+		exs[p] = ex
+	}
+
+	// Peers 0 and 1 stream continuously and drain their inboxes; peer 2
+	// receives one frame and then dies abruptly (Close sends no end frames).
+	started := make(chan struct{}, 2)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for _, p := range []int{0, 1} {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			recvErr := make(chan error, 1)
+			go func() {
+				for {
+					if _, err := exs[p].Recv(); err != nil {
+						if err == io.EOF {
+							recvErr <- nil
+						} else {
+							recvErr <- err
+						}
+						return
+					}
+				}
+			}()
+			payload := make([]byte, 4096)
+			var sendErr error
+			started <- struct{}{}
+			for i := 0; i < 100000; i++ {
+				for dst := range exs {
+					if dst == p {
+						continue
+					}
+					if err := exs[p].Send(dst, payload); err != nil {
+						sendErr = err
+						break
+					}
+				}
+				if sendErr != nil {
+					break
+				}
+			}
+			// Whether or not Send already failed, the receive side must
+			// observe the missing end frame of the dead peer as an error.
+			if sendErr == nil {
+				_ = exs[p].CloseSend()
+			}
+			err := <-recvErr
+			if sendErr == nil && err == nil {
+				errs[p] = fmt.Errorf("peer %d: neither Send nor Recv surfaced the dead peer", p)
+				return
+			}
+			errs[p] = nil
+		}(p)
+	}
+	<-started
+	<-started
+	// Let peer 2 adopt some traffic, then kill it abruptly.
+	if _, err := exs[2].Recv(); err != nil {
+		t.Fatalf("peer 2: first Recv: %v", err)
+	}
+	exs[2].Close()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("live peers did not observe the abrupt disconnect within 30s (wedged exchange?)")
+	}
+	for p, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+		_ = p
+	}
+
+	for _, ex := range exs {
+		ex.Close()
+	}
+	for _, node := range nodes {
+		node.Close()
+	}
+	// All read loops, accept loops and handshake handlers must wind down.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after abrupt disconnect: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
 	}
 }

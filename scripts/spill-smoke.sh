@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Spill smoke test: mine a generated dataset whose shuffle footprint dwarfs a
-# few-KB spill threshold, both in a single process and across three
-# seqmine-worker processes, and verify that
+# Spill + streaming smoke test: mine a generated dataset whose shuffle
+# footprint dwarfs a few-KB spill threshold, both in a single process and
+# across three seqmine-worker processes, and verify that
 #
 #   1. the spilling runs produce a pattern set identical to the in-memory
-#      reference run, and
-#   2. data actually spilled (SpilledBytes > 0), so the test is not vacuous.
+#      reference run,
+#   2. data actually spilled (SpilledBytes > 0), so the test is not vacuous,
+#   3. the streaming pipelined shuffle (tiny -send-buffer, with compressed
+#      spill) produces the same pattern set as barrier mode, single-process
+#      and on the 3-worker cluster, and actually streamed batches.
 #
 # Used by CI (.github/workflows/ci.yml) and runnable locally:
 #
@@ -23,6 +26,7 @@ cleanup() {
 trap cleanup EXIT
 
 threshold=4096
+sendbuf=1024
 
 echo "== building binaries"
 go build -o "$workdir/bin/" ./cmd/seqgen ./cmd/seqmine ./cmd/seqmine-worker
@@ -99,6 +103,42 @@ for algo in dseq dcand; do
         exit 1
     fi
     echo "== $algo: cluster spilled $spilled bytes; $(wc -l <"$workdir/ref-$algo.txt") patterns identical across all three runs"
+
+    echo "== $algo: single-process streaming run with -send-buffer $sendbuf (+compressed spill)"
+    "$workdir/bin/seqmine" -data "$workdir/data/sequences.txt" -hierarchy "$workdir/data/hierarchy.txt" \
+        -pattern "$pattern" -sigma "$sigma" -algorithm "$algo" -top 0 \
+        -send-buffer "$sendbuf" -spill-threshold "$threshold" -compress-spill \
+        -spill-dir "$workdir/spill" >"$workdir/stream-$algo.out"
+    grep -E '^ +[0-9]+  ' "$workdir/stream-$algo.out" | sort >"$workdir/stream-$algo.txt"
+    if ! diff -u "$workdir/ref-$algo.txt" "$workdir/stream-$algo.txt"; then
+        echo "$algo: single-process streaming pattern set differs from the barrier-mode run" >&2
+        exit 1
+    fi
+    streamed=$(sed -n 's/^streamed \([0-9]*\) batches (shuffle time .*$/\1/p' "$workdir/stream-$algo.out")
+    if [ -z "$streamed" ] || [ "$streamed" -eq 0 ]; then
+        echo "$algo: single-process run did not stream (send buffer $sendbuf) — smoke test is vacuous" >&2
+        cat "$workdir/stream-$algo.out" >&2
+        exit 1
+    fi
+    echo "== $algo: single process streamed $streamed batches"
+
+    echo "== $algo: 3-process streaming cluster run with -send-buffer $sendbuf"
+    "$workdir/bin/seqmine-worker" -submit -workers "$workers" \
+        -data "$workdir/data/sequences.txt" -hierarchy "$workdir/data/hierarchy.txt" \
+        -pattern "$pattern" -sigma "$sigma" -algorithm "$algo" -top 0 \
+        -send-buffer "$sendbuf" >"$workdir/stream-multi-$algo.out"
+    grep -E '^ +[0-9]+  ' "$workdir/stream-multi-$algo.out" | sort >"$workdir/stream-multi-$algo.txt"
+    if ! diff -u "$workdir/ref-$algo.txt" "$workdir/stream-multi-$algo.txt"; then
+        echo "$algo: multi-process streaming pattern set differs from the barrier-mode run" >&2
+        exit 1
+    fi
+    streamed=$(sed -n 's/^streamed \([0-9]*\) batches across the cluster.*$/\1/p' "$workdir/stream-multi-$algo.out")
+    if [ -z "$streamed" ] || [ "$streamed" -eq 0 ]; then
+        echo "$algo: cluster run did not stream (send buffer $sendbuf) — smoke test is vacuous" >&2
+        cat "$workdir/stream-multi-$algo.out" >&2
+        exit 1
+    fi
+    echo "== $algo: cluster streamed $streamed batches; patterns identical across all five runs"
 done
 
 if find "$workdir/spill" -mindepth 1 | grep -q .; then

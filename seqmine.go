@@ -133,6 +133,14 @@ type Options struct {
 	// SpillTmpDir is where spill segments are created; empty uses the
 	// system temp directory.
 	SpillTmpDir string
+	// SendBufferBytes, when > 0, switches the distributed algorithms to the
+	// streaming pipelined shuffle: map workers emit into bounded per-peer
+	// send buffers drained while mapping continues, so shuffle transfer
+	// overlaps map compute and map-side memory is capped. 0 keeps the
+	// phase-synchronous barrier.
+	SendBufferBytes int64
+	// CompressSpill compresses spill segments with DEFLATE.
+	CompressSpill bool
 }
 
 // DefaultOptions returns the recommended configuration: D-SEQ with all
@@ -227,6 +235,8 @@ func (o Options) execOptions(shards int) service.ExecOptions {
 		AggregateNFAs:      o.AggregateNFAs,
 		SpillThreshold:     o.SpillThreshold,
 		SpillTmpDir:        o.SpillTmpDir,
+		SendBufferBytes:    o.SendBufferBytes,
+		CompressSpill:      o.CompressSpill,
 	}
 }
 
@@ -284,6 +294,12 @@ type ServiceOptions struct {
 	// SpillTmpDir is where shuffle spill segments are created; empty uses
 	// the system temp directory.
 	SpillTmpDir string
+	// SendBufferBytes is the default streaming send-buffer size in bytes
+	// per peer for queries that do not set their own; 0 keeps the
+	// phase-synchronous barrier.
+	SendBufferBytes int64
+	// CompressSpill compresses spill segments with DEFLATE by default.
+	CompressSpill bool
 }
 
 // Service is a long-lived, concurrency-safe mining service: it holds named
@@ -298,12 +314,14 @@ type Service struct {
 // NewService creates a mining service.
 func NewService(opts ServiceOptions) *Service {
 	return &Service{inner: service.New(service.Config{
-		CacheSize:      opts.CacheSize,
-		Workers:        opts.Workers,
-		MaxConcurrent:  opts.MaxConcurrent,
-		DefaultTimeout: opts.DefaultTimeout,
-		SpillThreshold: opts.SpillThreshold,
-		SpillTmpDir:    opts.SpillTmpDir,
+		CacheSize:       opts.CacheSize,
+		Workers:         opts.Workers,
+		MaxConcurrent:   opts.MaxConcurrent,
+		DefaultTimeout:  opts.DefaultTimeout,
+		SpillThreshold:  opts.SpillThreshold,
+		SpillTmpDir:     opts.SpillTmpDir,
+		SendBufferBytes: opts.SendBufferBytes,
+		CompressSpill:   opts.CompressSpill,
 	})}
 }
 
