@@ -42,6 +42,7 @@ func main() {
 	dataListen := flag.String("data-listen", ":9190", "shuffle (TCP transport) listen address")
 	dataAdvertise := flag.String("data-advertise", "", "shuffle address advertised to peers (default: the data listener's address)")
 	spillDir := flag.String("spill-dir", "", "directory for shuffle spill segments of jobs that enable spilling (default: system temp dir)")
+	datasetCache := flag.Int("dataset-cache", cluster.DefaultStoreEntries, "datasets held in this worker's shared dataset store (LRU-evicted beyond it)")
 
 	// Submit (coordinator) mode flags.
 	submit := flag.Bool("submit", false, "submit a job to a running cluster instead of serving")
@@ -54,6 +55,9 @@ func main() {
 	spillThreshold := flag.Int64("spill-threshold", 0, "shuffle bytes each worker holds in memory before spilling to disk (0 = never spill, submit mode)")
 	sendBuffer := flag.Int64("send-buffer", 0, "per-peer streaming send-buffer bytes on each worker (0 = barrier mode, submit mode)")
 	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress the workers' spill segments (submit mode)")
+	taskRetries := flag.Int("task-retries", 2, "failed attempts relaunched on surviving workers before the job fails (negative = no retries, submit mode)")
+	speculativeAfter := flag.Duration("speculative-after", 0, "launch a speculative duplicate attempt when the running attempt exceeds this (0 = no speculation, submit mode)")
+	taskPartitions := flag.Int("task-partitions", 0, "per-partition tasks the input is decomposed into (0 = one per live worker, submit mode)")
 	top := flag.Int("top", 25, "print only the top-k frequent sequences (0 = all, submit mode)")
 	showMetrics := flag.Bool("metrics", true, "print shuffle/runtime metrics (submit mode)")
 	flag.Parse()
@@ -63,15 +67,16 @@ func main() {
 			workers: *workers, data: *data, hierarchy: *hierarchy,
 			pattern: *pattern, sigma: *sigma, algorithm: *algorithm,
 			spillThreshold: *spillThreshold, sendBuffer: *sendBuffer, compressSpill: *compressSpill,
+			taskRetries: *taskRetries, speculativeAfter: *speculativeAfter, taskPartitions: *taskPartitions,
 			top: *top, showMetrics: *showMetrics,
 		})
 		return
 	}
-	runWorker(*listen, *dataListen, *dataAdvertise, *spillDir)
+	runWorker(*listen, *dataListen, *dataAdvertise, *spillDir, *datasetCache)
 }
 
 // runWorker serves the control API and the shuffle fabric until SIGINT/TERM.
-func runWorker(listen, dataListen, dataAdvertise, spillDir string) {
+func runWorker(listen, dataListen, dataAdvertise, spillDir string, datasetCache int) {
 	node, err := transport.NewNode(dataListen, transport.Config{Advertise: dataAdvertise})
 	if err != nil {
 		fatal(err)
@@ -80,6 +85,7 @@ func runWorker(listen, dataListen, dataAdvertise, spillDir string) {
 
 	worker := cluster.NewWorker(node)
 	worker.SpillDir = spillDir
+	worker.Store = cluster.NewStore(datasetCache)
 	srv := &http.Server{
 		Addr:        listen,
 		Handler:     worker.Handler(),
@@ -113,6 +119,8 @@ type submitConfig struct {
 	workers, data, hierarchy, pattern, algorithm string
 	sigma, spillThreshold, sendBuffer            int64
 	compressSpill                                bool
+	taskRetries, taskPartitions                  int
+	speculativeAfter                             time.Duration
 	top                                          int
 	showMetrics                                  bool
 }
@@ -146,6 +154,8 @@ func runSubmit(sc submitConfig) {
 	copts.SpillThresholdBytes = sc.spillThreshold
 	copts.SendBufferBytes = sc.sendBuffer
 	copts.CompressSpill = sc.compressSpill
+	copts.ApplyRetryKnobs(sc.taskRetries, sc.speculativeAfter)
+	copts.TaskPartitions = sc.taskPartitions
 	coord := &cluster.Coordinator{Workers: urls}
 	start := time.Now()
 	res, err := coord.Mine(context.Background(), db, sc.pattern, sc.sigma, algo, copts)
@@ -167,6 +177,10 @@ func runSubmit(sc submitConfig) {
 		fmt.Printf("%d workers, wall %v, map time %v, reduce time %v, shuffle %d records / %d bytes on the wire (%d read) over %d partitions\n",
 			len(urls), elapsed.Round(time.Millisecond), m.MapTime, m.ReduceTime,
 			m.ShuffleRecords, m.ShuffleBytes, res.WireBytesIn, m.Partitions)
+		fmt.Printf("scheduler: %d tasks, %d attempts, %d retries, %d speculative, %d dead workers (winning epoch %d)\n",
+			res.Tasks, res.Attempts, res.Retries, res.SpeculativeAttempts, len(res.DeadWorkers), res.WinningEpoch)
+		fmt.Printf("dataset store: %d hits, %d misses, %d bytes pushed\n",
+			res.StoreHits, res.StoreMisses, res.StorePutBytes)
 		if m.StreamedBatches > 0 {
 			fmt.Printf("streamed %d batches across the cluster (max shuffle time %v overlapping the map phase)\n", m.StreamedBatches, m.ShuffleTime)
 		}

@@ -27,6 +27,9 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "directory for shuffle spill segments (default: system temp dir)")
 	sendBuffer := flag.Int64("send-buffer", 0, "per-peer streaming send-buffer bytes: map workers stream the shuffle while mapping instead of after a barrier (distributed algorithms; 0 = barrier mode)")
 	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress shuffle spill segments")
+	clusterWorkers := flag.String("cluster", "", "comma-separated seqmine-worker control URLs: run dseq/dcand on this cluster with the fault-tolerant scheduler instead of in-process")
+	taskRetries := flag.Int("task-retries", 0, "cluster runs: failed attempts relaunched on surviving workers (0 = default of 2, negative = no retries)")
+	speculativeAfter := flag.Duration("speculative-after", 0, "cluster runs: launch a speculative duplicate attempt when the running attempt exceeds this (0 = no speculation)")
 	top := flag.Int("top", 25, "print only the top-k frequent sequences (0 = all)")
 	showMetrics := flag.Bool("metrics", true, "print shuffle/runtime metrics for distributed algorithms")
 	flag.Parse()
@@ -64,6 +67,13 @@ func main() {
 	opts.SpillTmpDir = *spillDir
 	opts.SendBufferBytes = *sendBuffer
 	opts.CompressSpill = *compressSpill
+	for _, u := range strings.Split(*clusterWorkers, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			opts.ClusterWorkers = append(opts.ClusterWorkers, u)
+		}
+	}
+	opts.TaskRetries = *taskRetries
+	opts.SpeculativeAfter = *speculativeAfter
 	result, err := seqmine.Mine(db, *pattern, *sigma, opts)
 	if err != nil {
 		fatal(err)

@@ -43,7 +43,9 @@ func main() {
 	spillThreshold := flag.Int64("spill-threshold", 0, "default shuffle bytes a query holds in memory before spilling to disk (0 = never spill; queries override with \"spill_threshold_bytes\")")
 	spillDir := flag.String("spill-dir", "", "directory for shuffle spill segments (default: system temp dir)")
 	sendBuffer := flag.Int64("send-buffer", 0, "default per-peer streaming send-buffer bytes (0 = barrier-mode shuffles; queries override with \"send_buffer_bytes\")")
-	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress shuffle spill segments by default (queries opt in with \"compress_spill\")")
+	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress shuffle spill segments by default (queries override either way with the tri-state \"compress_spill\")")
+	taskRetries := flag.Int("task-retries", 0, "default retry budget of cluster queries: failed attempts relaunched on surviving workers (0 = built-in default of 2, negative = no retries; queries override with \"task_retries\")")
+	speculativeAfter := flag.Duration("speculative-after", 0, "launch a speculative duplicate attempt when a cluster query's attempt runs longer than this (0 = no speculation; queries override with \"speculative_after_ms\")")
 	var loads loadFlags
 	flag.Var(&loads, "load", "dataset to load at startup as name=sequences.txt[,hierarchy.txt] (repeatable)")
 	flag.Parse()
@@ -57,15 +59,17 @@ func main() {
 		}
 	}
 	svc := service.New(service.Config{
-		CacheSize:       *cacheSize,
-		Workers:         *workers,
-		MaxConcurrent:   *maxConcurrent,
-		DefaultTimeout:  *timeout,
-		ClusterWorkers:  clusterURLs,
-		SpillThreshold:  *spillThreshold,
-		SpillTmpDir:     *spillDir,
-		SendBufferBytes: *sendBuffer,
-		CompressSpill:   *compressSpill,
+		CacheSize:        *cacheSize,
+		Workers:          *workers,
+		MaxConcurrent:    *maxConcurrent,
+		DefaultTimeout:   *timeout,
+		ClusterWorkers:   clusterURLs,
+		SpillThreshold:   *spillThreshold,
+		SpillTmpDir:      *spillDir,
+		SendBufferBytes:  *sendBuffer,
+		CompressSpill:    *compressSpill,
+		TaskRetries:      *taskRetries,
+		SpeculativeAfter: *speculativeAfter,
 	})
 	for _, spec := range loads {
 		name, paths, ok := strings.Cut(spec, "=")

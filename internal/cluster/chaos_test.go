@@ -1,0 +1,354 @@
+package cluster_test
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seqmine/internal/cluster"
+	"seqmine/internal/datagen"
+	"seqmine/internal/dseq"
+	"seqmine/internal/fst"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/miner"
+	"seqmine/internal/paperex"
+	"seqmine/internal/transport"
+)
+
+// chaosWorker is a worker that dies abruptly a short while after its first
+// job spec arrives: the transport node closes (tearing every shuffle
+// connection down mid-stream, like a SIGKILL would) and the control
+// connections are severed. Its /healthz keeps failing afterwards.
+type chaosWorker struct {
+	worker *cluster.Worker
+	node   *transport.Node
+	srv    *httptest.Server
+	delay  time.Duration
+	killed atomic.Bool
+	once   sync.Once
+}
+
+func (c *chaosWorker) handler() http.Handler {
+	inner := c.worker.Handler()
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if c.killed.Load() {
+			http.Error(rw, "killed", http.StatusServiceUnavailable)
+			return
+		}
+		if r.Method == http.MethodPost && r.URL.Path == "/run" {
+			c.once.Do(func() {
+				go func() {
+					time.Sleep(c.delay)
+					c.killed.Store(true)
+					c.node.Close()                 // shuffle connections die mid-stream
+					c.srv.CloseClientConnections() // control connections die too
+				}()
+			})
+		}
+		inner.ServeHTTP(rw, r)
+	})
+}
+
+// TestChaosKillWorkerMidShuffle is the fault-tolerance acceptance test: one
+// of three workers is killed while a distributed job is in flight. The
+// scheduler must declare it dead, retry the attempt on the two survivors
+// under a fresh epoch, and produce a pattern set byte-identical to the
+// single-process run — with non-zero retry metrics and no goroutine leaks.
+func TestChaosKillWorkerMidShuffle(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	db, err := datagen.NYT(datagen.NYTConfig{NumSentences: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const expr, sigma = "[.*(.)]{1,3}.*", int64(20)
+	f := fst.MustCompile(expr, db.Dict)
+	want, _ := dseq.Mine(f, db.Sequences, sigma, dseq.DefaultOptions(), mapreduce.Config{})
+	if len(want) == 0 {
+		t.Fatal("reference run found no patterns")
+	}
+
+	runChaos := func(t *testing.T, closers *[]func()) {
+		// Two healthy workers plus one that dies shortly into its first run.
+		urls := make([]string, 0, 3)
+		for i := 0; i < 2; i++ {
+			node, err := transport.NewNode("127.0.0.1:0", transport.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			*closers = append(*closers, func() { node.Close() })
+			srv := httptest.NewServer(cluster.NewWorker(node).Handler())
+			*closers = append(*closers, srv.Close)
+			urls = append(urls, srv.URL)
+		}
+		node, err := transport.NewNode("127.0.0.1:0", transport.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		*closers = append(*closers, func() { node.Close() })
+		chaos := &chaosWorker{worker: cluster.NewWorker(node), node: node, delay: 15 * time.Millisecond}
+		chaos.srv = httptest.NewUnstartedServer(nil)
+		chaos.srv.Config.Handler = chaos.handler()
+		chaos.srv.Start()
+		*closers = append(*closers, chaos.srv.Close)
+		urls = append(urls, chaos.srv.URL)
+
+		coord := &cluster.Coordinator{
+			Workers:           urls,
+			HeartbeatInterval: 100 * time.Millisecond,
+		}
+		opts := cluster.DefaultOptions()
+		res, err := coord.Mine(context.Background(), db, expr, sigma, cluster.AlgoDSeq, opts)
+		if err != nil {
+			t.Fatalf("Mine with a dying worker: %v", err)
+		}
+		if !reflect.DeepEqual(res.Patterns, want) {
+			t.Errorf("patterns after worker death differ from the single-process run (%d vs %d)",
+				len(res.Patterns), len(want))
+		}
+		if res.Retries == 0 || res.Attempts < 2 {
+			t.Errorf("expected a retried attempt, got attempts=%d retries=%d", res.Attempts, res.Retries)
+		}
+		found := false
+		for _, dead := range res.DeadWorkers {
+			if dead == chaos.srv.URL {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("dead workers %v do not include the killed worker %s", res.DeadWorkers, chaos.srv.URL)
+		}
+		if res.WinningEpoch == 0 {
+			t.Errorf("winning epoch is 0; the retried attempt should have won")
+		}
+		if len(res.PerWorker) != 2 {
+			t.Errorf("winning gang has %d members, want the 2 survivors", len(res.PerWorker))
+		}
+	}
+	var closers []func()
+	runChaos(t, &closers)
+	// Tear the fixture servers down and drop idle keep-alive connections, so
+	// the leak check below sees only what the job itself might have leaked.
+	for _, shutdown := range closers {
+		shutdown()
+	}
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	if t.Failed() {
+		return
+	}
+
+	// Everything the job started — schedulers, heartbeats, attempt
+	// goroutines, worker runs, transport loops — must wind down.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<17)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after chaos run: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestCoordinatorResubmissionShipsNoBytes pins the dataset-store acceptance
+// criterion: a second job against the same database must find the bundle on
+// every worker and ship zero sequence bytes.
+func TestCoordinatorResubmissionShipsNoBytes(t *testing.T) {
+	db := paperDatabase(t)
+	coord := &cluster.Coordinator{Workers: startWorkers(t, 3)}
+
+	first, err := coord.Mine(context.Background(), db, paperex.PatternExpression, paperex.Sigma, cluster.AlgoDSeq, cluster.DefaultOptions())
+	if err != nil {
+		t.Fatalf("first Mine: %v", err)
+	}
+	if first.StoreMisses != 3 || first.StorePutBytes == 0 {
+		t.Fatalf("first run should push the bundle to all 3 workers: %+v", storeStats(first))
+	}
+	if first.StoreHits != 0 {
+		t.Fatalf("first run should not hit the store: %+v", storeStats(first))
+	}
+
+	second, err := coord.Mine(context.Background(), db, paperex.PatternExpression, paperex.Sigma, cluster.AlgoDSeq, cluster.DefaultOptions())
+	if err != nil {
+		t.Fatalf("second Mine: %v", err)
+	}
+	if second.StoreHits != 3 || second.StoreMisses != 0 || second.StorePutBytes != 0 {
+		t.Errorf("resubmission should ship zero sequence bytes: %+v", storeStats(second))
+	}
+	if !reflect.DeepEqual(first.Patterns, second.Patterns) {
+		t.Error("resubmission produced different patterns")
+	}
+
+	// A different coordinator instance hits the same worker-side store.
+	fresh := &cluster.Coordinator{Workers: coord.Workers}
+	third, err := fresh.Mine(context.Background(), db, paperex.PatternExpression, paperex.Sigma, cluster.AlgoDSeq, cluster.DefaultOptions())
+	if err != nil {
+		t.Fatalf("third Mine: %v", err)
+	}
+	if third.StoreMisses != 0 || third.StorePutBytes != 0 {
+		t.Errorf("a fresh coordinator should still hit the worker stores: %+v", storeStats(third))
+	}
+}
+
+func storeStats(r *cluster.Result) map[string]int64 {
+	return map[string]int64{
+		"hits": int64(r.StoreHits), "misses": int64(r.StoreMisses), "put_bytes": r.StorePutBytes,
+	}
+}
+
+// TestCoordinatorSpeculativeAttempt: with an aggressive speculation
+// threshold, a second attempt races the first; whichever completes first
+// wins and the result is still exactly the single-process pattern set.
+func TestCoordinatorSpeculativeAttempt(t *testing.T) {
+	db, err := datagen.NYT(datagen.NYTConfig{NumSentences: 150, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const expr, sigma = "[.*(.)]{1,3}.*", int64(15)
+	f := fst.MustCompile(expr, db.Dict)
+	want, _ := dseq.Mine(f, db.Sequences, sigma, dseq.DefaultOptions(), mapreduce.Config{})
+	if len(want) == 0 {
+		t.Fatal("reference run found no patterns")
+	}
+
+	coord := &cluster.Coordinator{Workers: startWorkers(t, 3)}
+	opts := cluster.DefaultOptions()
+	opts.SpeculativeAfterMS = 1
+	res, err := coord.Mine(context.Background(), db, expr, sigma, cluster.AlgoDSeq, opts)
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	if !reflect.DeepEqual(res.Patterns, want) {
+		t.Errorf("speculative run differs from the single-process run (%d vs %d patterns)",
+			len(res.Patterns), len(want))
+	}
+	if res.SpeculativeAttempts != 1 || res.Attempts != 2 {
+		t.Errorf("expected one speculative attempt to race, got attempts=%d speculative=%d",
+			res.Attempts, res.SpeculativeAttempts)
+	}
+	if res.Retries != 0 {
+		t.Errorf("speculation is not a retry: retries=%d", res.Retries)
+	}
+}
+
+// TestCoordinatorTaskPartitions: more tasks than workers still yields the
+// exact pattern set (tasks are just finer scheduling units).
+func TestCoordinatorTaskPartitions(t *testing.T) {
+	db := paperDatabase(t)
+	f := fst.MustCompile(paperex.PatternExpression, db.Dict)
+	want, _ := dseq.Mine(f, db.Sequences, paperex.Sigma, dseq.DefaultOptions(), mapreduce.Config{})
+
+	coord := &cluster.Coordinator{Workers: startWorkers(t, 2)}
+	opts := cluster.DefaultOptions()
+	opts.TaskPartitions = 7
+	res, err := coord.Mine(context.Background(), db, paperex.PatternExpression, paperex.Sigma, cluster.AlgoDSeq, opts)
+	if err != nil {
+		t.Fatalf("Mine: %v", err)
+	}
+	if got, wantM := miner.PatternsToMap(db.Dict, res.Patterns), miner.PatternsToMap(db.Dict, want); !reflect.DeepEqual(got, wantM) {
+		t.Errorf("7-task run = %v, want %v", got, wantM)
+	}
+	if res.Tasks != 7 {
+		t.Errorf("Tasks = %d, want 7", res.Tasks)
+	}
+}
+
+// hangWorker answers its first health probes, then accepts a job spec and
+// hangs forever without opening its exchange (a stalled process rather than
+// a dead one: TCP stays up). Only the heartbeat/liveness loop can catch it.
+type hangWorker struct {
+	node    *transport.Node
+	started atomic.Bool
+}
+
+func (h *hangWorker) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		if h.started.Load() {
+			// Stalled: probes hang until the prober's timeout expires.
+			<-r.Context().Done()
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_, _ = rw.Write([]byte(`{"status":"ok","data_addr":"` + h.node.Addr() + `"}`))
+	})
+	mux.HandleFunc("GET /datasets/{id}", func(rw http.ResponseWriter, r *http.Request) {
+		http.Error(rw, `{"error":"cluster: unknown dataset","failed_peer":-1}`, http.StatusNotFound)
+	})
+	mux.HandleFunc("PUT /datasets/{id}", func(rw http.ResponseWriter, r *http.Request) {
+		_, _ = io.Copy(io.Discard, r.Body)
+		rw.WriteHeader(http.StatusOK)
+		_, _ = rw.Write([]byte(`{}`))
+	})
+	mux.HandleFunc("POST /run", func(rw http.ResponseWriter, r *http.Request) {
+		h.started.Store(true)
+		// Consume the body so the server's background read notices the
+		// coordinator abandoning the request, then hang like a stalled miner.
+		_, _ = io.Copy(io.Discard, r.Body)
+		<-r.Context().Done() // hang until the coordinator gives up on us
+	})
+	return mux
+}
+
+// TestHeartbeatDetectsStalledWorker: a worker that accepts its spec and then
+// stalls (no crash, TCP alive) is only observable through missed heartbeats.
+// The scheduler must declare it dead, abort the attempt and retry on the
+// survivors — still byte-identical to the single-process run.
+func TestHeartbeatDetectsStalledWorker(t *testing.T) {
+	db := paperDatabase(t)
+	f := fst.MustCompile(paperex.PatternExpression, db.Dict)
+	want, _ := dseq.Mine(f, db.Sequences, paperex.Sigma, dseq.DefaultOptions(), mapreduce.Config{})
+
+	urls := startWorkers(t, 2)
+	node, err := transport.NewNode("127.0.0.1:0", transport.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	hang := &hangWorker{node: node}
+	srv := httptest.NewServer(hang.handler())
+	t.Cleanup(srv.Close)
+	urls = append(urls, srv.URL)
+
+	coord := &cluster.Coordinator{
+		Workers:           urls,
+		HeartbeatInterval: 50 * time.Millisecond,
+		HeartbeatMisses:   2,
+	}
+	start := time.Now()
+	res, err := coord.Mine(context.Background(), db, paperex.PatternExpression, paperex.Sigma, cluster.AlgoDSeq, cluster.DefaultOptions())
+	if err != nil {
+		t.Fatalf("Mine with a stalled worker: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Errorf("heartbeat path took %v; the stall should be caught in well under the transport timeouts", elapsed)
+	}
+	if got, wantM := miner.PatternsToMap(db.Dict, res.Patterns), miner.PatternsToMap(db.Dict, want); !reflect.DeepEqual(got, wantM) {
+		t.Errorf("patterns after stalled worker = %v, want %v", got, wantM)
+	}
+	if res.Retries == 0 {
+		t.Errorf("expected a retry after the heartbeat death, got %+v attempts/%d retries", res.Attempts, res.Retries)
+	}
+	found := false
+	for _, dead := range res.DeadWorkers {
+		if dead == srv.URL {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dead workers %v do not include the stalled worker", res.DeadWorkers)
+	}
+}

@@ -1,20 +1,31 @@
 // Package cluster fans a D-SEQ or D-CAND mining job out across worker
-// processes. The control plane is HTTP: a Coordinator splits the encoded
-// database round-robin, ships one JobSpec per worker (the shared dictionary
-// travels as dict.Save text so every worker sees identical fids and document
-// frequencies), and merges the per-partition results. The data plane is the
-// TCP shuffle fabric of internal/transport: during the job the workers
-// exchange serialized sequence/NFA frames directly with each other, so the
-// coordinator never touches shuffle traffic.
+// processes with a task-based, fault-tolerant scheduler. The control plane is
+// HTTP: the Coordinator decomposes a mining request into per-partition tasks
+// over the pool of live workers, pushes the input database once per worker
+// into a content-addressed dataset store (job specs then reference a
+// dataset id plus a partition assignment instead of inlining sequences), and
+// drives attempts of the job through a heartbeat/liveness loop — a worker
+// that dies or stalls mid-shuffle fails only its attempt, which the scheduler
+// retries (or speculatively re-executes) on the surviving workers under a
+// fresh attempt epoch. Only the first successful attempt's results are
+// merged; the epoch in the shuffle handshake makes duplicate or zombie
+// attempts idempotent (internal/transport refuses frames from stale epochs).
+// The data plane is the TCP shuffle fabric of internal/transport: during the
+// job the workers exchange serialized sequence/NFA frames directly with each
+// other, so the coordinator never touches shuffle traffic.
 //
 // Because the distributed miners partition by pivot item and every pivot key
-// is owned by exactly one worker, the union of the workers' pattern sets is
-// exactly the in-process engine's output — no deduplication is needed (the
-// equivalence tests and the CI multi-process smoke job assert this).
+// is owned by exactly one worker of an attempt, the union of one attempt's
+// pattern sets is exactly the in-process engine's output — no deduplication
+// is needed, and the output is independent of how the input partitions are
+// distributed over workers, so a retry on fewer workers is byte-identical
+// (the equivalence tests and the CI multi-process and chaos smoke jobs
+// assert this).
 package cluster
 
 import (
-	"seqmine/internal/dict"
+	"time"
+
 	"seqmine/internal/mapreduce"
 	"seqmine/internal/miner"
 	"seqmine/internal/transport"
@@ -56,10 +67,25 @@ type Options struct {
 	// CompressSpill compresses the workers' spill segments (receive-side
 	// runs and map-side send overflow) with DEFLATE.
 	CompressSpill bool `json:"compress_spill,omitempty"`
+
+	// MaxRetries is the scheduler's retry budget: how many failed attempts
+	// it relaunches (on the surviving workers, under a fresh attempt epoch)
+	// before the job as a whole fails. Negative disables retries.
+	MaxRetries int `json:"max_retries,omitempty"`
+	// SpeculativeAfterMS launches one speculative second attempt when the
+	// running attempt has not completed this many milliseconds after its
+	// launch (straggler mitigation; the first attempt to complete wins and
+	// the other is canceled). At most one speculative attempt per job.
+	// 0 disables speculation.
+	SpeculativeAfterMS int64 `json:"speculative_after_ms,omitempty"`
+	// TaskPartitions is the number of per-partition tasks the input is
+	// decomposed into; 0 uses one task per live worker. More tasks than
+	// workers gives the scheduler finer rebalancing units on retry.
+	TaskPartitions int `json:"task_partitions,omitempty"`
 }
 
 // DefaultOptions enables every enhancement, mirroring the single-process
-// defaults.
+// defaults, with a retry budget of 2.
 func DefaultOptions() Options {
 	return Options{
 		UseGrid:            true,
@@ -68,15 +94,48 @@ func DefaultOptions() Options {
 		AggregateSequences: true,
 		MinimizeNFAs:       true,
 		AggregateNFAs:      true,
+		MaxRetries:         2,
+	}
+}
+
+// ApplyRetryKnobs maps the sentinel convention shared by the CLIs and the
+// service layer onto the scheduler knobs: taskRetries > 0 sets the retry
+// budget, negative disables retries, 0 keeps the scheduler's default budget;
+// speculativeAfter > 0 enables speculation at that threshold (sub-millisecond
+// values clamp to 1ms), <= 0 disables it.
+func (o *Options) ApplyRetryKnobs(taskRetries int, speculativeAfter time.Duration) {
+	switch {
+	case taskRetries > 0:
+		o.MaxRetries = taskRetries
+	case taskRetries < 0:
+		o.MaxRetries = 0
+	default:
+		o.MaxRetries = DefaultOptions().MaxRetries
+	}
+	if speculativeAfter > 0 {
+		o.SpeculativeAfterMS = speculativeAfter.Milliseconds()
+		if o.SpeculativeAfterMS == 0 {
+			o.SpeculativeAfterMS = 1 // sub-millisecond but positive
+		}
+	} else {
+		o.SpeculativeAfterMS = 0
 	}
 }
 
 // JobSpec is the unit of work POSTed to one worker: everything the worker
-// needs to run its share of the job and find its peers.
+// needs to run its share of one job attempt and find its peers. The input
+// travels by reference — DatasetID names a bundle in the worker's dataset
+// store (pushed ahead of the attempt via PUT /datasets/{id}) and Partitions
+// selects this worker's share of it — so retries and resubmissions ship no
+// sequence bytes.
 type JobSpec struct {
 	// JobID names the job on the shuffle fabric; it must be identical on
-	// every peer of the job and unique per node at a time.
+	// every peer of every attempt of the job.
 	JobID string `json:"job_id"`
+	// Epoch is the attempt number. Attempts of one job are isolated on the
+	// shuffle fabric by their epoch, and workers refuse connections from
+	// epochs older than the newest one they have opened.
+	Epoch int `json:"epoch"`
 	// Algorithm is AlgoDSeq or AlgoDCand.
 	Algorithm string `json:"algorithm"`
 	// Peer is this worker's index; DataPeers[Peer] is its shuffle address.
@@ -84,20 +143,28 @@ type JobSpec struct {
 	// DataPeers are the shuffle (transport.Node) addresses of all peers.
 	DataPeers []string `json:"data_peers"`
 	// Expression is the DESQ pattern expression, compiled by each worker
-	// against the shared dictionary.
+	// against the dataset's dictionary.
 	Expression string `json:"expression"`
 	// Sigma is the minimum support threshold.
 	Sigma int64 `json:"sigma"`
-	// Dict is the shared dictionary in dict.Save text form.
-	Dict string `json:"dict"`
-	// Split is this worker's input partition, encoded as fids of Dict.
-	Split [][]dict.ItemID `json:"split"`
+	// DatasetID names the input bundle in the worker's dataset store.
+	DatasetID string `json:"dataset_id"`
+	// NumPartitions is the job-wide task count P: input sequence i belongs
+	// to partition i mod P. It is fixed across attempts so task identity is
+	// stable.
+	NumPartitions int `json:"num_partitions"`
+	// Partitions are the partition indices this worker mines in this
+	// attempt (may be empty: the worker then only reduces the pivot keys it
+	// owns).
+	Partitions []int `json:"partitions"`
 	// Options are the algorithm toggles.
 	Options Options `json:"options"`
 }
 
-// JobResult is one worker's share of a job's output.
+// JobResult is one worker's share of one attempt's output.
 type JobResult struct {
+	// Epoch echoes the attempt this result belongs to.
+	Epoch int `json:"epoch"`
 	// Patterns are the frequent sequences of the pivot partitions this
 	// worker owns.
 	Patterns []miner.Pattern `json:"patterns"`
@@ -107,13 +174,17 @@ type JobResult struct {
 	// WireBytesIn is the actual bytes the worker read from its shuffle
 	// sockets.
 	WireBytesIn int64 `json:"wire_bytes_in"`
-	// PeerStats breaks the shuffle traffic down per remote peer.
+	// PeerStats breaks the shuffle traffic down per remote peer, including
+	// the streaming shuffle's per-destination batch/overflow counters.
 	PeerStats []transport.PeerStats `json:"peer_stats"`
 }
 
 // HealthResponse is the body of a worker's GET /healthz: it advertises the
-// shuffle address so a coordinator only needs to know control URLs.
+// shuffle address so a coordinator only needs to know control URLs, and the
+// dataset-store occupancy for observability.
 type HealthResponse struct {
 	Status   string `json:"status"`
 	DataAddr string `json:"data_addr"`
+	// Datasets is the number of bundles in the worker's dataset store.
+	Datasets int `json:"datasets"`
 }

@@ -6,47 +6,138 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
+	"time"
+	"weak"
 
-	"seqmine/internal/dict"
 	"seqmine/internal/mapreduce"
 	"seqmine/internal/miner"
 	"seqmine/internal/seqdb"
 )
 
-// Coordinator drives one mining job across a set of worker processes.
+// Coordinator schedules mining jobs across a pool of worker processes. One
+// job runs as a sequence of attempts: each attempt gang-schedules every
+// pending per-partition task over the live workers and runs one BSP round;
+// a worker death or straggle fails only that attempt, and the scheduler
+// relaunches (or speculatively duplicates) it under a fresh epoch on the
+// surviving workers. The input database travels through the workers' shared
+// dataset store, pushed at most once per worker per dataset.
 type Coordinator struct {
 	// Workers are the control URLs of the worker processes
-	// ("http://host:port"), one per peer.
+	// ("http://host:port"), one per pool member.
 	Workers []string
 	// Client issues the control requests; nil uses http.DefaultClient. Job
-	// requests run for the duration of the mining job, so a client with a
-	// short Timeout will abort long jobs.
+	// requests run for the duration of an attempt, so a client with a short
+	// Timeout will abort long jobs.
 	Client *http.Client
+	// HeartbeatInterval is how often busy workers are health-probed during a
+	// job; 0 means 500ms.
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many consecutive failed probes declare a worker
+	// dead (its running attempt is then aborted and retried without it);
+	// 0 means 3.
+	HeartbeatMisses int
 }
+
+// bundleRef caches one database's encoded bundle so resubmissions skip
+// re-encoding (the network already skips re-shipping via the store probe).
+type bundleRef struct {
+	data    []byte
+	id      string
+	lastUse uint64
+}
+
+// bundleCache is shared by all coordinators of the process (the service
+// layer builds a fresh Coordinator per query): keyed by a weak pointer to
+// the database, so a resubmitted database object encodes once but a dropped
+// one (e.g. a daemon re-registering a dataset) is not pinned in memory — a
+// GC cleanup drops an entry as soon as its database is collected, and live
+// entries are LRU-evicted beyond the (tiny) capacity.
+var bundleCache = struct {
+	sync.Mutex
+	entries map[weak.Pointer[seqdb.Database]]*bundleRef
+	clock   uint64
+}{entries: map[weak.Pointer[seqdb.Database]]*bundleRef{}}
+
+// maxBundleCache bounds the process-wide bundle cache.
+const maxBundleCache = 8
 
 // Result is the merged outcome of a distributed mining job.
 type Result struct {
 	// Patterns is the complete frequent-sequence set, sorted like the
 	// single-process miners sort it.
 	Patterns []miner.Pattern
-	// Metrics aggregates the workers' engine metrics: times are maxima
-	// (phases run in parallel), counts and bytes are sums. ShuffleBytes is
-	// the total bytes written to shuffle sockets across the cluster.
+	// Metrics aggregates the winning attempt's engine metrics: times are
+	// maxima (phases run in parallel), counts and bytes are sums.
+	// ShuffleBytes is the total bytes written to shuffle sockets by the
+	// winning attempt.
 	Metrics mapreduce.Metrics
-	// WireBytesIn is the total bytes read from shuffle sockets across the
-	// cluster; it equals Metrics.ShuffleBytes when every frame arrived.
+	// WireBytesIn is the total bytes read from shuffle sockets by the
+	// winning attempt; it equals Metrics.ShuffleBytes when every frame
+	// arrived.
 	WireBytesIn int64
-	// PerWorker holds each worker's own result (index = peer).
+	// PerWorker holds each gang member's own result for the winning attempt
+	// (index = peer within the attempt's gang).
 	PerWorker []JobResult
+
+	// Tasks is the number of per-partition tasks the job was decomposed
+	// into.
+	Tasks int
+	// Attempts is the number of attempts launched (>= 1).
+	Attempts int
+	// Retries is the number of attempts relaunched after a failure.
+	Retries int
+	// SpeculativeAttempts counts attempts launched against a straggling (not
+	// failed) attempt.
+	SpeculativeAttempts int
+	// WinningEpoch is the epoch of the attempt whose results were merged.
+	WinningEpoch int
+	// DeadWorkers are the control URLs of pool members declared dead during
+	// the job.
+	DeadWorkers []string
+
+	// StoreHits counts workers that already held the dataset bundle;
+	// StoreMisses counts workers the bundle had to be pushed to, and
+	// StorePutBytes is the total bundle bytes shipped. A resubmission
+	// against an already-pushed dataset reports StoreMisses == 0 and
+	// StorePutBytes == 0: the job moved no sequence bytes.
+	StoreHits     int
+	StoreMisses   int
+	StorePutBytes int64
 }
 
-// Mine runs one distributed job over the database. The database is split
-// round-robin across the workers; algorithm is AlgoDSeq or AlgoDCand.
+// workerRef is the scheduler's view of one pool member.
+type workerRef struct {
+	url      string
+	dataAddr string
+
+	mu     sync.Mutex
+	alive  bool
+	misses int // consecutive failed heartbeats
+}
+
+func (w *workerRef) isAlive() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.alive
+}
+
+func (w *workerRef) markDead() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	wasAlive := w.alive
+	w.alive = false
+	return wasAlive
+}
+
+// Mine runs one distributed job over the database with the scheduler
+// described on Coordinator. algorithm is AlgoDSeq or AlgoDCand.
 func (c *Coordinator) Mine(ctx context.Context, db *seqdb.Database, expression string, sigma int64, algorithm string, opts Options) (*Result, error) {
 	if len(c.Workers) == 0 {
 		return nil, fmt.Errorf("cluster: no workers configured")
@@ -58,74 +149,563 @@ func (c *Coordinator) Mine(ctx context.Context, db *seqdb.Database, expression s
 	if client == nil {
 		client = http.DefaultClient
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
-	// Resolve every worker's shuffle address from its health endpoint, so
-	// the coordinator configuration is control URLs only.
-	dataPeers := make([]string, len(c.Workers))
+	// Probe the pool: a worker that does not answer /healthz now is out for
+	// this job.
+	pool := make([]*workerRef, len(c.Workers))
+	var probeWG sync.WaitGroup
+	probeErrs := make([]error, len(c.Workers))
 	for i, base := range c.Workers {
-		var health HealthResponse
-		if err := getJSON(ctx, client, strings.TrimRight(base, "/")+"/healthz", &health); err != nil {
-			return nil, fmt.Errorf("cluster: worker %d (%s): %w", i, base, err)
-		}
-		if health.DataAddr == "" {
-			return nil, fmt.Errorf("cluster: worker %d (%s) advertises no shuffle address", i, base)
-		}
-		dataPeers[i] = health.DataAddr
+		pool[i] = &workerRef{url: strings.TrimRight(base, "/")}
+		probeWG.Add(1)
+		go func(i int) {
+			defer probeWG.Done()
+			var health HealthResponse
+			if err := getJSON(ctx, client, pool[i].url+"/healthz", &health); err != nil {
+				probeErrs[i] = err
+				return
+			}
+			if health.DataAddr == "" {
+				probeErrs[i] = fmt.Errorf("worker advertises no shuffle address")
+				return
+			}
+			pool[i].dataAddr = health.DataAddr
+			pool[i].alive = true
+		}(i)
+	}
+	probeWG.Wait()
+	live := liveWorkers(pool)
+	if len(live) == 0 {
+		return nil, fmt.Errorf("cluster: no live workers (worker 0 %s: %v)", c.Workers[0], probeErrs[0])
 	}
 
-	var dictText strings.Builder
-	if err := db.Dict.Save(&dictText); err != nil {
-		return nil, fmt.Errorf("cluster: serializing dictionary: %w", err)
+	// Push the dataset bundle to every live worker that does not hold it.
+	data, datasetID, err := c.bundleFor(db)
+	if err != nil {
+		return nil, err
 	}
+	res := &Result{}
+	var pushMu sync.Mutex
+	var pushWG sync.WaitGroup
+	for _, ws := range live {
+		pushWG.Add(1)
+		go func(ws *workerRef) {
+			defer pushWG.Done()
+			hit, putBytes, err := ensureDataset(ctx, client, ws.url, datasetID, data)
+			pushMu.Lock()
+			defer pushMu.Unlock()
+			if err != nil {
+				if ws.markDead() {
+					res.DeadWorkers = append(res.DeadWorkers, ws.url)
+				}
+				return
+			}
+			if hit {
+				res.StoreHits++
+			} else {
+				res.StoreMisses++
+				res.StorePutBytes += putBytes
+			}
+		}(ws)
+	}
+	pushWG.Wait()
+	live = liveWorkers(pool)
+	if len(live) == 0 {
+		return nil, fmt.Errorf("cluster: no worker accepted the dataset bundle")
+	}
+
+	// Decompose into per-partition tasks. The partition count is fixed for
+	// the whole job, so task identity survives gang changes across attempts.
+	numTasks := opts.TaskPartitions
+	if numTasks <= 0 {
+		numTasks = len(live)
+	}
+	res.Tasks = numTasks
+
 	jobID, err := newJobID()
 	if err != nil {
 		return nil, err
 	}
+	sched := &scheduler{
+		coord:     c,
+		client:    client,
+		ctx:       ctx,
+		cancel:    cancel,
+		pool:      pool,
+		jobID:     jobID,
+		numTasks:  numTasks,
+		datasetID: datasetID,
+		bundle:    data,
+		algorithm: algorithm,
+		expr:      expression,
+		sigma:     sigma,
+		opts:      opts,
+		res:       res,
+	}
+	return sched.run()
+}
 
-	// Fan the specs out; the workers shuffle among themselves and each
-	// returns its partitions' patterns. The first failure cancels the other
-	// requests and is the error reported (the canceled neighbors' errors are
-	// collateral, not the root cause).
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	results := make([]JobResult, len(c.Workers))
-	var (
-		wg       sync.WaitGroup
-		failOnce sync.Once
-		failErr  error
-	)
-	for p := range c.Workers {
-		spec := JobSpec{
-			JobID:      jobID,
-			Algorithm:  algorithm,
-			Peer:       p,
-			DataPeers:  dataPeers,
-			Expression: expression,
-			Sigma:      sigma,
-			Dict:       dictText.String(),
-			Split:      roundRobinSplit(db, p, len(c.Workers)),
-			Options:    opts,
+// liveWorkers filters the pool down to its live members, in pool order.
+func liveWorkers(pool []*workerRef) []*workerRef {
+	var live []*workerRef
+	for _, ws := range pool {
+		if ws.isAlive() {
+			live = append(live, ws)
 		}
-		wg.Add(1)
-		go func(p int, spec JobSpec) {
-			defer wg.Done()
-			err := postJSON(ctx, client, strings.TrimRight(c.Workers[p], "/")+"/run", spec, &results[p])
-			if err != nil {
-				failOnce.Do(func() {
-					failErr = fmt.Errorf("cluster: worker %d (%s): %w", p, c.Workers[p], err)
-					cancel()
-				})
-			}
-		}(p, spec)
 	}
-	wg.Wait()
-	if failErr != nil {
-		return nil, failErr
+	return live
+}
+
+// bundleFor returns the (cached) encoded bundle of db.
+func (c *Coordinator) bundleFor(db *seqdb.Database) ([]byte, string, error) {
+	key := weak.Make(db)
+	bundleCache.Lock()
+	if ref, ok := bundleCache.entries[key]; ok {
+		bundleCache.clock++
+		ref.lastUse = bundleCache.clock
+		data, id := ref.data, ref.id
+		bundleCache.Unlock()
+		return data, id, nil
+	}
+	bundleCache.Unlock()
+	data, id, err := EncodeBundle(db)
+	if err != nil {
+		return nil, "", err
+	}
+	bundleCache.Lock()
+	if _, ok := bundleCache.entries[key]; !ok {
+		for len(bundleCache.entries) >= maxBundleCache {
+			evictOldestLocked(bundleCache.entries, func(r *bundleRef) uint64 { return r.lastUse })
+		}
+		bundleCache.clock++
+		bundleCache.entries[key] = &bundleRef{data: data, id: id, lastUse: bundleCache.clock}
+		// Drop the entry as soon as the database itself is collected, so an
+		// idle daemon does not pin dead bundles until the next cluster query.
+		runtime.AddCleanup(db, func(k weak.Pointer[seqdb.Database]) {
+			bundleCache.Lock()
+			delete(bundleCache.entries, k)
+			bundleCache.Unlock()
+		}, key)
+	}
+	bundleCache.Unlock()
+	return data, id, nil
+}
+
+// ensureDataset makes one worker hold the bundle: a cheap presence probe,
+// then a PUT only on miss. Returns whether the probe hit.
+func ensureDataset(ctx context.Context, client *http.Client, baseURL, id string, data []byte) (hit bool, putBytes int64, err error) {
+	probeErr := getJSON(ctx, client, baseURL+"/datasets/"+id, &struct{}{})
+	if probeErr == nil {
+		return true, 0, nil
+	}
+	var herr *httpStatusError
+	if !errors.As(probeErr, &herr) || herr.status != http.StatusNotFound {
+		return false, 0, probeErr
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, baseURL+"/datasets/"+id, bytes.NewReader(data))
+	if err != nil {
+		return false, 0, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if err := doJSON(client, req, &struct{}{}); err != nil {
+		return false, 0, err
+	}
+	return false, int64(len(data)), nil
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+// scheduler drives one job's attempts to completion.
+type scheduler struct {
+	coord  *Coordinator
+	client *http.Client
+	ctx    context.Context
+	cancel context.CancelFunc
+	pool   []*workerRef
+
+	jobID     string
+	numTasks  int
+	datasetID string
+	bundle    []byte
+	algorithm string
+	expr      string
+	sigma     int64
+	opts      Options
+	res       *Result
+
+	epoch    int
+	outcomes chan *attempt
+
+	// smu guards running and res.DeadWorkers, which the heartbeat goroutine
+	// touches concurrently with the scheduling loop.
+	smu     sync.Mutex
+	running map[int]*attempt
+}
+
+// attempt is one gang execution of all tasks.
+type attempt struct {
+	epoch  int
+	gang   []*workerRef
+	cancel context.CancelFunc
+
+	// hbDead is set (under mu) by the heartbeat loop before canceling the
+	// attempt.
+	mu     sync.Mutex
+	hbDead *workerRef
+
+	// outcome, posted to scheduler.outcomes when every gang request ended.
+	results   []JobResult
+	err       error      // nil on success
+	permanent bool       // failure a retry cannot fix
+	failed    *workerRef // gang member held responsible, when identifiable
+	repush    *workerRef // gang member that lost the dataset (evicted)
+}
+
+func (a *attempt) heartbeatDeath() *workerRef {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.hbDead
+}
+
+func (s *scheduler) heartbeatInterval() time.Duration {
+	if s.coord.HeartbeatInterval > 0 {
+		return s.coord.HeartbeatInterval
+	}
+	return 500 * time.Millisecond
+}
+
+func (s *scheduler) heartbeatMisses() int {
+	if s.coord.HeartbeatMisses > 0 {
+		return s.coord.HeartbeatMisses
+	}
+	return 3
+}
+
+// run launches attempts until one succeeds, the retry budget is exhausted,
+// or the context ends.
+func (s *scheduler) run() (*Result, error) {
+	maxRetries := s.opts.MaxRetries
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	// Every attempt posts exactly one outcome; the channel is sized for the
+	// worst case (initial + retries + one speculative) so posts never block
+	// even after the scheduler has returned.
+	s.outcomes = make(chan *attempt, maxRetries+3)
+	s.running = map[int]*attempt{}
+
+	// The heartbeat loop is joined before run returns: its probe goroutines
+	// touch res.DeadWorkers, which the caller reads as soon as Mine returns.
+	hbCtx, hbStop := context.WithCancel(s.ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		s.heartbeatLoop(hbCtx)
+	}()
+	defer func() {
+		hbStop()
+		<-hbDone
+	}()
+
+	// The speculation timer measures the *current* attempt: it is re-armed on
+	// every launch, so a retry does not inherit the previous attempt's clock.
+	// One speculative attempt per job.
+	var (
+		specTimer *time.Timer
+		specC     <-chan time.Time
+		specUsed  bool
+	)
+	armSpec := func() {
+		specC = nil
+		if s.opts.SpeculativeAfterMS <= 0 || specUsed {
+			return
+		}
+		d := time.Duration(s.opts.SpeculativeAfterMS) * time.Millisecond
+		if specTimer == nil {
+			specTimer = time.NewTimer(d)
+		} else {
+			if !specTimer.Stop() {
+				select {
+				case <-specTimer.C:
+				default:
+				}
+			}
+			specTimer.Reset(d)
+		}
+		specC = specTimer.C
+	}
+	defer func() {
+		if specTimer != nil {
+			specTimer.Stop()
+		}
+	}()
+
+	if err := s.launch(); err != nil {
+		return nil, err
+	}
+	armSpec()
+
+	for {
+		select {
+		case a := <-s.outcomes:
+			s.smu.Lock()
+			delete(s.running, a.epoch)
+			s.smu.Unlock()
+			if a.err == nil {
+				s.cancel() // supersede the losing attempts, stop heartbeats
+				return s.merge(a), nil
+			}
+			if s.ctx.Err() != nil {
+				return nil, s.ctx.Err()
+			}
+			if a.permanent {
+				s.cancel()
+				return nil, fmt.Errorf("cluster: %w", a.err)
+			}
+			if a.failed != nil && a.failed.markDead() {
+				s.addDeadWorker(a.failed)
+			}
+			if a.repush != nil {
+				hit, putBytes, err := ensureDataset(s.ctx, s.client, a.repush.url, s.datasetID, s.bundle)
+				if err != nil {
+					if a.repush.markDead() {
+						s.addDeadWorker(a.repush)
+					}
+				} else if !hit {
+					s.res.StoreMisses++
+					s.res.StorePutBytes += putBytes
+				}
+			}
+			if s.runningCount() > 0 {
+				// A concurrent attempt (the speculative race's sibling) is
+				// still in flight and may yet win: its failure, not this one,
+				// decides whether the job needs a relaunch. Losing a
+				// duplicate costs no retry budget.
+				continue
+			}
+			if s.res.Retries >= maxRetries {
+				s.cancel()
+				return nil, fmt.Errorf("cluster: job failed after %d attempts (%d retries): %w",
+					s.res.Attempts, s.res.Retries, a.err)
+			}
+			s.res.Retries++
+			if err := s.launch(); err != nil {
+				return nil, fmt.Errorf("cluster: relaunching after %w: %v", a.err, err)
+			}
+			armSpec()
+		case <-specC:
+			specC = nil
+			if s.runningCount() == 1 && len(liveWorkers(s.pool)) > 0 {
+				if err := s.launch(); err == nil {
+					s.res.SpeculativeAttempts++
+					specUsed = true
+				}
+			}
+		case <-s.ctx.Done():
+			return nil, s.ctx.Err()
+		}
+	}
+}
+
+func (s *scheduler) runningCount() int {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return len(s.running)
+}
+
+func (s *scheduler) addDeadWorker(ws *workerRef) {
+	s.smu.Lock()
+	s.res.DeadWorkers = append(s.res.DeadWorkers, ws.url)
+	s.smu.Unlock()
+}
+
+// launch starts one attempt over the currently live workers: every task is
+// assigned to a gang member (rotated by epoch so a straggler gets different
+// partitions on the next attempt) and each member is POSTed its spec.
+func (s *scheduler) launch() error {
+	gang := liveWorkers(s.pool)
+	if len(gang) == 0 {
+		return fmt.Errorf("no live workers remain")
+	}
+	epoch := s.epoch
+	s.epoch++
+	s.res.Attempts++
+
+	dataPeers := make([]string, len(gang))
+	for i, ws := range gang {
+		dataPeers[i] = ws.dataAddr
+	}
+	parts := make([][]int, len(gang))
+	for task := 0; task < s.numTasks; task++ {
+		gi := (task + epoch) % len(gang)
+		parts[gi] = append(parts[gi], task)
 	}
 
-	res := &Result{PerWorker: results}
+	actx, acancel := context.WithCancel(s.ctx)
+	a := &attempt{epoch: epoch, gang: gang, cancel: acancel, results: make([]JobResult, len(gang))}
+	s.smu.Lock()
+	s.running[epoch] = a
+	s.smu.Unlock()
+
+	go func() {
+		defer acancel()
+		errs := make([]error, len(gang))
+		var wg sync.WaitGroup
+		for gi := range gang {
+			spec := JobSpec{
+				JobID:         s.jobID,
+				Epoch:         epoch,
+				Algorithm:     s.algorithm,
+				Peer:          gi,
+				DataPeers:     dataPeers,
+				Expression:    s.expr,
+				Sigma:         s.sigma,
+				DatasetID:     s.datasetID,
+				NumPartitions: s.numTasks,
+				Partitions:    parts[gi],
+				Options:       s.opts,
+			}
+			wg.Add(1)
+			go func(gi int, spec JobSpec) {
+				defer wg.Done()
+				errs[gi] = postJSON(actx, s.client, gang[gi].url+"/run", spec, &a.results[gi])
+			}(gi, spec)
+		}
+		wg.Wait()
+		s.classify(a, errs)
+		s.outcomes <- a // buffered for the worst case; never blocks
+	}()
+	return nil
+}
+
+// classify condenses a finished attempt's per-member errors into one outcome.
+func (s *scheduler) classify(a *attempt, errs []error) {
+	if dead := a.heartbeatDeath(); dead != nil {
+		a.err = fmt.Errorf("worker %s stopped answering heartbeats", dead.url)
+		a.failed = dead
+		return
+	}
+	for gi, err := range errs {
+		if err == nil {
+			continue
+		}
+		if a.err == nil {
+			a.err = fmt.Errorf("worker %d (%s): %w", gi, a.gang[gi].url, err)
+		}
+		var herr *httpStatusError
+		if !errors.As(err, &herr) {
+			if errors.Is(err, context.Canceled) {
+				// Our own cancellation (supersede or shutdown), not a death.
+				continue
+			}
+			// Transport-level failure: the worker itself is unreachable.
+			if a.failed == nil {
+				a.failed = a.gang[gi]
+				a.err = fmt.Errorf("worker %d (%s) unreachable: %w", gi, a.gang[gi].url, err)
+			}
+			continue
+		}
+		switch {
+		case herr.status == http.StatusBadRequest:
+			a.permanent = true
+			a.err = fmt.Errorf("worker %d (%s): %w", gi, a.gang[gi].url, err)
+			return
+		case herr.status == http.StatusNotFound:
+			if a.repush == nil {
+				a.repush = a.gang[gi]
+			}
+		case herr.failedPeer >= 0 && herr.failedPeer < len(a.gang):
+			if a.failed == nil {
+				a.failed = a.gang[herr.failedPeer]
+				a.err = fmt.Errorf("worker %d (%s) reports peer %d (%s) dead: %w",
+					gi, a.gang[gi].url, herr.failedPeer, a.gang[herr.failedPeer].url, err)
+			}
+		}
+	}
+	if a.err == nil && s.ctx.Err() != nil {
+		a.err = s.ctx.Err()
+	}
+}
+
+// heartbeatLoop probes the live pool members while the job runs; a member
+// that misses enough consecutive probes is declared dead and every running
+// attempt containing it is aborted (which surfaces as that attempt's failure
+// and triggers the retry path).
+func (s *scheduler) heartbeatLoop(ctx context.Context) {
+	interval := s.heartbeatInterval()
+	probeClient := &http.Client{Timeout: interval * 2}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		var wg sync.WaitGroup
+		for _, ws := range liveWorkers(s.pool) {
+			wg.Add(1)
+			go func(ws *workerRef) {
+				defer wg.Done()
+				var health HealthResponse
+				err := getJSON(ctx, probeClient, ws.url+"/healthz", &health)
+				if ctx.Err() != nil {
+					return // shutting down: a canceled probe is not a miss
+				}
+				ws.mu.Lock()
+				if err != nil {
+					ws.misses++
+				} else {
+					ws.misses = 0
+				}
+				dead := ws.alive && ws.misses >= s.heartbeatMisses()
+				if dead {
+					ws.alive = false
+				}
+				ws.mu.Unlock()
+				if dead {
+					s.onHeartbeatDeath(ws)
+				}
+			}(ws)
+		}
+		wg.Wait()
+	}
+}
+
+// onHeartbeatDeath aborts every running attempt that contains the dead
+// worker.
+func (s *scheduler) onHeartbeatDeath(ws *workerRef) {
+	s.smu.Lock()
+	s.res.DeadWorkers = append(s.res.DeadWorkers, ws.url)
+	running := make([]*attempt, 0, len(s.running))
+	for _, a := range s.running {
+		running = append(running, a)
+	}
+	s.smu.Unlock()
+	for _, a := range running {
+		for _, member := range a.gang {
+			if member == ws {
+				a.mu.Lock()
+				a.hbDead = ws
+				a.mu.Unlock()
+				a.cancel()
+				break
+			}
+		}
+	}
+}
+
+// merge folds the winning attempt into the job result.
+func (s *scheduler) merge(a *attempt) *Result {
+	res := s.res
+	res.WinningEpoch = a.epoch
+	res.PerWorker = a.results
 	res.Metrics.RemoteShuffle = true
-	for _, r := range results {
+	for _, r := range a.results {
 		res.Patterns = append(res.Patterns, r.Patterns...)
 		res.WireBytesIn += r.WireBytesIn
 		m := r.Metrics
@@ -148,19 +728,15 @@ func (c *Coordinator) Mine(ctx context.Context, db *seqdb.Database, expression s
 		res.Metrics.SpilledBytes += m.SpilledBytes
 		res.Metrics.SpillCount += m.SpillCount
 		res.Metrics.StreamedBatches += m.StreamedBatches
+		res.Metrics.SendOverflowSegments += m.SendOverflowSegments
 	}
 	miner.SortPatterns(res.Patterns)
-	return res, nil
+	return res
 }
 
-// roundRobinSplit returns peer p's share of the database.
-func roundRobinSplit(db *seqdb.Database, p, n int) [][]dict.ItemID {
-	var split [][]dict.ItemID
-	for i := p; i < len(db.Sequences); i += n {
-		split = append(split, db.Sequences[i])
-	}
-	return split
-}
+// ---------------------------------------------------------------------------
+// HTTP helpers
+// ---------------------------------------------------------------------------
 
 func newJobID() (string, error) {
 	var b [8]byte
@@ -169,6 +745,16 @@ func newJobID() (string, error) {
 	}
 	return "job-" + hex.EncodeToString(b[:]), nil
 }
+
+// httpStatusError is a non-200 control-plane response, with the worker's
+// structured error body when it sent one.
+type httpStatusError struct {
+	status     int
+	msg        string
+	failedPeer int // -1 when the body named no failed peer
+}
+
+func (e *httpStatusError) Error() string { return e.msg }
 
 func getJSON(ctx context.Context, client *http.Client, url string, out any) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
@@ -199,11 +785,17 @@ func doJSON(client *http.Client, req *http.Request, out any) error {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		herr := &httpStatusError{status: resp.StatusCode, failedPeer: -1}
 		var je jsonError
 		if json.Unmarshal(msg, &je) == nil && je.Error != "" {
-			return fmt.Errorf("%s: %s", resp.Status, je.Error)
+			herr.msg = fmt.Sprintf("%s: %s", resp.Status, je.Error)
+			if je.FailedPeer >= 0 {
+				herr.failedPeer = je.FailedPeer
+			}
+		} else {
+			herr.msg = fmt.Sprintf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
 		}
-		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(msg)))
+		return herr
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/seqdb"
+)
+
+// The shared dataset store moves a cluster job's input off the job-submission
+// path. A database is serialized once into an immutable, content-addressed
+// bundle (dictionary text plus varint-encoded sequences); its id is the
+// SHA-256 of the bundle bytes. Workers hold decoded bundles in a small LRU
+// keyed by id, and job specs reference the id plus a partition assignment
+// instead of inlining the split — so a resubmission, a retry or a speculative
+// re-execution against an already-pushed dataset ships zero sequence bytes.
+
+// bundleMagic versions the bundle encoding.
+const bundleMagic = "SQDS1\n"
+
+// maxBundleSeqs bounds the sequence count a decoder will allocate for (an
+// upload is already size-capped; this guards the varint header itself).
+const maxBundleSeqs = 1 << 31
+
+// EncodeBundle serializes a database as one immutable bundle and returns the
+// bundle bytes with their content id.
+func EncodeBundle(db *seqdb.Database) ([]byte, string, error) {
+	if db == nil || db.Dict == nil {
+		return nil, "", fmt.Errorf("cluster: nil database")
+	}
+	var dictText strings.Builder
+	if err := db.Dict.Save(&dictText); err != nil {
+		return nil, "", fmt.Errorf("cluster: serializing dictionary: %w", err)
+	}
+	buf := make([]byte, 0, len(dictText.String())+16*len(db.Sequences)+len(bundleMagic))
+	buf = append(buf, bundleMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(dictText.String())))
+	buf = append(buf, dictText.String()...)
+	buf = binary.AppendUvarint(buf, uint64(len(db.Sequences)))
+	for _, seq := range db.Sequences {
+		buf = binary.AppendUvarint(buf, uint64(len(seq)))
+		for _, it := range seq {
+			buf = binary.AppendUvarint(buf, uint64(it))
+		}
+	}
+	return buf, BundleID(buf), nil
+}
+
+// BundleID returns the content id of bundle bytes.
+func BundleID(data []byte) string {
+	sum := sha256.Sum256(data)
+	return "sha256-" + hex.EncodeToString(sum[:])
+}
+
+// DecodeBundle parses bundle bytes back into a database.
+func DecodeBundle(data []byte) (*seqdb.Database, error) {
+	if len(data) < len(bundleMagic) || string(data[:len(bundleMagic)]) != bundleMagic {
+		return nil, fmt.Errorf("cluster: bad bundle magic")
+	}
+	pos := len(bundleMagic)
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("cluster: truncated bundle varint at offset %d", pos)
+		}
+		pos += n
+		return v, nil
+	}
+	dictLen, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if dictLen > uint64(len(data)-pos) {
+		return nil, fmt.Errorf("cluster: bundle dictionary of %d bytes exceeds payload", dictLen)
+	}
+	d, err := dict.Load(strings.NewReader(string(data[pos : pos+int(dictLen)])))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: loading bundle dictionary: %w", err)
+	}
+	pos += int(dictLen)
+	nseqs, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Every sequence occupies at least one byte (its length varint).
+	if nseqs > maxBundleSeqs || nseqs > uint64(len(data)-pos) {
+		return nil, fmt.Errorf("cluster: bundle claims %d sequences in %d bytes", nseqs, len(data)-pos)
+	}
+	seqs := make([][]dict.ItemID, 0, nseqs)
+	for i := uint64(0); i < nseqs; i++ {
+		n, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(data)-pos) {
+			return nil, fmt.Errorf("cluster: bundle sequence %d claims %d items in %d bytes", i, n, len(data)-pos)
+		}
+		seq := make([]dict.ItemID, 0, n)
+		for j := uint64(0); j < n; j++ {
+			v, err := readUvarint()
+			if err != nil {
+				return nil, err
+			}
+			it := dict.ItemID(v)
+			if !d.Contains(it) {
+				return nil, fmt.Errorf("cluster: bundle sequence %d contains unknown fid %d", i, v)
+			}
+			seq = append(seq, it)
+		}
+		seqs = append(seqs, seq)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("cluster: %d trailing bytes after bundle", len(data)-pos)
+	}
+	return &seqdb.Database{Dict: d, Sequences: seqs}, nil
+}
+
+// Store is a worker's slice of the shared dataset store: decoded bundles in
+// an LRU keyed by content id. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	max     int
+	seq     uint64
+	entries map[string]*storeEntry
+
+	hits, misses int64
+}
+
+type storeEntry struct {
+	db      *seqdb.Database
+	bytes   int64
+	lastUse uint64
+}
+
+// DefaultStoreEntries is the dataset capacity of a worker's store when none
+// is configured.
+const DefaultStoreEntries = 16
+
+// NewStore creates a store holding at most maxEntries decoded datasets
+// (<= 0 uses DefaultStoreEntries). Eviction is LRU by last Get/Put.
+func NewStore(maxEntries int) *Store {
+	if maxEntries <= 0 {
+		maxEntries = DefaultStoreEntries
+	}
+	return &Store{max: maxEntries, entries: map[string]*storeEntry{}}
+}
+
+// Get returns the decoded dataset for id, if present, bumping its recency.
+func (s *Store) Get(id string) (*seqdb.Database, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.seq++
+	e.lastUse = s.seq
+	s.hits++
+	return e.db, true
+}
+
+// Has reports whether id is present without counting a hit or miss.
+func (s *Store) Has(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[id]
+	return ok
+}
+
+// Put verifies data against id, decodes it and stores the dataset. Storing an
+// id that is already present is a cheap no-op (the bundle is immutable).
+func (s *Store) Put(id string, data []byte) error {
+	if got := BundleID(data); got != id {
+		return fmt.Errorf("cluster: bundle content hash %s does not match id %s", got, id)
+	}
+	if s.Has(id) {
+		return nil
+	}
+	db, err := DecodeBundle(data)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.entries[id]; ok {
+		return nil
+	}
+	s.seq++
+	s.entries[id] = &storeEntry{db: db, bytes: int64(len(data)), lastUse: s.seq}
+	for len(s.entries) > s.max {
+		evictOldestLocked(s.entries, func(e *storeEntry) uint64 { return e.lastUse })
+	}
+	return nil
+}
+
+// evictOldestLocked removes the entry with the smallest recency stamp from
+// m. Shared by the dataset store and the coordinator's bundle cache; callers
+// hold the respective lock, and the maps are tiny (a linear scan beats a
+// heap at these sizes).
+func evictOldestLocked[K comparable, V any](m map[K]V, lastUse func(V) uint64) {
+	var oldestKey K
+	var oldest uint64
+	first := true
+	for k, v := range m {
+		if first || lastUse(v) < oldest {
+			first = false
+			oldest = lastUse(v)
+			oldestKey = k
+		}
+	}
+	if !first {
+		delete(m, oldestKey)
+	}
+}
+
+// Len returns the number of stored datasets.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// StoreInfo describes one stored dataset.
+type StoreInfo struct {
+	ID        string `json:"id"`
+	Sequences int    `json:"sequences"`
+	Bytes     int64  `json:"bytes"`
+}
+
+// List returns the stored datasets (unordered).
+func (s *Store) List() []StoreInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]StoreInfo, 0, len(s.entries))
+	for id, e := range s.entries {
+		out = append(out, StoreInfo{ID: id, Sequences: len(e.db.Sequences), Bytes: e.bytes})
+	}
+	return out
+}
+
+// Stats returns the lookup hit/miss counters.
+func (s *Store) Stats() (hits, misses int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses
+}

@@ -1,0 +1,145 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"seqmine/internal/paperex"
+	"seqmine/internal/seqdb"
+)
+
+func testDB(t *testing.T) *seqdb.Database {
+	t.Helper()
+	d := paperex.Dict()
+	return &seqdb.Database{Dict: d, Sequences: paperex.DB(d)}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	db := testDB(t)
+	data, id, err := EncodeBundle(db)
+	if err != nil {
+		t.Fatalf("EncodeBundle: %v", err)
+	}
+	if !strings.HasPrefix(id, "sha256-") || id != BundleID(data) {
+		t.Fatalf("bundle id %q is not the content hash", id)
+	}
+	got, err := DecodeBundle(data)
+	if err != nil {
+		t.Fatalf("DecodeBundle: %v", err)
+	}
+	if len(got.Sequences) != len(db.Sequences) {
+		t.Fatalf("decoded %d sequences, want %d", len(got.Sequences), len(db.Sequences))
+	}
+	for i, seq := range db.Sequences {
+		if len(got.Sequences[i]) != len(seq) {
+			t.Fatalf("sequence %d length mismatch", i)
+		}
+		for j, it := range seq {
+			if got.Sequences[i][j] != it {
+				t.Fatalf("sequence %d item %d: got %d, want %d", i, j, got.Sequences[i][j], it)
+			}
+		}
+	}
+	if got.Dict.Size() != db.Dict.Size() {
+		t.Fatalf("decoded dictionary size %d, want %d", got.Dict.Size(), db.Dict.Size())
+	}
+	// Deterministic encoding: the same database yields the same id.
+	_, id2, err := EncodeBundle(db)
+	if err != nil || id2 != id {
+		t.Fatalf("re-encoding changed the id: %q vs %q (%v)", id2, id, err)
+	}
+}
+
+func TestBundleDecodeRejectsCorruption(t *testing.T) {
+	db := testDB(t)
+	data, _, err := EncodeBundle(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   []byte("NOPE!\nrest"),
+		"truncated":   data[:len(data)/2],
+		"trailing":    append(append([]byte(nil), data...), 0x01),
+		"unknown fid": func() []byte { d := append([]byte(nil), data...); d[len(d)-1] = 0xff; return d }(),
+	}
+	for name, d := range cases {
+		if _, err := DecodeBundle(d); err == nil {
+			t.Errorf("%s: DecodeBundle accepted corrupt input", name)
+		}
+	}
+}
+
+func TestStorePutVerifiesHash(t *testing.T) {
+	db := testDB(t)
+	data, id, err := EncodeBundle(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(2)
+	if err := s.Put("sha256-wrong", data); err == nil {
+		t.Fatal("Put accepted a mismatched id")
+	}
+	if err := s.Put(id, data); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Put(id, data); err != nil {
+		t.Fatalf("idempotent Put: %v", err)
+	}
+	if got, ok := s.Get(id); !ok || len(got.Sequences) != len(db.Sequences) {
+		t.Fatalf("Get(%s) = %v, %v", id, got, ok)
+	}
+}
+
+func TestStoreLRUEviction(t *testing.T) {
+	mkBundle := func(n int) (string, []byte) {
+		t.Helper()
+		raw := make([][]string, n)
+		for i := range raw {
+			raw[i] = []string{"a", "b"}
+		}
+		db, err := seqdb.Build(raw, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, id, err := EncodeBundle(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id, data
+	}
+	s := NewStore(2)
+	id1, d1 := mkBundle(1)
+	id2, d2 := mkBundle(2)
+	id3, d3 := mkBundle(3)
+	for _, p := range []struct {
+		id   string
+		data []byte
+	}{{id1, d1}, {id2, d2}} {
+		if err := s.Put(p.id, p.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get(id1); !ok { // bump id1: id2 becomes the LRU victim
+		t.Fatal("id1 missing")
+	}
+	if err := s.Put(id3, d3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store holds %d entries, want 2", s.Len())
+	}
+	if s.Has(id2) {
+		t.Error("id2 should have been evicted (LRU)")
+	}
+	if !s.Has(id1) || !s.Has(id3) {
+		t.Error("id1 and id3 should survive")
+	}
+	if infos := s.List(); len(infos) != 2 {
+		t.Errorf("List returned %d entries, want 2", len(infos))
+	}
+	hits, misses := s.Stats()
+	if hits == 0 {
+		t.Errorf("expected lookup hits, got hits=%d misses=%d", hits, misses)
+	}
+}

@@ -3,9 +3,10 @@ package cluster
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
-	"strings"
 
 	"seqmine/internal/dcand"
 	"seqmine/internal/dict"
@@ -16,15 +17,27 @@ import (
 	"seqmine/internal/transport"
 )
 
-// maxSpecBodyBytes bounds a job spec upload (the dominant part is the
-// worker's input split).
-const maxSpecBodyBytes = 1 << 30
+// Request body caps: a job spec is metadata only (the input travels through
+// the dataset store), a dataset upload carries the whole bundle.
+const (
+	maxSpecBodyBytes    = 8 << 20
+	maxDatasetBodyBytes = 1 << 30
+)
 
-// Worker executes job specs against a process-wide transport node. One
-// Worker serves any number of concurrent jobs (each job is isolated by its
-// JobID on the node).
+// ErrUnknownDataset is returned when a job spec references a dataset id the
+// worker's store does not hold (e.g. evicted under capacity pressure). The
+// coordinator reacts by re-pushing the bundle and retrying the attempt.
+var ErrUnknownDataset = errors.New("cluster: unknown dataset")
+
+// Worker executes job specs against a process-wide transport node and a
+// dataset store. One Worker serves any number of concurrent jobs (each
+// attempt is isolated by its job id and epoch on the node).
 type Worker struct {
 	node *transport.Node
+
+	// Store holds the datasets pushed to this worker; replace it before
+	// serving to change its capacity.
+	Store *Store
 
 	// SpillDir is the default directory for shuffle spill segments of jobs
 	// that enable spilling without naming a directory; empty uses the
@@ -32,52 +45,46 @@ type Worker struct {
 	SpillDir string
 }
 
-// NewWorker wraps a transport node.
-func NewWorker(node *transport.Node) *Worker { return &Worker{node: node} }
+// NewWorker wraps a transport node with a default-capacity dataset store.
+func NewWorker(node *transport.Node) *Worker {
+	return &Worker{node: node, Store: NewStore(0)}
+}
 
 // Node returns the underlying transport node.
 func (w *Worker) Node() *transport.Node { return w.node }
 
-// Run executes one job spec: it rebuilds the dictionary, compiles the
-// expression, opens the job's exchange on the node and runs the requested
-// miner over the local split.
+// Run executes one job spec: it resolves the dataset from the store, compiles
+// the expression against its dictionary, selects the spec's partitions as the
+// local split, opens the attempt's exchange on the node and runs the
+// requested miner. Cancelling ctx aborts the run cooperatively (the engine
+// stops at input granularity and the exchange is torn down), so a superseded
+// attempt releases its CPU promptly.
 func (w *Worker) Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if spec.JobID == "" {
-		return nil, fmt.Errorf("cluster: empty job id")
+	if err := validateSpec(spec); err != nil {
+		return nil, permanentError{err}
 	}
-	if spec.Peer < 0 || spec.Peer >= len(spec.DataPeers) {
-		return nil, fmt.Errorf("cluster: peer %d out of range for %d data peers", spec.Peer, len(spec.DataPeers))
+	db, ok := w.Store.Get(spec.DatasetID)
+	if !ok {
+		return nil, fmt.Errorf("%w %s", ErrUnknownDataset, spec.DatasetID)
 	}
-	if spec.Sigma <= 0 {
-		return nil, fmt.Errorf("cluster: minimum support must be positive, got %d", spec.Sigma)
-	}
-	d, err := dict.Load(strings.NewReader(spec.Dict))
+	f, err := fst.Compile(spec.Expression, db.Dict)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: loading dictionary: %w", err)
+		return nil, permanentError{fmt.Errorf("cluster: compiling %q: %w", spec.Expression, err)}
 	}
-	f, err := fst.Compile(spec.Expression, d)
-	if err != nil {
-		return nil, fmt.Errorf("cluster: compiling %q: %w", spec.Expression, err)
-	}
-	for i, seq := range spec.Split {
-		for _, it := range seq {
-			if !d.Contains(it) {
-				return nil, fmt.Errorf("cluster: split sequence %d contains unknown fid %d", i, it)
-			}
-		}
-	}
+	split := partitionSplit(db.Sequences, spec.NumPartitions, spec.Partitions)
 
-	bx, err := w.node.OpenExchange(spec.JobID, spec.Peer, spec.DataPeers)
+	bx, err := w.node.OpenExchangeEpoch(spec.JobID, spec.Epoch, spec.Peer, spec.DataPeers)
 	if err != nil {
 		return nil, err
 	}
 	defer bx.Close()
 	// Propagate cancellation into the exchange: closing it fails every
-	// blocked Send/Recv, so an abandoned job (coordinator gone, peer failed)
-	// stops mining instead of waiting out the transport timeouts.
+	// blocked Send/Recv, so an abandoned attempt (coordinator gone, peer
+	// failed, attempt superseded) stops mining instead of waiting out the
+	// transport timeouts.
 	stopCancel := context.AfterFunc(ctx, func() { bx.Close() })
 	defer stopCancel()
 
@@ -88,6 +95,7 @@ func (w *Worker) Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	cfg := mapreduce.Config{
 		MapWorkers:    spec.Options.MapWorkers,
 		ReduceWorkers: spec.Options.ReduceWorkers,
+		Context:       ctx,
 		Shuffle: mapreduce.ShuffleConfig{
 			SpillThreshold:  spec.Options.SpillThresholdBytes,
 			TmpDir:          spillDir,
@@ -101,39 +109,133 @@ func (w *Worker) Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	)
 	switch spec.Algorithm {
 	case AlgoDSeq:
-		patterns, metrics, err = dseq.MinePeer(f, spec.Split, spec.Sigma, dseq.Options{
+		patterns, metrics, err = dseq.MinePeer(f, split, spec.Sigma, dseq.Options{
 			UseGrid:       spec.Options.UseGrid,
 			Rewrite:       spec.Options.Rewrite,
 			EarlyStopping: spec.Options.EarlyStopping,
 			Aggregate:     spec.Options.AggregateSequences,
 		}, cfg, bx)
 	case AlgoDCand:
-		patterns, metrics, err = dcand.MinePeer(f, spec.Split, spec.Sigma, dcand.Options{
+		patterns, metrics, err = dcand.MinePeer(f, split, spec.Sigma, dcand.Options{
 			Minimize:  spec.Options.MinimizeNFAs,
 			Aggregate: spec.Options.AggregateNFAs,
 		}, cfg, bx)
 	default:
-		err = fmt.Errorf("cluster: algorithm %q cannot run distributed (want %s or %s)", spec.Algorithm, AlgoDSeq, AlgoDCand)
+		err = permanentError{fmt.Errorf("cluster: algorithm %q cannot run distributed (want %s or %s)", spec.Algorithm, AlgoDSeq, AlgoDCand)}
 	}
 	if err != nil {
 		return nil, err
 	}
+	// Copy the streaming shuffle's per-destination counters onto the
+	// transport's per-peer stats rows, so the job result reports one
+	// per-peer breakdown.
+	stats := bx.Stats()
+	for _, sp := range metrics.StreamPeers {
+		if sp.Peer >= 0 && sp.Peer < len(stats) {
+			stats[sp.Peer].StreamedBatches = sp.StreamedBatches
+			stats[sp.Peer].OverflowSegments = sp.OverflowSegments
+		}
+	}
 	return &JobResult{
+		Epoch:       spec.Epoch,
 		Patterns:    patterns,
 		Metrics:     metrics,
 		WireBytesIn: bx.WireBytesIn(),
-		PeerStats:   bx.Stats(),
+		PeerStats:   stats,
 	}, nil
+}
+
+// validateSpec rejects malformed job specs up front (permanent errors the
+// coordinator must not retry).
+func validateSpec(spec JobSpec) error {
+	if spec.JobID == "" {
+		return fmt.Errorf("cluster: empty job id")
+	}
+	if spec.Epoch < 0 {
+		return fmt.Errorf("cluster: negative epoch %d", spec.Epoch)
+	}
+	if spec.Peer < 0 || spec.Peer >= len(spec.DataPeers) {
+		return fmt.Errorf("cluster: peer %d out of range for %d data peers", spec.Peer, len(spec.DataPeers))
+	}
+	if spec.Sigma <= 0 {
+		return fmt.Errorf("cluster: minimum support must be positive, got %d", spec.Sigma)
+	}
+	if spec.DatasetID == "" {
+		return fmt.Errorf("cluster: empty dataset id")
+	}
+	if spec.NumPartitions < 1 {
+		return fmt.Errorf("cluster: NumPartitions %d out of range", spec.NumPartitions)
+	}
+	for _, p := range spec.Partitions {
+		if p < 0 || p >= spec.NumPartitions {
+			return fmt.Errorf("cluster: partition %d out of range for %d partitions", p, spec.NumPartitions)
+		}
+	}
+	return nil
+}
+
+// partitionSplit selects the sequences of the given partitions (sequence i
+// belongs to partition i mod numPartitions), in stable input order.
+func partitionSplit(seqs [][]dict.ItemID, numPartitions int, partitions []int) [][]dict.ItemID {
+	if len(partitions) == 0 {
+		return nil
+	}
+	want := make([]bool, numPartitions)
+	for _, p := range partitions {
+		want[p] = true
+	}
+	var split [][]dict.ItemID
+	for i, seq := range seqs {
+		if want[i%numPartitions] {
+			split = append(split, seq)
+		}
+	}
+	return split
 }
 
 // Handler returns the worker's control API:
 //
-//	POST /run      execute one JobSpec, respond with the JobResult
-//	GET  /healthz  liveness probe, advertises the shuffle address
+//	POST /run            execute one JobSpec, respond with the JobResult
+//	GET  /healthz        liveness probe, advertises the shuffle address
+//	GET  /datasets       list the dataset store's bundles
+//	GET  /datasets/{id}  presence probe for one bundle
+//	PUT  /datasets/{id}  upload one content-addressed bundle
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
-		writeJSON(rw, http.StatusOK, HealthResponse{Status: "ok", DataAddr: w.node.Addr()})
+		writeJSON(rw, http.StatusOK, HealthResponse{
+			Status:   "ok",
+			DataAddr: w.node.Addr(),
+			Datasets: w.Store.Len(),
+		})
+	})
+	mux.HandleFunc("GET /datasets", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, http.StatusOK, w.Store.List())
+	})
+	mux.HandleFunc("GET /datasets/{id}", func(rw http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !w.Store.Has(id) {
+			writeJSONError(rw, http.StatusNotFound, fmt.Errorf("%w %s", ErrUnknownDataset, id))
+			return
+		}
+		writeJSON(rw, http.StatusOK, struct {
+			ID string `json:"id"`
+		}{ID: id})
+	})
+	mux.HandleFunc("PUT /datasets/{id}", func(rw http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		data, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, maxDatasetBodyBytes))
+		if err != nil {
+			writeJSONError(rw, http.StatusBadRequest, fmt.Errorf("reading bundle: %w", err))
+			return
+		}
+		if err := w.Store.Put(id, data); err != nil {
+			writeJSONError(rw, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(rw, http.StatusOK, struct {
+			ID string `json:"id"`
+		}{ID: id})
 	})
 	mux.HandleFunc("POST /run", func(rw http.ResponseWriter, r *http.Request) {
 		var spec JobSpec
@@ -143,7 +245,7 @@ func (w *Worker) Handler() http.Handler {
 		}
 		result, err := w.Run(r.Context(), spec)
 		if err != nil {
-			writeJSONError(rw, http.StatusInternalServerError, err)
+			writeRunError(rw, err)
 			return
 		}
 		writeJSON(rw, http.StatusOK, result)
@@ -151,8 +253,43 @@ func (w *Worker) Handler() http.Handler {
 	return mux
 }
 
+// permanentError marks failures a retry cannot fix (malformed spec, a
+// pattern expression that does not compile, an unknown algorithm). The worker
+// reports them as HTTP 400 so the coordinator fails the job instead of
+// burning its retry budget on a deterministic error.
+type permanentError struct{ err error }
+
+func (e permanentError) Error() string { return e.err.Error() }
+func (e permanentError) Unwrap() error { return e.err }
+
+// writeRunError maps a run failure to a status the coordinator can act on:
+// 404 for a missing dataset (re-push and retry), 400 for a permanent error
+// (do not retry), 500 otherwise, carrying the index of the peer whose
+// shuffle connection died when the failure was a peer death.
+func writeRunError(rw http.ResponseWriter, err error) {
+	var perm permanentError
+	switch {
+	case errors.Is(err, ErrUnknownDataset):
+		writeJSONError(rw, http.StatusNotFound, err)
+	case errors.As(err, &perm):
+		writeJSONError(rw, http.StatusBadRequest, err)
+	default:
+		body := jsonError{Error: err.Error(), FailedPeer: -1}
+		var perr *transport.PeerError
+		if errors.As(err, &perr) {
+			body.FailedPeer = perr.Peer
+		}
+		writeJSON(rw, http.StatusInternalServerError, body)
+	}
+}
+
 type jsonError struct {
 	Error string `json:"error"`
+	// FailedPeer is the peer index whose shuffle connection caused the
+	// failure; -1 when the failure was not a peer death. The field is always
+	// written (no omitempty): 0 is a valid peer index, so absence must not
+	// be confusable with it.
+	FailedPeer int `json:"failed_peer"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -164,5 +301,5 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeJSONError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, jsonError{Error: err.Error()})
+	writeJSON(w, status, jsonError{Error: err.Error(), FailedPeer: -1})
 }

@@ -1,0 +1,190 @@
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"seqmine/internal/cluster"
+	"seqmine/internal/transport"
+)
+
+// startWorkerWithStore brings up one worker and pushes the paper database's
+// bundle into its store, returning the worker fixtures and the dataset id.
+func startWorkerWithStore(t *testing.T) (*cluster.Worker, *httptest.Server, string) {
+	t.Helper()
+	node, err := transport.NewNode("127.0.0.1:0", transport.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Close() })
+	w := cluster.NewWorker(node)
+	srv := httptest.NewServer(w.Handler())
+	t.Cleanup(srv.Close)
+
+	data, id, err := cluster.EncodeBundle(paperDatabase(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/datasets/"+id, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT bundle: status %d", resp.StatusCode)
+	}
+	return w, srv, id
+}
+
+// postRun POSTs a spec to the worker and returns the status code and error
+// body.
+func postRun(t *testing.T, srv *httptest.Server, spec cluster.JobSpec) (int, string) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/run", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var je struct {
+		Error string `json:"error"`
+	}
+	_ = json.NewDecoder(resp.Body).Decode(&je)
+	return resp.StatusCode, je.Error
+}
+
+// TestWorkerRejectsMalformedSpecs: permanent errors must come back as HTTP
+// 400 so the coordinator does not burn its retry budget on them, and a
+// missing dataset as 404 so it re-pushes instead.
+func TestWorkerRejectsMalformedSpecs(t *testing.T) {
+	w, srv, id := startWorkerWithStore(t)
+	addr := w.Node().Addr()
+	valid := cluster.JobSpec{
+		JobID: "job-w", Algorithm: cluster.AlgoDSeq, Peer: 0, DataPeers: []string{addr},
+		Expression: "(.)", Sigma: 1, DatasetID: id, NumPartitions: 1, Partitions: []int{0},
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*cluster.JobSpec)
+		status int
+	}{
+		{"empty job id", func(s *cluster.JobSpec) { s.JobID = "" }, http.StatusBadRequest},
+		{"negative epoch", func(s *cluster.JobSpec) { s.Epoch = -1 }, http.StatusBadRequest},
+		{"peer out of range", func(s *cluster.JobSpec) { s.Peer = 5 }, http.StatusBadRequest},
+		{"non-positive sigma", func(s *cluster.JobSpec) { s.Sigma = 0 }, http.StatusBadRequest},
+		{"empty dataset id", func(s *cluster.JobSpec) { s.DatasetID = "" }, http.StatusBadRequest},
+		{"zero partition count", func(s *cluster.JobSpec) { s.NumPartitions = 0 }, http.StatusBadRequest},
+		{"partition out of range", func(s *cluster.JobSpec) { s.Partitions = []int{3} }, http.StatusBadRequest},
+		{"bad expression", func(s *cluster.JobSpec) { s.Expression = "((" }, http.StatusBadRequest},
+		{"bad algorithm", func(s *cluster.JobSpec) { s.Algorithm = "naive" }, http.StatusBadRequest},
+		{"unknown dataset", func(s *cluster.JobSpec) { s.DatasetID = "sha256-feed" }, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := valid
+			tc.mutate(&spec)
+			status, msg := postRun(t, srv, spec)
+			if status != tc.status {
+				t.Errorf("status = %d (%s), want %d", status, msg, tc.status)
+			}
+			if msg == "" {
+				t.Error("error body is empty")
+			}
+		})
+	}
+
+	// The valid spec itself runs (single-peer gang).
+	status, msg := postRun(t, srv, valid)
+	if status != http.StatusOK {
+		t.Fatalf("valid spec: status %d (%s)", status, msg)
+	}
+}
+
+// TestWorkerDatasetEndpoints covers the store's HTTP surface: presence
+// probes, listing, hash verification on upload.
+func TestWorkerDatasetEndpoints(t *testing.T) {
+	_, srv, id := startWorkerWithStore(t)
+
+	resp, err := http.Get(srv.URL + "/datasets/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("presence probe: status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/datasets/sha256-unknown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown id probe: status %d", resp.StatusCode)
+	}
+
+	var infos []cluster.StoreInfo
+	resp, err = http.Get(srv.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 1 || infos[0].ID != id || infos[0].Sequences == 0 {
+		t.Errorf("GET /datasets = %+v", infos)
+	}
+
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/datasets/sha256-bogus", strings.NewReader("garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("mismatched bundle upload: status %d, want 400", resp.StatusCode)
+	}
+
+	var health cluster.HealthResponse
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Datasets != 1 || health.DataAddr == "" {
+		t.Errorf("healthz = %+v", health)
+	}
+}
+
+// TestWorkerRunUnknownDatasetTyped: the library-level error is ErrUnknownDataset.
+func TestWorkerRunUnknownDatasetTyped(t *testing.T) {
+	w, _, _ := startWorkerWithStore(t)
+	_, err := w.Run(context.Background(), cluster.JobSpec{
+		JobID: "job-x", Algorithm: cluster.AlgoDSeq, Peer: 0, DataPeers: []string{w.Node().Addr()},
+		Expression: "(.)", Sigma: 1, DatasetID: "sha256-missing", NumPartitions: 1, Partitions: []int{0},
+	})
+	if !errors.Is(err, cluster.ErrUnknownDataset) {
+		t.Fatalf("err = %v, want ErrUnknownDataset", err)
+	}
+}

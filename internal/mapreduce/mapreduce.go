@@ -9,6 +9,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"io"
 	"runtime"
@@ -32,6 +33,15 @@ type Config struct {
 	// require the job to carry a Codec. The zero value keeps everything in
 	// memory and shuffles after the map barrier.
 	Shuffle ShuffleConfig
+	// Context, when non-nil, aborts the job cooperatively: map workers stop
+	// consuming inputs at input granularity, the shuffle barrier still
+	// completes (peers receive this peer's end frame, so a canceled peer
+	// never wedges the others), the reduce phase is skipped and the run
+	// returns the context's error. A re-executed task can therefore restart
+	// promptly without leaking goroutines or CPU into the dead attempt. On a
+	// wire exchange the caller should additionally close the exchange on
+	// cancellation so a barrier blocked on a dead peer fails fast.
+	Context context.Context
 }
 
 func (c Config) normalized() Config {
@@ -40,6 +50,9 @@ func (c Config) normalized() Config {
 	}
 	if c.ReduceWorkers <= 0 {
 		c.ReduceWorkers = runtime.NumCPU()
+	}
+	if c.Context == nil {
+		c.Context = context.Background()
 	}
 	return c
 }
@@ -87,6 +100,27 @@ type Metrics struct {
 	// StreamedBatches counts the key batches flushed out of the bounded
 	// per-peer send buffers by the streaming shuffle (0 in barrier mode).
 	StreamedBatches int64
+	// SendOverflowSegments counts the flushed runs the streaming shuffle
+	// pushed to on-disk overflow segments because a sender lagged (a subset
+	// of SpillCount; 0 in barrier mode or when the network kept up).
+	SendOverflowSegments int64
+	// StreamPeers breaks StreamedBatches and SendOverflowSegments down per
+	// destination peer (remote destinations only; empty in barrier mode).
+	// The cluster worker copies these counters into the per-peer transport
+	// stats of its job result.
+	StreamPeers []PeerStreamStats `json:"stream_peers,omitempty"`
+}
+
+// PeerStreamStats is the streaming shuffle's activity toward one destination
+// peer.
+type PeerStreamStats struct {
+	// Peer is the destination's peer index.
+	Peer int `json:"peer"`
+	// StreamedBatches counts key batches flushed toward the peer.
+	StreamedBatches int64 `json:"streamed_batches"`
+	// OverflowSegments counts flushed runs that overflowed to disk because
+	// the peer's sender lagged.
+	OverflowSegments int64 `json:"overflow_segments"`
 }
 
 // Total returns the total wall-clock time of the job.
@@ -214,6 +248,10 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 	metrics.SpillCount += accCount
 
 	// ---- Reduce phase ------------------------------------------------------
+	if err := cfg.Context.Err(); err != nil {
+		metrics.ReduceTime = time.Since(mapEnd)
+		return nil, metrics, err
+	}
 	var out []O
 	var reduceErr error
 	if acc.spilled() {
@@ -222,6 +260,9 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 		out = reduceInMemory(cfg, job, acc.mem, &metrics)
 	}
 	metrics.ReduceTime = time.Since(mapEnd)
+	if reduceErr == nil {
+		reduceErr = cfg.Context.Err()
+	}
 	if reduceErr != nil {
 		return nil, metrics, reduceErr
 	}
@@ -234,6 +275,7 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 // (own sends flushed, every remote end frame received).
 func runBarrierMapShuffle[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K, V, O], ex Exchange[K, V], acc *shuffleAccumulator[K, V], recvDone <-chan error, wire bool, metrics *Metrics) (time.Time, error) {
 	npeers, self := ex.NumPeers(), ex.Self()
+	ctx := cfg.Context
 	mapStart := time.Now()
 	type workerState struct {
 		groups  map[K][]V
@@ -251,7 +293,7 @@ func runBarrierMapShuffle[I any, K comparable, V any, O any](inputs []I, cfg Con
 				state.groups[k] = append(state.groups[k], v)
 				state.emitted++
 			}
-			for i := w; i < len(inputs); i += cfg.MapWorkers {
+			for i := w; i < len(inputs) && ctx.Err() == nil; i += cfg.MapWorkers {
 				job.Map(inputs[i], emit)
 			}
 			if job.Combine != nil {
@@ -269,7 +311,9 @@ func runBarrierMapShuffle[I any, K comparable, V any, O any](inputs []I, cfg Con
 	// peer owns bypass the exchange entirely and go straight into the
 	// accumulator: self-delivery is bounded by the spill buffer
 	// (Config.Shuffle), not by a queue that could wedge or grow.
-	var sendErr error
+	// A canceled job skips the routing but still runs the barrier below, so
+	// remote peers get this peer's end frame instead of a wedged shuffle.
+	sendErr := ctx.Err()
 	for w := range workers {
 		metrics.MapOutputRecords += workers[w].emitted
 		for k, vs := range workers[w].groups {
@@ -318,7 +362,8 @@ func runBarrierMapShuffle[I any, K comparable, V any, O any](inputs []I, cfg Con
 // is complete.
 func runStreamingMapShuffle[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K, V, O], ex Exchange[K, V], acc *shuffleAccumulator[K, V], recvDone <-chan error, wire bool, metrics *Metrics) (time.Time, error) {
 	npeers := ex.NumPeers()
-	ss := newStreamShuffle(cfg.Shuffle, jobShape[K, V]{
+	ctx := cfg.Context
+	ss := newStreamShuffle(cfg.Shuffle, cfg.MapWorkers, jobShape[K, V]{
 		combine: job.Combine,
 		sizeOf:  job.SizeOf,
 		codec:   job.Codec,
@@ -339,9 +384,9 @@ func runStreamingMapShuffle[I any, K comparable, V any, O any](inputs []I, cfg C
 				if npeers > 1 {
 					dst = int(job.Hash(k) % uint64(npeers))
 				}
-				ss.emit(dst, k, v)
+				ss.emit(w, dst, k, v)
 			}
-			for i := w; i < len(inputs); i += cfg.MapWorkers {
+			for i := w; i < len(inputs) && ctx.Err() == nil; i += cfg.MapWorkers {
 				job.Map(inputs[i], emit)
 			}
 		}(w)
@@ -354,8 +399,12 @@ func runStreamingMapShuffle[I any, K comparable, V any, O any](inputs []I, cfg C
 	}
 
 	// Final flush, join the senders, then the end-frame barrier. All three
-	// steps run even after an error so remote peers are never wedged.
+	// steps run even after an error (or cancellation) so remote peers are
+	// never wedged.
 	streamErr := ss.finish()
+	if err := ctx.Err(); err != nil && streamErr == nil {
+		streamErr = err
+	}
 	if err := ex.CloseSend(); err != nil && streamErr == nil {
 		streamErr = err
 	}
@@ -392,6 +441,9 @@ func reduceInMemory[I any, K comparable, V any, O any](cfg Config, job Job[I, K,
 			defer wg.Done()
 			emit := func(o O) { outs[w] = append(outs[w], o) }
 			for _, k := range buckets[w] {
+				if cfg.Context.Err() != nil {
+					return // canceled: the caller discards the output
+				}
 				job.Reduce(k, merged[k], emit)
 			}
 		}(w)
@@ -424,6 +476,9 @@ func reduceStreaming[I any, K comparable, V any, O any](cfg Config, job Job[I, K
 		}(w)
 	}
 	mergeErr := acc.merge(func(k K, vs []V) error {
+		if err := cfg.Context.Err(); err != nil {
+			return err
+		}
 		metrics.Partitions++
 		if int64(len(vs)) > metrics.MaxPartitionRecords {
 			metrics.MaxPartitionRecords = int64(len(vs))

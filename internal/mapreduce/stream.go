@@ -32,10 +32,14 @@ const senderIdleCheck = 20 * time.Millisecond
 // exchange while mapping continues. Network transfer therefore overlaps map
 // compute, and a peer's sender memory is capped by SendBufferBytes per peer:
 //
-//   - a buffer that reaches the cap is flushed — the combiner runs on the
+//   - each destination's buffer is sharded across the map workers (worker w
+//     owns shard w mod nshards), so emits from different map workers do not
+//     serialize on one mutex; each shard holds SendBufferBytes/nshards, so
+//     the per-destination total still respects the cap;
+//   - a shard that reaches its share is flushed — the combiner runs on the
 //     buffered groups (partial combine; the reducers merge the partial
 //     results exactly like batches from different peers), and the combined
-//     batches are handed to the peer's sender goroutine;
+//     batches are handed to the destination's sender goroutine;
 //   - when the sender is still busy with the previous run (the network is
 //     applying backpressure), the flushed run overflows to an on-disk
 //     segment in the FrameCodec wire encoding — the same machinery the
@@ -50,9 +54,9 @@ const senderIdleCheck = 20 * time.Millisecond
 // into different partial batches.
 
 // testSendBufferProbe, when non-nil, observes the per-peer send-buffer
-// occupancy (in accounted bytes) after every emit. Tests use it to assert
-// the SendBufferBytes bound; it must be set before the job starts and not
-// changed while one runs.
+// occupancy (in accounted bytes, summed over the destination's shards) after
+// every emit. Tests use it to assert the SendBufferBytes bound; it must be
+// set before the job starts and not changed while one runs.
 var testSendBufferProbe func(peer int, occupancyBytes int64)
 
 // jobShape is the slice of Job the streaming shuffle needs, avoiding a type
@@ -66,14 +70,17 @@ type jobShape[K comparable, V any] struct {
 
 // streamShuffle is the per-RunExchange state of the streaming shuffle.
 type streamShuffle[K comparable, V any] struct {
-	cfg     ShuffleConfig
-	combine func(K, []V) []V
-	sizeOf  func(K, V) int
-	codec   *FrameCodec[K, V]
-	wire    bool
+	cfg      ShuffleConfig
+	combine  func(K, []V) []V
+	sizeOf   func(K, V) int
+	codec    *FrameCodec[K, V]
+	wire     bool
+	nshards  int
+	shardCap int64 // per-shard byte share of SendBufferBytes
 
 	acc    *shuffleAccumulator[K, V]
-	states []*peerSendState[K, V]
+	dests  []*destSendState[K, V]
+	shards []*sendShard[K, V] // dst*nshards + (worker mod nshards)
 
 	dir     string // lazily created overflow-segment directory
 	dirOnce sync.Once
@@ -85,17 +92,20 @@ type streamShuffle[K comparable, V any] struct {
 
 type errBox struct{ err error }
 
-// peerSendState is one destination's bounded send buffer.
-type peerSendState[K comparable, V any] struct {
+// destSendState is the per-destination half of the send path: the sender
+// queue, the overflow segments and the accounting the shards share.
+type destSendState[K comparable, V any] struct {
 	owner *streamShuffle[K, V]
 	dst   int
 	self  bool
 
-	mu      sync.Mutex
-	groups  map[K][]V
-	bytes   int64
-	dead    bool // a sender/flush error was recorded; drop further data
-	lagging bool // the sender timed the grace out; overflow goes straight to disk
+	// dead: a sender/flush error was recorded; drop further data.
+	dead atomic.Bool
+	// lagging: a flush timed the grace out; overflow goes straight to disk.
+	lagging atomic.Bool
+	// occupancy is the summed buffered bytes across the destination's shards
+	// (the quantity SendBufferBytes bounds; observed by the test probe).
+	occupancy atomic.Int64
 
 	// queue hands flushed runs to the sender goroutine (remote peers only).
 	// Its small capacity absorbs scheduler jitter — the sender losing the
@@ -105,38 +115,72 @@ type peerSendState[K comparable, V any] struct {
 	// SendBufferBytes per peer.
 	queue chan []KeyBatch[K, V]
 
-	// overflow segments, completed and not yet sent (remote peers only).
+	// overflow segments, completed and not yet sent (remote peers only),
+	// guarded by spillMu.
+	spillMu      sync.Mutex
 	segs         []*os.File
 	spilledBytes int64
 	spillCount   int64
 	buf          []byte // scratch encode buffer for overflow segments
 
 	// accounting, folded into Metrics after the barrier.
-	records   int64 // post-combine records flushed (ShuffleRecords share)
-	batches   int64 // flushed batches (StreamedBatches share)
-	sizeBytes int64 // SizeOf estimate of flushed records (non-wire runs)
+	records   atomic.Int64 // post-combine records flushed (ShuffleRecords share)
+	batches   atomic.Int64 // flushed batches (StreamedBatches share)
+	sizeBytes atomic.Int64 // SizeOf estimate of flushed records (non-wire runs)
+}
+
+// sendShard is one slice of one destination's send buffer. With nshards >=
+// MapWorkers exactly one map worker fills each shard and emits never contend;
+// when SendBufferBytes is smaller than the worker count, several workers
+// share a shard (worker w uses shard w mod nshards). The mutex guards groups
+// in both cases — finish() also flushes every shard from the engine
+// goroutine. groups == nil marks a shard killed by a flush error.
+type sendShard[K comparable, V any] struct {
+	dest *destSendState[K, V]
+
+	mu     sync.Mutex
+	groups map[K][]V
+	bytes  int64
 }
 
 // newStreamShuffle prepares the send states and starts one sender goroutine
-// per remote peer.
-func newStreamShuffle[K comparable, V any](cfg ShuffleConfig, job jobShape[K, V], acc *shuffleAccumulator[K, V], ex Exchange[K, V]) *streamShuffle[K, V] {
+// per remote peer. mapWorkers fixes the shard count: one shard per map worker
+// (capped so every shard keeps a byte of budget when SendBufferBytes is
+// smaller than the worker count).
+func newStreamShuffle[K comparable, V any](cfg ShuffleConfig, mapWorkers int, job jobShape[K, V], acc *shuffleAccumulator[K, V], ex Exchange[K, V]) *streamShuffle[K, V] {
 	sizeOf := job.sizeOf
 	if sizeOf == nil {
 		sizeOf = job.codec.RecordSize
 	}
+	nshards := mapWorkers
+	if nshards < 1 {
+		nshards = 1
+	}
+	if int64(nshards) > cfg.SendBufferBytes {
+		nshards = int(cfg.SendBufferBytes)
+		if nshards < 1 {
+			nshards = 1
+		}
+	}
 	s := &streamShuffle[K, V]{
-		cfg:     cfg,
-		combine: job.combine,
-		sizeOf:  sizeOf,
-		codec:   job.codec,
-		wire:    job.wire,
-		acc:     acc,
-		states:  make([]*peerSendState[K, V], ex.NumPeers()),
+		cfg:      cfg,
+		combine:  job.combine,
+		sizeOf:   sizeOf,
+		codec:    job.codec,
+		wire:     job.wire,
+		nshards:  nshards,
+		shardCap: cfg.SendBufferBytes / int64(nshards),
+		acc:      acc,
+		dests:    make([]*destSendState[K, V], ex.NumPeers()),
+		shards:   make([]*sendShard[K, V], ex.NumPeers()*nshards),
 	}
 	self := ex.Self()
-	for p := range s.states {
-		st := &peerSendState[K, V]{owner: s, dst: p, self: p == self, groups: make(map[K][]V)}
-		s.states[p] = st
+	for p := range s.dests {
+		st := &destSendState[K, V]{owner: s, dst: p, self: p == self}
+		s.dests[p] = st
+		for i := 0; i < nshards; i++ {
+			s.shards[p*nshards+i] = &sendShard[K, V]{dest: st, groups: make(map[K][]V)}
+		}
 		if p == self {
 			continue
 		}
@@ -147,60 +191,75 @@ func newStreamShuffle[K comparable, V any](cfg ShuffleConfig, job jobShape[K, V]
 	return s
 }
 
-// emit routes one record into the owning peer's send buffer, flushing the
-// buffer first when adding the record would exceed the cap (so occupancy
-// stays within SendBufferBytes, plus one record when a single record is
-// larger than the whole cap).
-func (s *streamShuffle[K, V]) emit(dst int, k K, v V) {
-	st := s.states[dst]
-	sz := int64(s.sizeOf(k, v))
-	st.mu.Lock()
-	if st.dead {
-		st.mu.Unlock()
+// emit routes one record from map worker w into the owning peer's send-buffer
+// shard, flushing the shard first when adding the record would exceed its
+// share (so per-destination occupancy stays within SendBufferBytes, plus one
+// record per shard when a single record is larger than the shard's share).
+func (s *streamShuffle[K, V]) emit(w, dst int, k K, v V) {
+	st := s.dests[dst]
+	if st.dead.Load() {
 		return
 	}
-	if st.bytes > 0 && st.bytes+sz > s.cfg.SendBufferBytes {
-		if err := st.flushLocked(false); err != nil {
-			st.dead = true
-			st.groups = nil
-			st.mu.Unlock()
+	sh := s.shards[dst*s.nshards+w%s.nshards]
+	sz := int64(s.sizeOf(k, v))
+	sh.mu.Lock()
+	if sh.groups == nil {
+		// A worker sharing this shard hit a flush error while we were
+		// blocked on the mutex; the destination is dead.
+		sh.mu.Unlock()
+		return
+	}
+	if sh.bytes > 0 && sh.bytes+sz > s.shardCap {
+		if err := sh.flushLocked(false); err != nil {
+			st.dead.Store(true)
+			sh.groups = nil
+			sh.mu.Unlock()
 			s.fail(err)
 			return
 		}
 	}
-	st.groups[k] = append(st.groups[k], v)
-	st.bytes += sz
+	sh.groups[k] = append(sh.groups[k], v)
+	sh.bytes += sz
+	st.occupancy.Add(sz)
 	if testSendBufferProbe != nil {
-		testSendBufferProbe(dst, st.bytes)
+		testSendBufferProbe(dst, st.occupancy.Load())
 	}
-	st.mu.Unlock()
+	sh.mu.Unlock()
 }
 
-// flushLocked combines the buffered groups and hands them off: self-owned
-// batches go to the shuffle accumulator, remote batches to the sender's
-// queue, or — when the sender is busy and this is not the final flush — to
-// an overflow segment on disk. Callers hold st.mu.
-func (st *peerSendState[K, V]) flushLocked(final bool) error {
-	if len(st.groups) == 0 {
+// flushLocked combines the shard's buffered groups and hands them off:
+// self-owned batches go to the shuffle accumulator, remote batches to the
+// destination's sender queue, or — when the sender is busy and this is not
+// the final flush — to an overflow segment on disk. Callers hold sh.mu; the
+// handoff may block on the queue (grace wait), which is exactly the
+// backpressure a full buffer means for this map worker — the other workers'
+// shards stay available.
+func (sh *sendShard[K, V]) flushLocked(final bool) error {
+	if len(sh.groups) == 0 {
 		return nil
 	}
+	st := sh.dest
 	s := st.owner
-	batches := make([]KeyBatch[K, V], 0, len(st.groups))
-	for k, vs := range st.groups {
+	batches := make([]KeyBatch[K, V], 0, len(sh.groups))
+	var records, sizeBytes int64
+	for k, vs := range sh.groups {
 		if s.combine != nil {
 			vs = s.combine(k, vs)
 		}
-		st.records += int64(len(vs))
+		records += int64(len(vs))
 		if !s.wire {
 			for _, v := range vs {
-				st.sizeBytes += int64(s.sizeOf(k, v))
+				sizeBytes += int64(s.sizeOf(k, v))
 			}
 		}
 		batches = append(batches, KeyBatch[K, V]{Key: k, Values: vs})
 	}
-	st.batches += int64(len(batches))
-	st.groups = make(map[K][]V, len(st.groups))
-	st.bytes = 0
+	st.records.Add(records)
+	st.sizeBytes.Add(sizeBytes)
+	st.batches.Add(int64(len(batches)))
+	st.occupancy.Add(-sh.bytes)
+	sh.groups = make(map[K][]V, len(sh.groups))
+	sh.bytes = 0
 
 	if st.self {
 		for _, b := range batches {
@@ -216,32 +275,31 @@ func (st *peerSendState[K, V]) flushLocked(final bool) error {
 	}
 	select {
 	case st.queue <- batches:
-		st.lagging = false
+		st.lagging.Store(false)
 		return nil
 	default:
 	}
-	if !st.lagging {
-		// Give the sender a short grace before paying disk. Holding st.mu
-		// here is deliberate: other map workers bound for this peer block on
-		// the mutex, which is exactly the backpressure the full buffer
-		// means. The sender never needs st.mu to drain the queue, so it can
-		// free a slot (and end the wait) while we hold it.
+	if !st.lagging.Load() {
+		// Give the sender a short grace before paying disk. The wait holds
+		// only this shard's mutex, so it stalls exactly the map worker whose
+		// buffer is full; the sender never needs the mutex to drain the
+		// queue, so it can free a slot (and end the wait) meanwhile.
 		timer := time.NewTimer(sendOverflowGrace)
 		defer timer.Stop()
 		select {
 		case st.queue <- batches:
 			return nil
 		case <-timer.C:
-			st.lagging = true
+			st.lagging.Store(true)
 		}
 	}
-	return st.spillRunLocked(batches)
+	return st.spillRun(batches)
 }
 
-// spillRunLocked writes one flushed run to a fresh overflow segment the
-// sender replays later. Runs are unsorted — unlike receive-side segments
-// they are never merged, only replayed — so the write is a straight encode.
-func (st *peerSendState[K, V]) spillRunLocked(batches []KeyBatch[K, V]) error {
+// spillRun writes one flushed run to a fresh overflow segment the sender
+// replays later. Runs are unsorted — unlike receive-side segments they are
+// never merged, only replayed — so the write is a straight encode.
+func (st *destSendState[K, V]) spillRun(batches []KeyBatch[K, V]) error {
 	s := st.owner
 	s.dirOnce.Do(func() {
 		dir, err := os.MkdirTemp(s.cfg.TmpDir, "seqmine-sendspill-")
@@ -254,6 +312,8 @@ func (st *peerSendState[K, V]) spillRunLocked(batches []KeyBatch[K, V]) error {
 	if s.dirErr != nil {
 		return s.dirErr
 	}
+	st.spillMu.Lock()
+	defer st.spillMu.Unlock()
 	sink, err := newSegmentSink(s.dir, int(st.spillCount), s.cfg.Compression)
 	if err != nil {
 		return err
@@ -276,9 +336,9 @@ func (st *peerSendState[K, V]) spillRunLocked(batches []KeyBatch[K, V]) error {
 }
 
 // popSegment takes the oldest unsent overflow segment, if any.
-func (st *peerSendState[K, V]) popSegment() *os.File {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+func (st *destSendState[K, V]) popSegment() *os.File {
+	st.spillMu.Lock()
+	defer st.spillMu.Unlock()
 	if len(st.segs) == 0 {
 		return nil
 	}
@@ -291,7 +351,7 @@ func (st *peerSendState[K, V]) popSegment() *os.File {
 // until the queue is closed and every segment is replayed. On a send error
 // it keeps consuming (discarding) so flushes never block against a dead
 // peer; the error surfaces after the barrier.
-func (st *peerSendState[K, V]) runSender(ex Exchange[K, V]) {
+func (st *destSendState[K, V]) runSender(ex Exchange[K, V]) {
 	s := st.owner
 	defer s.senders.Done()
 	failed := false
@@ -384,21 +444,24 @@ func (st *peerSendState[K, V]) runSender(ex Exchange[K, V]) {
 	}
 }
 
-// finish flushes every buffer, joins the senders and returns the first
+// finish flushes every shard, joins the senders and returns the first
 // streaming error. After finish, CloseSend forms the barrier as usual.
 func (s *streamShuffle[K, V]) finish() error {
-	for _, st := range s.states {
-		st.mu.Lock()
-		err := st.flushLocked(true)
-		if err != nil {
-			st.dead = true
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		var err error
+		if sh.groups != nil {
+			err = sh.flushLocked(true)
 		}
-		st.mu.Unlock()
+		if err != nil {
+			sh.dest.dead.Store(true)
+		}
+		sh.mu.Unlock()
 		if err != nil {
 			s.fail(err)
 		}
 	}
-	for _, st := range s.states {
+	for _, st := range s.dests {
 		if st.queue != nil {
 			close(st.queue)
 		}
@@ -412,13 +475,25 @@ func (s *streamShuffle[K, V]) finish() error {
 
 // fold adds the streaming counters to the job metrics. Call after finish.
 func (s *streamShuffle[K, V]) fold(metrics *Metrics) {
-	for _, st := range s.states {
-		metrics.ShuffleRecords += st.records
-		metrics.StreamedBatches += st.batches
-		metrics.SpilledBytes += st.spilledBytes
-		metrics.SpillCount += st.spillCount
+	for _, st := range s.dests {
+		batches := st.batches.Load()
+		metrics.ShuffleRecords += st.records.Load()
+		metrics.StreamedBatches += batches
+		st.spillMu.Lock()
+		spilledBytes, spillCount := st.spilledBytes, st.spillCount
+		st.spillMu.Unlock()
+		metrics.SpilledBytes += spilledBytes
+		metrics.SpillCount += spillCount
+		metrics.SendOverflowSegments += spillCount
 		if !s.wire {
-			metrics.ShuffleBytes += st.sizeBytes
+			metrics.ShuffleBytes += st.sizeBytes.Load()
+		}
+		if !st.self && (batches > 0 || spillCount > 0) {
+			metrics.StreamPeers = append(metrics.StreamPeers, PeerStreamStats{
+				Peer:             st.dst,
+				StreamedBatches:  batches,
+				OverflowSegments: spillCount,
+			})
 		}
 	}
 }
@@ -426,13 +501,13 @@ func (s *streamShuffle[K, V]) fold(metrics *Metrics) {
 // cleanup removes overflow segments that were never replayed (error paths)
 // and the overflow directory. Safe to call when nothing overflowed.
 func (s *streamShuffle[K, V]) cleanup() {
-	for _, st := range s.states {
-		st.mu.Lock()
+	for _, st := range s.dests {
+		st.spillMu.Lock()
 		for _, f := range st.segs {
 			f.Close()
 		}
 		st.segs = nil
-		st.mu.Unlock()
+		st.spillMu.Unlock()
 	}
 	if s.dir != "" {
 		os.RemoveAll(s.dir)

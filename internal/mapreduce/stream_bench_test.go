@@ -150,3 +150,54 @@ func runOverlapJob(b *testing.B, jobID string, sc mapreduce.ShuffleConfig) {
 		b.Fatalf("reduced %d keys, want %d", total, mapperInputs*recordsPerMap)
 	}
 }
+
+// BenchmarkStreamEmitContention measures the emit hot path of the streaming
+// shuffle under map-worker parallelism: many map workers emitting tiny
+// records toward two destinations. Before the send buffers were sharded per
+// map worker, every emit to one destination serialized on a single mutex, so
+// this benchmark scaled inversely with MapWorkers; with per-worker shards the
+// emits are contention-free and only flush handoffs synchronize.
+func BenchmarkStreamEmitContention(b *testing.B) {
+	codec := overlapCodec()
+	payload := make([]byte, 16)
+	job := mapreduce.Job[int, int, []byte, int]{
+		Map: func(base int, emit func(int, []byte)) {
+			for r := 0; r < 64; r++ {
+				emit(base*64+r, payload)
+			}
+		},
+		Reduce: func(k int, vs [][]byte, emit func(int)) { emit(len(vs)) },
+		Hash:   func(k int) uint64 { return uint64(k) },
+		SizeOf: func(k int, v []byte) int { return 1 + 1 + len(v) },
+		Codec:  &codec,
+	}
+	inputs := make([]int, 512)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := mapreduce.Config{MapWorkers: workers, ReduceWorkers: 2,
+				Shuffle: mapreduce.ShuffleConfig{SendBufferBytes: 32 << 10, TmpDir: b.TempDir()}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				group := mapreduce.NewLoopbackGroup[int, []byte](2)
+				var wg sync.WaitGroup
+				for p := range group {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						var split []int
+						if p == 0 {
+							split = inputs
+						}
+						if _, _, err := mapreduce.RunExchange(split, cfg, job, group[p]); err != nil {
+							b.Error(err)
+						}
+					}(p)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}

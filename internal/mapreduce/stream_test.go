@@ -1,6 +1,8 @@
 package mapreduce
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"sort"
 	"sync"
@@ -304,5 +306,102 @@ func TestStreamingPreservesEmptyValueKeys(t *testing.T) {
 	}
 	if !found {
 		t.Error("the empty-value key must still reach Reduce in the streaming run")
+	}
+}
+
+// TestRunExchangeCancel: a canceled Config.Context must abort the run with
+// the context's error without wedging the other peers of the exchange — the
+// canceled peer still delivers its end frame, so its neighbors complete their
+// barrier normally (with whatever the canceled peer sent before stopping).
+func TestRunExchangeCancel(t *testing.T) {
+	inputs := spillInputs(200)
+	job := spillWordCountJob()
+
+	for _, streaming := range []bool{false, true} {
+		name := "barrier"
+		if streaming {
+			name = "streaming"
+		}
+		t.Run(name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			group := NewLoopbackGroup[string, int](2)
+			slowMap := job
+			slowMap.Map = func(in string, emit func(string, int)) {
+				cancel() // cancel as soon as peer 0 starts mapping
+				time.Sleep(time.Millisecond)
+				job.Map(in, emit)
+			}
+			var sc ShuffleConfig
+			if streaming {
+				sc = ShuffleConfig{SendBufferBytes: 128, TmpDir: t.TempDir()}
+			}
+			errs := make([]error, 2)
+			var wg sync.WaitGroup
+			for p := range group {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					cfg := Config{MapWorkers: 2, ReduceWorkers: 2, Shuffle: sc}
+					j := job
+					var split []string
+					if p == 0 {
+						cfg.Context = ctx
+						j = slowMap
+						split = inputs
+					}
+					_, _, errs[p] = RunExchange(split, cfg, j, group[p])
+				}(p)
+			}
+			done := make(chan struct{})
+			go func() { wg.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("canceled exchange did not finish within 30s (wedged barrier?)")
+			}
+			if !errors.Is(errs[0], context.Canceled) {
+				t.Errorf("canceled peer returned %v, want context.Canceled", errs[0])
+			}
+			if errs[1] != nil {
+				t.Errorf("neighbor of the canceled peer failed: %v", errs[1])
+			}
+		})
+	}
+}
+
+// TestStreamEmitShardedByWorker pins the sharding property indirectly: with
+// several map workers and a buffer large enough that nothing flushes until
+// the end, per-destination occupancy still respects the configured cap and
+// output equals the barrier run.
+func TestStreamEmitShardedByWorker(t *testing.T) {
+	inputs := spillInputs(200)
+	job := spillWordCountJob()
+	want, _ := Run(inputs, Config{MapWorkers: 2, ReduceWorkers: 2}, job)
+	sort.Strings(want)
+
+	const bufCap = 1 << 10
+	var max atomic.Int64
+	testSendBufferProbe = func(_ int, occupancy int64) {
+		for {
+			cur := max.Load()
+			if occupancy <= cur || max.CompareAndSwap(cur, occupancy) {
+				return
+			}
+		}
+	}
+	defer func() { testSendBufferProbe = nil }()
+
+	cfg := Config{MapWorkers: 8, ReduceWorkers: 2,
+		Shuffle: ShuffleConfig{SendBufferBytes: bufCap, TmpDir: t.TempDir()}}
+	got, metrics := Run(inputs, cfg, job)
+	sort.Strings(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("sharded streaming output differs from barrier output")
+	}
+	if metrics.StreamedBatches == 0 {
+		t.Fatal("expected streamed batches")
+	}
+	if got := max.Load(); got > bufCap {
+		t.Errorf("send-buffer occupancy reached %d bytes across shards, cap is %d", got, bufCap)
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"seqmine/internal/cluster"
 	"seqmine/internal/dcand"
@@ -91,6 +92,28 @@ type ExecOptions struct {
 	// map-side send overflow) with DEFLATE; SpilledBytes then reports the
 	// compressed on-disk size.
 	CompressSpill bool
+	// CompressSpillSet marks CompressSpill as an explicit per-query choice:
+	// when set, Service.Mine honors CompressSpill verbatim (including false
+	// overriding a daemon-wide -compress-spill default) instead of merging
+	// it with the service default. The HTTP API sets it whenever the request
+	// body carries a "compress_spill" field (tri-state *bool).
+	CompressSpillSet bool
+
+	// TaskRetries is the cluster scheduler's retry budget: how many failed
+	// attempts it relaunches on the surviving workers before the job fails.
+	// 0 inherits the service default (Config.TaskRetries) when run through
+	// Service.Mine, falling back to the scheduler's built-in budget of 2;
+	// negative disables retries. In-process backends never retry and ignore
+	// it.
+	TaskRetries int
+	// SpeculativeAfter launches one speculative duplicate attempt when a
+	// cluster job's running attempt exceeds this duration (straggler
+	// mitigation; first attempt to finish wins). 0 inherits the service
+	// default (Config.SpeculativeAfter); negative disables speculation.
+	SpeculativeAfter time.Duration
+	// TaskPartitions is the number of per-partition tasks a cluster job is
+	// decomposed into; 0 uses one task per live worker.
+	TaskPartitions int
 
 	// Cluster, when non-nil, runs the distributed backends (dseq, dcand)
 	// across remote worker processes over the TCP shuffle transport instead
@@ -132,6 +155,31 @@ type ExecStats struct {
 	// Candidates is the size of the candidate superset produced by phase one
 	// of two-phase sharded mining (0 for unpartitioned backends).
 	Candidates int `json:"candidates"`
+	// Cluster carries the scheduler's attempt/retry and dataset-store
+	// accounting for cluster-executed queries (nil otherwise).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+}
+
+// ClusterStats is the fault-tolerance and dataset-store accounting of one
+// cluster-executed query.
+type ClusterStats struct {
+	// Tasks is the number of per-partition tasks of the job.
+	Tasks int `json:"tasks"`
+	// Attempts is the number of attempts launched (>= 1); Retries counts
+	// relaunches after failures and SpeculativeAttempts counts straggler
+	// races.
+	Attempts            int `json:"attempts"`
+	Retries             int `json:"retries"`
+	SpeculativeAttempts int `json:"speculative_attempts"`
+	// DeadWorkers is how many pool members were declared dead during the
+	// job.
+	DeadWorkers int `json:"dead_workers"`
+	// StoreHits / StoreMisses / StorePutBytes describe the dataset-store
+	// traffic: a resubmission against an already-pushed dataset reports
+	// zero misses and zero put bytes.
+	StoreHits     int   `json:"store_hits"`
+	StoreMisses   int   `json:"store_misses"`
+	StorePutBytes int64 `json:"store_put_bytes"`
 }
 
 // Execute runs one mining job. The sequential backends (dfs, count) run as a
@@ -292,6 +340,7 @@ func mineCluster(ctx context.Context, db *seqdb.Database, sigma int64, opts Exec
 		AggregateSequences: opts.AggregateSequences,
 		MinimizeNFAs:       opts.MinimizeNFAs,
 		AggregateNFAs:      opts.AggregateNFAs,
+		TaskPartitions:     opts.TaskPartitions,
 	}
 	if opts.SpillThreshold > 0 {
 		copts.SpillThresholdBytes = opts.SpillThreshold
@@ -304,12 +353,29 @@ func mineCluster(ctx context.Context, db *seqdb.Database, sigma int64, opts Exec
 		copts.SendBufferBytes = opts.SendBufferBytes
 	}
 	copts.CompressSpill = opts.CompressSpill
+	// Retry/speculation knobs: 0 means "unset" all the way down (Service.Mine
+	// resolves it to the daemon default first, which may itself be 0), so the
+	// scheduler's built-in budget applies; negative is the explicit "off".
+	copts.ApplyRetryKnobs(opts.TaskRetries, opts.SpeculativeAfter)
 	coord := &cluster.Coordinator{Workers: opts.Cluster.Workers}
 	res, err := coord.Mine(ctx, db, opts.Cluster.Expression, sigma, algo, copts)
 	if err != nil {
 		return nil, mapreduce.Metrics{}, ExecStats{}, err
 	}
-	return res.Patterns, res.Metrics, ExecStats{Shards: len(opts.Cluster.Workers)}, nil
+	stats := ExecStats{
+		Shards: len(opts.Cluster.Workers),
+		Cluster: &ClusterStats{
+			Tasks:               res.Tasks,
+			Attempts:            res.Attempts,
+			Retries:             res.Retries,
+			SpeculativeAttempts: res.SpeculativeAttempts,
+			DeadWorkers:         len(res.DeadWorkers),
+			StoreHits:           res.StoreHits,
+			StoreMisses:         res.StoreMisses,
+			StorePutBytes:       res.StorePutBytes,
+		},
+	}
+	return res.Patterns, res.Metrics, stats, nil
 }
 
 // mineSharded is the two-phase partitioned executor for the sequential

@@ -46,12 +46,25 @@ type MineRequest struct {
 	// the daemon default (-send-buffer); a negative value forces the
 	// phase-synchronous barrier for this query.
 	SendBufferBytes int64 `json:"send_buffer_bytes,omitempty"`
-	// CompressSpill compresses spill segments with DEFLATE. It is a pure
-	// opt-in: when the daemon runs with -compress-spill, compression is on
-	// for every query and "compress_spill": false does not disable it
-	// (compression only changes the on-disk segment representation, never
-	// results).
-	CompressSpill bool `json:"compress_spill,omitempty"`
+	// CompressSpill is tri-state: absent inherits the daemon default
+	// (-compress-spill), true compresses this query's spill segments with
+	// DEFLATE, false keeps them uncompressed even when the daemon default
+	// is on (compression only changes the on-disk segment representation,
+	// never results).
+	CompressSpill *bool `json:"compress_spill,omitempty"`
+	// TaskRetries is the cluster scheduler's retry budget for this query:
+	// how many failed attempts are relaunched on the surviving workers.
+	// 0 uses the daemon default (-task-retries); a negative value disables
+	// retries for this query.
+	TaskRetries int `json:"task_retries,omitempty"`
+	// SpeculativeAfterMS launches a speculative duplicate attempt when the
+	// running attempt of a cluster query exceeds this many milliseconds.
+	// 0 uses the daemon default (-speculative-after); a negative value
+	// disables speculation for this query.
+	SpeculativeAfterMS int64 `json:"speculative_after_ms,omitempty"`
+	// TaskPartitions decomposes a cluster query into this many per-partition
+	// tasks; 0 uses one task per live worker.
+	TaskPartitions int `json:"task_partitions,omitempty"`
 }
 
 // MinePattern is one mined pattern on the wire.
@@ -116,7 +129,13 @@ func NewHandler(s *Service) http.Handler {
 		opts.Shards = req.Shards
 		opts.SpillThreshold = req.SpillThresholdBytes
 		opts.SendBufferBytes = req.SendBufferBytes
-		opts.CompressSpill = req.CompressSpill
+		if req.CompressSpill != nil {
+			opts.CompressSpill = *req.CompressSpill
+			opts.CompressSpillSet = true
+		}
+		opts.TaskRetries = req.TaskRetries
+		opts.SpeculativeAfter = time.Duration(req.SpeculativeAfterMS) * time.Millisecond
+		opts.TaskPartitions = req.TaskPartitions
 		switch {
 		case len(req.ClusterWorkers) > 0:
 			opts.Cluster = &ClusterOptions{Workers: req.ClusterWorkers}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -13,6 +14,7 @@ import (
 	"testing"
 
 	"seqmine/internal/paperex"
+	"seqmine/internal/seqdb"
 	"seqmine/internal/service"
 )
 
@@ -365,5 +367,121 @@ func TestMineStreamingOverHTTP(t *testing.T) {
 	}
 	if snap.StreamedBatches == 0 {
 		t.Errorf("GET /metrics should total streamed batches, got %+v", snap)
+	}
+}
+
+// TestMineCompressSpillTriState pins the tri-state "compress_spill" body
+// field: absent inherits the daemon-wide default, true forces compression,
+// and false opts a query out of a daemon that compresses by default (the
+// ROADMAP follow-up). Opting out must yield strictly larger on-disk spill
+// volume on redundant data.
+func TestMineCompressSpillTriState(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	d, seqs := paperex.RandomDatabase(rng, 400, 9)
+	svc := service.New(service.Config{
+		CompressSpill:  true, // daemon-wide -compress-spill
+		SpillThreshold: 2048,
+		SpillTmpDir:    t.TempDir(),
+	})
+	if _, err := svc.RegisterDataset("rnd", &seqdb.Database{Dict: d, Sequences: seqs}); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(srv.Close)
+
+	mine := func(t *testing.T, compress *bool) service.MineResponse {
+		t.Helper()
+		var out service.MineResponse
+		resp := doJSON(t, http.MethodPost, srv.URL+"/mine", service.MineRequest{
+			Dataset:       "rnd",
+			Pattern:       "[.*(.)]{1,3}.*",
+			Sigma:         10,
+			Algorithm:     "dseq",
+			CompressSpill: compress,
+		}, &out)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /mine: status %d", resp.StatusCode)
+		}
+		if out.Metrics.MapReduce.SpilledBytes == 0 {
+			t.Fatalf("query did not spill; the tri-state has nothing to observe: %+v", out.Metrics.MapReduce)
+		}
+		return out
+	}
+	boolPtr := func(b bool) *bool { return &b }
+
+	inherited := mine(t, nil)           // daemon default: compressed
+	optedOut := mine(t, boolPtr(false)) // explicit opt-out: raw segments
+	explicit := mine(t, boolPtr(true))  // explicit opt-in: compressed
+
+	if optedOut.Metrics.MapReduce.SpilledBytes <= inherited.Metrics.MapReduce.SpilledBytes {
+		t.Errorf("opt-out spilled %d bytes, inherited-compression spilled %d — opting out should write more",
+			optedOut.Metrics.MapReduce.SpilledBytes, inherited.Metrics.MapReduce.SpilledBytes)
+	}
+	if optedOut.Metrics.MapReduce.SpilledBytes <= explicit.Metrics.MapReduce.SpilledBytes {
+		t.Errorf("opt-out spilled %d bytes, explicit-compression spilled %d — opting out should write more",
+			optedOut.Metrics.MapReduce.SpilledBytes, explicit.Metrics.MapReduce.SpilledBytes)
+	}
+	// All three rode the same query; patterns must be identical regardless.
+	if !reflect.DeepEqual(inherited.Patterns, optedOut.Patterns) || !reflect.DeepEqual(inherited.Patterns, explicit.Patterns) {
+		t.Error("compression choice changed the mined patterns")
+	}
+}
+
+// TestMineClusterSchedulerOverHTTP drives the task-based cluster scheduler
+// through the wire API: attempt/retry counters and dataset-store accounting
+// must appear per query and in the GET /metrics totals, and a resubmission
+// must hit the workers' dataset stores instead of re-shipping sequences.
+func TestMineClusterSchedulerOverHTTP(t *testing.T) {
+	srv, _ := newTestServer(t)
+	putExampleDataset(t, srv, "ex")
+	workers := startClusterWorkers(t, 3)
+
+	mine := func(t *testing.T) service.MineResponse {
+		t.Helper()
+		var out service.MineResponse
+		resp := doJSON(t, http.MethodPost, srv.URL+"/mine", service.MineRequest{
+			Dataset:        "ex",
+			Pattern:        paperex.PatternExpression,
+			Sigma:          paperex.Sigma,
+			Algorithm:      "dseq",
+			ClusterWorkers: workers,
+			TaskRetries:    1,
+			TaskPartitions: 5,
+		}, &out)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /mine: status %d", resp.StatusCode)
+		}
+		return out
+	}
+
+	want := paperex.ExpectedFrequent()
+	first := mine(t)
+	got := map[string]int64{}
+	for _, p := range first.Patterns {
+		got[strings.Join(p.Items, " ")] = p.Freq
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cluster patterns = %v, want %v", got, want)
+	}
+	cs := first.Metrics.Exec.Cluster
+	if cs == nil {
+		t.Fatal("cluster query response carries no ClusterStats")
+	}
+	if cs.Attempts < 1 || cs.Tasks != 5 || cs.StoreMisses != 3 || cs.StorePutBytes == 0 {
+		t.Errorf("first cluster run stats = %+v", cs)
+	}
+
+	second := mine(t)
+	cs = second.Metrics.Exec.Cluster
+	if cs == nil || cs.StoreMisses != 0 || cs.StorePutBytes != 0 || cs.StoreHits != 3 {
+		t.Errorf("resubmission should ship zero sequence bytes: %+v", cs)
+	}
+
+	var snap service.Snapshot
+	if resp := doJSON(t, http.MethodGet, srv.URL+"/metrics", nil, &snap); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if snap.ClusterAttempts < 2 || snap.DatasetStoreHits < 3 || snap.DatasetStoreMisses < 3 {
+		t.Errorf("GET /metrics cluster totals not aggregated: %+v", snap)
 	}
 }

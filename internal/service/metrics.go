@@ -38,16 +38,23 @@ func (m QueryMetrics) Total() time.Duration { return m.CompileTime + m.MineTime 
 
 // aggregator accumulates service-wide counters across queries.
 type aggregator struct {
-	queries         atomic.Uint64
-	errors          atomic.Uint64
-	active          atomic.Int64
-	patterns        atomic.Uint64
-	cacheHits       atomic.Uint64
-	compileTimeNS   atomic.Int64
-	mineTimeNS      atomic.Int64
-	spilledBytes    atomic.Int64
-	spillCount      atomic.Int64
-	streamedBatches atomic.Int64
+	queries          atomic.Uint64
+	errors           atomic.Uint64
+	active           atomic.Int64
+	patterns         atomic.Uint64
+	cacheHits        atomic.Uint64
+	compileTimeNS    atomic.Int64
+	mineTimeNS       atomic.Int64
+	spilledBytes     atomic.Int64
+	spillCount       atomic.Int64
+	streamedBatches  atomic.Int64
+	overflowSegments atomic.Int64
+	attempts         atomic.Int64
+	retries          atomic.Int64
+	speculative      atomic.Int64
+	storeHits        atomic.Int64
+	storeMisses      atomic.Int64
+	storePutBytes    atomic.Int64
 }
 
 func (a *aggregator) record(m QueryMetrics) {
@@ -61,6 +68,15 @@ func (a *aggregator) record(m QueryMetrics) {
 	a.spilledBytes.Add(m.MapReduce.SpilledBytes)
 	a.spillCount.Add(m.MapReduce.SpillCount)
 	a.streamedBatches.Add(m.MapReduce.StreamedBatches)
+	a.overflowSegments.Add(m.MapReduce.SendOverflowSegments)
+	if c := m.Exec.Cluster; c != nil {
+		a.attempts.Add(int64(c.Attempts))
+		a.retries.Add(int64(c.Retries))
+		a.speculative.Add(int64(c.SpeculativeAttempts))
+		a.storeHits.Add(int64(c.StoreHits))
+		a.storeMisses.Add(int64(c.StoreMisses))
+		a.storePutBytes.Add(c.StorePutBytes)
+	}
 }
 
 // Snapshot is a point-in-time view of the aggregate service metrics.
@@ -73,28 +89,46 @@ type Snapshot struct {
 	CacheHitRate  float64       `json:"query_cache_hit_rate"`
 	CompileTime   time.Duration `json:"compile_time_total_ns"`
 	MineTime      time.Duration `json:"mine_time_total_ns"`
-	// SpilledBytes/SpillCount/StreamedBatches total the shuffle's disk and
-	// streaming activity across all served queries (per-query values live in
-	// each response's MapReduce metrics).
-	SpilledBytes    int64         `json:"spilled_bytes_total"`
-	SpillCount      int64         `json:"spill_count_total"`
-	StreamedBatches int64         `json:"streamed_batches_total"`
-	Cache           cacheStats    `json:"compiled_pattern_cache"`
-	Datasets        []DatasetInfo `json:"datasets"`
+	// SpilledBytes/SpillCount/StreamedBatches/SendOverflowSegments total the
+	// shuffle's disk and streaming activity across all served queries
+	// (per-query values live in each response's MapReduce metrics).
+	SpilledBytes         int64 `json:"spilled_bytes_total"`
+	SpillCount           int64 `json:"spill_count_total"`
+	StreamedBatches      int64 `json:"streamed_batches_total"`
+	SendOverflowSegments int64 `json:"send_overflow_segments_total"`
+	// ClusterAttempts/ClusterRetries/SpeculativeAttempts total the cluster
+	// scheduler's fault-tolerance activity, and DatasetStoreHits/Misses/
+	// PutBytes its dataset-store traffic, across all cluster-executed
+	// queries.
+	ClusterAttempts      int64         `json:"cluster_attempts_total"`
+	ClusterRetries       int64         `json:"cluster_retries_total"`
+	SpeculativeAttempts  int64         `json:"speculative_attempts_total"`
+	DatasetStoreHits     int64         `json:"dataset_store_hits_total"`
+	DatasetStoreMisses   int64         `json:"dataset_store_misses_total"`
+	DatasetStorePutBytes int64         `json:"dataset_store_put_bytes_total"`
+	Cache                cacheStats    `json:"compiled_pattern_cache"`
+	Datasets             []DatasetInfo `json:"datasets"`
 }
 
 func (a *aggregator) snapshot() Snapshot {
 	s := Snapshot{
-		Queries:         a.queries.Load(),
-		Errors:          a.errors.Load(),
-		ActiveQueries:   a.active.Load(),
-		PatternsFound:   a.patterns.Load(),
-		CacheHits:       a.cacheHits.Load(),
-		CompileTime:     time.Duration(a.compileTimeNS.Load()),
-		MineTime:        time.Duration(a.mineTimeNS.Load()),
-		SpilledBytes:    a.spilledBytes.Load(),
-		SpillCount:      a.spillCount.Load(),
-		StreamedBatches: a.streamedBatches.Load(),
+		Queries:              a.queries.Load(),
+		Errors:               a.errors.Load(),
+		ActiveQueries:        a.active.Load(),
+		PatternsFound:        a.patterns.Load(),
+		CacheHits:            a.cacheHits.Load(),
+		CompileTime:          time.Duration(a.compileTimeNS.Load()),
+		MineTime:             time.Duration(a.mineTimeNS.Load()),
+		SpilledBytes:         a.spilledBytes.Load(),
+		SpillCount:           a.spillCount.Load(),
+		StreamedBatches:      a.streamedBatches.Load(),
+		SendOverflowSegments: a.overflowSegments.Load(),
+		ClusterAttempts:      a.attempts.Load(),
+		ClusterRetries:       a.retries.Load(),
+		SpeculativeAttempts:  a.speculative.Load(),
+		DatasetStoreHits:     a.storeHits.Load(),
+		DatasetStoreMisses:   a.storeMisses.Load(),
+		DatasetStorePutBytes: a.storePutBytes.Load(),
 	}
 	if s.Queries > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(s.Queries)

@@ -59,10 +59,21 @@ type Config struct {
 	// ExecOptions.SendBufferBytes); 0 keeps the phase-synchronous barrier.
 	SendBufferBytes int64
 	// CompressSpill compresses spill segments with DEFLATE by default.
-	// Queries can additionally opt in per request but cannot opt out of a
-	// daemon-wide default (compression only changes the on-disk segment
-	// representation, never results).
+	// Queries opt in or out per request with the tri-state "compress_spill"
+	// body field (ExecOptions.CompressSpillSet); a query that says nothing
+	// inherits this default.
 	CompressSpill bool
+	// TaskRetries is the default retry budget of cluster-executed queries
+	// that do not set their own (see ExecOptions.TaskRetries): how many
+	// failed attempts the scheduler relaunches on the surviving workers.
+	// 0 falls through to the scheduler's built-in budget of 2; negative
+	// disables retries by default.
+	TaskRetries int
+	// SpeculativeAfter is the default straggler threshold of
+	// cluster-executed queries: a speculative duplicate attempt launches
+	// when the running attempt exceeds it. 0 disables speculation by
+	// default.
+	SpeculativeAfter time.Duration
 }
 
 // Service is a concurrent mining service. All methods are safe for
@@ -190,8 +201,14 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 	if opts.SendBufferBytes == 0 {
 		opts.SendBufferBytes = s.cfg.SendBufferBytes
 	}
-	if !opts.CompressSpill {
+	if !opts.CompressSpillSet && !opts.CompressSpill {
 		opts.CompressSpill = s.cfg.CompressSpill
+	}
+	if opts.TaskRetries == 0 {
+		opts.TaskRetries = s.cfg.TaskRetries
+	}
+	if opts.SpeculativeAfter == 0 {
+		opts.SpeculativeAfter = s.cfg.SpeculativeAfter
 	}
 	if opts.Cluster != nil && opts.Cluster.Expression == "" {
 		// The workers compile the expression themselves; copy the options so

@@ -8,13 +8,19 @@ import (
 	"io"
 )
 
-// Wire protocol, version 1. Every ordered peer pair (i -> j) of a job uses
-// one TCP connection, opened by i. The dialer starts with a handshake:
+// Wire protocol, version 2. Every ordered peer pair (i -> j) of a job
+// attempt uses one TCP connection, opened by i. The dialer starts with a
+// handshake:
 //
 //	magic "SQX1" | version byte | uvarint len(jobID) | jobID | uvarint sender
+//	| uvarint epoch
 //
 // and the acceptor answers with a single ack byte (the protocol version).
-// After the handshake the connection carries length-prefixed frames:
+// The epoch is the job's attempt number: a retried or speculatively
+// re-executed job reuses its job id with a higher epoch, and the acceptor
+// refuses connections from epochs older than the newest one it has opened
+// locally, so frames of a dead attempt can never mix into its successor's
+// shuffle. After the handshake the connection carries length-prefixed frames:
 //
 //	type 0x01 (data) | uvarint payload length | payload
 //	type 0x02 (end)                                      — sender is done
@@ -24,7 +30,7 @@ import (
 // partitions are complete.
 const (
 	protocolMagic   = "SQX1"
-	protocolVersion = byte(1)
+	protocolVersion = byte(2)
 
 	frameData = byte(1)
 	frameEnd  = byte(2)
@@ -34,49 +40,61 @@ const (
 	maxJobIDLen = 256
 	// maxPeerIndex bounds the sender index claimed in a handshake.
 	maxPeerIndex = 1 << 20
+	// maxEpoch bounds the attempt epoch claimed in a handshake. Far above any
+	// real retry budget; merely keeps a garbage handshake from smuggling an
+	// absurd epoch into the per-job epoch tracking.
+	maxEpoch = 1 << 20
 )
 
 // appendHandshake appends the dialer's opening message.
-func appendHandshake(buf []byte, jobID string, sender int) []byte {
+func appendHandshake(buf []byte, jobID string, sender, epoch int) []byte {
 	buf = append(buf, protocolMagic...)
 	buf = append(buf, protocolVersion)
 	buf = binary.AppendUvarint(buf, uint64(len(jobID)))
 	buf = append(buf, jobID...)
 	buf = binary.AppendUvarint(buf, uint64(sender))
+	buf = binary.AppendUvarint(buf, uint64(epoch))
 	return buf
 }
 
 // readHandshake reads and validates a dialer's opening message.
-func readHandshake(br *bufio.Reader) (jobID string, sender int, err error) {
+func readHandshake(br *bufio.Reader) (jobID string, sender, epoch int, err error) {
 	head := make([]byte, len(protocolMagic)+1)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return "", 0, fmt.Errorf("transport: reading handshake: %w", err)
+		return "", 0, 0, fmt.Errorf("transport: reading handshake: %w", err)
 	}
 	if string(head[:len(protocolMagic)]) != protocolMagic {
-		return "", 0, errors.New("transport: bad handshake magic")
+		return "", 0, 0, errors.New("transport: bad handshake magic")
 	}
 	if head[len(protocolMagic)] != protocolVersion {
-		return "", 0, fmt.Errorf("transport: protocol version %d, want %d", head[len(protocolMagic)], protocolVersion)
+		return "", 0, 0, fmt.Errorf("transport: protocol version %d, want %d", head[len(protocolMagic)], protocolVersion)
 	}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
-		return "", 0, fmt.Errorf("transport: reading job id length: %w", err)
+		return "", 0, 0, fmt.Errorf("transport: reading job id length: %w", err)
 	}
 	if n == 0 || n > maxJobIDLen {
-		return "", 0, fmt.Errorf("transport: job id length %d out of range", n)
+		return "", 0, 0, fmt.Errorf("transport: job id length %d out of range", n)
 	}
 	id := make([]byte, n)
 	if _, err := io.ReadFull(br, id); err != nil {
-		return "", 0, fmt.Errorf("transport: reading job id: %w", err)
+		return "", 0, 0, fmt.Errorf("transport: reading job id: %w", err)
 	}
 	s, err := binary.ReadUvarint(br)
 	if err != nil {
-		return "", 0, fmt.Errorf("transport: reading sender index: %w", err)
+		return "", 0, 0, fmt.Errorf("transport: reading sender index: %w", err)
 	}
 	if s >= maxPeerIndex {
-		return "", 0, fmt.Errorf("transport: sender index %d out of range", s)
+		return "", 0, 0, fmt.Errorf("transport: sender index %d out of range", s)
 	}
-	return string(id), int(s), nil
+	e, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", 0, 0, fmt.Errorf("transport: reading epoch: %w", err)
+	}
+	if e >= maxEpoch {
+		return "", 0, 0, fmt.Errorf("transport: epoch %d out of range", e)
+	}
+	return string(id), int(s), int(e), nil
 }
 
 // writeFrame writes one data frame.

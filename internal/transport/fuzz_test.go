@@ -62,24 +62,25 @@ func FuzzReadFrame(f *testing.F) {
 // FuzzReadHandshake feeds arbitrary bytes into the handshake reader and
 // checks that well-formed handshakes round-trip.
 func FuzzReadHandshake(f *testing.F) {
-	f.Add([]byte{}, "job", uint16(0))
-	f.Add([]byte("SQX1"), "a", uint16(7))
-	f.Add(appendHandshake(nil, "fuzz-seed", 2), "fuzz-seed", uint16(2))
-	f.Fuzz(func(t *testing.T, data []byte, jobID string, sender uint16) {
+	f.Add([]byte{}, "job", uint16(0), uint16(0))
+	f.Add([]byte("SQX1"), "a", uint16(7), uint16(1))
+	f.Add(appendHandshake(nil, "fuzz-seed", 2, 3), "fuzz-seed", uint16(2), uint16(3))
+	f.Fuzz(func(t *testing.T, data []byte, jobID string, sender, epoch uint16) {
 		// Arbitrary input must not panic.
-		_, _, _ = readHandshake(bufio.NewReader(bytes.NewReader(data)))
+		_, _, _, _ = readHandshake(bufio.NewReader(bytes.NewReader(data)))
 
 		// Round trip for any valid job id.
 		if jobID == "" || len(jobID) > maxJobIDLen {
 			return
 		}
-		hs := appendHandshake(nil, jobID, int(sender))
-		gotJob, gotSender, err := readHandshake(bufio.NewReader(bytes.NewReader(hs)))
+		hs := appendHandshake(nil, jobID, int(sender), int(epoch))
+		gotJob, gotSender, gotEpoch, err := readHandshake(bufio.NewReader(bytes.NewReader(hs)))
 		if err != nil {
-			t.Fatalf("readHandshake(appendHandshake(%q, %d)): %v", jobID, sender, err)
+			t.Fatalf("readHandshake(appendHandshake(%q, %d, %d)): %v", jobID, sender, epoch, err)
 		}
-		if gotJob != jobID || gotSender != int(sender) {
-			t.Fatalf("handshake round trip: got (%q, %d), want (%q, %d)", gotJob, gotSender, jobID, sender)
+		if gotJob != jobID || gotSender != int(sender) || gotEpoch != int(epoch) {
+			t.Fatalf("handshake round trip: got (%q, %d, %d), want (%q, %d, %d)",
+				gotJob, gotSender, gotEpoch, jobID, sender, epoch)
 		}
 	})
 }

@@ -3,20 +3,28 @@
 // between worker processes over persistent, length-prefixed TCP connections.
 //
 // A process runs one Node, which owns a listening socket for the lifetime of
-// the process and demultiplexes inbound peer connections onto per-job
-// Exchanges by the job id carried in the connection handshake. An Exchange
-// implements mapreduce.ByteExchange: every ordered peer pair uses one
-// connection (opened by the sender), frames destined to a peer are streamed
-// as they are produced, and an end frame per connection forms the shuffle
-// barrier. Inbound frames are buffered in a bounded inbox, so a slow reducer
-// exerts backpressure on remote senders through TCP flow control.
+// the process and demultiplexes inbound peer connections onto per-attempt
+// Exchanges by the (job id, epoch) pair carried in the connection handshake.
+// An Exchange implements mapreduce.ByteExchange: every ordered peer pair uses
+// one connection (opened by the sender), frames destined to a peer are
+// streamed as they are produced, and an end frame per connection forms the
+// shuffle barrier. Inbound frames are buffered in a bounded inbox, so a slow
+// reducer exerts backpressure on remote senders through TCP flow control.
 //
-// Failure semantics are fail-stop: a broken or missing connection fails the
-// whole exchange (every blocked Send/Recv returns the error); there is no
-// retry or speculative re-execution. The Exchange counts the actual bytes
-// written to and read from its sockets (handshake, data and end frames; the
-// one-byte handshake ack is excluded), which the engine reports as the true
-// ShuffleBytes.
+// Failure semantics of one exchange are fail-stop: a broken or missing
+// connection fails the whole exchange (every blocked Send/Recv returns the
+// error). The error is a *PeerError naming the peer whose connection broke,
+// so a scheduler above the fabric (internal/cluster) can treat the death as
+// one task's failure — mark that worker dead, re-execute the attempt —
+// instead of a global abort. Re-execution is what the epoch in the handshake
+// exists for: a restarted attempt reuses its job id with a higher epoch, each
+// epoch gets its own Exchange, and the Node refuses connections from epochs
+// older than the newest one opened locally, so a zombie sender from a dead
+// attempt can never leak frames into the restarted shuffle.
+//
+// The Exchange counts the actual bytes written to and read from its sockets
+// (handshake, data and end frames; the one-byte handshake ack is excluded),
+// which the engine reports as the true ShuffleBytes.
 package transport
 
 import (
@@ -85,13 +93,22 @@ type Node struct {
 	wg   sync.WaitGroup
 
 	mu     sync.Mutex
-	jobs   map[string]*jobEntry
+	jobs   map[string]*jobFamily
 	closed bool
 }
 
-// jobEntry connects inbound connections to the local Exchange of a job. The
-// ready channel is closed once ex is set, so connections that arrive before
-// the job is opened locally can wait.
+// jobFamily is the per-job-id state of the node: one entry per attempt epoch
+// plus the newest epoch opened locally, which gates stale senders. The family
+// is dropped once its last entry is released, so job ids do not accumulate.
+type jobFamily struct {
+	epochs  map[int]*jobEntry
+	maxOpen int  // newest epoch opened locally via OpenExchange
+	anyOpen bool // whether maxOpen is meaningful
+}
+
+// jobEntry connects inbound connections to the local Exchange of one job
+// attempt. The ready channel is closed once ex is set, so connections that
+// arrive before the attempt is opened locally can wait.
 type jobEntry struct {
 	ready chan struct{}
 	ex    *Exchange
@@ -108,7 +125,7 @@ func NewNode(addr string, cfg Config) (*Node, error) {
 		cfg:  cfg.withDefaults(),
 		ln:   ln,
 		done: make(chan struct{}),
-		jobs: map[string]*jobEntry{},
+		jobs: map[string]*jobFamily{},
 	}
 	n.wg.Add(1)
 	go n.acceptLoop()
@@ -142,15 +159,17 @@ func (n *Node) Close() error {
 	n.closed = true
 	close(n.done)
 	jobs := n.jobs
-	n.jobs = map[string]*jobEntry{}
+	n.jobs = map[string]*jobFamily{}
 	n.mu.Unlock()
 
 	err := n.ln.Close()
-	for _, entry := range jobs {
-		select {
-		case <-entry.ready:
-			entry.ex.Close()
-		default:
+	for _, fam := range jobs {
+		for _, entry := range fam.epochs {
+			select {
+			case <-entry.ready:
+				entry.ex.Close()
+			default:
+			}
 		}
 	}
 	n.wg.Wait()
@@ -170,13 +189,15 @@ func (n *Node) acceptLoop() {
 }
 
 // handleInbound validates a peer connection's handshake and hands it to the
-// job's Exchange, waiting (bounded) for the job to be opened locally.
+// attempt's Exchange, waiting (bounded) for the attempt to be opened locally.
+// Connections from epochs older than the newest locally-opened epoch of the
+// job are refused outright: they belong to a dead attempt.
 func (n *Node) handleInbound(conn net.Conn) {
 	defer n.wg.Done()
 	cr := &countingReader{r: conn}
 	br := bufio.NewReader(cr)
 	_ = conn.SetDeadline(time.Now().Add(n.cfg.HandshakeTimeout))
-	jobID, sender, err := readHandshake(br)
+	jobID, sender, epoch, err := readHandshake(br)
 	if err != nil {
 		conn.Close()
 		return
@@ -193,10 +214,22 @@ func (n *Node) handleInbound(conn net.Conn) {
 		conn.Close()
 		return
 	}
-	entry, ok := n.jobs[jobID]
+	fam, ok := n.jobs[jobID]
+	if !ok {
+		fam = &jobFamily{epochs: map[int]*jobEntry{}}
+		n.jobs[jobID] = fam
+	}
+	if fam.anyOpen && epoch < fam.maxOpen {
+		// A newer attempt of this job is (or was) open here; the sender is a
+		// zombie of a superseded attempt and must not deliver frames.
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	entry, ok := fam.epochs[epoch]
 	if !ok {
 		entry = &jobEntry{ready: make(chan struct{})}
-		n.jobs[jobID] = entry
+		fam.epochs[epoch] = entry
 	}
 	n.mu.Unlock()
 
@@ -207,35 +240,49 @@ func (n *Node) handleInbound(conn net.Conn) {
 		entry.ex.adoptInbound(sender, conn, br, cr)
 	case <-timer.C:
 		conn.Close()
-		n.dropIfUnopened(jobID, entry)
+		n.dropIfUnopened(jobID, epoch, entry)
 	case <-n.done:
 		conn.Close()
 	}
 }
 
-// dropIfUnopened removes a job entry that never got a local exchange, so job
-// ids of abandoned jobs (a peer dialing a worker whose own job setup failed,
-// or garbage connections with made-up job ids) do not accumulate in the
-// jobs map for the life of the node.
-func (n *Node) dropIfUnopened(jobID string, entry *jobEntry) {
+// dropIfUnopened removes an attempt entry that never got a local exchange, so
+// ids of abandoned attempts (a peer dialing a worker whose own job setup
+// failed, or garbage connections with made-up job ids) do not accumulate in
+// the jobs map for the life of the node.
+func (n *Node) dropIfUnopened(jobID string, epoch int, entry *jobEntry) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if cur, ok := n.jobs[jobID]; ok && cur == entry {
+	fam, ok := n.jobs[jobID]
+	if !ok {
+		return
+	}
+	if cur, ok := fam.epochs[epoch]; ok && cur == entry {
 		select {
 		case <-entry.ready:
 			// Opened locally; Exchange.Close releases it.
 		default:
-			delete(n.jobs, jobID)
+			delete(fam.epochs, epoch)
+			if len(fam.epochs) == 0 {
+				delete(n.jobs, jobID)
+			}
 		}
 	}
 }
 
-// release removes a finished job so its id can be reused.
-func (n *Node) release(jobID string, ex *Exchange) {
+// release removes a finished attempt so the job id can eventually be reused.
+func (n *Node) release(jobID string, epoch int, ex *Exchange) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if entry, ok := n.jobs[jobID]; ok && entry.ex == ex {
-		delete(n.jobs, jobID)
+	fam, ok := n.jobs[jobID]
+	if !ok {
+		return
+	}
+	if entry, ok := fam.epochs[epoch]; ok && entry.ex == ex {
+		delete(fam.epochs, epoch)
+		if len(fam.epochs) == 0 {
+			delete(n.jobs, jobID)
+		}
 	}
 }
 
@@ -247,7 +294,31 @@ type PeerStats struct {
 	FramesOut int64  `json:"frames_out"`
 	BytesIn   int64  `json:"bytes_in"`
 	FramesIn  int64  `json:"frames_in"`
+	// StreamedBatches and OverflowSegments are the streaming shuffle's
+	// per-destination counters (key batches flushed toward this peer, and
+	// flushed runs that overflowed to disk because the sender lagged). They
+	// are engine-level counts: the transport does not fill them itself — the
+	// cluster worker copies them in from the engine metrics after a run.
+	StreamedBatches  int64 `json:"streamed_batches,omitempty"`
+	OverflowSegments int64 `json:"overflow_segments,omitempty"`
 }
+
+// PeerError is the failure of one peer's connection within an exchange. It
+// names the peer so a scheduler can turn the death into a targeted task
+// failure (mark that worker dead, re-execute) instead of an anonymous global
+// abort. Unwrap exposes the underlying I/O error.
+type PeerError struct {
+	// Peer is the index of the peer whose connection failed.
+	Peer int
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("transport: peer %d failed: %v", e.Peer, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
 
 type peerCounters struct {
 	bytesOut, framesOut, bytesIn, framesIn atomic.Int64
@@ -268,6 +339,7 @@ type outConn struct {
 type Exchange struct {
 	node  *Node
 	jobID string
+	epoch int
 	self  int
 	peers []string
 
@@ -289,14 +361,27 @@ type Exchange struct {
 	allAdopted chan struct{} // closed when every remote peer connected
 }
 
-// OpenExchange creates the local endpoint of job jobID. peers lists the
-// shuffle address of every participant in peer order; self is this process's
-// index in it. The call dials every remote peer (retrying while the peer
-// starts up) and returns once all outbound connections are established;
-// inbound connections attach as the remote peers open their side.
+// OpenExchange creates the local endpoint of job jobID at epoch 0. See
+// OpenExchangeEpoch.
 func (n *Node) OpenExchange(jobID string, self int, peers []string) (*Exchange, error) {
+	return n.OpenExchangeEpoch(jobID, 0, self, peers)
+}
+
+// OpenExchangeEpoch creates the local endpoint of attempt epoch of job jobID.
+// peers lists the shuffle address of every participant in peer order; self is
+// this process's index in it. The call dials every remote peer (retrying
+// while the peer starts up) and returns once all outbound connections are
+// established; inbound connections attach as the remote peers open their
+// side. Opening an epoch makes the node refuse inbound connections of older
+// epochs of the same job, and an attempt to open an epoch older than one
+// already opened fails: a scheduler retrying a job must use a fresh, strictly
+// higher epoch.
+func (n *Node) OpenExchangeEpoch(jobID string, epoch, self int, peers []string) (*Exchange, error) {
 	if jobID == "" || len(jobID) > maxJobIDLen {
 		return nil, fmt.Errorf("transport: job id length %d out of range", len(jobID))
+	}
+	if epoch < 0 || epoch >= maxEpoch {
+		return nil, fmt.Errorf("transport: epoch %d out of range", epoch)
 	}
 	if self < 0 || self >= len(peers) {
 		return nil, fmt.Errorf("transport: self index %d out of range for %d peers", self, len(peers))
@@ -307,6 +392,7 @@ func (n *Node) OpenExchange(jobID string, self int, peers []string) (*Exchange, 
 	e := &Exchange{
 		node:       n,
 		jobID:      jobID,
+		epoch:      epoch,
 		self:       self,
 		peers:      append([]string(nil), peers...),
 		outs:       make([]*outConn, len(peers)),
@@ -323,19 +409,32 @@ func (n *Node) OpenExchange(jobID string, self int, peers []string) (*Exchange, 
 		n.mu.Unlock()
 		return nil, errors.New("transport: node is closed")
 	}
-	entry, ok := n.jobs[jobID]
+	fam, ok := n.jobs[jobID]
+	if !ok {
+		fam = &jobFamily{epochs: map[int]*jobEntry{}}
+		n.jobs[jobID] = fam
+	}
+	if fam.anyOpen && epoch < fam.maxOpen {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: job %q epoch %d is stale (epoch %d already opened)", jobID, epoch, fam.maxOpen)
+	}
+	entry, ok := fam.epochs[epoch]
 	if !ok {
 		entry = &jobEntry{ready: make(chan struct{})}
-		n.jobs[jobID] = entry
+		fam.epochs[epoch] = entry
 	}
 	select {
 	case <-entry.ready:
 		n.mu.Unlock()
-		return nil, fmt.Errorf("transport: job %q is already open on this node", jobID)
+		return nil, fmt.Errorf("transport: job %q epoch %d is already open on this node", jobID, epoch)
 	default:
 	}
 	entry.ex = e
 	close(entry.ready)
+	if !fam.anyOpen || epoch > fam.maxOpen {
+		fam.anyOpen = true
+		fam.maxOpen = epoch
+	}
 	n.mu.Unlock()
 
 	if len(peers) == 1 {
@@ -393,7 +492,7 @@ func (e *Exchange) dialPeer(p int) error {
 	cw := &countingWriter{w: conn, sinks: []*atomic.Int64{&e.wireOut, &e.stats[p].bytesOut}}
 	bw := bufio.NewWriter(cw)
 	_ = conn.SetDeadline(time.Now().Add(cfg.HandshakeTimeout))
-	if _, err := bw.Write(appendHandshake(nil, e.jobID, e.self)); err != nil {
+	if _, err := bw.Write(appendHandshake(nil, e.jobID, e.self, e.epoch)); err != nil {
 		conn.Close()
 		return err
 	}
@@ -454,7 +553,7 @@ func (e *Exchange) readLoop(sender int, br *bufio.Reader) {
 	for {
 		payload, end, err := readFrame(br, e.node.cfg.MaxFrame)
 		if err != nil {
-			e.fail(fmt.Errorf("transport: receiving from peer %d: %w", sender, err))
+			e.fail(&PeerError{Peer: sender, Err: fmt.Errorf("receiving: %w", err)})
 			return
 		}
 		if end {
@@ -501,9 +600,10 @@ func (e *Exchange) Send(dst int, frame []byte) error {
 		return oc.err
 	}
 	if err := writeFrame(oc.bw, frame); err != nil {
-		oc.err = err
-		e.fail(err)
-		return err
+		perr := &PeerError{Peer: dst, Err: fmt.Errorf("sending: %w", err)}
+		oc.err = perr
+		e.fail(perr)
+		return perr
 	}
 	e.stats[dst].framesOut.Add(1)
 	return nil
@@ -513,7 +613,7 @@ func (e *Exchange) Send(dst int, frame []byte) error {
 // connections: the remote shuffle barrier for this sender.
 func (e *Exchange) CloseSend() error {
 	var first error
-	for _, oc := range e.outs {
+	for p, oc := range e.outs {
 		if oc == nil {
 			continue
 		}
@@ -523,6 +623,9 @@ func (e *Exchange) CloseSend() error {
 			err = writeEndFrame(oc.bw)
 			if err == nil {
 				err = oc.bw.Flush()
+			}
+			if err != nil {
+				err = &PeerError{Peer: p, Err: fmt.Errorf("closing send: %w", err)}
 			}
 			oc.err = err
 		}
@@ -602,7 +705,7 @@ func (e *Exchange) Close() error {
 			conn.Close()
 		}
 	}
-	e.node.release(e.jobID, e)
+	e.node.release(e.jobID, e.epoch, e)
 	return nil
 }
 

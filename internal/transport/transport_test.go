@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -263,7 +264,7 @@ func TestUnadoptedJobEntryIsDropped(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer conn.Close()
-	if _, err := conn.Write(appendHandshake(nil, "ghost-job", 1)); err != nil {
+	if _, err := conn.Write(appendHandshake(nil, "ghost-job", 1, 0)); err != nil {
 		t.Fatalf("write handshake: %v", err)
 	}
 	ack := make([]byte, 1)
@@ -409,5 +410,187 @@ func TestAbruptPeerDisconnectFailsLivePeers(t *testing.T) {
 				before, runtime.NumGoroutine(), buf[:n])
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestExchangeEpochsIsolated runs two epochs of the same job id concurrently
+// (the speculative re-execution shape): frames must never cross epochs.
+func TestExchangeEpochsIsolated(t *testing.T) {
+	nodes, addrs := testCluster(t, 2)
+
+	// Open the epochs in scheduler order — the running attempt (epoch 0)
+	// exists on every worker before the speculative attempt (epoch 1) opens;
+	// both then run concurrently.
+	exs := make(map[[2]int]*Exchange)
+	for _, epoch := range []int{0, 1} {
+		var openWG sync.WaitGroup
+		var mu0 sync.Mutex
+		for p := range nodes {
+			openWG.Add(1)
+			go func(epoch, p int) {
+				defer openWG.Done()
+				ex, err := nodes[p].OpenExchangeEpoch("job-epochs", epoch, p, addrs)
+				if err != nil {
+					t.Errorf("epoch %d peer %d: OpenExchangeEpoch: %v", epoch, p, err)
+					return
+				}
+				mu0.Lock()
+				exs[[2]int{epoch, p}] = ex
+				mu0.Unlock()
+			}(epoch, p)
+		}
+		openWG.Wait()
+		if t.Failed() {
+			t.FailNow()
+		}
+	}
+
+	results := make(map[int][][]string)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, epoch := range []int{0, 1} {
+		for p := range nodes {
+			wg.Add(1)
+			go func(epoch, p int) {
+				defer wg.Done()
+				ex := exs[[2]int{epoch, p}]
+				defer ex.Close()
+				recvErr := make(chan []string, 1)
+				go func() {
+					var got []string
+					for {
+						frame, err := ex.Recv()
+						if err != nil {
+							recvErr <- got
+							return
+						}
+						got = append(got, string(frame))
+					}
+				}()
+				for f := 0; f < 10; f++ {
+					msg := fmt.Sprintf("e%d:%d", epoch, f)
+					if err := ex.Send(1-p, []byte(msg)); err != nil {
+						t.Errorf("epoch %d peer %d: Send: %v", epoch, p, err)
+					}
+				}
+				if err := ex.CloseSend(); err != nil {
+					t.Errorf("epoch %d peer %d: CloseSend: %v", epoch, p, err)
+				}
+				got := <-recvErr
+				mu.Lock()
+				results[epoch] = append(results[epoch], got)
+				mu.Unlock()
+			}(epoch, p)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for epoch, peerFrames := range results {
+		want := fmt.Sprintf("e%d:", epoch)
+		n := 0
+		for _, frames := range peerFrames {
+			for _, f := range frames {
+				n++
+				if f[:len(want)] != want {
+					t.Errorf("epoch %d received foreign frame %q", epoch, f)
+				}
+			}
+		}
+		if n != 20 {
+			t.Errorf("epoch %d received %d frames, want 20", epoch, n)
+		}
+	}
+}
+
+// TestStaleEpochRejected: once a newer epoch of a job is open on a node,
+// opening (or connecting as) an older epoch must be refused.
+func TestStaleEpochRejected(t *testing.T) {
+	nodes, addrs := testCluster(t, 2)
+
+	// Open epoch 2 on both peers and complete the handshake mesh.
+	exs := make([]*Exchange, 2)
+	var wg sync.WaitGroup
+	for p := range nodes {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			ex, err := nodes[p].OpenExchangeEpoch("job-stale", 2, p, addrs)
+			if err != nil {
+				t.Errorf("peer %d: OpenExchangeEpoch: %v", p, err)
+				return
+			}
+			exs[p] = ex
+		}(p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	defer exs[0].Close()
+	defer exs[1].Close()
+
+	// A local open of an older epoch fails immediately.
+	if _, err := nodes[0].OpenExchangeEpoch("job-stale", 1, 0, addrs); err == nil {
+		t.Fatal("opening a stale epoch should fail")
+	}
+
+	// A zombie sender handshaking with an older epoch is cut off: the ack
+	// arrives (the handshake is read before the epoch check) but the
+	// connection is closed without ever being adopted.
+	conn, err := net.Dial("tcp", addrs[1])
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(appendHandshake(nil, "job-stale", 0, 1)); err != nil {
+		t.Fatalf("write handshake: %v", err)
+	}
+	ack := make([]byte, 1)
+	if _, err := io.ReadFull(conn, ack); err != nil {
+		t.Fatalf("read ack: %v", err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := conn.Read(ack); err == nil {
+		t.Fatal("stale-epoch connection should be closed by the acceptor")
+	}
+}
+
+// TestPeerErrorIdentifiesDeadPeer: when a peer dies abruptly, the survivors'
+// exchange error must be a *PeerError naming it.
+func TestPeerErrorIdentifiesDeadPeer(t *testing.T) {
+	nodes, addrs := testCluster(t, 3)
+	exs := make([]*Exchange, 3)
+	for p, node := range nodes {
+		ex, err := node.OpenExchange("job-peererr", p, addrs)
+		if err != nil {
+			t.Fatalf("peer %d: OpenExchange: %v", p, err)
+		}
+		exs[p] = ex
+	}
+	defer exs[0].Close()
+	defer exs[1].Close()
+
+	// Peer 2 dies without end frames; peer 0 blocks in Recv until the broken
+	// connection surfaces.
+	exs[2].Close()
+	_ = exs[0].CloseSend()
+	_ = exs[1].CloseSend()
+	for {
+		_, err := exs[0].Recv()
+		if err == io.EOF {
+			t.Fatal("Recv reached EOF although peer 2 never sent an end frame")
+		}
+		if err != nil {
+			var perr *PeerError
+			if !errors.As(err, &perr) {
+				t.Fatalf("Recv error %v (%T) is not a *PeerError", err, err)
+			}
+			if perr.Peer != 2 {
+				t.Fatalf("PeerError names peer %d, want 2", perr.Peer)
+			}
+			return
+		}
 	}
 }

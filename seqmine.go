@@ -141,6 +141,20 @@ type Options struct {
 	SendBufferBytes int64
 	// CompressSpill compresses spill segments with DEFLATE.
 	CompressSpill bool
+
+	// ClusterWorkers, when non-empty, runs the distributed algorithms
+	// (DSeq, DCand) across these seqmine-worker processes (control URLs)
+	// with the fault-tolerant cluster scheduler instead of the in-process
+	// engine: the input is pushed once per worker into the shared dataset
+	// store and failed or straggling attempts are retried on the surviving
+	// workers.
+	ClusterWorkers []string
+	// TaskRetries is the cluster scheduler's retry budget (cluster runs
+	// only); 0 uses the default of 2, negative disables retries.
+	TaskRetries int
+	// SpeculativeAfter launches one speculative duplicate attempt when a
+	// cluster run's attempt exceeds this duration; 0 disables speculation.
+	SpeculativeAfter time.Duration
 }
 
 // DefaultOptions returns the recommended configuration: D-SEQ with all
@@ -213,7 +227,11 @@ func Mine(db *Database, expression string, sigma int64, opts Options) (*Result, 
 // The backend dispatch is shared with the service layer (internal/service);
 // the sequential algorithms run unsharded here, exactly as in the paper.
 func MineConstraint(db *Database, c *Constraint, sigma int64, opts Options) (*Result, error) {
-	patterns, metrics, _, err := service.Execute(context.Background(), c.fst, db, sigma, opts.execOptions(1))
+	eo := opts.execOptions(1)
+	if eo.Cluster != nil {
+		eo.Cluster.Expression = c.expression
+	}
+	patterns, metrics, _, err := service.Execute(context.Background(), c.fst, db, sigma, eo)
 	if err != nil {
 		return nil, fmt.Errorf("seqmine: %w", err)
 	}
@@ -223,7 +241,7 @@ func MineConstraint(db *Database, c *Constraint, sigma int64, opts Options) (*Re
 // execOptions maps Options to the service layer's execution options. shards
 // fixes the partition count of the sequential backends (1 = unsharded).
 func (o Options) execOptions(shards int) service.ExecOptions {
-	return service.ExecOptions{
+	eo := service.ExecOptions{
 		Algorithm:          o.Algorithm.serviceName(),
 		Workers:            o.Workers,
 		Shards:             shards,
@@ -237,7 +255,13 @@ func (o Options) execOptions(shards int) service.ExecOptions {
 		SpillTmpDir:        o.SpillTmpDir,
 		SendBufferBytes:    o.SendBufferBytes,
 		CompressSpill:      o.CompressSpill,
+		TaskRetries:        o.TaskRetries,
+		SpeculativeAfter:   o.SpeculativeAfter,
 	}
+	if len(o.ClusterWorkers) > 0 {
+		eo.Cluster = &service.ClusterOptions{Workers: o.ClusterWorkers}
+	}
+	return eo
 }
 
 // DecodePattern renders a mined pattern as a space-separated string of item
@@ -287,6 +311,15 @@ type ServiceOptions struct {
 	// DefaultTimeout is the per-query deadline applied when the caller's
 	// context has none; 0 means no default deadline.
 	DefaultTimeout time.Duration
+	// ClusterWorkers are the control URLs of a default worker cluster for
+	// queries that request distributed execution.
+	ClusterWorkers []string
+	// TaskRetries is the default retry budget of cluster-executed queries;
+	// 0 uses the scheduler's built-in budget of 2, negative disables.
+	TaskRetries int
+	// SpeculativeAfter is the default straggler threshold for speculative
+	// re-execution of cluster-executed queries; 0 disables speculation.
+	SpeculativeAfter time.Duration
 	// SpillThreshold is the default shuffle spill threshold in bytes per
 	// peer for queries that do not set their own; 0 keeps shuffles in
 	// memory.
@@ -314,14 +347,17 @@ type Service struct {
 // NewService creates a mining service.
 func NewService(opts ServiceOptions) *Service {
 	return &Service{inner: service.New(service.Config{
-		CacheSize:       opts.CacheSize,
-		Workers:         opts.Workers,
-		MaxConcurrent:   opts.MaxConcurrent,
-		DefaultTimeout:  opts.DefaultTimeout,
-		SpillThreshold:  opts.SpillThreshold,
-		SpillTmpDir:     opts.SpillTmpDir,
-		SendBufferBytes: opts.SendBufferBytes,
-		CompressSpill:   opts.CompressSpill,
+		CacheSize:        opts.CacheSize,
+		Workers:          opts.Workers,
+		MaxConcurrent:    opts.MaxConcurrent,
+		DefaultTimeout:   opts.DefaultTimeout,
+		ClusterWorkers:   opts.ClusterWorkers,
+		SpillThreshold:   opts.SpillThreshold,
+		SpillTmpDir:      opts.SpillTmpDir,
+		SendBufferBytes:  opts.SendBufferBytes,
+		CompressSpill:    opts.CompressSpill,
+		TaskRetries:      opts.TaskRetries,
+		SpeculativeAfter: opts.SpeculativeAfter,
 	})}
 }
 
