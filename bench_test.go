@@ -10,11 +10,16 @@
 package seqmine_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 
 	"seqmine"
+	"seqmine/internal/dseq"
 	"seqmine/internal/experiments"
+	"seqmine/internal/fst"
+	"seqmine/internal/mapreduce"
+	"seqmine/internal/obs"
 )
 
 // benchScale keeps the full benchmark suite in the minutes range. Increase it
@@ -176,6 +181,40 @@ func BenchmarkAlgorithms_N1(b *testing.B) {
 			opts.Workers = benchScale.Workers
 			for i := 0; i < b.N; i++ {
 				if _, err := seqmine.Mine(ds.NYT, ".*ENTITY (VERB+ NOUN+? PREP?) ENTITY.*", 3, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSpanOverhead measures the tracing layer's cost on the D-SEQ hot
+// path: the identical mine with no recorder on the context — StartSpan takes
+// the nil fast path everywhere — versus a recorder attached and every engine
+// span recorded. The "off" variant rides the CI bench-compare gate like any
+// other benchmark, and the published off/on pair pins the budget: recording
+// must stay within 2% of the untraced run.
+func BenchmarkSpanOverhead(b *testing.B) {
+	ds := benchDatasets(b)
+	f, err := fst.Compile(".*ENTITY (VERB+ NOUN+? PREP?) ENTITY.*", ds.NYT.Dict)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		ctx  context.Context
+	}{
+		{"off", context.Background()},
+		{"on", obs.WithRecorder(context.Background(), obs.NewRecorder("bench", 0))},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := mapreduce.Config{
+				MapWorkers:    benchScale.Workers,
+				ReduceWorkers: benchScale.Workers,
+				Context:       mode.ctx,
+			}
+			for i := 0; i < b.N; i++ {
+				if _, _, err := dseq.MineLocal(f, ds.NYT.Sequences, 3, dseq.DefaultOptions(), cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,0 +1,82 @@
+// Command promcheck validates a Prometheus text exposition (format 0.0.4),
+// as served by seqmined and seqmine-worker at GET /metrics?format=prometheus.
+// It reads the exposition from stdin (or a file argument), fails on malformed
+// lines, label syntax errors, counter regressions within the scrape, or
+// histogram series whose _count disagrees with the +Inf bucket, and can
+// assert that specific metric families are present and populated:
+//
+//	curl -s 'localhost:9090/metrics?format=prometheus' |
+//	    promcheck -require seqmine_worker_stage_seconds
+//
+// CI uses it in the chaos smoke job to gate the exposition endpoint.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"seqmine/internal/obs"
+)
+
+// requireFlags collects repeated -require flags.
+type requireFlags []string
+
+func (r *requireFlags) String() string     { return strings.Join(*r, " ") }
+func (r *requireFlags) Set(v string) error { *r = append(*r, v); return nil }
+
+func main() {
+	var requires requireFlags
+	flag.Var(&requires, "require", "fail unless a series with this metric name prefix is present (repeatable)")
+	quiet := flag.Bool("q", false, "print nothing on success")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "promcheck: at most one input file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+
+	stats, err := obs.ValidateExposition(in)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", name, err))
+	}
+	for _, want := range requires {
+		if !hasPrefixSeries(stats.SeriesByName, want) {
+			fatal(fmt.Errorf("%s: no series named %s*", name, want))
+		}
+	}
+	if !*quiet {
+		fmt.Printf("promcheck: %d samples across %d series names ok\n", stats.Samples, len(stats.SeriesByName))
+	}
+}
+
+// hasPrefixSeries reports whether any series name equals want or extends it
+// with a histogram suffix component (_bucket/_sum/_count).
+func hasPrefixSeries(series map[string]int, want string) bool {
+	if series[want] > 0 {
+		return true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if series[want+suffix] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promcheck:", err)
+	os.Exit(1)
+}

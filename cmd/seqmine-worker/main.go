@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served on -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -32,6 +33,7 @@ import (
 	"time"
 
 	"seqmine/internal/cluster"
+	"seqmine/internal/obs"
 	"seqmine/internal/seqdb"
 	"seqmine/internal/transport"
 )
@@ -43,6 +45,8 @@ func main() {
 	dataAdvertise := flag.String("data-advertise", "", "shuffle address advertised to peers (default: the data listener's address)")
 	spillDir := flag.String("spill-dir", "", "directory for shuffle spill segments of jobs that enable spilling (default: system temp dir)")
 	datasetCache := flag.Int("dataset-cache", cluster.DefaultStoreEntries, "datasets held in this worker's shared dataset store (LRU-evicted beyond it)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this extra address (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "minimum structured-log level: debug, info, warn, error or off")
 
 	// Submit (coordinator) mode flags.
 	submit := flag.Bool("submit", false, "submit a job to a running cluster instead of serving")
@@ -60,7 +64,15 @@ func main() {
 	taskPartitions := flag.Int("task-partitions", 0, "per-partition tasks the input is decomposed into (0 = one per live worker, submit mode)")
 	top := flag.Int("top", 25, "print only the top-k frequent sequences (0 = all, submit mode)")
 	showMetrics := flag.Bool("metrics", true, "print shuffle/runtime metrics (submit mode)")
+	traceOut := flag.String("trace-out", "", "write the job's merged trace as Chrome trace-event JSON to this file (submit mode)")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqmine-worker: %v\n", err)
+		os.Exit(2)
+	}
+	obs.SetDefaultLogger(obs.NewLogger(os.Stderr, lvl))
 
 	if *submit {
 		runSubmit(submitConfig{
@@ -68,15 +80,15 @@ func main() {
 			pattern: *pattern, sigma: *sigma, algorithm: *algorithm,
 			spillThreshold: *spillThreshold, sendBuffer: *sendBuffer, compressSpill: *compressSpill,
 			taskRetries: *taskRetries, speculativeAfter: *speculativeAfter, taskPartitions: *taskPartitions,
-			top: *top, showMetrics: *showMetrics,
+			top: *top, showMetrics: *showMetrics, traceOut: *traceOut,
 		})
 		return
 	}
-	runWorker(*listen, *dataListen, *dataAdvertise, *spillDir, *datasetCache)
+	runWorker(*listen, *dataListen, *dataAdvertise, *spillDir, *debugAddr, *datasetCache)
 }
 
 // runWorker serves the control API and the shuffle fabric until SIGINT/TERM.
-func runWorker(listen, dataListen, dataAdvertise, spillDir string, datasetCache int) {
+func runWorker(listen, dataListen, dataAdvertise, spillDir, debugAddr string, datasetCache int) {
 	node, err := transport.NewNode(dataListen, transport.Config{Advertise: dataAdvertise})
 	if err != nil {
 		fatal(err)
@@ -86,6 +98,8 @@ func runWorker(listen, dataListen, dataAdvertise, spillDir string, datasetCache 
 	worker := cluster.NewWorker(node)
 	worker.SpillDir = spillDir
 	worker.Store = cluster.NewStore(datasetCache)
+	worker.Rec = obs.NewRecorder("worker "+node.Addr(), 0)
+	worker.Obs = obs.NewRegistry()
 	srv := &http.Server{
 		Addr:        listen,
 		Handler:     worker.Handler(),
@@ -94,6 +108,17 @@ func runWorker(listen, dataListen, dataAdvertise, spillDir string, datasetCache 
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if debugAddr != "" {
+		go func() {
+			// The pprof import registers on http.DefaultServeMux; serving it on
+			// a separate listener keeps profiling off the control port.
+			log.Printf("seqmine-worker: pprof on http://%s/debug/pprof/", debugAddr)
+			if err := http.ListenAndServe(debugAddr, nil); err != nil {
+				log.Printf("seqmine-worker: debug server: %v", err)
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {
@@ -123,6 +148,7 @@ type submitConfig struct {
 	speculativeAfter                             time.Duration
 	top                                          int
 	showMetrics                                  bool
+	traceOut                                     string
 }
 
 // runSubmit coordinates one distributed job and prints the merged result.
@@ -157,12 +183,27 @@ func runSubmit(sc submitConfig) {
 	copts.ApplyRetryKnobs(sc.taskRetries, sc.speculativeAfter)
 	copts.TaskPartitions = sc.taskPartitions
 	coord := &cluster.Coordinator{Workers: urls}
+	// A local recorder collects the coordinator's spans plus every worker's
+	// shipped spans, so -trace-out captures the whole distributed job.
+	rec := obs.NewRecorder("submit", 0)
+	ctx := obs.WithRecorder(context.Background(), rec)
 	start := time.Now()
-	res, err := coord.Mine(context.Background(), db, sc.pattern, sc.sigma, algo, copts)
+	res, err := coord.Mine(ctx, db, sc.pattern, sc.sigma, algo, copts)
 	if err != nil {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	if sc.traceOut != "" {
+		buf, err := obs.ChromeTrace(rec.TraceSpans(res.TraceID))
+		if err == nil {
+			err = os.WriteFile(sc.traceOut, buf, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqmine-worker: writing trace: %v\n", err)
+		} else {
+			fmt.Printf("trace %s written to %s\n", res.TraceID, sc.traceOut)
+		}
+	}
 
 	fmt.Printf("%d frequent sequences (algorithm %s, sigma %d)\n", len(res.Patterns), algo, sc.sigma)
 	limit := len(res.Patterns)

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"seqmine"
+	"seqmine/internal/obs"
 )
 
 func main() {
@@ -32,7 +33,15 @@ func main() {
 	speculativeAfter := flag.Duration("speculative-after", 0, "cluster runs: launch a speculative duplicate attempt when the running attempt exceeds this (0 = no speculation)")
 	top := flag.Int("top", 25, "print only the top-k frequent sequences (0 = all)")
 	showMetrics := flag.Bool("metrics", true, "print shuffle/runtime metrics for distributed algorithms")
+	logLevel := flag.String("log-level", "info", "minimum structured-log level: debug, info, warn, error or off")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqmine: %v\n", err)
+		os.Exit(2)
+	}
+	obs.SetDefaultLogger(obs.NewLogger(os.Stderr, lvl))
 
 	if *data == "" || *pattern == "" {
 		fmt.Fprintln(os.Stderr, "seqmine: -data and -pattern are required")

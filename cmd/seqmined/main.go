@@ -18,12 +18,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux, served on -debug-addr
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"seqmine/internal/obs"
 	"seqmine/internal/service"
 )
 
@@ -46,9 +48,19 @@ func main() {
 	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress shuffle spill segments by default (queries override either way with the tri-state \"compress_spill\")")
 	taskRetries := flag.Int("task-retries", 0, "default retry budget of cluster queries: failed attempts relaunched on surviving workers (0 = built-in default of 2, negative = no retries; queries override with \"task_retries\")")
 	speculativeAfter := flag.Duration("speculative-after", 0, "launch a speculative duplicate attempt when a cluster query's attempt runs longer than this (0 = no speculation; queries override with \"speculative_after_ms\")")
+	logLevel := flag.String("log-level", "info", "minimum structured-log level: debug, info, warn, error or off")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof profiling endpoints on this extra address (empty = disabled)")
+	traceBuffer := flag.Int("trace-buffer", 0, "trace spans retained for GET /debug/trace/{id} (0 = default)")
 	var loads loadFlags
 	flag.Var(&loads, "load", "dataset to load at startup as name=sequences.txt[,hierarchy.txt] (repeatable)")
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seqmined: %v\n", err)
+		os.Exit(2)
+	}
+	obs.SetDefaultLogger(obs.NewLogger(os.Stderr, lvl))
 
 	var clusterURLs []string
 	if *clusterWorkers != "" {
@@ -70,6 +82,8 @@ func main() {
 		CompressSpill:    *compressSpill,
 		TaskRetries:      *taskRetries,
 		SpeculativeAfter: *speculativeAfter,
+		Obs:              obs.NewRegistry(),
+		Recorder:         obs.NewRecorder("seqmined", *traceBuffer),
 	})
 	for _, spec := range loads {
 		name, paths, ok := strings.Cut(spec, "=")
@@ -95,6 +109,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *debugAddr != "" {
+		go func() {
+			// The pprof import registers on http.DefaultServeMux; serving it on
+			// a separate listener keeps profiling off the public API port.
+			log.Printf("seqmined: pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("seqmined: debug server: %v", err)
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -28,6 +28,7 @@ import (
 
 	"seqmine/internal/mapreduce"
 	"seqmine/internal/miner"
+	"seqmine/internal/obs"
 	"seqmine/internal/transport"
 )
 
@@ -177,6 +178,11 @@ type JobResult struct {
 	// PeerStats breaks the shuffle traffic down per remote peer, including
 	// the streaming shuffle's per-destination batch/overflow counters.
 	PeerStats []transport.PeerStats `json:"peer_stats"`
+	// Spans are the worker-local trace spans of this run's trace (the run
+	// itself, its engine stages, and transport sends/receives), shipped back
+	// so the coordinator can merge one end-to-end trace. Empty when the
+	// worker records no spans or the request carried no trace context.
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 // HealthResponse is the body of a worker's GET /healthz: it advertises the

@@ -18,6 +18,7 @@ import (
 
 	"seqmine/internal/mapreduce"
 	"seqmine/internal/miner"
+	"seqmine/internal/obs"
 	"seqmine/internal/seqdb"
 )
 
@@ -43,6 +44,16 @@ type Coordinator struct {
 	// dead (its running attempt is then aborted and retried without it);
 	// 0 means 3.
 	HeartbeatMisses int
+	// Obs, when non-nil, receives scheduler metrics: task-attempt durations
+	// (seqmine_task_attempt_seconds) and heartbeat round-trip times
+	// (seqmine_heartbeat_rtt_seconds).
+	Obs *obs.Registry
+	// Log receives structured liveness and scheduling log lines; nil falls
+	// back to obs.DefaultLogger() (which may itself be silent). A recorder on
+	// the Mine context additionally receives cluster.mine / cluster.attempt /
+	// cluster.task spans, propagated to the workers via the X-Seqmine-Trace
+	// header.
+	Log *obs.Logger
 }
 
 // bundleRef caches one database's encoded bundle so resubmissions skip
@@ -70,6 +81,11 @@ const maxBundleCache = 8
 
 // Result is the merged outcome of a distributed mining job.
 type Result struct {
+	// TraceID is the distributed trace this job ran under (empty when the
+	// Mine context carried no recorder). The coordinator's recorder then
+	// holds the merged end-to-end trace: its own scheduler spans plus the
+	// winning attempt's worker spans.
+	TraceID obs.TraceID
 	// Patterns is the complete frequent-sequence set, sorted like the
 	// single-process miners sort it.
 	Patterns []miner.Pattern
@@ -149,6 +165,14 @@ func (c *Coordinator) Mine(ctx context.Context, db *seqdb.Database, expression s
 	if client == nil {
 		client = http.DefaultClient
 	}
+	log := c.Log
+	if log == nil {
+		log = obs.DefaultLogger()
+	}
+	ctx, mineSpan := obs.StartSpan(ctx, "cluster.mine",
+		obs.String("algorithm", algorithm), obs.Int("sigma", sigma),
+		obs.Int("workers", int64(len(c.Workers))))
+	defer mineSpan.End()
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -186,7 +210,7 @@ func (c *Coordinator) Mine(ctx context.Context, db *seqdb.Database, expression s
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{}
+	res := &Result{TraceID: mineSpan.TraceID()}
 	var pushMu sync.Mutex
 	var pushWG sync.WaitGroup
 	for _, ws := range live {
@@ -243,8 +267,22 @@ func (c *Coordinator) Mine(ctx context.Context, db *seqdb.Database, expression s
 		sigma:     sigma,
 		opts:      opts,
 		res:       res,
+		log:       log,
+		attemptHist: c.Obs.Histogram("seqmine_task_attempt_seconds",
+			"Duration of cluster job attempts (gang launch to last member response).",
+			obs.DurationBuckets, "algorithm", algorithm),
+		hbHist: c.Obs.Histogram("seqmine_heartbeat_rtt_seconds",
+			"Round-trip time of successful worker heartbeat probes.", obs.DurationBuckets),
 	}
-	return sched.run()
+	result, err := sched.run()
+	if err != nil {
+		mineSpan.SetAttr("error", err.Error())
+		return nil, err
+	}
+	mineSpan.SetAttrInt("attempts", int64(result.Attempts))
+	mineSpan.SetAttrInt("retries", int64(result.Retries))
+	mineSpan.SetAttrInt("patterns", int64(len(result.Patterns)))
+	return result, nil
 }
 
 // liveWorkers filters the pool down to its live members, in pool order.
@@ -336,6 +374,10 @@ type scheduler struct {
 	sigma     int64
 	opts      Options
 	res       *Result
+
+	log         *obs.Logger
+	attemptHist *obs.Histogram
+	hbHist      *obs.Histogram
 
 	epoch    int
 	outcomes chan *attempt
@@ -464,10 +506,14 @@ func (s *scheduler) run() (*Result, error) {
 			}
 			if a.permanent {
 				s.cancel()
+				s.log.Error("job failed permanently", obs.String("job", s.jobID),
+					obs.Int("epoch", int64(a.epoch)), obs.String("error", a.err.Error()))
 				return nil, fmt.Errorf("cluster: %w", a.err)
 			}
 			if a.failed != nil && a.failed.markDead() {
 				s.addDeadWorker(a.failed)
+				s.log.Warn("worker removed from pool", obs.String("worker", a.failed.url),
+					obs.Int("epoch", int64(a.epoch)), obs.String("error", a.err.Error()))
 			}
 			if a.repush != nil {
 				hit, putBytes, err := ensureDataset(s.ctx, s.client, a.repush.url, s.datasetID, s.bundle)
@@ -489,10 +535,15 @@ func (s *scheduler) run() (*Result, error) {
 			}
 			if s.res.Retries >= maxRetries {
 				s.cancel()
+				s.log.Error("retry budget exhausted", obs.String("job", s.jobID),
+					obs.Int("attempts", int64(s.res.Attempts)), obs.String("error", a.err.Error()))
 				return nil, fmt.Errorf("cluster: job failed after %d attempts (%d retries): %w",
 					s.res.Attempts, s.res.Retries, a.err)
 			}
 			s.res.Retries++
+			s.log.Warn("attempt failed, retrying", obs.String("job", s.jobID),
+				obs.Int("epoch", int64(a.epoch)), obs.Int("retries", int64(s.res.Retries)),
+				obs.String("error", a.err.Error()))
 			if err := s.launch(); err != nil {
 				return nil, fmt.Errorf("cluster: relaunching after %w: %v", a.err, err)
 			}
@@ -517,6 +568,14 @@ func (s *scheduler) runningCount() int {
 	return len(s.running)
 }
 
+// latestEpoch is the most recently launched attempt epoch (-1 before the
+// first launch); the heartbeat loop stamps it onto its log lines.
+func (s *scheduler) latestEpoch() int {
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	return s.epoch - 1
+}
+
 func (s *scheduler) addDeadWorker(ws *workerRef) {
 	s.smu.Lock()
 	s.res.DeadWorkers = append(s.res.DeadWorkers, ws.url)
@@ -531,8 +590,12 @@ func (s *scheduler) launch() error {
 	if len(gang) == 0 {
 		return fmt.Errorf("no live workers remain")
 	}
+	// The heartbeat loop reads the latest epoch for its log lines, so the
+	// counter is guarded even though only the run loop launches.
+	s.smu.Lock()
 	epoch := s.epoch
 	s.epoch++
+	s.smu.Unlock()
 	s.res.Attempts++
 
 	dataPeers := make([]string, len(gang))
@@ -545,13 +608,18 @@ func (s *scheduler) launch() error {
 		parts[gi] = append(parts[gi], task)
 	}
 
-	actx, acancel := context.WithCancel(s.ctx)
+	sctx, aspan := obs.StartSpan(s.ctx, "cluster.attempt",
+		obs.Int("epoch", int64(epoch)), obs.Int("gang", int64(len(gang))))
+	actx, acancel := context.WithCancel(sctx)
 	a := &attempt{epoch: epoch, gang: gang, cancel: acancel, results: make([]JobResult, len(gang))}
 	s.smu.Lock()
 	s.running[epoch] = a
 	s.smu.Unlock()
+	s.log.Info("attempt launched", obs.String("job", s.jobID), obs.Int("epoch", int64(epoch)),
+		obs.Int("gang", int64(len(gang))), obs.Int("tasks", int64(s.numTasks)))
 
 	go func() {
+		started := time.Now()
 		defer acancel()
 		errs := make([]error, len(gang))
 		var wg sync.WaitGroup
@@ -572,11 +640,24 @@ func (s *scheduler) launch() error {
 			wg.Add(1)
 			go func(gi int, spec JobSpec) {
 				defer wg.Done()
-				errs[gi] = postJSON(actx, s.client, gang[gi].url+"/run", spec, &a.results[gi])
+				tctx, tspan := obs.StartSpan(actx, "cluster.task",
+					obs.Int("peer", int64(gi)), obs.String("worker", gang[gi].url),
+					obs.Int("epoch", int64(epoch)), obs.Int("partitions", int64(len(spec.Partitions))))
+				err := postJSON(tctx, s.client, gang[gi].url+"/run", spec, &a.results[gi])
+				if err != nil {
+					tspan.SetAttr("error", err.Error())
+				}
+				tspan.End()
+				errs[gi] = err
 			}(gi, spec)
 		}
 		wg.Wait()
 		s.classify(a, errs)
+		s.attemptHist.Observe(time.Since(started).Seconds())
+		if a.err != nil {
+			aspan.SetAttr("error", a.err.Error())
+		}
+		aspan.End()
 		s.outcomes <- a // buffered for the worst case; never blocks
 	}()
 	return nil
@@ -652,23 +733,43 @@ func (s *scheduler) heartbeatLoop(ctx context.Context) {
 			go func(ws *workerRef) {
 				defer wg.Done()
 				var health HealthResponse
+				start := time.Now()
 				err := getJSON(ctx, probeClient, ws.url+"/healthz", &health)
+				rtt := time.Since(start)
 				if ctx.Err() != nil {
 					return // shutting down: a canceled probe is not a miss
 				}
+				if err == nil {
+					s.hbHist.Observe(rtt.Seconds())
+				}
 				ws.mu.Lock()
+				recovered := false
 				if err != nil {
 					ws.misses++
 				} else {
+					recovered = ws.misses > 0 && ws.alive
 					ws.misses = 0
 				}
+				misses := ws.misses
 				dead := ws.alive && ws.misses >= s.heartbeatMisses()
 				if dead {
 					ws.alive = false
 				}
 				ws.mu.Unlock()
-				if dead {
+				epoch := int64(s.latestEpoch())
+				switch {
+				case dead:
+					s.log.Warn("worker declared dead", obs.String("worker", ws.url),
+						obs.Int("misses", int64(misses)), obs.Int("epoch", epoch),
+						obs.String("error", err.Error()))
 					s.onHeartbeatDeath(ws)
+				case err != nil:
+					s.log.Debug("worker heartbeat missed", obs.String("worker", ws.url),
+						obs.Int("misses", int64(misses)), obs.Int("epoch", epoch),
+						obs.String("error", err.Error()))
+				case recovered:
+					s.log.Info("worker heartbeat recovered", obs.String("worker", ws.url),
+						obs.Int("epoch", epoch))
 				}
 			}(ws)
 		}
@@ -705,6 +806,15 @@ func (s *scheduler) merge(a *attempt) *Result {
 	res.WinningEpoch = a.epoch
 	res.PerWorker = a.results
 	res.Metrics.RemoteShuffle = true
+	// Fold the workers' span records into the coordinator's recorder: the
+	// merged trace then covers the scheduler, every gang member's run (the
+	// winning attempt plus any earlier attempts the surviving workers
+	// recorded under the same trace) and their engine stages.
+	if rec := obs.RecorderFrom(s.ctx); rec != nil {
+		for _, r := range a.results {
+			rec.Import(r.Spans)
+		}
+	}
 	for _, r := range a.results {
 		res.Patterns = append(res.Patterns, r.Patterns...)
 		res.WireBytesIn += r.WireBytesIn
@@ -761,6 +871,7 @@ func getJSON(ctx context.Context, client *http.Client, url string, out any) erro
 	if err != nil {
 		return err
 	}
+	obs.InjectHeader(ctx, req.Header)
 	return doJSON(client, req, out)
 }
 
@@ -774,6 +885,7 @@ func postJSON(ctx context.Context, client *http.Client, url string, in, out any)
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	obs.InjectHeader(ctx, req.Header)
 	return doJSON(client, req, out)
 }
 

@@ -14,6 +14,7 @@ import (
 	"seqmine/internal/fst"
 	"seqmine/internal/mapreduce"
 	"seqmine/internal/miner"
+	"seqmine/internal/obs"
 	"seqmine/internal/transport"
 )
 
@@ -43,6 +44,14 @@ type Worker struct {
 	// that enable spilling without naming a directory; empty uses the
 	// system temp directory.
 	SpillDir string
+
+	// Rec records the worker's trace spans (job runs, engine stages,
+	// transport sends/receives) and serves GET /debug/trace/{id}; nil
+	// disables tracing.
+	Rec *obs.Recorder
+	// Obs receives the worker's metrics (seqmine_worker_stage_seconds and
+	// friends) and serves GET /metrics; nil disables them.
+	Obs *obs.Registry
 }
 
 // NewWorker wraps a transport node with a default-capacity dataset store.
@@ -59,10 +68,22 @@ func (w *Worker) Node() *transport.Node { return w.node }
 // requested miner. Cancelling ctx aborts the run cooperatively (the engine
 // stops at input granularity and the exchange is torn down), so a superseded
 // attempt releases its CPU promptly.
-func (w *Worker) Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
+func (w *Worker) Run(ctx context.Context, spec JobSpec) (result *JobResult, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if obs.RecorderFrom(ctx) == nil {
+		ctx = obs.WithRecorder(ctx, w.Rec)
+	}
+	ctx, span := obs.StartSpan(ctx, "worker.run",
+		obs.String("job", spec.JobID), obs.Int("epoch", int64(spec.Epoch)),
+		obs.Int("peer", int64(spec.Peer)), obs.String("algorithm", spec.Algorithm))
+	defer func() {
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
+	}()
 	if err := validateSpec(spec); err != nil {
 		return nil, permanentError{err}
 	}
@@ -76,7 +97,7 @@ func (w *Worker) Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	}
 	split := partitionSplit(db.Sequences, spec.NumPartitions, spec.Partitions)
 
-	bx, err := w.node.OpenExchangeEpoch(spec.JobID, spec.Epoch, spec.Peer, spec.DataPeers)
+	bx, err := w.node.OpenExchangeContext(ctx, spec.JobID, spec.Epoch, spec.Peer, spec.DataPeers)
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +117,7 @@ func (w *Worker) Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 		MapWorkers:    spec.Options.MapWorkers,
 		ReduceWorkers: spec.Options.ReduceWorkers,
 		Context:       ctx,
+		Obs:           w.Obs,
 		Shuffle: mapreduce.ShuffleConfig{
 			SpillThreshold:  spec.Options.SpillThresholdBytes,
 			TmpDir:          spillDir,
@@ -136,13 +158,41 @@ func (w *Worker) Run(ctx context.Context, spec JobSpec) (*JobResult, error) {
 			stats[sp.Peer].OverflowSegments = sp.OverflowSegments
 		}
 	}
-	return &JobResult{
+	w.observeStages(spec.Algorithm, metrics)
+	result = &JobResult{
 		Epoch:       spec.Epoch,
 		Patterns:    patterns,
 		Metrics:     metrics,
 		WireBytesIn: bx.WireBytesIn(),
 		PeerStats:   stats,
-	}, nil
+	}
+	// End the run span before collecting, so the shipped batch includes it
+	// (plus any spans of earlier attempts of the same trace this worker
+	// recorded — that is how a retried job's full history reaches the
+	// coordinator through the surviving workers).
+	span.SetAttrInt("patterns", int64(len(patterns)))
+	span.End()
+	if trace, _ := obs.SpanContextFrom(ctx); trace != "" {
+		result.Spans = w.Rec.TraceSpans(trace)
+	}
+	return result, nil
+}
+
+// observeStages feeds one finished run's engine metrics into the worker's
+// per-stage latency histograms.
+func (w *Worker) observeStages(algorithm string, m mapreduce.Metrics) {
+	if w.Obs == nil {
+		return
+	}
+	hist := func(stage string) *obs.Histogram {
+		return w.Obs.Histogram("seqmine_worker_stage_seconds",
+			"Wall-clock duration of worker engine stages.", obs.DurationBuckets, "stage", stage)
+	}
+	hist("map").Observe(m.MapTime.Seconds())
+	hist("shuffle").Observe(m.ShuffleTime.Seconds())
+	hist("reduce").Observe(m.ReduceTime.Seconds())
+	w.Obs.Counter("seqmine_worker_jobs_total",
+		"Job attempts completed by this worker.", "algorithm", algorithm).Inc()
 }
 
 // validateSpec rejects malformed job specs up front (permanent errors the
@@ -195,13 +245,40 @@ func partitionSplit(seqs [][]dict.ItemID, numPartitions int, partitions []int) [
 
 // Handler returns the worker's control API:
 //
-//	POST /run            execute one JobSpec, respond with the JobResult
-//	GET  /healthz        liveness probe, advertises the shuffle address
-//	GET  /datasets       list the dataset store's bundles
-//	GET  /datasets/{id}  presence probe for one bundle
-//	PUT  /datasets/{id}  upload one content-addressed bundle
+//	POST /run              execute one JobSpec, respond with the JobResult
+//	GET  /healthz          liveness probe, advertises the shuffle address
+//	GET  /datasets         list the dataset store's bundles
+//	GET  /datasets/{id}    presence probe for one bundle
+//	PUT  /datasets/{id}    upload one content-addressed bundle
+//	GET  /metrics          worker metrics (JSON; ?format=prometheus for text)
+//	GET  /debug/trace/{id} one trace as Chrome trace_event JSON
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			rw.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = w.Obs.WritePrometheus(rw)
+			return
+		}
+		writeJSON(rw, http.StatusOK, struct {
+			Metrics []obs.SnapshotEntry `json:"metrics"`
+		}{Metrics: w.Obs.Snapshot()})
+	})
+	mux.HandleFunc("GET /debug/trace/{id}", func(rw http.ResponseWriter, r *http.Request) {
+		id := obs.TraceID(r.PathValue("id"))
+		spans := w.Rec.TraceSpans(id)
+		if len(spans) == 0 {
+			writeJSONError(rw, http.StatusNotFound, fmt.Errorf("cluster: no spans recorded for trace %s", id))
+			return
+		}
+		data, err := obs.ChromeTrace(spans)
+		if err != nil {
+			writeJSONError(rw, http.StatusInternalServerError, err)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		_, _ = rw.Write(data)
+	})
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
 		writeJSON(rw, http.StatusOK, HealthResponse{
 			Status:   "ok",
@@ -243,7 +320,8 @@ func (w *Worker) Handler() http.Handler {
 			writeJSONError(rw, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
 			return
 		}
-		result, err := w.Run(r.Context(), spec)
+		ctx := obs.ExtractHeader(obs.WithRecorder(r.Context(), w.Rec), r.Header)
+		result, err := w.Run(ctx, spec)
 		if err != nil {
 			writeRunError(rw, err)
 			return

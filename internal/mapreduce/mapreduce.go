@@ -16,6 +16,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"seqmine/internal/obs"
 )
 
 // Config controls the parallelism of a job. The zero value uses one worker
@@ -41,7 +43,18 @@ type Config struct {
 	// promptly without leaking goroutines or CPU into the dead attempt. On a
 	// wire exchange the caller should additionally close the exchange on
 	// cancellation so a barrier blocked on a dead peer fails fast.
+	//
+	// Context also carries the job's observability state (internal/obs): a
+	// recorder attached with obs.WithRecorder receives mapreduce.run /
+	// mapreduce.map / mapreduce.shuffle / mapreduce.spill / mapreduce.reduce
+	// spans, and a remote trace context attached with obs.ContextWithRemote
+	// parents them under the caller's trace.
 	Context context.Context
+	// Obs, when non-nil, receives engine histograms: spill-segment sizes
+	// (seqmine_spill_segment_bytes) and streaming send-buffer occupancy at
+	// flush time (seqmine_send_buffer_occupancy_bytes). Nil skips the
+	// instrumentation entirely.
+	Obs *obs.Registry
 }
 
 func (c Config) normalized() Config {
@@ -189,6 +202,10 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 	if (cfg.Shuffle.Enabled() || cfg.Shuffle.Streaming()) && job.Codec == nil {
 		return nil, metrics, errShuffleNeedsCodec
 	}
+	runCtx, runSpan := obs.StartSpan(cfg.Context, "mapreduce.run",
+		obs.Int("peer", int64(ex.Self())), obs.Int("peers", int64(npeers)))
+	cfg.Context = runCtx
+	defer runSpan.End()
 
 	// The accumulator gathers the key batches this peer receives (or owns
 	// itself); it is bounded by the spill threshold. The receiver drains the
@@ -197,7 +214,7 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 	// phase: peers running a streaming shuffle deliver while this peer still
 	// maps, and even in barrier mode a peer that finishes mapping early may
 	// start sending.
-	acc := newShuffleAccumulator(cfg.Shuffle, job.Codec, job.SizeOf)
+	acc := newShuffleAccumulator(runCtx, cfg.Shuffle, cfg.Obs, job.Codec, job.SizeOf)
 	defer acc.cleanup()
 	recvDone := make(chan error, 1)
 	go func() {
@@ -235,6 +252,21 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 	} else {
 		mapEnd, shuffleErr = runBarrierMapShuffle(inputs, cfg, job, ex, acc, recvDone, wire, &metrics)
 	}
+	// The map and shuffle phases are recorded retroactively from the metrics
+	// the engine already measures (the span is free when nothing listens). In
+	// barrier mode the shuffle follows the map phase; streaming overlaps it.
+	mapStart := mapEnd.Add(-metrics.MapTime)
+	obs.Observe(runCtx, "mapreduce.map", mapStart, metrics.MapTime,
+		obs.Int("records_out", metrics.MapOutputRecords))
+	shuffleStart := mapEnd
+	if cfg.Shuffle.Streaming() {
+		shuffleStart = mapStart
+	}
+	shuffleAttrs := []obs.Attr{obs.Int("records", metrics.ShuffleRecords)}
+	if shuffleErr != nil {
+		shuffleAttrs = append(shuffleAttrs, obs.String("error", shuffleErr.Error()))
+	}
+	obs.Observe(runCtx, "mapreduce.shuffle", shuffleStart, metrics.ShuffleTime, shuffleAttrs...)
 	if shuffleErr != nil {
 		metrics.ReduceTime = time.Since(mapEnd)
 		return nil, metrics, shuffleErr
@@ -254,11 +286,14 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 	}
 	var out []O
 	var reduceErr error
+	reduceStart := time.Now()
 	if acc.spilled() {
 		out, reduceErr = reduceStreaming(cfg, job, acc, &metrics)
 	} else {
 		out = reduceInMemory(cfg, job, acc.mem, &metrics)
 	}
+	obs.Observe(runCtx, "mapreduce.reduce", reduceStart, time.Since(reduceStart),
+		obs.Int("partitions", metrics.Partitions))
 	metrics.ReduceTime = time.Since(mapEnd)
 	if reduceErr == nil {
 		reduceErr = cfg.Context.Err()
@@ -266,6 +301,8 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 	if reduceErr != nil {
 		return nil, metrics, reduceErr
 	}
+	runSpan.SetAttrInt("shuffle_bytes", metrics.ShuffleBytes)
+	runSpan.SetAttrInt("spilled_bytes", metrics.SpilledBytes)
 	return out, metrics, nil
 }
 
@@ -363,7 +400,7 @@ func runBarrierMapShuffle[I any, K comparable, V any, O any](inputs []I, cfg Con
 func runStreamingMapShuffle[I any, K comparable, V any, O any](inputs []I, cfg Config, job Job[I, K, V, O], ex Exchange[K, V], acc *shuffleAccumulator[K, V], recvDone <-chan error, wire bool, metrics *Metrics) (time.Time, error) {
 	npeers := ex.NumPeers()
 	ctx := cfg.Context
-	ss := newStreamShuffle(cfg.Shuffle, cfg.MapWorkers, jobShape[K, V]{
+	ss := newStreamShuffle(cfg, jobShape[K, V]{
 		combine: job.Combine,
 		sizeOf:  job.SizeOf,
 		codec:   job.Codec,

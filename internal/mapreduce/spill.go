@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"compress/flate"
 	"container/heap"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -12,7 +13,18 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
+
+	"seqmine/internal/obs"
 )
+
+// spillSegmentHist is the histogram of on-disk spill-segment sizes, shared by
+// receive-side sorted runs and map-side send overflow. Nil registry → nil
+// histogram → no-op observes.
+func spillSegmentHist(reg *obs.Registry) *obs.Histogram {
+	return reg.Histogram("seqmine_spill_segment_bytes",
+		"Size in bytes of shuffle spill segments written to disk.", obs.ByteBuckets)
+}
 
 // ShuffleConfig bounds the memory footprint of the shuffle. SpillThreshold
 // bounds the receive side (spilling overflow to disk); SendBufferBytes bounds
@@ -81,6 +93,11 @@ type shuffleAccumulator[K comparable, V any] struct {
 	cfg    ShuffleConfig
 	sizeOf func(K, V) int
 
+	// ctx carries the job's trace recorder (spill spans); segHist observes
+	// segment sizes. Both are no-ops when observability is not wired up.
+	ctx     context.Context
+	segHist *obs.Histogram
+
 	mu       sync.Mutex
 	mem      map[K][]V
 	memBytes int64
@@ -92,9 +109,13 @@ type shuffleAccumulator[K comparable, V any] struct {
 }
 
 // newShuffleAccumulator builds the accumulator for one RunExchange call.
-// codec may be nil when cfg does not enable spilling.
-func newShuffleAccumulator[K comparable, V any](cfg ShuffleConfig, codec *FrameCodec[K, V], sizeOf func(K, V) int) *shuffleAccumulator[K, V] {
-	a := &shuffleAccumulator[K, V]{codec: codec, cfg: cfg, mem: make(map[K][]V)}
+// codec may be nil when cfg does not enable spilling; ctx and reg carry the
+// optional observability state (trace recorder and metric registry).
+func newShuffleAccumulator[K comparable, V any](ctx context.Context, cfg ShuffleConfig, reg *obs.Registry, codec *FrameCodec[K, V], sizeOf func(K, V) int) *shuffleAccumulator[K, V] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	a := &shuffleAccumulator[K, V]{codec: codec, cfg: cfg, mem: make(map[K][]V), ctx: ctx, segHist: spillSegmentHist(reg)}
 	if cfg.Enabled() {
 		if sizeOf == nil {
 			sizeOf = codec.RecordSize
@@ -128,6 +149,7 @@ func (a *shuffleAccumulator[K, V]) spillLocked() error {
 	if len(a.mem) == 0 {
 		return nil
 	}
+	start := time.Now()
 	if a.dir == "" {
 		dir, err := os.MkdirTemp(a.cfg.TmpDir, "seqmine-spill-")
 		if err != nil {
@@ -153,6 +175,9 @@ func (a *shuffleAccumulator[K, V]) spillLocked() error {
 	}
 	a.segs = append(a.segs, sink.f)
 	a.spilledBytes += sink.cw.n
+	a.segHist.Observe(float64(sink.cw.n))
+	obs.Observe(a.ctx, "mapreduce.spill", start, time.Since(start),
+		obs.Int("bytes", sink.cw.n), obs.Int("segment", int64(len(a.segs)-1)))
 	a.mem = make(map[K][]V, len(a.mem))
 	a.memBytes = 0
 	a.buf = w.vbuf // keep the grown scratch buffer for the next spill

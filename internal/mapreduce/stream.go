@@ -1,12 +1,15 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"seqmine/internal/obs"
 )
 
 // sendOverflowGrace is how long a flush with a full sender queue waits for
@@ -82,6 +85,13 @@ type streamShuffle[K comparable, V any] struct {
 	dests  []*destSendState[K, V]
 	shards []*sendShard[K, V] // dst*nshards + (worker mod nshards)
 
+	// ctx carries the job's trace recorder (overflow-spill spans); occHist
+	// observes per-destination buffer occupancy at flush time and segHist the
+	// overflow-segment sizes. All no-ops when observability is not wired up.
+	ctx     context.Context
+	occHist *obs.Histogram
+	segHist *obs.Histogram
+
 	dir     string // lazily created overflow-segment directory
 	dirOnce sync.Once
 	dirErr  error
@@ -144,35 +154,43 @@ type sendShard[K comparable, V any] struct {
 }
 
 // newStreamShuffle prepares the send states and starts one sender goroutine
-// per remote peer. mapWorkers fixes the shard count: one shard per map worker
-// (capped so every shard keeps a byte of budget when SendBufferBytes is
-// smaller than the worker count).
-func newStreamShuffle[K comparable, V any](cfg ShuffleConfig, mapWorkers int, job jobShape[K, V], acc *shuffleAccumulator[K, V], ex Exchange[K, V]) *streamShuffle[K, V] {
+// per remote peer. cfg.MapWorkers fixes the shard count: one shard per map
+// worker (capped so every shard keeps a byte of budget when SendBufferBytes
+// is smaller than the worker count).
+func newStreamShuffle[K comparable, V any](cfg Config, job jobShape[K, V], acc *shuffleAccumulator[K, V], ex Exchange[K, V]) *streamShuffle[K, V] {
 	sizeOf := job.sizeOf
 	if sizeOf == nil {
 		sizeOf = job.codec.RecordSize
 	}
-	nshards := mapWorkers
+	nshards := cfg.MapWorkers
 	if nshards < 1 {
 		nshards = 1
 	}
-	if int64(nshards) > cfg.SendBufferBytes {
-		nshards = int(cfg.SendBufferBytes)
+	if int64(nshards) > cfg.Shuffle.SendBufferBytes {
+		nshards = int(cfg.Shuffle.SendBufferBytes)
 		if nshards < 1 {
 			nshards = 1
 		}
 	}
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := &streamShuffle[K, V]{
-		cfg:      cfg,
+		cfg:      cfg.Shuffle,
 		combine:  job.combine,
 		sizeOf:   sizeOf,
 		codec:    job.codec,
 		wire:     job.wire,
 		nshards:  nshards,
-		shardCap: cfg.SendBufferBytes / int64(nshards),
+		shardCap: cfg.Shuffle.SendBufferBytes / int64(nshards),
 		acc:      acc,
 		dests:    make([]*destSendState[K, V], ex.NumPeers()),
 		shards:   make([]*sendShard[K, V], ex.NumPeers()*nshards),
+		ctx:      ctx,
+		occHist: cfg.Obs.Histogram("seqmine_send_buffer_occupancy_bytes",
+			"Per-destination streaming send-buffer occupancy, observed at each flush.", obs.ByteBuckets),
+		segHist: spillSegmentHist(cfg.Obs),
 	}
 	self := ex.Self()
 	for p := range s.dests {
@@ -240,6 +258,7 @@ func (sh *sendShard[K, V]) flushLocked(final bool) error {
 	}
 	st := sh.dest
 	s := st.owner
+	s.occHist.Observe(float64(st.occupancy.Load()))
 	batches := make([]KeyBatch[K, V], 0, len(sh.groups))
 	var records, sizeBytes int64
 	for k, vs := range sh.groups {
@@ -301,6 +320,7 @@ func (sh *sendShard[K, V]) flushLocked(final bool) error {
 // never merged, only replayed — so the write is a straight encode.
 func (st *destSendState[K, V]) spillRun(batches []KeyBatch[K, V]) error {
 	s := st.owner
+	start := time.Now()
 	s.dirOnce.Do(func() {
 		dir, err := os.MkdirTemp(s.cfg.TmpDir, "seqmine-sendspill-")
 		if err != nil {
@@ -332,6 +352,9 @@ func (st *destSendState[K, V]) spillRun(batches []KeyBatch[K, V]) error {
 	st.segs = append(st.segs, sink.f)
 	st.spilledBytes += sink.cw.n
 	st.spillCount++
+	s.segHist.Observe(float64(sink.cw.n))
+	obs.Observe(s.ctx, "mapreduce.spill", start, time.Since(start),
+		obs.Int("bytes", sink.cw.n), obs.Int("dst", int64(st.dst)))
 	return nil
 }
 

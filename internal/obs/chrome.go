@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format ("Trace Event
+// Format"), the JSON that Perfetto and chrome://tracing load directly.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	TS    int64          `json:"ts"`            // microseconds
+	Dur   int64          `json:"dur,omitempty"` // microseconds
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace renders span records as Chrome trace_event JSON. Each distinct
+// Proc label becomes a process (with a process_name metadata event);
+// overlapping spans within a process are spread across thread lanes by
+// greedy interval partitioning so sibling spans render side by side instead
+// of stacking incorrectly.
+func ChromeTrace(spans []SpanRecord) ([]byte, error) {
+	// Stable process numbering: sorted distinct proc labels.
+	procs := make([]string, 0, 4)
+	seen := make(map[string]bool)
+	for _, s := range spans {
+		p := s.Proc
+		if p == "" {
+			p = "unknown"
+		}
+		if !seen[p] {
+			seen[p] = true
+			procs = append(procs, p)
+		}
+	}
+	sort.Strings(procs)
+	pidOf := make(map[string]int, len(procs))
+	for i, p := range procs {
+		pidOf[p] = i + 1
+	}
+
+	events := make([]chromeEvent, 0, len(spans)+len(procs))
+	for _, p := range procs {
+		events = append(events, chromeEvent{
+			Name:  "process_name",
+			Phase: "M",
+			PID:   pidOf[p],
+			Args:  map[string]any{"name": p},
+		})
+	}
+
+	// Lane assignment per process: sort by start, place each span on the
+	// first lane that is free at its start time.
+	byProc := make(map[string][]SpanRecord, len(procs))
+	for _, s := range spans {
+		p := s.Proc
+		if p == "" {
+			p = "unknown"
+		}
+		byProc[p] = append(byProc[p], s)
+	}
+	for _, p := range procs {
+		group := byProc[p]
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].StartUnixNS != group[j].StartUnixNS {
+				return group[i].StartUnixNS < group[j].StartUnixNS
+			}
+			return group[i].DurationNS > group[j].DurationNS
+		})
+		laneEnd := []int64{}
+		for _, s := range group {
+			end := s.StartUnixNS + s.DurationNS
+			lane := -1
+			for i, le := range laneEnd {
+				if le <= s.StartUnixNS {
+					lane = i
+					break
+				}
+			}
+			if lane == -1 {
+				lane = len(laneEnd)
+				laneEnd = append(laneEnd, 0)
+			}
+			laneEnd[lane] = end
+			dur := s.DurationNS / 1000
+			if dur < 1 {
+				dur = 1
+			}
+			args := make(map[string]any, len(s.Attrs)+2)
+			for _, a := range s.Attrs {
+				args[a.Key] = a.Value
+			}
+			args["trace"] = string(s.Trace)
+			args["span"] = string(s.Span)
+			if s.Parent != "" {
+				args["parent"] = string(s.Parent)
+			}
+			events = append(events, chromeEvent{
+				Name:  s.Name,
+				Phase: "X",
+				PID:   pidOf[p],
+				TID:   lane + 1,
+				TS:    s.StartUnixNS / 1000,
+				Dur:   dur,
+				Args:  args,
+			})
+		}
+	}
+	return json.MarshalIndent(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}

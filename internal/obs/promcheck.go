@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ExpositionStats summarizes a validated Prometheus text exposition.
+type ExpositionStats struct {
+	Samples int
+	// SeriesByName counts samples per sample name (the full name including
+	// _bucket/_sum/_count suffixes for histograms).
+	SeriesByName map[string]int
+}
+
+// ValidateExposition parses r as Prometheus text exposition format (0.0.4)
+// and returns an error describing the first malformed construct. It checks:
+//
+//   - comment lines are well-formed # HELP / # TYPE (other comments pass),
+//   - TYPE names a known metric type and appears before the family's samples,
+//   - sample lines parse as name{labels} value [timestamp] with valid metric
+//     and label names, correctly quoted/escaped label values, and float
+//     values,
+//   - histogram families expose _bucket (with an le label, including
+//     le="+Inf"), _sum, and _count samples and nothing else.
+//
+// It is a smoke validator for CI, not a full OpenMetrics parser.
+func ValidateExposition(r io.Reader) (*ExpositionStats, error) {
+	stats := &ExpositionStats{SeriesByName: make(map[string]int)}
+	types := make(map[string]string)              // family -> type
+	sampled := make(map[string]bool)              // family already has samples
+	histParts := make(map[string]map[string]bool) // histogram family -> suffixes seen
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := validateComment(line, types, sampled); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineno, err)
+			}
+			continue
+		}
+		name, labels, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineno, err)
+		}
+		fam, suffix := familyOf(name, types)
+		if t := types[fam]; t == "histogram" || t == "summary" {
+			if suffix == "" {
+				return nil, fmt.Errorf("line %d: sample %q of %s family %q must use _bucket/_sum/_count", lineno, name, t, fam)
+			}
+			if suffix == "_bucket" {
+				le, ok := labels["le"]
+				if t == "histogram" && !ok {
+					return nil, fmt.Errorf("line %d: histogram bucket %q missing le label", lineno, name)
+				}
+				if histParts[fam] == nil {
+					histParts[fam] = make(map[string]bool)
+				}
+				if le == "+Inf" {
+					histParts[fam]["inf"] = true
+				}
+			}
+			if histParts[fam] == nil {
+				histParts[fam] = make(map[string]bool)
+			}
+			histParts[fam][suffix] = true
+		}
+		sampled[fam] = true
+		stats.Samples++
+		stats.SeriesByName[name]++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for fam, t := range types {
+		if t != "histogram" || !sampled[fam] {
+			continue
+		}
+		parts := histParts[fam]
+		for _, want := range []string{"_bucket", "_sum", "_count", "inf"} {
+			if !parts[want] {
+				label := want
+				if want == "inf" {
+					label = `le="+Inf" bucket`
+				}
+				return nil, fmt.Errorf("histogram family %q missing %s samples", fam, label)
+			}
+		}
+	}
+	return stats, nil
+}
+
+func validateComment(line string, types map[string]string, sampled map[string]bool) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // free-form comment
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 || !validMetricName(fields[2]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !validMetricName(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %q", typ, name)
+		}
+		if _, dup := types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		if sampled[name] {
+			return fmt.Errorf("TYPE for %q after its samples", name)
+		}
+		types[name] = typ
+	}
+	return nil
+}
+
+// familyOf maps a sample name to its declared family: histogram/summary
+// samples strip a _bucket/_sum/_count suffix when the base name is declared.
+func familyOf(name string, types map[string]string) (fam, suffix string) {
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, s)
+		if base != name {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return base, s
+			}
+		}
+	}
+	return name, ""
+}
+
+func parseSample(line string) (name string, labels map[string]string, err error) {
+	rest := line
+	i := 0
+	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' && rest[i] != '\t' {
+		i++
+	}
+	name = rest[:i]
+	if !validMetricName(name) {
+		return "", nil, fmt.Errorf("invalid metric name in sample %q", line)
+	}
+	rest = rest[i:]
+	labels = make(map[string]string)
+	if strings.HasPrefix(rest, "{") {
+		rest, err = parseLabels(rest[1:], labels)
+		if err != nil {
+			return "", nil, fmt.Errorf("sample %q: %w", line, err)
+		}
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	fields := strings.Fields(rest)
+	if len(fields) == 0 || len(fields) > 2 {
+		return "", nil, fmt.Errorf("sample %q: want value [timestamp], got %q", line, rest)
+	}
+	if _, err := parsePromFloat(fields[0]); err != nil {
+		return "", nil, fmt.Errorf("sample %q: bad value %q", line, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
+		}
+	}
+	return name, labels, nil
+}
+
+func parseLabels(s string, out map[string]string) (rest string, err error) {
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, "}") {
+			return s[1:], nil
+		}
+		i := 0
+		for i < len(s) && s[i] != '=' {
+			i++
+		}
+		if i == len(s) {
+			return "", fmt.Errorf("unterminated label list")
+		}
+		lname := strings.TrimSpace(s[:i])
+		if !validLabelName(lname) {
+			return "", fmt.Errorf("invalid label name %q", lname)
+		}
+		s = s[i+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return "", fmt.Errorf("label %s: value not quoted", lname)
+		}
+		s = s[1:]
+		var val strings.Builder
+		for {
+			if s == "" {
+				return "", fmt.Errorf("label %s: unterminated value", lname)
+			}
+			c := s[0]
+			if c == '"' {
+				s = s[1:]
+				break
+			}
+			if c == '\\' {
+				if len(s) < 2 {
+					return "", fmt.Errorf("label %s: dangling escape", lname)
+				}
+				switch s[1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("label %s: bad escape \\%c", lname, s[1])
+				}
+				s = s[2:]
+				continue
+			}
+			val.WriteByte(c)
+			s = s[1:]
+		}
+		out[lname] = val.String()
+		s = strings.TrimLeft(s, " \t")
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return s[1:], nil
+		}
+		return "", fmt.Errorf("label %s: expected , or } after value", lname)
+	}
+}
+
+func parsePromFloat(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return 1, nil
+	case "-Inf":
+		return -1, nil
+	case "NaN", "nan":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}

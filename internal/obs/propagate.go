@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"net/http"
+	"strings"
+)
+
+// TraceHeader is the control-plane propagation header. Its value is
+// "<trace id>-<parent span id>", both 16 lowercase hex characters.
+const TraceHeader = "X-Seqmine-Trace"
+
+// FormatTraceHeader renders the header value for a trace/parent pair, or ""
+// when there is no trace.
+func FormatTraceHeader(trace TraceID, parent SpanID) string {
+	if trace == "" {
+		return ""
+	}
+	if parent == "" {
+		return string(trace)
+	}
+	return string(trace) + "-" + string(parent)
+}
+
+// ParseTraceHeader parses a header value produced by FormatTraceHeader.
+func ParseTraceHeader(v string) (TraceID, SpanID, bool) {
+	v = strings.TrimSpace(v)
+	if v == "" {
+		return "", "", false
+	}
+	trace, parent, _ := strings.Cut(v, "-")
+	if !validID(trace) || (parent != "" && !validID(parent)) {
+		return "", "", false
+	}
+	return TraceID(trace), SpanID(parent), true
+}
+
+func validID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// InjectHeader stamps ctx's current trace context onto an outbound request
+// header. No-op when ctx carries no trace.
+func InjectHeader(ctx context.Context, h http.Header) {
+	trace, parent := SpanContextFrom(ctx)
+	if v := FormatTraceHeader(trace, parent); v != "" {
+		h.Set(TraceHeader, v)
+	}
+}
+
+// ExtractHeader returns a context joined to the trace named by an inbound
+// request's TraceHeader, if present and well-formed.
+func ExtractHeader(ctx context.Context, h http.Header) context.Context {
+	trace, parent, ok := ParseTraceHeader(h.Get(TraceHeader))
+	if !ok {
+		return ctx
+	}
+	return ContextWithRemote(ctx, trace, parent)
+}
+
+// TraceBytes renders ctx's trace context as the 16-byte wire form carried in
+// the shuffle handshake (8 bytes trace id, 8 bytes parent span id), or nil
+// when ctx carries no trace.
+func TraceBytes(ctx context.Context) []byte {
+	trace, parent := SpanContextFrom(ctx)
+	if trace == "" {
+		return nil
+	}
+	out := make([]byte, 0, 16)
+	t, err := hex.DecodeString(string(trace))
+	if err != nil || len(t) != 8 {
+		return nil
+	}
+	out = append(out, t...)
+	if p, err := hex.DecodeString(string(parent)); err == nil && len(p) == 8 {
+		out = append(out, p...)
+	} else {
+		out = append(out, make([]byte, 8)...)
+	}
+	return out
+}
+
+// ParseTraceBytes decodes the handshake wire form produced by TraceBytes.
+func ParseTraceBytes(b []byte) (TraceID, SpanID, bool) {
+	if len(b) != 16 {
+		return "", "", false
+	}
+	trace := TraceID(hex.EncodeToString(b[:8]))
+	var parent SpanID
+	if !allZero(b[8:]) {
+		parent = SpanID(hex.EncodeToString(b[8:]))
+	}
+	if allZero(b[:8]) {
+		return "", "", false
+	}
+	return trace, parent, true
+}
+
+func allZero(b []byte) bool {
+	for _, c := range b {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}

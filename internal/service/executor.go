@@ -16,6 +16,7 @@ import (
 	"seqmine/internal/mapreduce"
 	"seqmine/internal/miner"
 	"seqmine/internal/naive"
+	"seqmine/internal/obs"
 	"seqmine/internal/seqdb"
 )
 
@@ -119,6 +120,12 @@ type ExecOptions struct {
 	// across remote worker processes over the TCP shuffle transport instead
 	// of the in-process BSP engine.
 	Cluster *ClusterOptions
+
+	// Obs receives the execution's registry metrics: the in-process engine's
+	// spill-segment and send-buffer histograms, or the cluster scheduler's
+	// attempt and heartbeat histograms. Nil disables registry metrics.
+	// Service.Mine fills it in from its own registry when unset.
+	Obs *obs.Registry
 }
 
 // ClusterOptions selects distributed execution across worker processes.
@@ -248,7 +255,7 @@ func execute(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma int64, o
 			if opts.Cluster != nil {
 				r.patterns, r.metrics, r.stats, r.err = mineCluster(ctx, db, sigma, opts)
 			} else {
-				r.patterns, r.metrics, r.stats, r.err = mineDistributed(f, db, sigma, opts, workers)
+				r.patterns, r.metrics, r.stats, r.err = mineDistributed(ctx, f, db, sigma, opts, workers)
 			}
 		default:
 			r.err = fmt.Errorf("unknown algorithm %q", opts.Algorithm)
@@ -266,9 +273,18 @@ func execute(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma int64, o
 	}
 }
 
-// mineDistributed runs one of the BSP algorithms whole-database.
-func mineDistributed(f *fst.FST, db *seqdb.Database, sigma int64, opts ExecOptions, workers int) ([]miner.Pattern, mapreduce.Metrics, ExecStats, error) {
-	cfg := mapreduce.Config{MapWorkers: workers, ReduceWorkers: workers, Shuffle: opts.shuffleConfig()}
+// mineDistributed runs one of the BSP algorithms whole-database. The context
+// is threaded into the engine for cooperative cancellation and trace-span
+// recording (the mapreduce.run span and its stage children parent under the
+// caller's service.mine span when the context carries a recorder).
+func mineDistributed(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma int64, opts ExecOptions, workers int) ([]miner.Pattern, mapreduce.Metrics, ExecStats, error) {
+	cfg := mapreduce.Config{
+		MapWorkers:    workers,
+		ReduceWorkers: workers,
+		Shuffle:       opts.shuffleConfig(),
+		Context:       ctx,
+		Obs:           opts.Obs,
+	}
 	var (
 		patterns []miner.Pattern
 		metrics  mapreduce.Metrics
@@ -357,7 +373,7 @@ func mineCluster(ctx context.Context, db *seqdb.Database, sigma int64, opts Exec
 	// resolves it to the daemon default first, which may itself be 0), so the
 	// scheduler's built-in budget applies; negative is the explicit "off".
 	copts.ApplyRetryKnobs(opts.TaskRetries, opts.SpeculativeAfter)
-	coord := &cluster.Coordinator{Workers: opts.Cluster.Workers}
+	coord := &cluster.Coordinator{Workers: opts.Cluster.Workers, Obs: opts.Obs}
 	res, err := coord.Mine(ctx, db, opts.Cluster.Expression, sigma, algo, copts)
 	if err != nil {
 		return nil, mapreduce.Metrics{}, ExecStats{}, err

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"seqmine/internal/obs"
 	"seqmine/internal/seqdb"
 )
 
@@ -79,6 +80,11 @@ type MineResponse struct {
 	// Total is the number of patterns found before Limit truncation.
 	Total   int          `json:"total"`
 	Metrics QueryMetrics `json:"metrics"`
+	// TraceID identifies the query's recorded trace (also echoed in the
+	// X-Seqmine-Trace response header); fetch the merged span set as Chrome
+	// trace-event JSON from GET /debug/trace/{trace_id}. Empty when the
+	// daemon has no trace recorder.
+	TraceID obs.TraceID `json:"trace_id,omitempty"`
 }
 
 // DatasetRequest is the body of PUT /datasets/{name}: either file paths
@@ -101,8 +107,13 @@ type errorResponse struct {
 //	PUT    /datasets/{name}      register a dataset (paths or inline data)
 //	GET    /datasets/{name}      one dataset's info
 //	DELETE /datasets/{name}      unregister a dataset
-//	GET    /metrics              aggregate service metrics
+//	GET    /metrics              aggregate service metrics (JSON; add
+//	                             ?format=prometheus for text exposition)
+//	GET    /debug/trace/{id}     one recorded trace as Chrome trace-event JSON
 //	GET    /healthz              liveness probe
+//
+// POST /mine honors an incoming X-Seqmine-Trace header (joining the caller's
+// trace) and echoes the query's trace id in the same response header.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -110,7 +121,27 @@ func NewHandler(s *Service) http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = s.cfg.Obs.WritePrometheus(w)
+			return
+		}
 		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("GET /debug/trace/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := obs.TraceID(r.PathValue("id"))
+		spans := s.cfg.Recorder.TraceSpans(id)
+		if len(spans) == 0 {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no spans recorded for trace %q", id))
+			return
+		}
+		buf, err := obs.ChromeTrace(spans)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(buf)
 	})
 	mux.HandleFunc("POST /mine", func(w http.ResponseWriter, r *http.Request) {
 		var req MineRequest
@@ -147,7 +178,10 @@ func NewHandler(s *Service) http.Handler {
 			}
 			opts.Cluster = &ClusterOptions{Workers: workers}
 		}
-		resp, err := s.Mine(r.Context(), Query{
+		// Join the caller's trace when the request carries one; the service
+		// recorder is installed here so remote parent spans land in it.
+		ctx := obs.ExtractHeader(obs.WithRecorder(r.Context(), s.cfg.Recorder), r.Header)
+		resp, err := s.Mine(ctx, Query{
 			Dataset:    req.Dataset,
 			Expression: req.Pattern,
 			Sigma:      req.Sigma,
@@ -158,7 +192,10 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, statusFor(err), err)
 			return
 		}
-		out := MineResponse{Total: len(resp.Patterns), Metrics: resp.Metrics}
+		if resp.TraceID != "" {
+			w.Header().Set(obs.TraceHeader, string(resp.TraceID))
+		}
+		out := MineResponse{Total: len(resp.Patterns), Metrics: resp.Metrics, TraceID: resp.TraceID}
 		patterns := resp.Patterns
 		if req.Limit > 0 && len(patterns) > req.Limit {
 			patterns = patterns[:req.Limit]

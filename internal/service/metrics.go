@@ -1,10 +1,11 @@
 package service
 
 import (
-	"sync/atomic"
+	"sync"
 	"time"
 
 	"seqmine/internal/mapreduce"
+	"seqmine/internal/obs"
 )
 
 // QueryMetrics describes the execution of one query, in the spirit of
@@ -36,47 +37,68 @@ type QueryMetrics struct {
 // Total returns the total serving time of the query.
 func (m QueryMetrics) Total() time.Duration { return m.CompileTime + m.MineTime }
 
-// aggregator accumulates service-wide counters across queries.
+// aggregator accumulates service-wide counters across queries. One mutex
+// orders every update against snapshot(), so a snapshot is an internally
+// consistent cut of the counters: a query recorded concurrently is either
+// fully visible or not at all. (The fields used to be independent atomics,
+// and a snapshot taken mid-record could report a query's patterns without
+// its query count — visible as a cache hit rate above 1 or patterns with
+// zero queries.)
 type aggregator struct {
-	queries          atomic.Uint64
-	errors           atomic.Uint64
-	active           atomic.Int64
-	patterns         atomic.Uint64
-	cacheHits        atomic.Uint64
-	compileTimeNS    atomic.Int64
-	mineTimeNS       atomic.Int64
-	spilledBytes     atomic.Int64
-	spillCount       atomic.Int64
-	streamedBatches  atomic.Int64
-	overflowSegments atomic.Int64
-	attempts         atomic.Int64
-	retries          atomic.Int64
-	speculative      atomic.Int64
-	storeHits        atomic.Int64
-	storeMisses      atomic.Int64
-	storePutBytes    atomic.Int64
+	mu               sync.Mutex
+	queries          uint64
+	errors           uint64
+	active           int64
+	patterns         uint64
+	cacheHits        uint64
+	compileTimeNS    int64
+	mineTimeNS       int64
+	spilledBytes     int64
+	spillCount       int64
+	streamedBatches  int64
+	overflowSegments int64
+	attempts         int64
+	retries          int64
+	speculative      int64
+	storeHits        int64
+	storeMisses      int64
+	storePutBytes    int64
 }
 
 func (a *aggregator) record(m QueryMetrics) {
-	a.queries.Add(1)
-	a.patterns.Add(uint64(m.Patterns))
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.queries++
+	a.patterns += uint64(m.Patterns)
 	if m.CacheHit {
-		a.cacheHits.Add(1)
+		a.cacheHits++
 	}
-	a.compileTimeNS.Add(int64(m.CompileTime))
-	a.mineTimeNS.Add(int64(m.MineTime))
-	a.spilledBytes.Add(m.MapReduce.SpilledBytes)
-	a.spillCount.Add(m.MapReduce.SpillCount)
-	a.streamedBatches.Add(m.MapReduce.StreamedBatches)
-	a.overflowSegments.Add(m.MapReduce.SendOverflowSegments)
+	a.compileTimeNS += int64(m.CompileTime)
+	a.mineTimeNS += int64(m.MineTime)
+	a.spilledBytes += m.MapReduce.SpilledBytes
+	a.spillCount += m.MapReduce.SpillCount
+	a.streamedBatches += m.MapReduce.StreamedBatches
+	a.overflowSegments += m.MapReduce.SendOverflowSegments
 	if c := m.Exec.Cluster; c != nil {
-		a.attempts.Add(int64(c.Attempts))
-		a.retries.Add(int64(c.Retries))
-		a.speculative.Add(int64(c.SpeculativeAttempts))
-		a.storeHits.Add(int64(c.StoreHits))
-		a.storeMisses.Add(int64(c.StoreMisses))
-		a.storePutBytes.Add(c.StorePutBytes)
+		a.attempts += int64(c.Attempts)
+		a.retries += int64(c.Retries)
+		a.speculative += int64(c.SpeculativeAttempts)
+		a.storeHits += int64(c.StoreHits)
+		a.storeMisses += int64(c.StoreMisses)
+		a.storePutBytes += c.StorePutBytes
 	}
+}
+
+func (a *aggregator) incErrors() {
+	a.mu.Lock()
+	a.errors++
+	a.mu.Unlock()
+}
+
+func (a *aggregator) addActive(delta int64) {
+	a.mu.Lock()
+	a.active += delta
+	a.mu.Unlock()
 }
 
 // Snapshot is a point-in-time view of the aggregate service metrics.
@@ -108,27 +130,33 @@ type Snapshot struct {
 	DatasetStorePutBytes int64         `json:"dataset_store_put_bytes_total"`
 	Cache                cacheStats    `json:"compiled_pattern_cache"`
 	Datasets             []DatasetInfo `json:"datasets"`
+	// Registry flattens the typed metrics registry (stage-latency and engine
+	// histograms, per-algorithm counters) into the JSON view; the same series
+	// back the Prometheus exposition at GET /metrics?format=prometheus.
+	Registry []obs.SnapshotEntry `json:"registry,omitempty"`
 }
 
 func (a *aggregator) snapshot() Snapshot {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	s := Snapshot{
-		Queries:              a.queries.Load(),
-		Errors:               a.errors.Load(),
-		ActiveQueries:        a.active.Load(),
-		PatternsFound:        a.patterns.Load(),
-		CacheHits:            a.cacheHits.Load(),
-		CompileTime:          time.Duration(a.compileTimeNS.Load()),
-		MineTime:             time.Duration(a.mineTimeNS.Load()),
-		SpilledBytes:         a.spilledBytes.Load(),
-		SpillCount:           a.spillCount.Load(),
-		StreamedBatches:      a.streamedBatches.Load(),
-		SendOverflowSegments: a.overflowSegments.Load(),
-		ClusterAttempts:      a.attempts.Load(),
-		ClusterRetries:       a.retries.Load(),
-		SpeculativeAttempts:  a.speculative.Load(),
-		DatasetStoreHits:     a.storeHits.Load(),
-		DatasetStoreMisses:   a.storeMisses.Load(),
-		DatasetStorePutBytes: a.storePutBytes.Load(),
+		Queries:              a.queries,
+		Errors:               a.errors,
+		ActiveQueries:        a.active,
+		PatternsFound:        a.patterns,
+		CacheHits:            a.cacheHits,
+		CompileTime:          time.Duration(a.compileTimeNS),
+		MineTime:             time.Duration(a.mineTimeNS),
+		SpilledBytes:         a.spilledBytes,
+		SpillCount:           a.spillCount,
+		StreamedBatches:      a.streamedBatches,
+		SendOverflowSegments: a.overflowSegments,
+		ClusterAttempts:      a.attempts,
+		ClusterRetries:       a.retries,
+		SpeculativeAttempts:  a.speculative,
+		DatasetStoreHits:     a.storeHits,
+		DatasetStoreMisses:   a.storeMisses,
+		DatasetStorePutBytes: a.storePutBytes,
 	}
 	if s.Queries > 0 {
 		s.CacheHitRate = float64(s.CacheHits) / float64(s.Queries)

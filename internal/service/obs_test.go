@@ -1,0 +1,167 @@
+package service_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"seqmine/internal/obs"
+	"seqmine/internal/paperex"
+	"seqmine/internal/service"
+)
+
+func newObsServer(t *testing.T) (*httptest.Server, *obs.Recorder) {
+	t.Helper()
+	rec := obs.NewRecorder("seqmined-test", 0)
+	svc := service.New(service.Config{Obs: obs.NewRegistry(), Recorder: rec})
+	srv := httptest.NewServer(service.NewHandler(svc))
+	t.Cleanup(srv.Close)
+	return srv, rec
+}
+
+// TestMineTraceOverHTTP: a traced query returns its trace id in both the
+// body and the X-Seqmine-Trace header, and GET /debug/trace/{id} exports the
+// compile/execute/engine spans as Chrome trace-event JSON.
+func TestMineTraceOverHTTP(t *testing.T) {
+	srv, rec := newObsServer(t)
+	putExampleDataset(t, srv, "ex")
+
+	var out service.MineResponse
+	resp := doJSON(t, http.MethodPost, srv.URL+"/mine", service.MineRequest{
+		Dataset: "ex", Pattern: paperex.PatternExpression, Sigma: paperex.Sigma,
+	}, &out)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /mine: status %d", resp.StatusCode)
+	}
+	if out.TraceID == "" {
+		t.Fatal("response carries no trace id")
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != string(out.TraceID) {
+		t.Errorf("%s header = %q, want %q", obs.TraceHeader, got, out.TraceID)
+	}
+
+	names := map[string]bool{}
+	for _, sp := range rec.TraceSpans(out.TraceID) {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"service.mine", "service.compile", "service.execute", "mapreduce.run", "mapreduce.map", "mapreduce.reduce"} {
+		if !names[want] {
+			t.Errorf("trace is missing a %s span (got %v)", want, names)
+		}
+	}
+
+	traceResp, err := http.Get(srv.URL + "/debug/trace/" + string(out.TraceID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer traceResp.Body.Close()
+	if traceResp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/trace: status %d", traceResp.StatusCode)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(traceResp.Body).Decode(&chrome); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	if len(chrome.TraceEvents) == 0 {
+		t.Error("trace export has no events")
+	}
+
+	if resp, err := http.Get(srv.URL + "/debug/trace/ffffffffffffffff"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown trace id: status %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestMineJoinsRemoteTrace: an incoming X-Seqmine-Trace header makes the
+// query's spans part of the caller's trace instead of starting a new one.
+func TestMineJoinsRemoteTrace(t *testing.T) {
+	srv, rec := newObsServer(t)
+	putExampleDataset(t, srv, "ex")
+
+	parent := obs.NewTraceID()
+	body := `{"dataset":"ex","pattern":"` + paperex.PatternExpression + `","sigma":2}`
+	req, err := http.NewRequest(http.MethodPost, srv.URL+"/mine", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(obs.TraceHeader, string(parent)+"-"+string(obs.NewSpanID()))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out service.MineResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.TraceID != parent {
+		t.Errorf("traced query joined trace %q, want the caller's %q", out.TraceID, parent)
+	}
+	if len(rec.TraceSpans(parent)) == 0 {
+		t.Error("no spans recorded under the caller's trace id")
+	}
+}
+
+// TestMetricsPrometheusOverHTTP pins the exposition acceptance criterion:
+// after a query, GET /metrics?format=prometheus is valid exposition text with
+// populated stage-latency histograms, while the default stays JSON.
+func TestMetricsPrometheusOverHTTP(t *testing.T) {
+	srv, _ := newObsServer(t)
+	putExampleDataset(t, srv, "ex")
+	var out service.MineResponse
+	if resp := doJSON(t, http.MethodPost, srv.URL+"/mine", service.MineRequest{
+		Dataset: "ex", Pattern: paperex.PatternExpression, Sigma: paperex.Sigma,
+	}, &out); resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /mine: status %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	stats, err := obs.ValidateExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+	for _, want := range []string{"seqmine_query_stage_seconds_count", "seqmine_queries_total"} {
+		if stats.SeriesByName[want] == 0 {
+			t.Errorf("exposition missing %s (series: %v)", want, stats.SeriesByName)
+		}
+	}
+
+	// The JSON default now carries the same series in flattened form.
+	jsonResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jsonResp.Body.Close()
+	b, _ := io.ReadAll(jsonResp.Body)
+	var snap struct {
+		Registry []obs.SnapshotEntry `json:"registry"`
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	found := false
+	for _, e := range snap.Registry {
+		if e.Name == "seqmine_query_stage_seconds" && e.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("JSON metrics registry lacks populated stage histograms: %s", b)
+	}
+}

@@ -21,11 +21,13 @@ package service
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"seqmine/internal/dict"
 	"seqmine/internal/fst"
 	"seqmine/internal/miner"
+	"seqmine/internal/obs"
 	"seqmine/internal/seqdb"
 )
 
@@ -74,6 +76,18 @@ type Config struct {
 	// when the running attempt exceeds it. 0 disables speculation by
 	// default.
 	SpeculativeAfter time.Duration
+	// Obs is the metrics registry the service's instruments live on:
+	// query/error counters, the seqmine_query_stage_seconds stage-latency
+	// histograms, and — because Mine threads it into the executor and the
+	// cluster coordinator — the engine's spill/streaming histograms and the
+	// scheduler's attempt/heartbeat histograms. Nil disables registry
+	// metrics; the JSON Snapshot counters are unaffected.
+	Obs *obs.Registry
+	// Recorder receives trace spans of queries whose context carries no
+	// recorder of its own; the HTTP handler serves recorded traces at
+	// GET /debug/trace/{trace_id}. Nil leaves tracing to the caller's
+	// context (no recorder there either means spans are not recorded).
+	Recorder *obs.Recorder
 }
 
 // Service is a concurrent mining service. All methods are safe for
@@ -176,6 +190,13 @@ type Response struct {
 	Dict *dict.Dictionary
 	// Metrics describes the execution.
 	Metrics QueryMetrics
+	// TraceID identifies the query's trace when a recorder was attached
+	// (via the query context or Config.Recorder); empty otherwise. The
+	// recorded spans cover compile/execute stages, the engine's map,
+	// shuffle, spill and reduce phases, and — for cluster execution — the
+	// scheduler's attempts and every worker's local spans, merged into one
+	// trace.
+	TraceID obs.TraceID
 }
 
 // Mine serves one query: it leases the dataset, obtains the compiled FST from
@@ -187,6 +208,20 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 	}
 	if q.Sigma <= 0 {
 		return nil, s.fail(fmt.Errorf("minimum support must be positive, got %d", q.Sigma))
+	}
+	// Tracing: install the service recorder unless the caller brought one
+	// (the HTTP handler installs it plus any remote parent before calling),
+	// then open the root span of the query. With no recorder anywhere,
+	// StartSpan returns a nil span and every use below no-ops.
+	if s.cfg.Recorder != nil && obs.RecorderFrom(ctx) == nil {
+		ctx = obs.WithRecorder(ctx, s.cfg.Recorder)
+	}
+	ctx, span := obs.StartSpan(ctx, "service.mine",
+		obs.String("dataset", q.Dataset), obs.Int("sigma", q.Sigma))
+	defer span.End()
+	fail := func(err error) error {
+		span.SetAttr("error", err.Error())
+		return s.fail(err)
 	}
 	opts := q.Options
 	if opts.Workers <= 0 {
@@ -209,6 +244,9 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 	}
 	if opts.SpeculativeAfter == 0 {
 		opts.SpeculativeAfter = s.cfg.SpeculativeAfter
+	}
+	if opts.Obs == nil {
+		opts.Obs = s.cfg.Obs
 	}
 	if opts.Cluster != nil && opts.Cluster.Expression == "" {
 		// The workers compile the expression themselves; copy the options so
@@ -236,12 +274,15 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 		select {
 		case s.slots <- struct{}{}:
 		case <-ctx.Done():
-			return nil, s.fail(ctx.Err())
+			return nil, fail(ctx.Err())
 		}
 	}
-	s.agg.active.Add(1)
+	s.agg.addActive(1)
+	activeGauge := s.cfg.Obs.Gauge("seqmine_active_queries", "Queries currently holding a mining slot.")
+	activeGauge.Add(1)
 	release := func() {
-		s.agg.active.Add(-1)
+		s.agg.addActive(-1)
+		activeGauge.Add(-1)
 		if s.slots != nil {
 			<-s.slots
 		}
@@ -250,7 +291,7 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 	ds, err := s.reg.Acquire(q.Dataset)
 	if err != nil {
 		release()
-		return nil, s.fail(err)
+		return nil, fail(err)
 	}
 	cleanup := func() {
 		ds.Release()
@@ -266,6 +307,7 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 	if m.Algorithm == "" {
 		m.Algorithm = AlgoDSeq
 	}
+	span.SetAttr("algorithm", string(m.Algorithm))
 
 	key := cacheKey{dataset: ds.Name, generation: ds.Gen, expression: q.Expression}
 	compileStart := time.Now()
@@ -274,22 +316,38 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 	})
 	m.CompileTime = time.Since(compileStart)
 	m.CacheHit = hit
+	s.stageHist("compile").Observe(m.CompileTime.Seconds())
+	obs.Observe(ctx, "service.compile", compileStart, m.CompileTime,
+		obs.String("cache_hit", strconv.FormatBool(hit)))
 	if err != nil {
 		cleanup()
-		return nil, s.fail(fmt.Errorf("compiling %q: %w", q.Expression, err))
+		return nil, fail(fmt.Errorf("compiling %q: %w", q.Expression, err))
 	}
 
 	mineStart := time.Now()
 	patterns, mrm, exec, err := execute(ctx, f, ds.DB, q.Sigma, opts, cleanup)
 	m.MineTime = time.Since(mineStart)
+	s.stageHist("mine").Observe(m.MineTime.Seconds())
+	obs.Observe(ctx, "service.execute", mineStart, m.MineTime,
+		obs.String("algorithm", string(m.Algorithm)))
 	if err != nil {
-		return nil, s.fail(err)
+		return nil, fail(err)
 	}
 	m.Patterns = len(patterns)
 	m.Exec = exec
 	m.MapReduce = mrm
 	s.agg.record(m)
-	return &Response{Patterns: patterns, Dict: ds.DB.Dict, Metrics: m}, nil
+	s.cfg.Obs.Counter("seqmine_queries_total",
+		"Queries served successfully.", "algorithm", string(m.Algorithm)).Inc()
+	span.SetAttrInt("patterns", int64(m.Patterns))
+	return &Response{Patterns: patterns, Dict: ds.DB.Dict, Metrics: m, TraceID: span.TraceID()}, nil
+}
+
+// stageHist returns the stage-latency histogram series for one serving
+// stage ("compile" or "mine"); nil (a no-op) without a registry.
+func (s *Service) stageHist(stage string) *obs.Histogram {
+	return s.cfg.Obs.Histogram("seqmine_query_stage_seconds",
+		"Wall-clock duration of query-serving stages.", obs.DurationBuckets, "stage", stage)
 }
 
 // Decode renders a mined pattern against the named dataset's current
@@ -308,10 +366,12 @@ func (s *Service) Metrics() Snapshot {
 	snap := s.agg.snapshot()
 	snap.Cache = s.cache.stats()
 	snap.Datasets = s.reg.List()
+	snap.Registry = s.cfg.Obs.Snapshot()
 	return snap
 }
 
 func (s *Service) fail(err error) error {
-	s.agg.errors.Add(1)
+	s.agg.incErrors()
+	s.cfg.Obs.Counter("seqmine_query_errors_total", "Queries that returned an error.").Inc()
 	return err
 }

@@ -8,19 +8,23 @@ import (
 	"io"
 )
 
-// Wire protocol, version 2. Every ordered peer pair (i -> j) of a job
+// Wire protocol, version 3. Every ordered peer pair (i -> j) of a job
 // attempt uses one TCP connection, opened by i. The dialer starts with a
 // handshake:
 //
 //	magic "SQX1" | version byte | uvarint len(jobID) | jobID | uvarint sender
-//	| uvarint epoch
+//	| uvarint epoch | uvarint len(trace) | trace
 //
 // and the acceptor answers with a single ack byte (the protocol version).
 // The epoch is the job's attempt number: a retried or speculatively
 // re-executed job reuses its job id with a higher epoch, and the acceptor
 // refuses connections from epochs older than the newest one it has opened
 // locally, so frames of a dead attempt can never mix into its successor's
-// shuffle. After the handshake the connection carries length-prefixed frames:
+// shuffle. The trace field carries the dialer's distributed-tracing context
+// (internal/obs wire form: 8 bytes trace id + 8 bytes parent span id) so the
+// receive side of a shuffle stream can be recorded under the same trace as
+// the sender; it is empty when the dialer traces nothing. After the
+// handshake the connection carries length-prefixed frames:
 //
 //	type 0x01 (data) | uvarint payload length | payload
 //	type 0x02 (end)                                      — sender is done
@@ -30,7 +34,7 @@ import (
 // partitions are complete.
 const (
 	protocolMagic   = "SQX1"
-	protocolVersion = byte(2)
+	protocolVersion = byte(3)
 
 	frameData = byte(1)
 	frameEnd  = byte(2)
@@ -38,6 +42,10 @@ const (
 	// maxJobIDLen bounds the handshake so a garbage connection cannot make
 	// the acceptor buffer an arbitrarily long "job id".
 	maxJobIDLen = 256
+	// maxTraceLen bounds the handshake's trace-context field. The obs wire
+	// form is 16 bytes; the bound leaves headroom for future context without
+	// letting a garbage handshake demand a large buffer.
+	maxTraceLen = 64
 	// maxPeerIndex bounds the sender index claimed in a handshake.
 	maxPeerIndex = 1 << 20
 	// maxEpoch bounds the attempt epoch claimed in a handshake. Far above any
@@ -46,55 +54,71 @@ const (
 	maxEpoch = 1 << 20
 )
 
-// appendHandshake appends the dialer's opening message.
-func appendHandshake(buf []byte, jobID string, sender, epoch int) []byte {
+// appendHandshake appends the dialer's opening message. trace is the obs
+// wire-form trace context (possibly empty).
+func appendHandshake(buf []byte, jobID string, sender, epoch int, trace []byte) []byte {
 	buf = append(buf, protocolMagic...)
 	buf = append(buf, protocolVersion)
 	buf = binary.AppendUvarint(buf, uint64(len(jobID)))
 	buf = append(buf, jobID...)
 	buf = binary.AppendUvarint(buf, uint64(sender))
 	buf = binary.AppendUvarint(buf, uint64(epoch))
+	buf = binary.AppendUvarint(buf, uint64(len(trace)))
+	buf = append(buf, trace...)
 	return buf
 }
 
 // readHandshake reads and validates a dialer's opening message.
-func readHandshake(br *bufio.Reader) (jobID string, sender, epoch int, err error) {
+func readHandshake(br *bufio.Reader) (jobID string, sender, epoch int, trace []byte, err error) {
 	head := make([]byte, len(protocolMagic)+1)
 	if _, err := io.ReadFull(br, head); err != nil {
-		return "", 0, 0, fmt.Errorf("transport: reading handshake: %w", err)
+		return "", 0, 0, nil, fmt.Errorf("transport: reading handshake: %w", err)
 	}
 	if string(head[:len(protocolMagic)]) != protocolMagic {
-		return "", 0, 0, errors.New("transport: bad handshake magic")
+		return "", 0, 0, nil, errors.New("transport: bad handshake magic")
 	}
 	if head[len(protocolMagic)] != protocolVersion {
-		return "", 0, 0, fmt.Errorf("transport: protocol version %d, want %d", head[len(protocolMagic)], protocolVersion)
+		return "", 0, 0, nil, fmt.Errorf("transport: protocol version %d, want %d", head[len(protocolMagic)], protocolVersion)
 	}
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
-		return "", 0, 0, fmt.Errorf("transport: reading job id length: %w", err)
+		return "", 0, 0, nil, fmt.Errorf("transport: reading job id length: %w", err)
 	}
 	if n == 0 || n > maxJobIDLen {
-		return "", 0, 0, fmt.Errorf("transport: job id length %d out of range", n)
+		return "", 0, 0, nil, fmt.Errorf("transport: job id length %d out of range", n)
 	}
 	id := make([]byte, n)
 	if _, err := io.ReadFull(br, id); err != nil {
-		return "", 0, 0, fmt.Errorf("transport: reading job id: %w", err)
+		return "", 0, 0, nil, fmt.Errorf("transport: reading job id: %w", err)
 	}
 	s, err := binary.ReadUvarint(br)
 	if err != nil {
-		return "", 0, 0, fmt.Errorf("transport: reading sender index: %w", err)
+		return "", 0, 0, nil, fmt.Errorf("transport: reading sender index: %w", err)
 	}
 	if s >= maxPeerIndex {
-		return "", 0, 0, fmt.Errorf("transport: sender index %d out of range", s)
+		return "", 0, 0, nil, fmt.Errorf("transport: sender index %d out of range", s)
 	}
 	e, err := binary.ReadUvarint(br)
 	if err != nil {
-		return "", 0, 0, fmt.Errorf("transport: reading epoch: %w", err)
+		return "", 0, 0, nil, fmt.Errorf("transport: reading epoch: %w", err)
 	}
 	if e >= maxEpoch {
-		return "", 0, 0, fmt.Errorf("transport: epoch %d out of range", e)
+		return "", 0, 0, nil, fmt.Errorf("transport: epoch %d out of range", e)
 	}
-	return string(id), int(s), int(e), nil
+	tn, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", 0, 0, nil, fmt.Errorf("transport: reading trace length: %w", err)
+	}
+	if tn > maxTraceLen {
+		return "", 0, 0, nil, fmt.Errorf("transport: trace context length %d out of range", tn)
+	}
+	if tn > 0 {
+		trace = make([]byte, tn)
+		if _, err := io.ReadFull(br, trace); err != nil {
+			return "", 0, 0, nil, fmt.Errorf("transport: reading trace context: %w", err)
+		}
+	}
+	return string(id), int(s), int(e), trace, nil
 }
 
 // writeFrame writes one data frame.

@@ -29,6 +29,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -37,6 +38,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"seqmine/internal/obs"
 )
 
 // Config tunes a Node. The zero value is ready for use.
@@ -197,7 +200,7 @@ func (n *Node) handleInbound(conn net.Conn) {
 	cr := &countingReader{r: conn}
 	br := bufio.NewReader(cr)
 	_ = conn.SetDeadline(time.Now().Add(n.cfg.HandshakeTimeout))
-	jobID, sender, epoch, err := readHandshake(br)
+	jobID, sender, epoch, trace, err := readHandshake(br)
 	if err != nil {
 		conn.Close()
 		return
@@ -237,7 +240,7 @@ func (n *Node) handleInbound(conn net.Conn) {
 	defer timer.Stop()
 	select {
 	case <-entry.ready:
-		entry.ex.adoptInbound(sender, conn, br, cr)
+		entry.ex.adoptInbound(sender, conn, br, cr, trace)
 	case <-timer.C:
 		conn.Close()
 		n.dropIfUnopened(jobID, epoch, entry)
@@ -347,6 +350,13 @@ type Exchange struct {
 	inbox chan []byte
 	stats []peerCounters
 
+	// Tracing (optional): the recorder and trace context captured from the
+	// context handed to OpenExchangeContext. traceWire is the handshake trace
+	// field sent to every peer; openedAt anchors the per-peer send spans.
+	obsCtx    context.Context
+	traceWire []byte
+	openedAt  time.Time
+
 	wireOut atomic.Int64
 	wireIn  atomic.Int64
 
@@ -368,15 +378,26 @@ func (n *Node) OpenExchange(jobID string, self int, peers []string) (*Exchange, 
 }
 
 // OpenExchangeEpoch creates the local endpoint of attempt epoch of job jobID.
-// peers lists the shuffle address of every participant in peer order; self is
-// this process's index in it. The call dials every remote peer (retrying
-// while the peer starts up) and returns once all outbound connections are
-// established; inbound connections attach as the remote peers open their
-// side. Opening an epoch makes the node refuse inbound connections of older
-// epochs of the same job, and an attempt to open an epoch older than one
-// already opened fails: a scheduler retrying a job must use a fresh, strictly
-// higher epoch.
+// See OpenExchangeContext.
 func (n *Node) OpenExchangeEpoch(jobID string, epoch, self int, peers []string) (*Exchange, error) {
+	return n.OpenExchangeContext(context.Background(), jobID, epoch, self, peers)
+}
+
+// OpenExchangeContext creates the local endpoint of attempt epoch of job
+// jobID. peers lists the shuffle address of every participant in peer order;
+// self is this process's index in it. The call dials every remote peer
+// (retrying while the peer starts up) and returns once all outbound
+// connections are established; inbound connections attach as the remote
+// peers open their side. Opening an epoch makes the node refuse inbound
+// connections of older epochs of the same job, and an attempt to open an
+// epoch older than one already opened fails: a scheduler retrying a job must
+// use a fresh, strictly higher epoch.
+//
+// When ctx carries an obs trace context, the exchange propagates it in the
+// handshake to every peer and records per-peer transport.send/transport.recv
+// spans into ctx's recorder. ctx does not control the exchange's lifetime —
+// callers cancel via Close, typically through context.AfterFunc.
+func (n *Node) OpenExchangeContext(ctx context.Context, jobID string, epoch, self int, peers []string) (*Exchange, error) {
 	if jobID == "" || len(jobID) > maxJobIDLen {
 		return nil, fmt.Errorf("transport: job id length %d out of range", len(jobID))
 	}
@@ -388,6 +409,9 @@ func (n *Node) OpenExchangeEpoch(jobID string, epoch, self int, peers []string) 
 	}
 	if len(peers) > maxPeerIndex {
 		return nil, fmt.Errorf("transport: %d peers exceed the protocol limit", len(peers))
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	e := &Exchange{
 		node:       n,
@@ -402,6 +426,9 @@ func (n *Node) OpenExchangeEpoch(jobID string, epoch, self int, peers []string) 
 		failed:     make(chan struct{}),
 		closedCh:   make(chan struct{}),
 		allAdopted: make(chan struct{}),
+		obsCtx:     ctx,
+		traceWire:  obs.TraceBytes(ctx),
+		openedAt:   time.Now(),
 	}
 
 	n.mu.Lock()
@@ -492,7 +519,7 @@ func (e *Exchange) dialPeer(p int) error {
 	cw := &countingWriter{w: conn, sinks: []*atomic.Int64{&e.wireOut, &e.stats[p].bytesOut}}
 	bw := bufio.NewWriter(cw)
 	_ = conn.SetDeadline(time.Now().Add(cfg.HandshakeTimeout))
-	if _, err := bw.Write(appendHandshake(nil, e.jobID, e.self, e.epoch)); err != nil {
+	if _, err := bw.Write(appendHandshake(nil, e.jobID, e.self, e.epoch, e.traceWire)); err != nil {
 		conn.Close()
 		return err
 	}
@@ -528,8 +555,10 @@ func (e *Exchange) watchAdoption() {
 }
 
 // adoptInbound attaches an accepted, handshaken connection from a remote
-// sender and starts its read loop.
-func (e *Exchange) adoptInbound(sender int, conn net.Conn, br *bufio.Reader, cr *countingReader) {
+// sender and starts its read loop. trace is the sender's handshake trace
+// field; the stream's transport.recv span is parented under it so the span
+// links to the remote sender's context in a merged trace.
+func (e *Exchange) adoptInbound(sender int, conn net.Conn, br *bufio.Reader, cr *countingReader, trace []byte) {
 	e.mu.Lock()
 	if e.closed || sender < 0 || sender >= len(e.peers) || sender == e.self || e.ins[sender] != nil {
 		e.mu.Unlock()
@@ -543,13 +572,46 @@ func (e *Exchange) adoptInbound(sender int, conn net.Conn, br *bufio.Reader, cr 
 	}
 	e.mu.Unlock()
 	cr.attach(&e.wireIn, &e.stats[sender].bytesIn)
-	go e.readLoop(sender, br)
+	go e.readLoop(sender, br, trace, time.Now())
+}
+
+// recordRecvSpan records the lifetime of one inbound stream once its end
+// frame arrives. No-op without a local recorder.
+func (e *Exchange) recordRecvSpan(sender int, trace []byte, start time.Time) {
+	rec := obs.RecorderFrom(e.obsCtx)
+	if rec == nil {
+		return
+	}
+	traceID, parent, ok := obs.ParseTraceBytes(trace)
+	if !ok {
+		// Sender carried no context (e.g. an untraced process); fall back to
+		// the local trace so the span is not orphaned.
+		traceID, parent = obs.SpanContextFrom(e.obsCtx)
+	}
+	if traceID == "" {
+		return
+	}
+	rec.Record(obs.SpanRecord{
+		Trace:       traceID,
+		Span:        obs.NewSpanID(),
+		Parent:      parent,
+		Name:        "transport.recv",
+		StartUnixNS: start.UnixNano(),
+		DurationNS:  int64(time.Since(start)),
+		Attrs: []obs.Attr{
+			obs.String("job", e.jobID),
+			obs.Int("epoch", int64(e.epoch)),
+			obs.Int("sender", int64(sender)),
+			obs.Int("bytes_in", e.stats[sender].bytesIn.Load()),
+			obs.Int("frames_in", e.stats[sender].framesIn.Load()),
+		},
+	})
 }
 
 // readLoop pumps one inbound connection into the bounded inbox until the end
 // frame. The loop that completes the last open stream closes the inbox,
 // which is the EOF signal of Recv.
-func (e *Exchange) readLoop(sender int, br *bufio.Reader) {
+func (e *Exchange) readLoop(sender int, br *bufio.Reader, trace []byte, started time.Time) {
 	for {
 		payload, end, err := readFrame(br, e.node.cfg.MaxFrame)
 		if err != nil {
@@ -557,6 +619,7 @@ func (e *Exchange) readLoop(sender int, br *bufio.Reader) {
 			return
 		}
 		if end {
+			e.recordRecvSpan(sender, trace, started)
 			e.mu.Lock()
 			e.finished++
 			done := e.finished == len(e.peers)-1 && !e.closed
@@ -610,7 +673,9 @@ func (e *Exchange) Send(dst int, frame []byte) error {
 }
 
 // CloseSend writes the end frame to every peer and flushes the outbound
-// connections: the remote shuffle barrier for this sender.
+// connections: the remote shuffle barrier for this sender. With a recorder
+// attached it also records one transport.send span per peer covering the
+// stream's lifetime (exchange open to barrier).
 func (e *Exchange) CloseSend() error {
 	var first error
 	for p, oc := range e.outs {
@@ -630,11 +695,44 @@ func (e *Exchange) CloseSend() error {
 			oc.err = err
 		}
 		oc.mu.Unlock()
+		e.recordSendSpan(p, err)
 		if err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// recordSendSpan records the lifetime of one outbound stream at its barrier.
+// No-op without a local recorder or trace.
+func (e *Exchange) recordSendSpan(peer int, sendErr error) {
+	rec := obs.RecorderFrom(e.obsCtx)
+	if rec == nil {
+		return
+	}
+	traceID, parent := obs.SpanContextFrom(e.obsCtx)
+	if traceID == "" {
+		return
+	}
+	attrs := []obs.Attr{
+		obs.String("job", e.jobID),
+		obs.Int("epoch", int64(e.epoch)),
+		obs.Int("dst", int64(peer)),
+		obs.Int("bytes_out", e.stats[peer].bytesOut.Load()),
+		obs.Int("frames_out", e.stats[peer].framesOut.Load()),
+	}
+	if sendErr != nil {
+		attrs = append(attrs, obs.String("error", sendErr.Error()))
+	}
+	rec.Record(obs.SpanRecord{
+		Trace:       traceID,
+		Span:        obs.NewSpanID(),
+		Parent:      parent,
+		Name:        "transport.send",
+		StartUnixNS: e.openedAt.UnixNano(),
+		DurationNS:  int64(time.Since(e.openedAt)),
+		Attrs:       attrs,
+	})
 }
 
 // Recv returns the next inbound frame; io.EOF once every remote peer's end

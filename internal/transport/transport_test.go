@@ -264,7 +264,7 @@ func TestUnadoptedJobEntryIsDropped(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer conn.Close()
-	if _, err := conn.Write(appendHandshake(nil, "ghost-job", 1, 0)); err != nil {
+	if _, err := conn.Write(appendHandshake(nil, "ghost-job", 1, 0, nil)); err != nil {
 		t.Fatalf("write handshake: %v", err)
 	}
 	ack := make([]byte, 1)
@@ -544,7 +544,7 @@ func TestStaleEpochRejected(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer conn.Close()
-	if _, err := conn.Write(appendHandshake(nil, "job-stale", 0, 1)); err != nil {
+	if _, err := conn.Write(appendHandshake(nil, "job-stale", 0, 1, nil)); err != nil {
 		t.Fatalf("write handshake: %v", err)
 	}
 	ack := make([]byte, 1)

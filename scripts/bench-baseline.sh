@@ -9,7 +9,8 @@
 # component suites of the BSP engine, the DESQ-DFS/COUNT miner and the pivot
 # search — the code the paper's results depend on:
 #
-#   - root:               BenchmarkAlgorithms_N1/*, BenchmarkAlgorithms_T3/*
+#   - root:               BenchmarkAlgorithms_N1/*, BenchmarkAlgorithms_T3/*,
+#                         BenchmarkSpanOverhead/* (tracing-cost budget)
 #   - internal/mapreduce: the shuffle/spill engine
 #   - internal/miner:     the local miners
 #   - internal/pivot:     the pivot search
@@ -31,7 +32,7 @@ out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
 echo "== running tier-1 benchmarks (-benchtime=$benchtime -count=$count -cpu 2)"
-go test -run '^$' -bench '^(BenchmarkAlgorithms_N1|BenchmarkAlgorithms_T3|BenchmarkCalibration)$' \
+go test -run '^$' -bench '^(BenchmarkAlgorithms_N1|BenchmarkAlgorithms_T3|BenchmarkCalibration|BenchmarkSpanOverhead)$' \
     -benchtime="$benchtime" -count="$count" -cpu 2 . | tee "$out"
 go test -run '^$' -bench . -benchtime="$benchtime" -count="$count" -cpu 2 \
     ./internal/mapreduce ./internal/miner ./internal/pivot | tee -a "$out"

@@ -8,6 +8,13 @@
 #   3. ship zero sequence bytes on the retry (the dataset store already
 #      holds the bundle on the survivors).
 #
+# It also exercises the observability surface end-to-end: the submit client
+# writes the job's merged trace as Chrome trace-event JSON (-trace-out), and a
+# surviving worker's GET /metrics?format=prometheus scrape must pass promcheck
+# with populated stage-latency histograms. Set CHAOS_ARTIFACT_DIR to keep the
+# trace and metrics scrape of the passing round (CI uploads them as workflow
+# artifacts).
+#
 # The kill lands on a wall-clock timer, so a freakishly fast job could finish
 # before it; the run is retried a few times and fails only if no round
 # observes a retry. Used by CI (.github/workflows/ci.yml) and runnable
@@ -82,10 +89,21 @@ for round in 1 2 3; do
     "$workdir/bin/seqmine-worker" -submit -workers "$workers" \
         -data "$workdir/data/sequences.txt" -hierarchy "$workdir/data/hierarchy.txt" \
         -pattern "$pattern" -sigma "$sigma" -algorithm dseq -top 0 -task-retries 3 \
+        -trace-out "$workdir/trace.json" \
         >"$workdir/chaos.out" 2>"$workdir/chaos.err"
     status=$?
     set -e
     wait "$killer" 2>/dev/null || true
+
+    # Scrape a surviving worker's Prometheus exposition while it is still up
+    # and validate it (under set -e): well-formed exposition text with
+    # populated worker stage-latency histograms from the job that just ran.
+    if [ "$status" -eq 0 ]; then
+        curl -fsS 'http://127.0.0.1:19590/metrics?format=prometheus' >"$workdir/metrics.prom"
+        go run ./cmd/promcheck -require seqmine_worker_stage_seconds \
+            -require seqmine_worker_jobs_total <"$workdir/metrics.prom"
+    fi
+
     kill "$W1" "$W2" 2>/dev/null || true
     kill -9 "$W3" 2>/dev/null || true
     wait 2>/dev/null || true
@@ -109,6 +127,12 @@ for round in 1 2 3; do
     if [ -n "$retries" ] && [ "$retries" -gt 0 ] && [ -n "$dead" ] && [ "$dead" -gt 0 ]; then
         echo "== chaos smoke test passed (round $round observed the kill: $retries retries, $dead dead workers)"
         sed -n 's/^\(scheduler: .*\)$/   \1/p;s/^\(dataset store: .*\)$/   \1/p' "$workdir/chaos.out"
+        if [ -n "${CHAOS_ARTIFACT_DIR:-}" ]; then
+            mkdir -p "$CHAOS_ARTIFACT_DIR"
+            cp "$workdir/trace.json" "$CHAOS_ARTIFACT_DIR/chaos-trace.json"
+            cp "$workdir/metrics.prom" "$CHAOS_ARTIFACT_DIR/chaos-metrics.prom"
+            echo "== observability artifacts kept in $CHAOS_ARTIFACT_DIR"
+        fi
         exit 0
     fi
     echo "== round $round: job finished before the kill landed (retries=$retries); retrying with a fresh cluster"

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Capture a CPU profile of seqmined that spans real mining work, plus the
+# trace and heap profile to go with it. The script starts a throwaway daemon
+# on a synthetic NYT-style dataset with -debug-addr enabled, runs mining
+# queries in a loop while /debug/pprof/profile records, and keeps:
+#
+#   cpu.pprof    CPU samples covering the queries (go tool pprof cpu.pprof)
+#   heap.pprof   heap profile taken right after the queries
+#   trace.json   the last query's trace, Chrome trace-event JSON — load it
+#                at https://ui.perfetto.dev or chrome://tracing
+#   metrics.prom final Prometheus scrape of the daemon
+#
+# Usage:
+#
+#	./scripts/profile-query.sh [out-dir] [profile-seconds]
+#
+# Defaults: out-dir "profiles", 10 seconds of CPU capture. To profile an
+# already-running daemon instead, point go tool pprof directly at its
+# -debug-addr: go tool pprof http://host:port/debug/pprof/profile?seconds=10
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+outdir=${1:-profiles}
+seconds=${2:-10}
+mkdir -p "$outdir"
+
+workdir=$(mktemp -d)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$workdir/bin/" ./cmd/seqgen ./cmd/seqmined
+
+echo "== generating dataset"
+"$workdir/bin/seqgen" -dataset nyt -n 4000 -seed 7 -out "$workdir/data"
+
+addr=127.0.0.1:19580
+debug=127.0.0.1:19581
+"$workdir/bin/seqmined" -addr "$addr" -debug-addr "$debug" \
+    -load "nyt=$workdir/data/sequences.txt,$workdir/data/hierarchy.txt" \
+    >"$workdir/seqmined.log" 2>&1 &
+
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.1
+done
+curl -fsS "http://$addr/healthz" >/dev/null
+
+echo "== capturing $seconds seconds of CPU profile while mining"
+curl -fsS "http://$debug/debug/pprof/profile?seconds=$seconds" -o "$outdir/cpu.pprof" &
+profiler=$!
+
+query='{"dataset":"nyt","pattern":"[.*(.)]{1,3}.*","sigma":100,"algorithm":"dseq"}'
+queries=0
+trace_id=""
+while kill -0 "$profiler" 2>/dev/null; do
+    trace_id=$(curl -fsS -D - -o /dev/null -d "$query" "http://$addr/mine" |
+        tr -d '\r' | sed -n 's/^[Xx]-[Ss]eqmine-[Tt]race: //p')
+    queries=$((queries + 1))
+done
+wait "$profiler"
+echo "== $queries queries mined during the capture"
+
+echo "== saving heap profile, trace and metrics"
+curl -fsS "http://$debug/debug/pprof/heap" -o "$outdir/heap.pprof"
+if [ -n "$trace_id" ]; then
+    curl -fsS "http://$addr/debug/trace/$trace_id" -o "$outdir/trace.json"
+fi
+curl -fsS "http://$addr/metrics?format=prometheus" -o "$outdir/metrics.prom"
+
+echo "== profiles written to $outdir/"
+echo "   go tool pprof -top $outdir/cpu.pprof"
