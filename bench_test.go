@@ -176,9 +176,8 @@ func BenchmarkAlgorithms_N1(b *testing.B) {
 	algos := []seqmine.Algorithm{seqmine.SequentialDFS, seqmine.DSeq, seqmine.DCand, seqmine.SemiNaive}
 	for _, algo := range algos {
 		b.Run(algo.String(), func(b *testing.B) {
-			opts := seqmine.DefaultOptions()
-			opts.Algorithm = algo
-			opts.Workers = benchScale.Workers
+			b.ReportAllocs()
+			opts := benchOptions(algo)
 			for i := 0; i < b.N; i++ {
 				if _, err := seqmine.Mine(ds.NYT, ".*ENTITY (VERB+ NOUN+? PREP?) ENTITY.*", 3, opts); err != nil {
 					b.Fatal(err)
@@ -186,6 +185,21 @@ func BenchmarkAlgorithms_N1(b *testing.B) {
 			}
 		})
 	}
+}
+
+// benchOptions pins every knob that could change what the gated benchmarks
+// measure: the spill and streaming shuffle paths are explicitly disabled (not
+// just left to defaults) so a future default change cannot silently alter the
+// committed baseline's meaning.
+func benchOptions(algo seqmine.Algorithm) seqmine.Options {
+	opts := seqmine.DefaultOptions()
+	opts.Algorithm = algo
+	opts.Workers = benchScale.Workers
+	opts.SpillThreshold = 0
+	opts.SendBufferBytes = 0
+	opts.CompressSpill = false
+	opts.Prefilter = false
+	return opts
 }
 
 // BenchmarkSpanOverhead measures the tracing layer's cost on the D-SEQ hot
@@ -230,9 +244,8 @@ func BenchmarkAlgorithms_T3(b *testing.B) {
 	algos := []seqmine.Algorithm{seqmine.SequentialDFS, seqmine.DSeq, seqmine.DCand}
 	for _, algo := range algos {
 		b.Run(algo.String(), func(b *testing.B) {
-			opts := seqmine.DefaultOptions()
-			opts.Algorithm = algo
-			opts.Workers = benchScale.Workers
+			b.ReportAllocs()
+			opts := benchOptions(algo)
 			for i := 0; i < b.N; i++ {
 				if _, err := seqmine.Mine(ds.AMZNF, expr, 10, opts); err != nil {
 					b.Fatal(err)

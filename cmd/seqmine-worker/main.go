@@ -59,6 +59,7 @@ func main() {
 	spillThreshold := flag.Int64("spill-threshold", 0, "shuffle bytes each worker holds in memory before spilling to disk (0 = never spill, submit mode)")
 	sendBuffer := flag.Int64("send-buffer", 0, "per-peer streaming send-buffer bytes on each worker (0 = barrier mode, submit mode)")
 	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress the workers' spill segments (submit mode)")
+	prefilter := flag.Bool("prefilter", false, "workers skip sequences with no accepting run via a cheap two-pass reachability scan before mining (output is identical either way, submit mode)")
 	taskRetries := flag.Int("task-retries", 2, "failed attempts relaunched on surviving workers before the job fails (negative = no retries, submit mode)")
 	speculativeAfter := flag.Duration("speculative-after", 0, "launch a speculative duplicate attempt when the running attempt exceeds this (0 = no speculation, submit mode)")
 	taskPartitions := flag.Int("task-partitions", 0, "per-partition tasks the input is decomposed into (0 = one per live worker, submit mode)")
@@ -78,7 +79,7 @@ func main() {
 		runSubmit(submitConfig{
 			workers: *workers, data: *data, hierarchy: *hierarchy,
 			pattern: *pattern, sigma: *sigma, algorithm: *algorithm,
-			spillThreshold: *spillThreshold, sendBuffer: *sendBuffer, compressSpill: *compressSpill,
+			spillThreshold: *spillThreshold, sendBuffer: *sendBuffer, compressSpill: *compressSpill, prefilter: *prefilter,
 			taskRetries: *taskRetries, speculativeAfter: *speculativeAfter, taskPartitions: *taskPartitions,
 			top: *top, showMetrics: *showMetrics, traceOut: *traceOut,
 		})
@@ -143,7 +144,7 @@ func runWorker(listen, dataListen, dataAdvertise, spillDir, debugAddr string, da
 type submitConfig struct {
 	workers, data, hierarchy, pattern, algorithm string
 	sigma, spillThreshold, sendBuffer            int64
-	compressSpill                                bool
+	compressSpill, prefilter                     bool
 	taskRetries, taskPartitions                  int
 	speculativeAfter                             time.Duration
 	top                                          int
@@ -180,6 +181,7 @@ func runSubmit(sc submitConfig) {
 	copts.SpillThresholdBytes = sc.spillThreshold
 	copts.SendBufferBytes = sc.sendBuffer
 	copts.CompressSpill = sc.compressSpill
+	copts.Prefilter = sc.prefilter
 	copts.ApplyRetryKnobs(sc.taskRetries, sc.speculativeAfter)
 	copts.TaskPartitions = sc.taskPartitions
 	coord := &cluster.Coordinator{Workers: urls}

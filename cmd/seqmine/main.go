@@ -28,6 +28,7 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "directory for shuffle spill segments (default: system temp dir)")
 	sendBuffer := flag.Int64("send-buffer", 0, "per-peer streaming send-buffer bytes: map workers stream the shuffle while mapping instead of after a barrier (distributed algorithms; 0 = barrier mode)")
 	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress shuffle spill segments")
+	prefilter := flag.Bool("prefilter", false, "skip sequences with no accepting run via a cheap two-pass reachability scan before mining (output is identical either way)")
 	clusterWorkers := flag.String("cluster", "", "comma-separated seqmine-worker control URLs: run dseq/dcand on this cluster with the fault-tolerant scheduler instead of in-process")
 	taskRetries := flag.Int("task-retries", 0, "cluster runs: failed attempts relaunched on surviving workers (0 = default of 2, negative = no retries)")
 	speculativeAfter := flag.Duration("speculative-after", 0, "cluster runs: launch a speculative duplicate attempt when the running attempt exceeds this (0 = no speculation)")
@@ -76,6 +77,7 @@ func main() {
 	opts.SpillTmpDir = *spillDir
 	opts.SendBufferBytes = *sendBuffer
 	opts.CompressSpill = *compressSpill
+	opts.Prefilter = *prefilter
 	for _, u := range strings.Split(*clusterWorkers, ",") {
 		if u = strings.TrimSpace(u); u != "" {
 			opts.ClusterWorkers = append(opts.ClusterWorkers, u)

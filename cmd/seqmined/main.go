@@ -46,6 +46,7 @@ func main() {
 	spillDir := flag.String("spill-dir", "", "directory for shuffle spill segments (default: system temp dir)")
 	sendBuffer := flag.Int64("send-buffer", 0, "default per-peer streaming send-buffer bytes (0 = barrier-mode shuffles; queries override with \"send_buffer_bytes\")")
 	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress shuffle spill segments by default (queries override either way with the tri-state \"compress_spill\")")
+	prefilter := flag.Bool("prefilter", false, "enable the two-pass reachability prefilter by default: skip sequences with no accepting run before mining (output is identical either way; queries opt in with \"prefilter\")")
 	taskRetries := flag.Int("task-retries", 0, "default retry budget of cluster queries: failed attempts relaunched on surviving workers (0 = built-in default of 2, negative = no retries; queries override with \"task_retries\")")
 	speculativeAfter := flag.Duration("speculative-after", 0, "launch a speculative duplicate attempt when a cluster query's attempt runs longer than this (0 = no speculation; queries override with \"speculative_after_ms\")")
 	logLevel := flag.String("log-level", "info", "minimum structured-log level: debug, info, warn, error or off")
@@ -80,6 +81,7 @@ func main() {
 		SpillTmpDir:      *spillDir,
 		SendBufferBytes:  *sendBuffer,
 		CompressSpill:    *compressSpill,
+		Prefilter:        *prefilter,
 		TaskRetries:      *taskRetries,
 		SpeculativeAfter: *speculativeAfter,
 		Obs:              obs.NewRegistry(),

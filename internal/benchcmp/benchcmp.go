@@ -24,6 +24,10 @@ import (
 )
 
 // Baseline is the committed benchmark reference (BENCH_baseline.json).
+//
+// Schema 1 records ns/op samples only. Schema 2 adds the allocation metrics
+// of `go test -benchmem` (B/op, allocs/op); readers accept both, so a
+// schema-1 baseline still gates time until it is re-recorded.
 type Baseline struct {
 	// Schema versions the file format.
 	Schema int `json:"schema"`
@@ -34,12 +38,29 @@ type Baseline struct {
 	// Benchmarks maps the normalized benchmark name (GOMAXPROCS suffix
 	// stripped) to its ns/op samples.
 	Benchmarks map[string][]float64 `json:"benchmarks"`
+	// BytesPerOp maps the normalized benchmark name to its B/op samples
+	// (schema 2; informational, not gated).
+	BytesPerOp map[string][]float64 `json:"bytes_per_op,omitempty"`
+	// AllocsPerOp maps the normalized benchmark name to its allocs/op
+	// samples (schema 2; gated like time, but without calibration because
+	// allocation counts are machine-independent).
+	AllocsPerOp map[string][]float64 `json:"allocs_per_op,omitempty"`
 }
 
-// benchLine matches one result line of `go test -bench` output, e.g.
+// Samples holds one benchmark run's parsed samples per metric, keyed by
+// normalized benchmark name. Bytes and Allocs are empty when the run was not
+// executed with -benchmem.
+type Samples struct {
+	Ns     map[string][]float64
+	Bytes  map[string][]float64
+	Allocs map[string][]float64
+}
+
+// benchLine matches one result line of `go test -bench` output, with the
+// optional -benchmem columns, e.g.
 //
-//	BenchmarkAlgorithms_N1/D-SEQ-8   	     385	   3104660 ns/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+//	BenchmarkAlgorithms_N1/D-SEQ-8   	     385	   3104660 ns/op	  373049 B/op	    3207 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ MB/s)?(?:\s+([0-9.]+) B/op)?(?:\s+([0-9]+) allocs/op)?`)
 
 // cpuSuffix strips the trailing -N GOMAXPROCS marker so runs from machines
 // with different core counts compare under the same name.
@@ -51,7 +72,21 @@ func NormalizeName(name string) string { return cpuSuffix.ReplaceAllString(name,
 // Parse reads `go test -bench` output and returns ns/op samples keyed by
 // normalized benchmark name.
 func Parse(r io.Reader) (map[string][]float64, error) {
-	out := make(map[string][]float64)
+	s, err := ParseAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.Ns, nil
+}
+
+// ParseAll reads `go test -bench` output and returns all samples it carries:
+// ns/op always, plus B/op and allocs/op when the run used -benchmem.
+func ParseAll(r io.Reader) (*Samples, error) {
+	out := &Samples{
+		Ns:     make(map[string][]float64),
+		Bytes:  make(map[string][]float64),
+		Allocs: make(map[string][]float64),
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -64,12 +99,26 @@ func Parse(r io.Reader) (map[string][]float64, error) {
 			return nil, fmt.Errorf("benchcmp: parsing %q: %w", sc.Text(), err)
 		}
 		name := NormalizeName(m[1])
-		out[name] = append(out[name], ns)
+		out.Ns[name] = append(out.Ns[name], ns)
+		if m[3] != "" {
+			b, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcmp: parsing %q: %w", sc.Text(), err)
+			}
+			out.Bytes[name] = append(out.Bytes[name], b)
+		}
+		if m[4] != "" {
+			a, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchcmp: parsing %q: %w", sc.Text(), err)
+			}
+			out.Allocs[name] = append(out.Allocs[name], a)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(out) == 0 {
+	if len(out.Ns) == 0 {
 		return nil, fmt.Errorf("benchcmp: no benchmark result lines found")
 	}
 	return out, nil
@@ -91,26 +140,34 @@ func Median(samples []float64) float64 {
 
 // Result is one benchmark's comparison against the baseline.
 type Result struct {
-	Name     string
-	Baseline float64 // median ns/op in the baseline
-	Current  float64 // median ns/op in the current run
-	Ratio    float64 // current/baseline after calibration scaling
+	Name     string  `json:"name"`
+	Baseline float64 `json:"baseline"` // median in the baseline
+	Current  float64 `json:"current"`  // median in the current run
+	Ratio    float64 `json:"ratio"`    // current/baseline (time: after calibration scaling; allocs: +1-smoothed)
 }
 
 // Report is the outcome of a comparison.
 type Report struct {
-	// Results holds the compared benchmarks, sorted by descending ratio.
-	Results []Result
-	// Geomean is the geometric mean of the ratios.
-	Geomean float64
+	// Results holds the compared time benchmarks, sorted by descending ratio.
+	Results []Result `json:"time"`
+	// Geomean is the geometric mean of the time ratios.
+	Geomean float64 `json:"time_geomean"`
 	// CalibrationScale is the machine-speed factor divided out of every
-	// ratio (1 when no calibration benchmark was present on both sides).
-	CalibrationScale float64
+	// time ratio (1 when no calibration benchmark was present on both sides).
+	CalibrationScale float64 `json:"calibration_scale"`
+	// AllocResults holds the compared allocs/op benchmarks (schema-2
+	// baselines only), sorted by descending ratio. Allocation counts are
+	// machine-independent, so no calibration applies; ratios are smoothed as
+	// (current+1)/(baseline+1) so zero-alloc benchmarks stay well-defined.
+	AllocResults []Result `json:"allocs,omitempty"`
+	// AllocGeomean is the geometric mean of the smoothed allocation ratios
+	// (0 when the baseline carries no allocation samples).
+	AllocGeomean float64 `json:"allocs_geomean,omitempty"`
 	// MissingInCurrent are baseline benchmarks absent from the current run.
-	MissingInCurrent []string
+	MissingInCurrent []string `json:"missing_in_current,omitempty"`
 	// MissingInBaseline are current benchmarks absent from the baseline
 	// (informational — new benchmarks are not gated).
-	MissingInBaseline []string
+	MissingInBaseline []string `json:"missing_in_baseline,omitempty"`
 }
 
 // Compare evaluates the current samples against the baseline, normalizing by
@@ -174,6 +231,48 @@ func Compare(baseline *Baseline, current map[string][]float64, calibration strin
 	return rep, nil
 }
 
+// CompareFull is Compare plus the allocation gate of schema-2 baselines: when
+// the baseline carries allocs/op samples, the current run's allocs/op are
+// compared benchmark by benchmark (no calibration — allocation counts do not
+// depend on machine speed) and their +1-smoothed geomean lands in
+// Report.AllocGeomean. A baseline benchmark with allocation samples whose
+// current run lacks them (the run skipped -benchmem) is reported missing so
+// the gate refuses partial comparisons. Schema-1 baselines gate time only.
+func CompareFull(baseline *Baseline, current *Samples, calibration string) (*Report, error) {
+	rep, err := Compare(baseline, current.Ns, calibration)
+	if err != nil {
+		return nil, err
+	}
+	if len(baseline.AllocsPerOp) == 0 {
+		return rep, nil
+	}
+	logSum, n := 0.0, 0
+	for name, baseSamples := range baseline.AllocsPerOp {
+		if name == calibration {
+			continue
+		}
+		curSamples, ok := current.Allocs[name]
+		if !ok {
+			rep.MissingInCurrent = append(rep.MissingInCurrent, name+" (allocs/op)")
+			continue
+		}
+		base, cur := Median(baseSamples), Median(curSamples)
+		if base < 0 || cur < 0 {
+			return nil, fmt.Errorf("benchcmp: negative allocation median for %s", name)
+		}
+		ratio := (cur + 1) / (base + 1)
+		rep.AllocResults = append(rep.AllocResults, Result{Name: name, Baseline: base, Current: cur, Ratio: ratio})
+		logSum += math.Log(ratio)
+		n++
+	}
+	if n > 0 {
+		rep.AllocGeomean = math.Exp(logSum / float64(n))
+	}
+	sort.Slice(rep.AllocResults, func(i, j int) bool { return rep.AllocResults[i].Ratio > rep.AllocResults[j].Ratio })
+	sort.Strings(rep.MissingInCurrent)
+	return rep, nil
+}
+
 // Format renders the report as an aligned table.
 func (r *Report) Format(w io.Writer, maxRatio float64) {
 	fmt.Fprintf(w, "%-52s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "ratio")
@@ -187,6 +286,16 @@ func (r *Report) Format(w io.Writer, maxRatio float64) {
 	if r.CalibrationScale != 1 {
 		fmt.Fprintf(w, "calibration scale (machine speed factor): %.3f\n", r.CalibrationScale)
 	}
+	if len(r.AllocResults) > 0 {
+		fmt.Fprintf(w, "%-52s %14s %14s %8s\n", "benchmark", "base allocs/op", "cur allocs/op", "ratio")
+		for _, res := range r.AllocResults {
+			marker := ""
+			if res.Ratio > maxRatio {
+				marker = "  <-- above gate"
+			}
+			fmt.Fprintf(w, "%-52s %14.0f %14.0f %8.3f%s\n", res.Name, res.Baseline, res.Current, res.Ratio, marker)
+		}
+	}
 	for _, name := range r.MissingInCurrent {
 		fmt.Fprintf(w, "warning: %s is in the baseline but was not run\n", name)
 	}
@@ -194,6 +303,48 @@ func (r *Report) Format(w io.Writer, maxRatio float64) {
 		fmt.Fprintf(w, "note: %s has no baseline entry (not gated)\n", name)
 	}
 	fmt.Fprintf(w, "geomean ratio %.3f (gate %.3f)\n", r.Geomean, maxRatio)
+	if r.AllocGeomean > 0 {
+		fmt.Fprintf(w, "allocation geomean ratio %.3f (gate %.3f)\n", r.AllocGeomean, maxRatio)
+	}
+}
+
+// FormatMarkdown renders the report as GitHub-flavored markdown tables, for
+// publication as a CI step summary. Ratios above the gates are bolded and
+// flagged.
+func (r *Report) FormatMarkdown(w io.Writer, maxRatio, maxAllocRatio float64) {
+	fmt.Fprintf(w, "### Benchmark comparison\n\n")
+	fmt.Fprintf(w, "| benchmark | baseline ns/op | current ns/op | ratio |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|\n")
+	for _, res := range r.Results {
+		cell := fmt.Sprintf("%.3f", res.Ratio)
+		if res.Ratio > maxRatio {
+			cell = fmt.Sprintf("**%.3f** ⚠", res.Ratio)
+		}
+		fmt.Fprintf(w, "| %s | %.0f | %.0f | %s |\n", res.Name, res.Baseline, res.Current, cell)
+	}
+	fmt.Fprintf(w, "\nTime geomean **%.3f** (gate %.3f)", r.Geomean, maxRatio)
+	if r.CalibrationScale != 1 {
+		fmt.Fprintf(w, ", calibration scale %.3f", r.CalibrationScale)
+	}
+	fmt.Fprintf(w, "\n")
+	if len(r.AllocResults) > 0 {
+		fmt.Fprintf(w, "\n| benchmark | baseline allocs/op | current allocs/op | ratio |\n")
+		fmt.Fprintf(w, "|---|---:|---:|---:|\n")
+		for _, res := range r.AllocResults {
+			cell := fmt.Sprintf("%.3f", res.Ratio)
+			if res.Ratio > maxAllocRatio {
+				cell = fmt.Sprintf("**%.3f** ⚠", res.Ratio)
+			}
+			fmt.Fprintf(w, "| %s | %.0f | %.0f | %s |\n", res.Name, res.Baseline, res.Current, cell)
+		}
+		fmt.Fprintf(w, "\nAllocation geomean **%.3f** (gate %.3f)\n", r.AllocGeomean, maxAllocRatio)
+	}
+	for _, name := range r.MissingInCurrent {
+		fmt.Fprintf(w, "\n⚠ `%s` is in the baseline but was not run\n", name)
+	}
+	for _, name := range r.MissingInBaseline {
+		fmt.Fprintf(w, "\n`%s` has no baseline entry (not gated)\n", name)
+	}
 }
 
 // WriteBaseline serializes a baseline as deterministic, indented JSON.
@@ -209,7 +360,7 @@ func ReadBaseline(r io.Reader) (*Baseline, error) {
 	if err := json.NewDecoder(r).Decode(&b); err != nil {
 		return nil, fmt.Errorf("benchcmp: parsing baseline: %w", err)
 	}
-	if b.Schema != 1 {
+	if b.Schema != 1 && b.Schema != 2 {
 		return nil, fmt.Errorf("benchcmp: unsupported baseline schema %d", b.Schema)
 	}
 	return &b, nil
@@ -224,10 +375,24 @@ func EmitText(w io.Writer, b *Baseline) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		for _, ns := range b.Benchmarks[name] {
+		bytesS, allocsS := b.BytesPerOp[name], b.AllocsPerOp[name]
+		for i, ns := range b.Benchmarks[name] {
 			// benchstat requires names to keep the Benchmark prefix; emit a
 			// fixed -1 proc suffix so current and baseline align.
-			if _, err := fmt.Fprintf(w, "%s-1 \t1\t%s ns/op\n", name, strconv.FormatFloat(ns, 'f', -1, 64)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s-1 \t1\t%s ns/op", name, strconv.FormatFloat(ns, 'f', -1, 64)); err != nil {
+				return err
+			}
+			if i < len(bytesS) {
+				if _, err := fmt.Fprintf(w, "\t%.0f B/op", bytesS[i]); err != nil {
+					return err
+				}
+			}
+			if i < len(allocsS) {
+				if _, err := fmt.Fprintf(w, "\t%.0f allocs/op", allocsS[i]); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
 				return err
 			}
 		}

@@ -192,3 +192,148 @@ func TestCompareCalibrationMissingFromCurrent(t *testing.T) {
 		t.Errorf("scale = %v, want the neutral 1 when calibration is absent", rep.CalibrationScale)
 	}
 }
+
+const benchmemOutput = `goos: linux
+BenchmarkAlgorithms_T3/DESQ-DFS-8   	     100	  10500000 ns/op	  373049 B/op	    3207 allocs/op
+BenchmarkAlgorithms_T3/DESQ-DFS-8   	     100	  10600000 ns/op	  373100 B/op	    3210 allocs/op
+BenchmarkZeroAlloc-8                	 1000000	      1000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCalibration-8              	       3	   8000000 ns/op	      16 B/op	       1 allocs/op
+PASS
+`
+
+func TestParseAllBenchmem(t *testing.T) {
+	got, err := benchcmp.ParseAll(strings.NewReader(benchmemOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ns["BenchmarkAlgorithms_T3/DESQ-DFS"]) != 2 {
+		t.Errorf("ns samples = %v", got.Ns)
+	}
+	if a := got.Allocs["BenchmarkAlgorithms_T3/DESQ-DFS"]; len(a) != 2 || a[0] != 3207 {
+		t.Errorf("allocs samples = %v", a)
+	}
+	if b := got.Bytes["BenchmarkAlgorithms_T3/DESQ-DFS"]; len(b) != 2 || b[0] != 373049 {
+		t.Errorf("bytes samples = %v", b)
+	}
+	if a := got.Allocs["BenchmarkZeroAlloc"]; len(a) != 1 || a[0] != 0 {
+		t.Errorf("zero-alloc samples = %v", a)
+	}
+	// Output without -benchmem still parses, with empty allocation maps.
+	plain, err := benchcmp.ParseAll(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Allocs) != 0 || len(plain.Bytes) != 0 {
+		t.Errorf("plain output produced allocation samples: %v %v", plain.Allocs, plain.Bytes)
+	}
+}
+
+func TestCompareFullAllocGate(t *testing.T) {
+	base := &benchcmp.Baseline{
+		Schema:     2,
+		Benchmarks: map[string][]float64{"BenchmarkA": {100}, "BenchmarkZ": {50}},
+		AllocsPerOp: map[string][]float64{
+			"BenchmarkA": {1000},
+			"BenchmarkZ": {0}, // zero-alloc benchmark: the +1 smoothing keeps it defined
+		},
+	}
+	cur := &benchcmp.Samples{
+		Ns:     map[string][]float64{"BenchmarkA": {100}, "BenchmarkZ": {50}},
+		Allocs: map[string][]float64{"BenchmarkA": {2000}, "BenchmarkZ": {0}},
+	}
+	rep, err := benchcmp.CompareFull(base, cur, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Geomean-1.0) > 1e-9 {
+		t.Errorf("time geomean = %v, want 1 (times unchanged)", rep.Geomean)
+	}
+	// A's smoothed ratio is 2001/1001 ≈ 2, Z's is 1; geomean ≈ sqrt(2).
+	want := math.Sqrt(2001.0 / 1001.0)
+	if math.Abs(rep.AllocGeomean-want) > 1e-9 {
+		t.Errorf("alloc geomean = %v, want %v", rep.AllocGeomean, want)
+	}
+	if len(rep.AllocResults) != 2 || rep.AllocResults[0].Name != "BenchmarkA" {
+		t.Errorf("alloc results = %+v, want BenchmarkA first (largest ratio)", rep.AllocResults)
+	}
+
+	// A current run without -benchmem must be flagged as partial.
+	rep, err = benchcmp.CompareFull(base, &benchcmp.Samples{Ns: cur.Ns}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.MissingInCurrent) != 2 {
+		t.Errorf("MissingInCurrent = %v, want both alloc entries", rep.MissingInCurrent)
+	}
+
+	// Schema-1 baselines gate time only.
+	rep, err = benchcmp.CompareFull(baseline(map[string][]float64{"BenchmarkA": {100}}), cur, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.AllocGeomean != 0 || len(rep.AllocResults) != 0 {
+		t.Errorf("schema-1 baseline produced an alloc gate: %+v", rep)
+	}
+}
+
+func TestSchema2RoundTrip(t *testing.T) {
+	samples, err := benchcmp.ParseAll(strings.NewReader(benchmemOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &benchcmp.Baseline{
+		Schema:      2,
+		Benchmarks:  samples.Ns,
+		BytesPerOp:  samples.Bytes,
+		AllocsPerOp: samples.Allocs,
+	}
+	var buf bytes.Buffer
+	if err := benchcmp.WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := benchcmp.ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.AllocsPerOp) != len(b.AllocsPerOp) || len(got.BytesPerOp) != len(b.BytesPerOp) {
+		t.Errorf("schema-2 round trip lost allocation samples")
+	}
+	// Emitted text must carry the allocation columns back through ParseAll.
+	var text bytes.Buffer
+	if err := benchcmp.EmitText(&text, got); err != nil {
+		t.Fatal(err)
+	}
+	reparsed, err := benchcmp.ParseAll(bytes.NewReader(text.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range got.AllocsPerOp {
+		if len(reparsed.Allocs[name]) != len(s) {
+			t.Errorf("%s: emitted text lost allocs/op samples", name)
+		}
+	}
+}
+
+func TestFormatMarkdown(t *testing.T) {
+	base := &benchcmp.Baseline{
+		Schema:      2,
+		Benchmarks:  map[string][]float64{"BenchmarkA": {100}},
+		AllocsPerOp: map[string][]float64{"BenchmarkA": {10}},
+	}
+	cur := &benchcmp.Samples{
+		Ns:     map[string][]float64{"BenchmarkA": {200}},
+		Allocs: map[string][]float64{"BenchmarkA": {30}},
+	}
+	rep, err := benchcmp.CompareFull(base, cur, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md bytes.Buffer
+	rep.FormatMarkdown(&md, 1.15, 1.15)
+	out := md.String()
+	for _, want := range []string{"| benchmark |", "BenchmarkA", "⚠", "Allocation geomean"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown output missing %q:\n%s", want, out)
+		}
+	}
+}

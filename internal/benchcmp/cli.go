@@ -1,6 +1,7 @@
 package benchcmp
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -37,15 +38,21 @@ func runRecord(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	samples, err := Parse(stdin)
+	samples, err := ParseAll(stdin)
 	if err != nil {
 		return err
 	}
 	b := &Baseline{
-		Schema:     1,
+		Schema:     2,
 		Command:    *command,
 		GoVersion:  runtime.Version(),
-		Benchmarks: samples,
+		Benchmarks: samples.Ns,
+	}
+	if len(samples.Bytes) > 0 {
+		b.BytesPerOp = samples.Bytes
+	}
+	if len(samples.Allocs) > 0 {
+		b.AllocsPerOp = samples.Allocs
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -58,9 +65,13 @@ func runRecord(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "recorded %d benchmarks to %s\n", len(samples), *out)
-	for _, name := range SortedNames(samples) {
-		fmt.Fprintf(stdout, "  %-60s median %12.0f ns/op (%d samples)\n", name, Median(samples[name]), len(samples[name]))
+	fmt.Fprintf(stdout, "recorded %d benchmarks to %s (schema %d)\n", len(samples.Ns), *out, b.Schema)
+	for _, name := range SortedNames(samples.Ns) {
+		fmt.Fprintf(stdout, "  %-60s median %12.0f ns/op", name, Median(samples.Ns[name]))
+		if a, ok := samples.Allocs[name]; ok {
+			fmt.Fprintf(stdout, " %10.0f allocs/op", Median(a))
+		}
+		fmt.Fprintf(stdout, " (%d samples)\n", len(samples.Ns[name]))
 	}
 	return nil
 }
@@ -69,7 +80,10 @@ func runCompare(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
 	baselinePath := fs.String("baseline", "BENCH_baseline.json", "baseline file to compare against")
 	maxRatio := fs.Float64("max-ratio", 1.15, "fail when the geomean time ratio exceeds this bound")
+	maxAllocRatio := fs.Float64("max-alloc-ratio", 1.15, "fail when the geomean allocs/op ratio exceeds this bound (schema-2 baselines)")
 	calibration := fs.String("calibration", "BenchmarkCalibration", "machine-speed calibration benchmark (excluded from the geomean; empty disables)")
+	summaryPath := fs.String("summary", "", "append the comparison as a markdown table to this file (e.g. $GITHUB_STEP_SUMMARY; empty disables)")
+	jsonPath := fs.String("json", "", "write the raw comparison report as JSON to this file (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -77,20 +91,42 @@ func runCompare(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	current, err := Parse(stdin)
+	current, err := ParseAll(stdin)
 	if err != nil {
 		return err
 	}
-	rep, err := Compare(baseline, current, *calibration)
+	rep, err := CompareFull(baseline, current, *calibration)
 	if err != nil {
 		return err
 	}
 	rep.Format(stdout, *maxRatio)
+	if *summaryPath != "" {
+		f, err := os.OpenFile(*summaryPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		rep.FormatMarkdown(f, *maxRatio, *maxAllocRatio)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
 	if len(rep.MissingInCurrent) > 0 {
 		return fmt.Errorf("benchgate: %d baseline benchmarks were not run; the gate cannot pass on partial results", len(rep.MissingInCurrent))
 	}
 	if rep.Geomean > *maxRatio {
 		return fmt.Errorf("benchgate: geomean ratio %.3f exceeds the %.3f gate — performance regression", rep.Geomean, *maxRatio)
+	}
+	if rep.AllocGeomean > *maxAllocRatio {
+		return fmt.Errorf("benchgate: allocation geomean ratio %.3f exceeds the %.3f gate — allocation regression", rep.AllocGeomean, *maxAllocRatio)
 	}
 	fmt.Fprintln(stdout, "benchgate: PASS")
 	return nil
@@ -114,11 +150,16 @@ func runNormalize(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	samples, err := Parse(stdin)
+	samples, err := ParseAll(stdin)
 	if err != nil {
 		return err
 	}
-	return EmitText(stdout, &Baseline{Schema: 1, Benchmarks: samples})
+	return EmitText(stdout, &Baseline{
+		Schema:      2,
+		Benchmarks:  samples.Ns,
+		BytesPerOp:  samples.Bytes,
+		AllocsPerOp: samples.Allocs,
+	})
 }
 
 func readBaselineFile(path string) (*Baseline, error) {

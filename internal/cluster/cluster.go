@@ -49,6 +49,10 @@ type Options struct {
 	// D-CAND toggles.
 	MinimizeNFAs  bool `json:"minimize_nfas"`
 	AggregateNFAs bool `json:"aggregate_nfas"`
+	// Prefilter enables the two-pass reachability prefilter on the workers'
+	// map phase (dseq.Options.Prefilter / dcand.Options.Prefilter); mining
+	// output is byte-identical with and without it.
+	Prefilter bool `json:"prefilter,omitempty"`
 	// Per-worker engine parallelism (0 = all CPUs of the worker).
 	MapWorkers    int `json:"map_workers,omitempty"`
 	ReduceWorkers int `json:"reduce_workers,omitempty"`

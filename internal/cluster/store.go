@@ -91,7 +91,13 @@ func DecodeBundle(data []byte) (*seqdb.Database, error) {
 	if nseqs > maxBundleSeqs || nseqs > uint64(len(data)-pos) {
 		return nil, fmt.Errorf("cluster: bundle claims %d sequences in %d bytes", nseqs, len(data)-pos)
 	}
-	seqs := make([][]dict.ItemID, 0, nseqs)
+	// Decode into one contiguous backing array (matching seqdb.Build's
+	// layout), so mining over the restored database scans memory linearly.
+	// Sub-slices are taken only once backing has its final size — appends may
+	// reallocate it.
+	offsets := make([]int, 0, nseqs+1)
+	offsets = append(offsets, 0)
+	var backing []dict.ItemID
 	for i := uint64(0); i < nseqs; i++ {
 		n, err := readUvarint()
 		if err != nil {
@@ -100,7 +106,6 @@ func DecodeBundle(data []byte) (*seqdb.Database, error) {
 		if n > uint64(len(data)-pos) {
 			return nil, fmt.Errorf("cluster: bundle sequence %d claims %d items in %d bytes", i, n, len(data)-pos)
 		}
-		seq := make([]dict.ItemID, 0, n)
 		for j := uint64(0); j < n; j++ {
 			v, err := readUvarint()
 			if err != nil {
@@ -110,9 +115,13 @@ func DecodeBundle(data []byte) (*seqdb.Database, error) {
 			if !d.Contains(it) {
 				return nil, fmt.Errorf("cluster: bundle sequence %d contains unknown fid %d", i, v)
 			}
-			seq = append(seq, it)
+			backing = append(backing, it)
 		}
-		seqs = append(seqs, seq)
+		offsets = append(offsets, len(backing))
+	}
+	seqs := make([][]dict.ItemID, 0, nseqs)
+	for i := 0; i+1 < len(offsets); i++ {
+		seqs = append(seqs, backing[offsets[i]:offsets[i+1]:offsets[i+1]])
 	}
 	if pos != len(data) {
 		return nil, fmt.Errorf("cluster: %d trailing bytes after bundle", len(data)-pos)

@@ -136,11 +136,13 @@ func (w *Worker) Run(ctx context.Context, spec JobSpec) (result *JobResult, err 
 			Rewrite:       spec.Options.Rewrite,
 			EarlyStopping: spec.Options.EarlyStopping,
 			Aggregate:     spec.Options.AggregateSequences,
+			Prefilter:     spec.Options.Prefilter,
 		}, cfg, bx)
 	case AlgoDCand:
 		patterns, metrics, err = dcand.MinePeer(f, split, spec.Sigma, dcand.Options{
 			Minimize:  spec.Options.MinimizeNFAs,
 			Aggregate: spec.Options.AggregateNFAs,
+			Prefilter: spec.Options.Prefilter,
 		}, cfg, bx)
 	default:
 		err = permanentError{fmt.Errorf("cluster: algorithm %q cannot run distributed (want %s or %s)", spec.Algorithm, AlgoDSeq, AlgoDCand)}

@@ -29,6 +29,11 @@ type Options struct {
 	// Aggregate enables the combiner that merges identical serialized NFAs
 	// into a single weighted NFA.
 	Aggregate bool
+	// Prefilter enables the two-pass trick of the paper: map workers run a
+	// cheap backward reachability scan (fst.Flat.CanAccept) and skip the run
+	// enumeration for sequences without any accepting run. Such sequences
+	// produce no NFAs, so the mined output is byte-identical either way.
+	Prefilter bool
 	// Spill bounds the shuffle's memory: past Spill.SpillThreshold buffered
 	// bytes a peer spills sorted runs to temp-file segments (the same NFA
 	// wire encoding the TCP shuffle uses) that the reduce phase
@@ -123,9 +128,16 @@ func MinePeer(f *fst.FST, split [][]dict.ItemID, sigma int64, opts Options, cfg 
 // buildJob assembles the one-round BSP job of D-CAND.
 func buildJob(f *fst.FST, sigma int64, opts Options) mapreduce.Job[[]dict.ItemID, dict.ItemID, value, miner.Pattern] {
 	d := f.Dict()
+	var flat *fst.Flat
+	if opts.Prefilter {
+		flat = f.Flatten()
+	}
 
 	job := mapreduce.Job[[]dict.ItemID, dict.ItemID, value, miner.Pattern]{
 		Map: func(T []dict.ItemID, emit func(dict.ItemID, value)) {
+			if flat != nil && !flat.CanAccept(T) {
+				return
+			}
 			builders := map[dict.ItemID]*nfa.Builder{}
 			f.ForEachRun(T, func(outputs [][]dict.ItemID) bool {
 				// Filter infrequent items from the output sets; skip the run

@@ -37,6 +37,11 @@ type Dictionary struct {
 	children  [][]ItemID
 	ancestors [][]ItemID // reflexive-transitive parents, sorted ascending
 	docFreq   []int64    // f(w, D): number of input sequences that contain w or a descendant of w
+
+	// freqSorted records whether docFreq is non-increasing in fid. Builder
+	// output always is; Load output is whenever the file was written by Save.
+	// When it holds, IsFrequent(w, sigma) reduces to w <= MaxFrequentFid(sigma).
+	freqSorted bool
 }
 
 // Size returns the number of items in the dictionary.
@@ -83,6 +88,29 @@ func (d *Dictionary) DocFreq(fid ItemID) int64 {
 // IsFrequent reports whether the item meets the minimum support threshold.
 func (d *Dictionary) IsFrequent(fid ItemID, sigma int64) bool {
 	return d.DocFreq(fid) >= sigma
+}
+
+// FrequencySorted reports whether document frequencies are non-increasing in
+// fid. This holds for every Builder-built dictionary (fids are assigned by
+// descending frequency) and is verified once at load time for dictionaries
+// read from files. When it holds, the frequent-item test is a single integer
+// comparison against MaxFrequentFid.
+func (d *Dictionary) FrequencySorted() bool { return d.freqSorted }
+
+// MaxFrequentFid returns the largest fid w with DocFreq(w) >= sigma, so that
+// IsFrequent(w, sigma) iff w <= MaxFrequentFid(sigma); it returns None when no
+// item is frequent. Only meaningful when FrequencySorted reports true.
+func (d *Dictionary) MaxFrequentFid(sigma int64) ItemID {
+	lo, hi := 1, d.Size()
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if d.docFreq[mid] >= sigma {
+			lo = mid + 1
+		} else {
+			hi = mid - 1
+		}
+	}
+	return ItemID(hi)
 }
 
 // Parents returns the direct generalizations of an item.
@@ -339,6 +367,13 @@ func (d *Dictionary) computeAncestors() error {
 	for fid := ItemID(1); int(fid) < n; fid++ {
 		if err := visit(fid); err != nil {
 			return err
+		}
+	}
+	d.freqSorted = true
+	for fid := 2; fid < n; fid++ {
+		if d.docFreq[fid] > d.docFreq[fid-1] {
+			d.freqSorted = false
+			break
 		}
 	}
 	return nil

@@ -322,3 +322,56 @@ func TestBuilderRandomFrequencies(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestMaxFrequentFid pins the single-compare frequent-item test the flattened
+// miner hot path relies on: for a Builder-built (frequency-sorted) dictionary,
+// IsFrequent(w, sigma) must hold exactly for w <= MaxFrequentFid(sigma).
+func TestMaxFrequentFid(t *testing.T) {
+	d := buildRunningExample(t)
+	if !d.FrequencySorted() {
+		t.Fatal("Builder-built dictionary must report FrequencySorted")
+	}
+	for sigma := int64(0); sigma <= 5; sigma++ {
+		limit := d.MaxFrequentFid(sigma)
+		for w := dict.ItemID(1); int(w) <= d.Size(); w++ {
+			if got, want := w <= limit, d.IsFrequent(w, sigma); got != want {
+				t.Errorf("sigma %d: w=%v <= MaxFrequentFid=%v is %v, IsFrequent is %v",
+					sigma, w, limit, got, want)
+			}
+		}
+	}
+	if got := d.MaxFrequentFid(1 << 40); got != dict.None {
+		t.Errorf("MaxFrequentFid(huge) = %v, want None", got)
+	}
+}
+
+// TestParentsAndNumSequences covers the direct-generalization accessor and
+// the Builder's sequence counter.
+func TestParentsAndNumSequences(t *testing.T) {
+	b := dict.NewBuilder()
+	b.AddItem("a1", "A")
+	b.AddItem("a2", "A")
+	for _, name := range []string{"A", "b", "c", "d", "e"} {
+		b.AddItem(name)
+	}
+	for _, seq := range paperex.RawDB() {
+		b.AddSequence(seq)
+	}
+	if got, want := b.NumSequences(), int64(len(paperex.RawDB())); got != want {
+		t.Fatalf("NumSequences = %d, want %d", got, want)
+	}
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := d.Parents(d.MustFid("a1"))
+	if len(ps) != 1 || d.Name(ps[0]) != "A" {
+		t.Errorf("Parents(a1) = %v, want [A]", ps)
+	}
+	if ps := d.Parents(d.MustFid("b")); len(ps) != 0 {
+		t.Errorf("Parents(b) = %v, want none", ps)
+	}
+	if ps := d.Parents(dict.ItemID(999)); ps != nil {
+		t.Errorf("Parents(out of range) = %v, want nil", ps)
+	}
+}

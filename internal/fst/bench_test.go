@@ -79,3 +79,38 @@ func BenchmarkAccepts(b *testing.B) {
 		f.Accepts(db[i%len(db)])
 	}
 }
+
+// BenchmarkFlatAcceptBits measures the flattened backward reachability pass
+// over the bitset accept matrix — the per-sequence precomputation of the
+// rewritten DESQ-DFS hot path. The caller-provided dst keeps it to one
+// amortized allocation, which the report pins.
+func BenchmarkFlatAcceptBits(b *testing.B) {
+	d, db := benchSequences(200, 12)
+	flat := fst.MustCompile(paperex.PatternExpression, d).Flatten()
+	var dst []uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		T := db[i%len(db)]
+		n := (len(T) + 1) * flat.Words()
+		if cap(dst) < n {
+			dst = make([]uint64, n)
+		}
+		clear(dst[:n])
+		flat.AcceptBits(T, dst[:n])
+	}
+}
+
+// BenchmarkCanAccept measures the two-pass reachability prefilter: the
+// O(states)-space scan that decides whether a sequence has any accepting run
+// at all. It must stay allocation-free (pooled scratch) because every input
+// sequence of a prefiltered run pays it.
+func BenchmarkCanAccept(b *testing.B) {
+	d, db := benchSequences(200, 12)
+	flat := fst.MustCompile(paperex.PatternExpression, d).Flatten()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		flat.CanAccept(db[i%len(db)])
+	}
+}

@@ -1,0 +1,301 @@
+package fst
+
+import (
+	"sync"
+
+	"seqmine/internal/dict"
+)
+
+// Flat is the flattened, simulation-oriented form of a compiled FST: the
+// per-state transition lists are laid out as contiguous int32 arrays walked by
+// offset, label matching is precomputed into per-transition item bitsets (one
+// bit test instead of a binary search over ancestor lists per position), and
+// the output behaviour of every transition is pre-classified so the common
+// single-item outputs need no slice allocation at simulation time. State sets
+// are represented as bitsets ([]uint64 rows of Words() words), which keeps a
+// whole accept matrix row in one or two machine words for the small automata
+// pattern expressions compile to.
+//
+// A Flat is immutable after construction and safe for concurrent use; obtain
+// one with FST.Flatten, which builds it once per FST and caches it.
+type Flat struct {
+	dict      *dict.Dictionary
+	numStates int
+	initial   int
+	words     int      // bitset words per state-set row
+	finalBits []uint64 // bitset of final states
+
+	// Transition arrays, grouped by source state: state q's transitions are
+	// indices off[q]..off[q+1].
+	off []int32
+	to  []int32
+	// outKind classifies the output behaviour (see the outXxx constants).
+	outKind []uint8
+	// item is the label's referenced item for constant outputs and upTo sets.
+	item []dict.ItemID
+	// match is the per-transition bitset of accepted input items (bit t set
+	// iff the label matches item t); nil means the label matches every item
+	// (an unrestricted dot).
+	match [][]uint64
+	// upTo holds, for outUpTo transitions, the precomputed output set per
+	// input item (anc(t) ∩ desc(w)); nil entries mean the label does not
+	// match that item. Indexed like match by transition, then by item fid.
+	upTo [][][]dict.ItemID
+}
+
+// Output behaviour classes of a transition, precomputed from its Label.
+const (
+	// outNone produces no output (ε).
+	outNone uint8 = iota
+	// outInput outputs exactly the input item.
+	outInput
+	// outConst outputs exactly the label's item (forced generalization).
+	outConst
+	// outAncestors outputs all ancestors of the input item (captured dot with
+	// generalization); the set is the dictionary's shared ancestor slice.
+	outAncestors
+	// outUpTo outputs anc(t) ∩ desc(item) (captured generalization below a
+	// hierarchy item); sets are precomputed per input item in Flat.upTo.
+	outUpTo
+)
+
+// Flatten returns the flattened form of the FST, building it on first use.
+func (f *FST) Flatten() *Flat {
+	f.flatOnce.Do(func() { f.flat = newFlat(f) })
+	return f.flat
+}
+
+func newFlat(f *FST) *Flat {
+	n := f.numStates
+	fl := &Flat{
+		dict:      f.dict,
+		numStates: n,
+		initial:   f.initial,
+		words:     (n + 63) / 64,
+		finalBits: make([]uint64, (n+63)/64),
+		off:       make([]int32, n+1),
+	}
+	for q := 0; q < n; q++ {
+		if f.final[q] {
+			fl.finalBits[q>>6] |= 1 << (uint(q) & 63)
+		}
+	}
+	total := f.NumTransitions()
+	fl.to = make([]int32, 0, total)
+	fl.outKind = make([]uint8, 0, total)
+	fl.item = make([]dict.ItemID, 0, total)
+	fl.match = make([][]uint64, 0, total)
+	fl.upTo = make([][][]dict.ItemID, 0, total)
+	vocab := f.dict.Size()
+	for q := 0; q < n; q++ {
+		fl.off[q] = int32(len(fl.to))
+		for _, tr := range f.trans[q] {
+			fl.to = append(fl.to, int32(tr.To))
+			fl.outKind = append(fl.outKind, classifyOutput(tr.Label))
+			fl.item = append(fl.item, tr.Label.Item)
+			fl.match = append(fl.match, matchBitset(f.dict, tr.Label, vocab))
+			fl.upTo = append(fl.upTo, upToSets(f.dict, tr.Label, vocab))
+		}
+	}
+	fl.off[n] = int32(len(fl.to))
+	return fl
+}
+
+// classifyOutput maps a label to its output behaviour class, mirroring
+// Label.Outputs.
+func classifyOutput(l Label) uint8 {
+	switch {
+	case !l.Captured:
+		return outNone
+	case l.Kind == KindDot && !l.Generalize:
+		return outInput
+	case l.Kind == KindDot && l.Generalize:
+		return outAncestors
+	case l.ForceGen:
+		return outConst
+	case l.Exact:
+		return outInput
+	case l.Generalize:
+		return outUpTo
+	default:
+		return outInput
+	}
+}
+
+// matchBitset precomputes which input items a label matches; nil means all.
+func matchBitset(d *dict.Dictionary, l Label, vocab int) []uint64 {
+	if l.Kind == KindDot {
+		return nil
+	}
+	bits := make([]uint64, (vocab+1+63)/64)
+	if l.Exact {
+		t := l.Item
+		bits[uint(t)>>6] |= 1 << (uint(t) & 63)
+		return bits
+	}
+	for t := dict.ItemID(1); int(t) <= vocab; t++ {
+		if d.IsA(t, l.Item) {
+			bits[uint(t)>>6] |= 1 << (uint(t) & 63)
+		}
+	}
+	return bits
+}
+
+// upToSets precomputes the outUpTo output sets per input item.
+func upToSets(d *dict.Dictionary, l Label, vocab int) [][]dict.ItemID {
+	if classifyOutput(l) != outUpTo {
+		return nil
+	}
+	sets := make([][]dict.ItemID, vocab+1)
+	for t := dict.ItemID(1); int(t) <= vocab; t++ {
+		if d.IsA(t, l.Item) {
+			sets[t] = d.AncestorsUpTo(t, l.Item)
+		}
+	}
+	return sets
+}
+
+// Dict returns the dictionary the FST was compiled against.
+func (fl *Flat) Dict() *dict.Dictionary { return fl.dict }
+
+// NumStates returns the number of states.
+func (fl *Flat) NumStates() int { return fl.numStates }
+
+// Initial returns the initial state.
+func (fl *Flat) Initial() int { return fl.initial }
+
+// Words returns the number of uint64 words of one state-set bitset row.
+func (fl *Flat) Words() int { return fl.words }
+
+// IsFinal reports whether state q is final.
+func (fl *Flat) IsFinal(q int) bool {
+	return fl.finalBits[uint(q)>>6]&(1<<(uint(q)&63)) != 0
+}
+
+// Matches reports whether transition tr accepts input item t.
+func (fl *Flat) Matches(tr int, t dict.ItemID) bool {
+	m := fl.match[tr]
+	return m == nil || m[uint(t)>>6]&(1<<(uint(t)&63)) != 0
+}
+
+// AcceptBits computes the accept matrix of T as bitset rows: bit q of row i
+// (dst[i*Words():]) is set iff the remaining input T[i:] can be consumed from
+// state q ending in a final state — the flat form of FST.AcceptMatrix. dst
+// must have (len(T)+1)*Words() zeroed words; it is returned for convenience.
+func (fl *Flat) AcceptBits(T []dict.ItemID, dst []uint64) []uint64 {
+	return fl.reachBits(T, dst, false)
+}
+
+// FinishBits computes the finishable matrix of T as bitset rows: bit q of row
+// i is set iff the remaining input can be consumed from state q ending in a
+// final state while producing no further output (ε-output transitions only).
+// dst must have (len(T)+1)*Words() zeroed words.
+func (fl *Flat) FinishBits(T []dict.ItemID, dst []uint64) []uint64 {
+	return fl.reachBits(T, dst, true)
+}
+
+func (fl *Flat) reachBits(T []dict.ItemID, dst []uint64, epsOnly bool) []uint64 {
+	n, w := len(T), fl.words
+	copy(dst[n*w:(n+1)*w], fl.finalBits)
+	for i := n - 1; i >= 0; i-- {
+		t := T[i]
+		row := dst[i*w : (i+1)*w]
+		next := dst[(i+1)*w : (i+2)*w]
+		for q := 0; q < fl.numStates; q++ {
+			for tr := fl.off[q]; tr < fl.off[q+1]; tr++ {
+				if epsOnly && fl.outKind[tr] != outNone {
+					continue
+				}
+				to := uint(fl.to[tr])
+				if next[to>>6]&(1<<(to&63)) != 0 && fl.Matches(int(tr), t) {
+					row[uint(q)>>6] |= 1 << (uint(q) & 63)
+					break
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// acceptScratch pools the two-row scratch of CanAccept so the prefilter pass
+// allocates nothing in steady state.
+var acceptScratch = sync.Pool{New: func() any { return new([]uint64) }}
+
+// CanAccept reports whether the FST has at least one accepting run for T,
+// without materializing the full accept matrix: it runs the same backward
+// reachability scan as AcceptBits but keeps only two bitset rows, so the pass
+// is O(states) space and allocation free in steady state. It is the cheap
+// first pass of the paper's two-pass prefilter: a sequence that cannot reach
+// acceptance can produce no candidate subsequences (and therefore no pivot
+// items), so full simulation can skip it.
+func (fl *Flat) CanAccept(T []dict.ItemID) bool {
+	w := fl.words
+	if len(T) == 0 {
+		return fl.IsFinal(fl.initial)
+	}
+	bufp := acceptScratch.Get().(*[]uint64)
+	buf := *bufp
+	if cap(buf) < 2*w {
+		buf = make([]uint64, 2*w)
+	}
+	buf = buf[:2*w]
+	cur, next := buf[:w], buf[w:2*w]
+	copy(next, fl.finalBits)
+	for i := len(T) - 1; i >= 0; i-- {
+		t := T[i]
+		clear(cur)
+		any := false
+		for q := 0; q < fl.numStates; q++ {
+			for tr := fl.off[q]; tr < fl.off[q+1]; tr++ {
+				to := uint(fl.to[tr])
+				if next[to>>6]&(1<<(to&63)) != 0 && fl.Matches(int(tr), t) {
+					cur[uint(q)>>6] |= 1 << (uint(q) & 63)
+					any = true
+					break
+				}
+			}
+		}
+		if !any {
+			*bufp = buf
+			acceptScratch.Put(bufp)
+			return false
+		}
+		cur, next = next, cur
+	}
+	q := uint(fl.initial)
+	ok := next[q>>6]&(1<<(q&63)) != 0
+	*bufp = buf
+	acceptScratch.Put(bufp)
+	return ok
+}
+
+// OutputsFor returns the output set of transition tr for input item t, in one
+// of two forms: a single output item (set == nil), or a shared sorted set that
+// must not be modified. Both results are zero for ε-output transitions. The
+// caller must have checked Matches(tr, t).
+func (fl *Flat) OutputsFor(tr int, t dict.ItemID) (single dict.ItemID, set []dict.ItemID) {
+	switch fl.outKind[tr] {
+	case outNone:
+		return dict.None, nil
+	case outInput:
+		return t, nil
+	case outConst:
+		return fl.item[tr], nil
+	case outAncestors:
+		return dict.None, fl.dict.Ancestors(t)
+	default:
+		return dict.None, fl.upTo[tr][t]
+	}
+}
+
+// NumTransitions returns the total number of transitions in the flat table.
+func (fl *Flat) NumTransitions() int { return len(fl.to) }
+
+// TransitionsOf returns the half-open transition index range of state q.
+func (fl *Flat) TransitionsOf(q int) (lo, hi int32) { return fl.off[q], fl.off[q+1] }
+
+// To returns the target state of transition tr.
+func (fl *Flat) To(tr int) int32 { return fl.to[tr] }
+
+// ProducesOutput reports whether transition tr can produce output.
+func (fl *Flat) ProducesOutput(tr int) bool { return fl.outKind[tr] != outNone }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"seqmine/internal/dict"
 	"seqmine/internal/patex"
@@ -113,6 +114,12 @@ type FST struct {
 	initial   int
 	final     []bool
 	trans     [][]Transition // outgoing transitions per state
+
+	// flat caches the flattened simulation form (see Flatten); built at most
+	// once and immutable afterwards, so sharing an FST across goroutines stays
+	// safe.
+	flatOnce sync.Once
+	flat     *Flat
 }
 
 // Dict returns the dictionary the FST was compiled against.

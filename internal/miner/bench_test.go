@@ -26,9 +26,13 @@ func benchDatabase(n, maxLen int) (*dict.Dictionary, *fst.FST, []miner.WeightedS
 	return d, f, miner.Weighted(db)
 }
 
-// BenchmarkMineDFS measures the pattern-growth miner (DESQ-DFS).
+// BenchmarkMineDFS measures the pattern-growth miner (DESQ-DFS). Allocations
+// are reported and gated: the flattened hot path must stay arena-backed, so a
+// change that reintroduces per-snapshot or per-state-set heap traffic shows
+// up as an allocs/op regression even when time happens to absorb it.
 func BenchmarkMineDFS(b *testing.B) {
 	_, f, db := benchDatabase(500, 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		miner.MineDFS(f, db, 5, miner.DFSOptions{})
@@ -38,9 +42,22 @@ func BenchmarkMineDFS(b *testing.B) {
 // BenchmarkMineCount measures the enumerate-and-count miner (DESQ-COUNT).
 func BenchmarkMineCount(b *testing.B) {
 	_, f, db := benchDatabase(500, 10)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		miner.MineCount(f, db, 5)
+	}
+}
+
+// BenchmarkMineDFSPrefilter measures DESQ-DFS with the two-pass reachability
+// prefilter, which pre-screens every sequence with fst.Flat.CanAccept before
+// the projected-database machinery touches it.
+func BenchmarkMineDFSPrefilter(b *testing.B) {
+	_, f, db := benchDatabase(500, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		miner.MineDFS(f, db, 5, miner.DFSOptions{Prefilter: true})
 	}
 }
 

@@ -12,7 +12,10 @@
 package miner
 
 import (
+	"math/bits"
+	"slices"
 	"sort"
+	"sync"
 
 	"seqmine/internal/dict"
 	"seqmine/internal/fst"
@@ -71,13 +74,34 @@ func lessSeq(a, b []dict.ItemID) bool {
 	return len(a) < len(b)
 }
 
+// CountOptions configures MineCount and SupportOf.
+type CountOptions struct {
+	// Prefilter enables the two-pass trick: a cheap backward reachability scan
+	// (fst.Flat.CanAccept) skips sequences without any accepting run before
+	// the full candidate enumeration. Output is identical either way, since
+	// such sequences contribute no candidates.
+	Prefilter bool
+}
+
 // MineCount implements DESQ-COUNT: it enumerates Gσπ(T) for every input
 // sequence, sums the weights per candidate, and reports the candidates whose
 // support reaches sigma.
 func MineCount(f *fst.FST, db []WeightedSequence, sigma int64) []Pattern {
+	return MineCountOpts(f, db, sigma, CountOptions{})
+}
+
+// MineCountOpts is MineCount with options.
+func MineCountOpts(f *fst.FST, db []WeightedSequence, sigma int64, opts CountOptions) []Pattern {
 	counts := make(map[string]int64)
 	seqs := make(map[string][]dict.ItemID)
+	var flat *fst.Flat
+	if opts.Prefilter {
+		flat = f.Flatten()
+	}
 	for _, ws := range db {
+		if flat != nil && !flat.CanAccept(ws.Items) {
+			continue
+		}
 		for _, cand := range f.EnumerateCandidates(ws.Items, sigma) {
 			key := keyOf(cand)
 			if _, ok := seqs[key]; !ok {
@@ -116,8 +140,20 @@ func Key(seq []dict.ItemID) string { return keyOf(seq) }
 // item-frequency pruning of candidate generation and must be the global
 // threshold.
 func SupportOf(f *fst.FST, db []WeightedSequence, sigma int64, candidates map[string]bool) map[string]int64 {
+	return SupportOfOpts(f, db, sigma, candidates, CountOptions{})
+}
+
+// SupportOfOpts is SupportOf with options.
+func SupportOfOpts(f *fst.FST, db []WeightedSequence, sigma int64, candidates map[string]bool, opts CountOptions) map[string]int64 {
 	counts := make(map[string]int64, len(candidates))
+	var flat *fst.Flat
+	if opts.Prefilter {
+		flat = f.Flatten()
+	}
 	for _, ws := range db {
+		if flat != nil && !flat.CanAccept(ws.Items) {
+			continue
+		}
 		for _, cand := range f.EnumerateCandidates(ws.Items, sigma) {
 			if k := keyOf(cand); candidates[k] {
 				counts[k] += ws.Weight
@@ -138,134 +174,201 @@ type DFSOptions struct {
 	// the last position at which the pivot can still be produced. It has no
 	// effect when Pivot is zero.
 	EarlyStopping bool
+	// Prefilter enables the paper's two-pass trick: a cheap two-row backward
+	// reachability scan (fst.Flat.CanAccept) rejects sequences without any
+	// accepting run before the per-sequence accept/finish matrices are built.
+	// Output is byte-identical either way — such sequences contribute no
+	// candidates and no pivots — the pass only avoids the full simulation
+	// set-up for them.
+	Prefilter bool
 }
 
 // MineDFS implements DESQ-DFS, the pattern-growth miner. It reports every
 // subsequence S with fπ(S) >= sigma, subject to the pivot restriction in
 // opts.
+//
+// The implementation works entirely on the flattened FST form (fst.Flat):
+// per-sequence accept/finish matrices are bitsets, simulation snapshots are
+// packed (pos, state) cells in int32 arrays, per-expansion projected databases
+// are flat int32 buffers, and all per-call scratch comes from a sync.Pool —
+// D-SEQ's reducer calls MineDFS once per pivot partition, so steady-state
+// mining allocates only the per-sequence matrices and the reported patterns.
 func MineDFS(f *fst.FST, db []WeightedSequence, sigma int64, opts DFSOptions) []Pattern {
+	fl := f.Flatten()
+	d := f.Dict()
 	m := &dfsMiner{
-		fst:   f,
-		dict:  f.Dict(),
+		flat:  fl,
+		dict:  d,
 		db:    db,
 		sigma: sigma,
 		opts:  opts,
-		cache: make([]*seqCache, len(db)),
+		cache: make([]seqCache, len(db)),
+		words: fl.Words(),
 	}
-	return m.run()
+	if n := fl.NumStates(); n > 1 {
+		m.stateBits = uint(bits.Len(uint(n - 1)))
+	}
+	// When fids are frequency-ordered (always true for built dictionaries),
+	// the frequent-item and pivot checks collapse into one integer compare.
+	if d.FrequencySorted() {
+		m.useLimit = true
+		m.limit = d.MaxFrequentFid(sigma)
+		if opts.Pivot != dict.None && opts.Pivot < m.limit {
+			m.limit = opts.Pivot
+		}
+	}
+	m.sc = scratchPool.Get().(*dfsScratch)
+	out := m.run()
+	scratchPool.Put(m.sc)
+	return out
 }
 
-// seqCache holds the per-sequence matrices used during mining.
+// seqCache holds the per-sequence bitset matrices used during mining. Rows are
+// words-sized bitsets over states; row i covers the input suffix T[i:].
 type seqCache struct {
-	accept     [][]bool // accepting-reachable coordinates (any outputs)
-	finishable [][]bool // reachable end-of-input via ε-output transitions only
-	lastPivot  int      // last position that can produce the pivot item (-1 if none)
+	accept    []uint64 // accepting-reachable coordinates (any outputs)
+	finish    []uint64 // reachable end-of-input via ε-output transitions only
+	lastPivot int32    // last position that can produce the pivot item (-1 if none)
+	ready     bool
 }
+
+// maxStampCells caps the size of the epoch-stamped snapshot-dedup array (16MB
+// of uint32 stamps); larger position×state spaces fall back to a hash set.
+const maxStampCells = 1 << 22
+
+// dfsScratch is the pooled per-call working memory of the miner: everything
+// the expansion loop needs that is not per-sequence or per-output. Slices keep
+// their capacity across MineDFS calls; generation counters make stale stamp
+// contents harmless.
+type dfsScratch struct {
+	snapGen   uint32
+	snapStamp []uint32           // per-cell generation stamps (snapshot dedup)
+	snapSeen  map[int32]struct{} // fallback when the cell space exceeds maxStampCells
+	stack     []int32            // DFS traversal stack of cells
+	keys      []uint64           // packed (item<<32 | cell) targets of one sequence
+	itemGen   uint32
+	itemStamp []uint32 // per-item generation; itemSlot valid iff stamp == itemGen
+	itemSlot  []int32
+	frames    []frame
+	rootProj  []int32
+	prefix    []dict.ItemID
+}
+
+// frame is the per-recursion-depth expansion scratch: the distinct expansion
+// items found at this depth and one projected-database buffer per item.
+type frame struct {
+	order []uint64 // packed (item<<32 | slot), sorted ascending before recursion
+	exps  []expBuf
+}
+
+// expBuf accumulates the projected database of one expansion item as flat
+// int32 records: [seqIdx, snapCount, cell, cell, ...].
+type expBuf struct {
+	buf      []int32
+	lastSeq  int32
+	countIdx int32
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(dfsScratch) }}
 
 type dfsMiner struct {
-	fst   *fst.FST
+	flat  *fst.Flat
 	dict  *dict.Dictionary
 	db    []WeightedSequence
 	sigma int64
 	opts  DFSOptions
-	cache []*seqCache
+	cache []seqCache
 	out   []Pattern
-}
 
-// snapshot is a position-state pair of the FST simulation of one sequence.
-type snapshot struct {
-	pos   int
-	state int
-}
+	words     int         // bitset words per matrix row
+	stateBits uint        // cell = pos<<stateBits | state
+	limit     dict.ItemID // expansion items must be <= limit (frequency ∧ pivot)
+	useLimit  bool
 
-// postings holds the snapshots of a single input sequence for the current
-// prefix.
-type postings struct {
-	seq   int
-	snaps []snapshot
+	sc *dfsScratch
 }
 
 func (m *dfsMiner) run() []Pattern {
-	root := make([]postings, 0, len(m.db))
+	sc := m.sc
+	maxLen := 0
 	for i := range m.db {
-		if len(m.db[i].Items) == 0 {
+		if l := len(m.db[i].Items); l > maxLen {
+			maxLen = l
+		}
+	}
+	if cells := (maxLen + 1) << m.stateBits; cells <= maxStampCells {
+		if len(sc.snapStamp) < cells {
+			sc.snapStamp = make([]uint32, cells)
+			sc.snapGen = 0
+		}
+	} else {
+		sc.snapStamp = nil
+		if sc.snapSeen == nil {
+			sc.snapSeen = make(map[int32]struct{})
+		}
+	}
+	if vocab := m.dict.Size() + 1; len(sc.itemStamp) < vocab {
+		sc.itemStamp = make([]uint32, vocab)
+		sc.itemSlot = make([]int32, vocab)
+		sc.itemGen = 0
+	}
+
+	sc.rootProj = sc.rootProj[:0]
+	initCell := int32(m.flat.Initial()) // pos 0 → cell = state
+	initState := m.flat.Initial()
+	for i := range m.db {
+		T := m.db[i].Items
+		if len(T) == 0 {
 			continue
 		}
-		c := m.cacheFor(i)
-		if !c.accept[0][m.fst.Initial()] {
+		if m.opts.Prefilter && !m.flat.CanAccept(T) {
 			continue // sequence has no accepting run at all
 		}
-		root = append(root, postings{seq: i, snaps: []snapshot{{pos: 0, state: m.fst.Initial()}}})
+		c := m.cacheFor(i)
+		if c.accept[initState>>6]&(1<<(uint(initState)&63)) == 0 {
+			continue // sequence has no accepting run at all
+		}
+		sc.rootProj = append(sc.rootProj, int32(i), 1, initCell)
 	}
-	if m.prefixSupport(root) >= m.sigma {
-		m.expand(nil, root)
+	if m.prefixSupport(sc.rootProj) >= m.sigma {
+		m.expand(0, sc.rootProj)
 	}
 	SortPatterns(m.out)
 	return m.out
 }
 
 func (m *dfsMiner) cacheFor(i int) *seqCache {
-	if m.cache[i] != nil {
-		return m.cache[i]
+	c := &m.cache[i]
+	if c.ready {
+		return c
 	}
 	T := m.db[i].Items
-	c := &seqCache{
-		accept:     m.fst.AcceptMatrix(T),
-		finishable: m.finishMatrix(T),
-		lastPivot:  -1,
-	}
+	rows := (len(T) + 1) * m.words
+	buf := make([]uint64, 2*rows)
+	c.accept = m.flat.AcceptBits(T, buf[:rows])
+	c.finish = m.flat.FinishBits(T, buf[rows:])
+	c.lastPivot = -1
 	if m.opts.Pivot != dict.None {
-		c.lastPivot = m.lastPivotPosition(T)
+		c.lastPivot = int32(m.lastPivotPosition(T))
 	}
-	m.cache[i] = c
+	c.ready = true
 	return c
-}
-
-// finishMatrix computes which coordinates can reach the end of the input in a
-// final state while producing no further output.
-func (m *dfsMiner) finishMatrix(T []dict.ItemID) [][]bool {
-	n := len(T)
-	numStates := m.fst.NumStates()
-	mat := make([][]bool, n+1)
-	for i := range mat {
-		mat[i] = make([]bool, numStates)
-	}
-	for q := 0; q < numStates; q++ {
-		mat[n][q] = m.fst.IsFinal(q)
-	}
-	for i := n - 1; i >= 0; i-- {
-		t := T[i]
-		for q := 0; q < numStates; q++ {
-			for _, tr := range m.fst.Transitions(q) {
-				if tr.Label.ProducesOutput() {
-					continue
-				}
-				if mat[i+1][tr.To] && tr.Label.Matches(m.dict, t) {
-					mat[i][q] = true
-					break
-				}
-			}
-		}
-	}
-	return mat
 }
 
 // lastPivotPosition returns the last position of T at which some transition
 // can output the pivot item (conservatively ignoring states), or -1.
 func (m *dfsMiner) lastPivotPosition(T []dict.ItemID) int {
 	last := -1
+	nt := m.flat.NumTransitions()
 	for i, t := range T {
-		for q := 0; q < m.fst.NumStates(); q++ {
-			for _, tr := range m.fst.Transitions(q) {
-				if !tr.Label.ProducesOutput() || !tr.Label.Matches(m.dict, t) {
-					continue
-				}
-				for _, w := range tr.Label.Outputs(m.dict, t) {
-					if w == m.opts.Pivot {
-						last = i
-						break
-					}
-				}
+		for tr := 0; tr < nt; tr++ {
+			if !m.flat.ProducesOutput(tr) || !m.flat.Matches(tr, t) {
+				continue
+			}
+			single, set := m.flat.OutputsFor(tr, t)
+			if single == m.opts.Pivot || containsItem(set, m.opts.Pivot) {
+				last = i
+				break
 			}
 		}
 	}
@@ -274,10 +377,10 @@ func (m *dfsMiner) lastPivotPosition(T []dict.ItemID) int {
 
 // prefixSupport sums the weights of the sequences present in the projected
 // database (antimonotone pruning quantity).
-func (m *dfsMiner) prefixSupport(proj []postings) int64 {
+func (m *dfsMiner) prefixSupport(proj []int32) int64 {
 	var s int64
-	for _, p := range proj {
-		s += m.db[p.seq].Weight
+	for i := 0; i < len(proj); i += 2 + int(proj[i+1]) {
+		s += m.db[proj[i]].Weight
 	}
 	return s
 }
@@ -285,24 +388,63 @@ func (m *dfsMiner) prefixSupport(proj []postings) int64 {
 // completeSupport sums the weights of sequences for which the current prefix
 // is a complete candidate subsequence: some snapshot can reach the end of the
 // input in a final state without producing further output.
-func (m *dfsMiner) completeSupport(proj []postings) int64 {
+func (m *dfsMiner) completeSupport(proj []int32) int64 {
 	var s int64
-	for _, p := range proj {
-		c := m.cache[p.seq]
-		for _, sn := range p.snaps {
-			if c.finishable[sn.pos][sn.state] {
-				s += m.db[p.seq].Weight
+	sb := m.stateBits
+	mask := int32(1)<<sb - 1
+	for i := 0; i < len(proj); {
+		seq := proj[i]
+		n := int(proj[i+1])
+		c := &m.cache[seq]
+		for k := 0; k < n; k++ {
+			cell := proj[i+2+k]
+			pos := int(cell >> sb)
+			q := uint(cell & mask)
+			if c.finish[pos*m.words+int(q>>6)]&(1<<(q&63)) != 0 {
+				s += m.db[seq].Weight
 				break
 			}
 		}
+		i += 2 + n
 	}
 	return s
 }
 
-// expand recursively grows the prefix by one output item at a time.
-func (m *dfsMiner) expand(prefix []dict.ItemID, proj []postings) {
+// expandable reports whether output item w may grow the prefix.
+func (m *dfsMiner) expandable(w dict.ItemID) bool {
+	if m.useLimit {
+		return w <= m.limit
+	}
+	return m.dict.IsFrequent(w, m.sigma) &&
+		(m.opts.Pivot == dict.None || w <= m.opts.Pivot)
+}
+
+// markSnap records a simulation cell as visited for the current sequence and
+// reports whether it was new.
+func (m *dfsMiner) markSnap(cell int32) bool {
+	sc := m.sc
+	if sc.snapStamp != nil {
+		if sc.snapStamp[cell] == sc.snapGen {
+			return false
+		}
+		sc.snapStamp[cell] = sc.snapGen
+		return true
+	}
+	if _, ok := sc.snapSeen[cell]; ok {
+		return false
+	}
+	sc.snapSeen[cell] = struct{}{}
+	return true
+}
+
+// expand recursively grows the prefix (sc.prefix[:depth]) by one output item
+// at a time.
+func (m *dfsMiner) expand(depth int, proj []int32) {
+	sc := m.sc
+	prefix := sc.prefix[:depth]
+
 	// Report the prefix if it is a frequent (pivot) sequence.
-	if len(prefix) > 0 {
+	if depth > 0 {
 		if m.opts.Pivot == dict.None || containsItem(prefix, m.opts.Pivot) {
 			if freq := m.completeSupport(proj); freq >= m.sigma {
 				m.out = append(m.out, Pattern{Items: append([]dict.ItemID(nil), prefix...), Freq: freq})
@@ -310,96 +452,150 @@ func (m *dfsMiner) expand(prefix []dict.ItemID, proj []postings) {
 		}
 	}
 
-	// Compute expansions: output item -> projected database.
-	type expState struct {
-		proj    []postings
-		lastSeq int
+	for len(sc.frames) <= depth {
+		sc.frames = append(sc.frames, frame{})
 	}
-	expansions := make(map[dict.ItemID]*expState)
-	hasPivot := m.opts.Pivot != dict.None && containsItem(prefix, m.opts.Pivot)
+	fr := &sc.frames[depth]
+	fr.order = fr.order[:0]
+	used := int32(0)
 
-	for _, p := range proj {
-		c := m.cache[p.seq]
-		T := m.db[p.seq].Items
-		// Per-sequence deduplication of (item, pos, state) targets.
-		type target struct {
-			item  dict.ItemID
-			pos   int
-			state int
+	hasPivot := m.opts.Pivot != dict.None && containsItem(prefix, m.opts.Pivot)
+	earlyStop := m.opts.EarlyStopping && m.opts.Pivot != dict.None && !hasPivot
+
+	sc.itemGen++
+	if sc.itemGen == 0 {
+		clear(sc.itemStamp)
+		sc.itemGen = 1
+	}
+	itemGen := sc.itemGen
+
+	sb := m.stateBits
+	mask := int32(1)<<sb - 1
+	W := m.words
+
+	for pi := 0; pi < len(proj); {
+		seq := proj[pi]
+		nsn := int(proj[pi+1])
+		snaps := proj[pi+2 : pi+2+nsn]
+		pi += 2 + nsn
+
+		c := &m.cache[seq]
+		T := m.db[seq].Items
+
+		if sc.snapStamp != nil {
+			sc.snapGen++
+			if sc.snapGen == 0 {
+				clear(sc.snapStamp)
+				sc.snapGen = 1
+			}
+		} else {
+			clear(sc.snapSeen)
 		}
-		seenTarget := map[target]bool{}
-		seenSnap := map[snapshot]bool{}
-		stack := make([]snapshot, 0, len(p.snaps))
-		for _, sn := range p.snaps {
-			if m.opts.EarlyStopping && m.opts.Pivot != dict.None && !hasPivot &&
-				c.lastPivot >= 0 && sn.pos > c.lastPivot {
+		sc.stack = sc.stack[:0]
+		for _, cell := range snaps {
+			if earlyStop && c.lastPivot >= 0 && cell>>sb > c.lastPivot {
 				continue // this snapshot can no longer produce the pivot
 			}
-			if !seenSnap[sn] {
-				seenSnap[sn] = true
-				stack = append(stack, sn)
+			if m.markSnap(cell) {
+				sc.stack = append(sc.stack, cell)
 			}
 		}
-		for len(stack) > 0 {
-			sn := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			if sn.pos >= len(T) {
+
+		// Simulate: follow ε-output transitions, collect output targets as
+		// packed (item, cell) keys.
+		sc.keys = sc.keys[:0]
+		for len(sc.stack) > 0 {
+			cell := sc.stack[len(sc.stack)-1]
+			sc.stack = sc.stack[:len(sc.stack)-1]
+			pos := int(cell >> sb)
+			if pos >= len(T) {
 				continue
 			}
-			t := T[sn.pos]
-			for _, tr := range m.fst.Transitions(sn.state) {
-				if !c.accept[sn.pos+1][tr.To] || !tr.Label.Matches(m.dict, t) {
+			q := int(cell & mask)
+			t := T[pos]
+			nextRow := c.accept[(pos+1)*W:]
+			lo, hi := m.flat.TransitionsOf(q)
+			for tr := lo; tr < hi; tr++ {
+				to := m.flat.To(int(tr))
+				if nextRow[uint32(to)>>6]&(1<<(uint32(to)&63)) == 0 {
+					continue // target cannot reach acceptance
+				}
+				if !m.flat.Matches(int(tr), t) {
 					continue
 				}
-				if !tr.Label.ProducesOutput() {
-					next := snapshot{pos: sn.pos + 1, state: tr.To}
-					if !seenSnap[next] {
-						seenSnap[next] = true
-						stack = append(stack, next)
+				nextCell := int32(pos+1)<<sb | to
+				single, set := m.flat.OutputsFor(int(tr), t)
+				if single == dict.None && set == nil {
+					if m.markSnap(nextCell) {
+						sc.stack = append(sc.stack, nextCell)
 					}
 					continue
 				}
-				for _, w := range tr.Label.Outputs(m.dict, t) {
-					if !m.dict.IsFrequent(w, m.sigma) {
-						continue
+				if single != dict.None {
+					if m.expandable(single) {
+						sc.keys = append(sc.keys, uint64(single)<<32|uint64(uint32(nextCell)))
 					}
-					if m.opts.Pivot != dict.None && w > m.opts.Pivot {
-						continue
+					continue
+				}
+				for _, w := range set {
+					if m.expandable(w) {
+						sc.keys = append(sc.keys, uint64(w)<<32|uint64(uint32(nextCell)))
 					}
-					tg := target{item: w, pos: sn.pos + 1, state: tr.To}
-					if seenTarget[tg] {
-						continue
-					}
-					seenTarget[tg] = true
-					e := expansions[w]
-					if e == nil {
-						e = &expState{lastSeq: -1}
-						expansions[w] = e
-					}
-					if e.lastSeq != p.seq {
-						e.proj = append(e.proj, postings{seq: p.seq})
-						e.lastSeq = p.seq
-					}
-					last := &e.proj[len(e.proj)-1]
-					last.snaps = append(last.snaps, snapshot{pos: sn.pos + 1, state: tr.To})
 				}
 			}
+		}
+		if len(sc.keys) == 0 {
+			continue
+		}
+
+		// Sorting the packed keys both deduplicates (item, cell) targets and
+		// hands each expansion its snapshots grouped per item.
+		slices.Sort(sc.keys)
+		prev := ^uint64(0)
+		for _, k := range sc.keys {
+			if k == prev {
+				continue
+			}
+			prev = k
+			w := dict.ItemID(k >> 32)
+			var slot int32
+			if sc.itemStamp[w] != itemGen {
+				sc.itemStamp[w] = itemGen
+				slot = used
+				sc.itemSlot[w] = slot
+				used++
+				fr.order = append(fr.order, uint64(w)<<32|uint64(uint32(slot)))
+				for len(fr.exps) <= int(slot) {
+					fr.exps = append(fr.exps, expBuf{})
+				}
+				e := &fr.exps[slot]
+				e.buf = e.buf[:0]
+				e.lastSeq = -1
+			} else {
+				slot = sc.itemSlot[w]
+			}
+			e := &fr.exps[slot]
+			if e.lastSeq != seq {
+				e.lastSeq = seq
+				e.countIdx = int32(len(e.buf) + 1)
+				e.buf = append(e.buf, seq, 0)
+			}
+			e.buf = append(e.buf, int32(uint32(k)))
+			e.buf[e.countIdx]++
 		}
 	}
 
 	// Recurse on sufficiently supported expansions, in ascending item order
 	// for deterministic output.
-	items := make([]dict.ItemID, 0, len(expansions))
-	for w := range expansions {
-		items = append(items, w)
-	}
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
-	for _, w := range items {
-		e := expansions[w]
-		if m.prefixSupport(e.proj) < m.sigma {
+	slices.Sort(fr.order)
+	for _, p := range fr.order {
+		w := dict.ItemID(p >> 32)
+		e := &fr.exps[uint32(p)]
+		if m.prefixSupport(e.buf) < m.sigma {
 			continue
 		}
-		m.expand(append(prefix, w), e.proj)
+		sc.prefix = append(sc.prefix[:depth], w)
+		m.expand(depth+1, e.buf)
 	}
 }
 

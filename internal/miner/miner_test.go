@@ -218,3 +218,51 @@ func TestEarlyStoppingPreservesResults(t *testing.T) {
 		}
 	}
 }
+
+// TestPrefilterPreservesResults: the two-pass reachability prefilter skips
+// sequences without accepting runs before mining; it must never change the
+// output of any miner, for any pattern, threshold or pivot restriction.
+func TestPrefilterPreservesResults(t *testing.T) {
+	d := paperex.Dict()
+	patterns := []string{
+		paperex.PatternExpression,
+		"[.*(.)]{1,3}.*",
+		".*(d) .* (b).*",
+	}
+	rng := rand.New(rand.NewSource(23))
+	for _, pat := range patterns {
+		f := fst.MustCompile(pat, d)
+		for trial := 0; trial < 4; trial++ {
+			db := miner.Weighted(randomDB(rng, d, 12, 6))
+			for _, sigma := range []int64{1, 2} {
+				plainDFS := miner.PatternsToMap(d, miner.MineDFS(f, db, sigma, miner.DFSOptions{}))
+				preDFS := miner.PatternsToMap(d, miner.MineDFS(f, db, sigma, miner.DFSOptions{Prefilter: true}))
+				if !reflect.DeepEqual(plainDFS, preDFS) {
+					t.Fatalf("pattern %q sigma %d: prefiltered DFS %v != plain %v", pat, sigma, preDFS, plainDFS)
+				}
+				plainCount := miner.PatternsToMap(d, miner.MineCount(f, db, sigma))
+				preCount := miner.PatternsToMap(d, miner.MineCountOpts(f, db, sigma, miner.CountOptions{Prefilter: true}))
+				if !reflect.DeepEqual(plainCount, preCount) {
+					t.Fatalf("pattern %q sigma %d: prefiltered COUNT %v != plain %v", pat, sigma, preCount, plainCount)
+				}
+				enc := map[string]bool{}
+				for _, p := range miner.MineCount(f, db, sigma) {
+					enc[string(miner.Key(p.Items))] = true
+				}
+				plainSup := miner.SupportOf(f, db, sigma, enc)
+				preSup := miner.SupportOfOpts(f, db, sigma, enc, miner.CountOptions{Prefilter: true})
+				if !reflect.DeepEqual(plainSup, preSup) {
+					t.Fatalf("pattern %q sigma %d: prefiltered SupportOf differs", pat, sigma)
+				}
+			}
+			for pivot := dict.ItemID(1); int(pivot) <= d.Size(); pivot++ {
+				plain := miner.PatternsToMap(d, miner.MineDFS(f, db, 2, miner.DFSOptions{Pivot: pivot, EarlyStopping: true}))
+				pre := miner.PatternsToMap(d, miner.MineDFS(f, db, 2, miner.DFSOptions{Pivot: pivot, EarlyStopping: true, Prefilter: true}))
+				if !reflect.DeepEqual(plain, pre) {
+					t.Fatalf("pattern %q pivot %s: prefilter changed the pivot partition: %v vs %v",
+						pat, d.Name(pivot), pre, plain)
+				}
+			}
+		}
+	}
+}

@@ -74,6 +74,11 @@ type Options struct {
 	// map per worker. The zero value keeps the shuffle in memory behind the
 	// barrier. When set it overrides the engine config's Shuffle field.
 	Spill mapreduce.ShuffleConfig
+	// Prefilter enables the two-pass trick of the paper: map workers run a
+	// cheap backward reachability scan (fst.Flat.CanAccept) and skip the
+	// candidate enumeration for sequences without any accepting run. Such
+	// sequences produce no candidates, so the output is identical either way.
+	Prefilter bool
 }
 
 // DefaultOptions keeps the shuffle unbounded (the historical behavior).
@@ -84,23 +89,30 @@ func DefaultOptions() Options { return Options{} }
 // fail when the shuffle is bounded (Options.Spill / cfg.Shuffle), so callers
 // that bound it should prefer MineLocal.
 func Mine(f *fst.FST, db [][]dict.ItemID, sigma int64, variant Variant, opts Options, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics) {
-	return dminer.Mine("naive", db, cfg, opts.Spill, buildJob(f, sigma, variant))
+	return dminer.Mine("naive", db, cfg, opts.Spill, buildJob(f, sigma, variant, opts))
 }
 
 // MineLocal is Mine with error reporting: bounded-shuffle failures (the only
 // way an in-process run can fail) are returned instead of panicking.
 func MineLocal(f *fst.FST, db [][]dict.ItemID, sigma int64, variant Variant, opts Options, cfg mapreduce.Config) ([]miner.Pattern, mapreduce.Metrics, error) {
-	return dminer.MineLocal(db, cfg, opts.Spill, buildJob(f, sigma, variant))
+	return dminer.MineLocal(db, cfg, opts.Spill, buildJob(f, sigma, variant, opts))
 }
 
 // buildJob assembles the word-count style BSP job of the baselines.
-func buildJob(f *fst.FST, sigma int64, variant Variant) mapreduce.Job[[]dict.ItemID, string, int64, miner.Pattern] {
+func buildJob(f *fst.FST, sigma int64, variant Variant, opts Options) mapreduce.Job[[]dict.ItemID, string, int64, miner.Pattern] {
 	genSigma := int64(0)
 	if variant == SemiNaive {
 		genSigma = sigma
 	}
+	var flat *fst.Flat
+	if opts.Prefilter {
+		flat = f.Flatten()
+	}
 	job := mapreduce.Job[[]dict.ItemID, string, int64, miner.Pattern]{
 		Map: func(T []dict.ItemID, emit func(string, int64)) {
+			if flat != nil && !flat.CanAccept(T) {
+				return
+			}
 			for _, cand := range f.EnumerateCandidates(T, genSigma) {
 				emit(EncodeSequence(cand), 1)
 			}

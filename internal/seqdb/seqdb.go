@@ -15,7 +15,10 @@ import (
 )
 
 // Database is a sequence database together with its dictionary (vocabulary,
-// hierarchy and f-list).
+// hierarchy and f-list). Build lays all sequences out in one contiguous
+// backing array (Sequences are sub-slices of it), so a full database scan —
+// the shape of every mining pass — walks memory linearly instead of chasing
+// one heap object per sequence.
 type Database struct {
 	Dict      *dict.Dictionary
 	Sequences [][]dict.ItemID
@@ -39,15 +42,42 @@ func Build(raw [][]string, hierarchy Hierarchy) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
+	total := 0
+	for _, seq := range raw {
+		total += len(seq)
+	}
+	backing := make([]dict.ItemID, 0, total)
 	db := &Database{Dict: d, Sequences: make([][]dict.ItemID, len(raw))}
 	for i, seq := range raw {
-		enc, err := d.EncodeSequence(seq)
-		if err != nil {
-			return nil, err
+		start := len(backing)
+		for _, name := range seq {
+			fid, ok := d.Fid(name)
+			if !ok {
+				return nil, fmt.Errorf("seqdb: unknown item %q", name)
+			}
+			backing = append(backing, fid)
 		}
-		db.Sequences[i] = enc
+		db.Sequences[i] = backing[start:len(backing):len(backing)]
 	}
 	return db, nil
+}
+
+// Compact re-lays arbitrary sequences into one contiguous backing array,
+// returning sub-slices of it. Useful to restore scan locality after a
+// database was assembled sequence by sequence (e.g. decoded from the wire).
+func Compact(seqs [][]dict.ItemID) [][]dict.ItemID {
+	total := 0
+	for _, s := range seqs {
+		total += len(s)
+	}
+	backing := make([]dict.ItemID, 0, total)
+	out := make([][]dict.ItemID, len(seqs))
+	for i, s := range seqs {
+		start := len(backing)
+		backing = append(backing, s...)
+		out[i] = backing[start:len(backing):len(backing)]
+	}
+	return out
 }
 
 // NumSequences returns the number of input sequences.

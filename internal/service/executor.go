@@ -68,6 +68,13 @@ type ExecOptions struct {
 	MinimizeNFAs  bool
 	AggregateNFAs bool
 
+	// Prefilter enables the paper's two-pass trick on every backend: a cheap
+	// backward reachability scan rejects input sequences without any
+	// accepting run before the expensive per-sequence work (full simulation,
+	// pivot analysis, or candidate enumeration). Mining output is
+	// byte-identical with and without it. Off by default.
+	Prefilter bool
+
 	// SpillThreshold bounds the in-memory shuffle footprint of the
 	// distributed backends, in bytes per peer: past it, shuffle partitions
 	// spill to sorted temp-file segments that the reduce phase
@@ -297,16 +304,18 @@ func mineDistributed(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma 
 			Rewrite:       opts.Rewrite,
 			EarlyStopping: opts.EarlyStopping,
 			Aggregate:     opts.AggregateSequences,
+			Prefilter:     opts.Prefilter,
 		}, cfg)
 	case AlgoDCand:
 		patterns, metrics, err = dcand.MineLocal(f, db.Sequences, sigma, dcand.Options{
 			Minimize:  opts.MinimizeNFAs,
 			Aggregate: opts.AggregateNFAs,
+			Prefilter: opts.Prefilter,
 		}, cfg)
 	case AlgoNaive:
-		patterns, metrics, err = naive.MineLocal(f, db.Sequences, sigma, naive.Naive, naive.Options{Spill: cfg.Shuffle}, cfg)
+		patterns, metrics, err = naive.MineLocal(f, db.Sequences, sigma, naive.Naive, naive.Options{Spill: cfg.Shuffle, Prefilter: opts.Prefilter}, cfg)
 	case AlgoSemiNaive:
-		patterns, metrics, err = naive.MineLocal(f, db.Sequences, sigma, naive.SemiNaive, naive.Options{Spill: cfg.Shuffle}, cfg)
+		patterns, metrics, err = naive.MineLocal(f, db.Sequences, sigma, naive.SemiNaive, naive.Options{Spill: cfg.Shuffle, Prefilter: opts.Prefilter}, cfg)
 	}
 	if err != nil {
 		return nil, metrics, ExecStats{}, err
@@ -356,6 +365,7 @@ func mineCluster(ctx context.Context, db *seqdb.Database, sigma int64, opts Exec
 		AggregateSequences: opts.AggregateSequences,
 		MinimizeNFAs:       opts.MinimizeNFAs,
 		AggregateNFAs:      opts.AggregateNFAs,
+		Prefilter:          opts.Prefilter,
 		TaskPartitions:     opts.TaskPartitions,
 	}
 	if opts.SpillThreshold > 0 {
@@ -406,7 +416,7 @@ func mineSharded(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma int6
 	}
 	if shards <= 1 {
 		// Single shard: run the backend directly with the global threshold.
-		patterns, err := mineShardDirect(ctx, f, miner.Weighted(db.Sequences), sigma, opts.Algorithm)
+		patterns, err := mineShardDirect(ctx, f, miner.Weighted(db.Sequences), sigma, opts.Algorithm, opts.Prefilter)
 		return patterns, mapreduce.Metrics{}, ExecStats{Shards: 1}, err
 	}
 
@@ -422,7 +432,7 @@ func mineSharded(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma int6
 		if local < 1 {
 			local = 1
 		}
-		ps, err := mineShardDirect(ctx, f, miner.Weighted(parts[i]), local, opts.Algorithm)
+		ps, err := mineShardDirect(ctx, f, miner.Weighted(parts[i]), local, opts.Algorithm, opts.Prefilter)
 		partials[i] = ps
 		return err
 	})
@@ -447,7 +457,7 @@ func mineSharded(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma int6
 	// parallel and summed.
 	counts := make([]map[string]int64, len(parts))
 	err = runPool(ctx, workers, len(parts), func(i int) error {
-		counts[i] = miner.SupportOf(f, miner.Weighted(parts[i]), sigma, candidates)
+		counts[i] = miner.SupportOfOpts(f, miner.Weighted(parts[i]), sigma, candidates, miner.CountOptions{Prefilter: opts.Prefilter})
 		return nil
 	})
 	if err != nil {
@@ -470,15 +480,15 @@ func mineSharded(ctx context.Context, f *fst.FST, db *seqdb.Database, sigma int6
 }
 
 // mineShardDirect runs a sequential backend on one partition.
-func mineShardDirect(ctx context.Context, f *fst.FST, part []miner.WeightedSequence, sigma int64, algo Algorithm) ([]miner.Pattern, error) {
+func mineShardDirect(ctx context.Context, f *fst.FST, part []miner.WeightedSequence, sigma int64, algo Algorithm, prefilter bool) ([]miner.Pattern, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	switch algo {
 	case AlgoDFS:
-		return miner.MineDFS(f, part, sigma, miner.DFSOptions{}), nil
+		return miner.MineDFS(f, part, sigma, miner.DFSOptions{Prefilter: prefilter}), nil
 	case AlgoCount:
-		return miner.MineCount(f, part, sigma), nil
+		return miner.MineCountOpts(f, part, sigma, miner.CountOptions{Prefilter: prefilter}), nil
 	default:
 		return nil, fmt.Errorf("algorithm %q is not a sequential backend", algo)
 	}

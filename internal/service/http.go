@@ -66,6 +66,11 @@ type MineRequest struct {
 	// TaskPartitions decomposes a cluster query into this many per-partition
 	// tasks; 0 uses one task per live worker.
 	TaskPartitions int `json:"task_partitions,omitempty"`
+	// Prefilter enables the two-pass reachability prefilter for this query:
+	// sequences with no accepting run are skipped before the expensive mining
+	// phase. Output is byte-identical either way; absent or false inherits the
+	// daemon default (-prefilter).
+	Prefilter bool `json:"prefilter,omitempty"`
 }
 
 // MinePattern is one mined pattern on the wire.
@@ -167,6 +172,7 @@ func NewHandler(s *Service) http.Handler {
 		opts.TaskRetries = req.TaskRetries
 		opts.SpeculativeAfter = time.Duration(req.SpeculativeAfterMS) * time.Millisecond
 		opts.TaskPartitions = req.TaskPartitions
+		opts.Prefilter = req.Prefilter
 		switch {
 		case len(req.ClusterWorkers) > 0:
 			opts.Cluster = &ClusterOptions{Workers: req.ClusterWorkers}

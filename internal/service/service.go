@@ -65,6 +65,11 @@ type Config struct {
 	// body field (ExecOptions.CompressSpillSet); a query that says nothing
 	// inherits this default.
 	CompressSpill bool
+	// Prefilter enables the two-pass reachability prefilter by default for
+	// queries that do not request it themselves (ExecOptions.Prefilter).
+	// Mining output is byte-identical either way, so a simple opt-in default
+	// suffices (no tri-state needed).
+	Prefilter bool
 	// TaskRetries is the default retry budget of cluster-executed queries
 	// that do not set their own (see ExecOptions.TaskRetries): how many
 	// failed attempts the scheduler relaunches on the surviving workers.
@@ -238,6 +243,9 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 	}
 	if !opts.CompressSpillSet && !opts.CompressSpill {
 		opts.CompressSpill = s.cfg.CompressSpill
+	}
+	if !opts.Prefilter {
+		opts.Prefilter = s.cfg.Prefilter
 	}
 	if opts.TaskRetries == 0 {
 		opts.TaskRetries = s.cfg.TaskRetries

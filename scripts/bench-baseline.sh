@@ -18,26 +18,44 @@
 # BenchmarkCalibration is recorded alongside them for machine-speed
 # normalization; it is excluded from the gate's geomean.
 #
-# -cpu 2 pins GOMAXPROCS so benchmark names carry the same "-2" suffix on
-# every machine (benchgate strips exactly one trailing "-N"; without a fixed
-# -cpu, a single-core recorder would emit suffix-less names that cannot be
-# matched against a multi-core runner's).
+# Environment pinning:
+#   - GOMAXPROCS is pinned (both via the env var, which bounds the runtime's
+#     background parallelism, and -cpu, which names the benchmarks) so
+#     benchmark names carry the same "-2" suffix on every machine (benchgate
+#     strips exactly one trailing "-N"; without a fixed -cpu, a single-core
+#     recorder would emit suffix-less names that cannot be matched against a
+#     multi-core runner's) and so scheduler parallelism cannot drift between
+#     the recorder and the runner.
+#   - -benchmem records B/op and allocs/op: the schema-2 baseline gates
+#     allocations alongside time (allocation counts are machine-independent,
+#     so no calibration applies to them).
+#   - The spill and streaming shuffle knobs are explicitly disabled inside
+#     the gated benchmarks themselves (benchOptions in bench_test.go), so the
+#     baseline always measures the in-memory barrier path.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 benchtime=3x
 count=5
+export GOMAXPROCS=2
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
-echo "== running tier-1 benchmarks (-benchtime=$benchtime -count=$count -cpu 2)"
+echo "== running tier-1 benchmarks (-benchtime=$benchtime -count=$count -cpu 2 -benchmem, GOMAXPROCS=$GOMAXPROCS)"
 go test -run '^$' -bench '^(BenchmarkAlgorithms_N1|BenchmarkAlgorithms_T3|BenchmarkCalibration|BenchmarkSpanOverhead)$' \
-    -benchtime="$benchtime" -count="$count" -cpu 2 . | tee "$out"
-go test -run '^$' -bench . -benchtime="$benchtime" -count="$count" -cpu 2 \
+    -benchtime="$benchtime" -count="$count" -cpu 2 -benchmem . | tee "$out"
+go test -run '^$' -bench . -benchtime="$benchtime" -count="$count" -cpu 2 -benchmem \
     ./internal/mapreduce ./internal/miner ./internal/pivot | tee -a "$out"
+
+# Record the recording environment alongside the command so a future reader
+# can judge whether a drift is machine or code: kernel, CPU model and count,
+# and the pinned GOMAXPROCS (the Go version is recorded separately).
+cpus=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?')
+cpu_model=$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
+env_note="GOMAXPROCS=$GOMAXPROCS cpus=$cpus cpu=\"$cpu_model\" kernel=$(uname -sr)"
 
 echo "== recording BENCH_baseline.json"
 go run ./cmd/benchgate record \
-    -command "scripts/bench-baseline.sh (go test -bench tier-1 -benchtime=$benchtime -count=$count)" \
+    -command "scripts/bench-baseline.sh (go test -bench tier-1 -benchtime=$benchtime -count=$count -cpu 2 -benchmem; spill/stream knobs disabled; $env_note)" \
     <"$out"

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Prefilter smoke test: mine a generated dataset with a selective constraint
+# (so the prefilter has sequences to reject) with and without -prefilter,
+# both in a single process (dfs, count, dseq, dcand) and across three
+# seqmine-worker processes (dseq, dcand), and verify that
+#
+#   1. every prefiltered run produces a pattern set byte-identical to its
+#      unfiltered counterpart — the prefilter is a pure skip of sequences
+#      without accepting runs and must never change results,
+#   2. the reference runs find patterns, so the comparison is not vacuous.
+#
+# Used by CI (.github/workflows/ci.yml) and runnable locally:
+#
+#	./scripts/prefilter-smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$workdir/bin/" ./cmd/seqgen ./cmd/seqmine ./cmd/seqmine-worker
+
+echo "== generating dataset"
+"$workdir/bin/seqgen" -dataset nyt -n 400 -seed 7 -out "$workdir/data"
+
+echo "== starting 3 workers"
+"$workdir/bin/seqmine-worker" -listen 127.0.0.1:19590 -data-listen 127.0.0.1:19690 &
+"$workdir/bin/seqmine-worker" -listen 127.0.0.1:19591 -data-listen 127.0.0.1:19691 &
+"$workdir/bin/seqmine-worker" -listen 127.0.0.1:19592 -data-listen 127.0.0.1:19692 &
+
+for port in 19590 19591 19592; do
+    up=0
+    for _ in $(seq 1 100); do
+        if curl -fsS "http://127.0.0.1:$port/healthz" >/dev/null 2>&1; then
+            up=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ "$up" != 1 ]; then
+        echo "worker on port $port did not come up" >&2
+        exit 1
+    fi
+done
+
+workers=http://127.0.0.1:19590,http://127.0.0.1:19591,http://127.0.0.1:19592
+# A selective constraint: many sequences have no ENTITY pair, so the
+# prefilter actually rejects inputs instead of passing everything through.
+pattern='.*ENTITY (VERB+ NOUN+? PREP?) ENTITY.*'
+sigma=3
+
+for algo in dfs count dseq dcand; do
+    echo "== $algo: single-process reference (no prefilter)"
+    "$workdir/bin/seqmine" -data "$workdir/data/sequences.txt" -hierarchy "$workdir/data/hierarchy.txt" \
+        -pattern "$pattern" -sigma "$sigma" -algorithm "$algo" -top 0 -metrics=false |
+        grep -E '^ +[0-9]+  ' | sort >"$workdir/ref-$algo.txt"
+    if [ ! -s "$workdir/ref-$algo.txt" ]; then
+        echo "$algo: reference run found no patterns — smoke test is vacuous" >&2
+        exit 1
+    fi
+
+    echo "== $algo: single-process run with -prefilter"
+    "$workdir/bin/seqmine" -data "$workdir/data/sequences.txt" -hierarchy "$workdir/data/hierarchy.txt" \
+        -pattern "$pattern" -sigma "$sigma" -algorithm "$algo" -top 0 -metrics=false -prefilter |
+        grep -E '^ +[0-9]+  ' | sort >"$workdir/pf-$algo.txt"
+    if ! diff -u "$workdir/ref-$algo.txt" "$workdir/pf-$algo.txt"; then
+        echo "$algo: prefiltered pattern set differs from the unfiltered run" >&2
+        exit 1
+    fi
+    echo "== $algo: $(wc -l <"$workdir/ref-$algo.txt") patterns identical with and without prefilter"
+done
+
+for algo in dseq dcand; do
+    echo "== $algo: 3-process cluster run with -prefilter"
+    "$workdir/bin/seqmine-worker" -submit -workers "$workers" \
+        -data "$workdir/data/sequences.txt" -hierarchy "$workdir/data/hierarchy.txt" \
+        -pattern "$pattern" -sigma "$sigma" -algorithm "$algo" -top 0 -metrics=false -prefilter |
+        grep -E '^ +[0-9]+  ' | sort >"$workdir/multi-pf-$algo.txt"
+    if ! diff -u "$workdir/ref-$algo.txt" "$workdir/multi-pf-$algo.txt"; then
+        echo "$algo: prefiltered cluster pattern set differs from the single-process reference" >&2
+        exit 1
+    fi
+    echo "== $algo: cluster prefiltered run identical to the reference"
+done
+
+echo "== prefilter smoke test passed"

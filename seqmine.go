@@ -124,6 +124,12 @@ type Options struct {
 	// AggregateNFAs enables D-CAND's combiner aggregation of identical NFAs.
 	AggregateNFAs bool
 
+	// Prefilter enables the two-pass reachability prefilter: a cheap backward
+	// scan over the flattened FST skips input sequences that cannot produce
+	// any accepting run before the expensive mining phase. Works with every
+	// algorithm; mined output is byte-identical with and without it.
+	Prefilter bool
+
 	// SpillThreshold bounds the in-memory shuffle footprint of the
 	// distributed algorithms, in bytes: past it, shuffle partitions spill
 	// to sorted temp-file segments and the reduce phase merge-streams
@@ -251,6 +257,7 @@ func (o Options) execOptions(shards int) service.ExecOptions {
 		AggregateSequences: o.AggregateSequences,
 		MinimizeNFAs:       o.MinimizeNFAs,
 		AggregateNFAs:      o.AggregateNFAs,
+		Prefilter:          o.Prefilter,
 		SpillThreshold:     o.SpillThreshold,
 		SpillTmpDir:        o.SpillTmpDir,
 		SendBufferBytes:    o.SendBufferBytes,
@@ -333,6 +340,9 @@ type ServiceOptions struct {
 	SendBufferBytes int64
 	// CompressSpill compresses spill segments with DEFLATE by default.
 	CompressSpill bool
+	// Prefilter enables the two-pass reachability prefilter by default for
+	// queries that do not request it themselves.
+	Prefilter bool
 }
 
 // Service is a long-lived, concurrency-safe mining service: it holds named
@@ -356,6 +366,7 @@ func NewService(opts ServiceOptions) *Service {
 		SpillTmpDir:      opts.SpillTmpDir,
 		SendBufferBytes:  opts.SendBufferBytes,
 		CompressSpill:    opts.CompressSpill,
+		Prefilter:        opts.Prefilter,
 		TaskRetries:      opts.TaskRetries,
 		SpeculativeAfter: opts.SpeculativeAfter,
 	})}
