@@ -3,12 +3,16 @@
 // It reads the exposition from stdin (or a file argument), fails on malformed
 // lines, label syntax errors, counter regressions within the scrape, or
 // histogram series whose _count disagrees with the +Inf bucket, and can
-// assert that specific metric families are present and populated:
+// assert that specific metric families are present and populated, or that
+// sample values respect bounds:
 //
 //	curl -s 'localhost:9090/metrics?format=prometheus' |
-//	    promcheck -require seqmine_worker_stage_seconds
+//	    promcheck -require seqmine_worker_stage_seconds \
+//	        -max seqmine_admission_queue_depth_max=16 \
+//	        -min seqmine_admission_shed_total=1
 //
-// CI uses it in the chaos smoke job to gate the exposition endpoint.
+// CI uses it in the chaos and overload smoke jobs to gate the exposition
+// endpoint.
 package main
 
 import (
@@ -16,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"seqmine/internal/obs"
@@ -27,9 +32,41 @@ type requireFlags []string
 func (r *requireFlags) String() string     { return strings.Join(*r, " ") }
 func (r *requireFlags) Set(v string) error { *r = append(*r, v); return nil }
 
+// boundFlags collects repeated name=value bound assertions.
+type boundFlags []bound
+
+type bound struct {
+	name  string
+	value float64
+}
+
+func (b *boundFlags) String() string {
+	parts := make([]string, len(*b))
+	for i, x := range *b {
+		parts[i] = fmt.Sprintf("%s=%g", x.name, x.value)
+	}
+	return strings.Join(parts, " ")
+}
+
+func (b *boundFlags) Set(v string) error {
+	name, val, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=value, got %q", v)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad bound value in %q: %w", v, err)
+	}
+	*b = append(*b, bound{name: name, value: f})
+	return nil
+}
+
 func main() {
 	var requires requireFlags
+	var maxBounds, minBounds boundFlags
 	flag.Var(&requires, "require", "fail unless a series with this metric name prefix is present (repeatable)")
+	flag.Var(&maxBounds, "max", "name=value: fail when any sample of the named series exceeds value, or the series is absent (repeatable)")
+	flag.Var(&minBounds, "min", "name=value: fail unless some sample of the named series reaches value (repeatable)")
 	quiet := flag.Bool("q", false, "print nothing on success")
 	flag.Parse()
 
@@ -55,6 +92,24 @@ func main() {
 	for _, want := range requires {
 		if !hasPrefixSeries(stats.SeriesByName, want) {
 			fatal(fmt.Errorf("%s: no series named %s*", name, want))
+		}
+	}
+	for _, b := range maxBounds {
+		got, ok := stats.MaxByName[b.name]
+		if !ok {
+			fatal(fmt.Errorf("%s: -max %s=%g: series absent, bound cannot be verified", name, b.name, b.value))
+		}
+		if got > b.value {
+			fatal(fmt.Errorf("%s: %s reached %g, above the %g bound", name, b.name, got, b.value))
+		}
+	}
+	for _, b := range minBounds {
+		got, ok := stats.MaxByName[b.name]
+		if !ok {
+			fatal(fmt.Errorf("%s: -min %s=%g: series absent", name, b.name, b.value))
+		}
+		if got < b.value {
+			fatal(fmt.Errorf("%s: %s only reached %g, below the %g floor", name, b.name, got, b.value))
 		}
 	}
 	if !*quiet {

@@ -1,0 +1,55 @@
+package main
+
+import "testing"
+
+func TestBoundFlags(t *testing.T) {
+	var b boundFlags
+	if err := b.Set("seqmine_admission_queue_depth_max=16"); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set("seqmine_admission_shed_total=1.5"); err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 2 || b[0].name != "seqmine_admission_queue_depth_max" || b[0].value != 16 || b[1].value != 1.5 {
+		t.Fatalf("parsed = %+v", b)
+	}
+	if b.String() == "" {
+		t.Fatal("String() empty")
+	}
+	for _, bad := range []string{"noequals", "=1", "name=", "name=abc"} {
+		if err := b.Set(bad); err == nil {
+			t.Fatalf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRequireFlags(t *testing.T) {
+	var r requireFlags
+	if err := r.Set("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("b"); err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != "a b" {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestHasPrefixSeries(t *testing.T) {
+	series := map[string]int{
+		"seqmine_queries_total":        2,
+		"seqmine_stage_seconds_bucket": 10,
+		"seqmine_stage_seconds_sum":    1,
+		"seqmine_stage_seconds_count":  1,
+	}
+	if !hasPrefixSeries(series, "seqmine_queries_total") {
+		t.Fatal("exact name not found")
+	}
+	if !hasPrefixSeries(series, "seqmine_stage_seconds") {
+		t.Fatal("histogram family not found via its suffixes")
+	}
+	if hasPrefixSeries(series, "seqmine_missing") {
+		t.Fatal("absent family reported present")
+	}
+}

@@ -1,0 +1,476 @@
+// Command seqmine-bench drives a live seqmined daemon with the Table III
+// workload mix and measures serving latency, throughput and shed rate — a
+// wrk-style closed-loop (fixed concurrency) or open-loop (fixed arrival rate)
+// HTTP load generator whose output feeds the serving-latency CI gate.
+//
+// For every workload it first primes the answer with one unloaded request and
+// records a canonical hash of the response; every timed response is checked
+// against it, so a run proves that results under load are byte-identical to
+// the unloaded answer. Shed requests (429) must carry a Retry-After header or
+// they count as errors.
+//
+// The run's measurements are written as BENCH_serving.json (schema documented
+// in internal/benchcmp), including a machine-speed calibration sample (the
+// same splitmix64 workload as BenchmarkCalibration) so `benchgate serving`
+// can compare runs across machines:
+//
+//	seqmine-bench -addr http://localhost:8080 -dataset bench -sigma 10 \
+//	    -duration 5s -concurrency 8 -pass local -out BENCH_serving.json
+//	benchgate serving -baseline BENCH_serving.json -current out.json
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"seqmine/internal/benchcmp"
+	"seqmine/internal/experiments"
+)
+
+// workload is one named benchmark scenario: one or more pattern expressions
+// driven round-robin against the dataset.
+type workload struct {
+	name  string
+	exprs []string
+	sigma int64
+}
+
+// workloadFlags collects repeated -workload name=expr@sigma flags.
+type workloadFlags []workload
+
+func (w *workloadFlags) String() string {
+	parts := make([]string, len(*w))
+	for i, x := range *w {
+		parts[i] = x.name
+	}
+	return strings.Join(parts, " ")
+}
+
+func (w *workloadFlags) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=expr[@sigma], got %q", v)
+	}
+	expr := rest
+	var sigma int64
+	if at := strings.LastIndex(rest, "@"); at >= 0 {
+		expr = rest[:at]
+		if _, err := fmt.Sscanf(rest[at+1:], "%d", &sigma); err != nil {
+			return fmt.Errorf("bad sigma in %q: %w", v, err)
+		}
+	}
+	if expr == "" {
+		return fmt.Errorf("empty expression in %q", v)
+	}
+	*w = append(*w, workload{name: name, exprs: []string{expr}, sigma: sigma})
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "seqmined base URL")
+	dataset := flag.String("dataset", "bench", "registered dataset to mine")
+	sigma := flag.Int64("sigma", 10, "default minimum support for workloads that declare none")
+	duration := flag.Duration("duration", 3*time.Second, "timed window per workload")
+	concurrency := flag.Int("concurrency", 8, "closed-loop concurrent clients")
+	rate := flag.Float64("rate", 0, "open-loop arrivals per second (0 = closed loop)")
+	algorithm := flag.String("algorithm", "", "algorithm sent with every request (empty = server default)")
+	distributed := flag.Bool("distributed", false, "request distributed execution on the daemon's default cluster")
+	passName := flag.String("pass", "local", "pass name the results are recorded under")
+	out := flag.String("out", "", "write results as BENCH_serving.json to this file (empty = stdout)")
+	merge := flag.Bool("merge", false, "merge this pass into an existing -out file instead of replacing it")
+	apiKey := flag.String("api-key", "", "API key sent as X-Api-Key (empty = none)")
+	timeoutMS := flag.Int64("timeout-ms", 30000, "per-request timeout sent to the server and enforced client-side")
+	requireShed := flag.Bool("require-shed", false, "fail unless the run shed at least one request with 429 (overload smoke)")
+	failOnErrors := flag.Bool("fail-on-errors", true, "fail when any request hard-errored (non-2xx/429, bad Retry-After, or a response diverging from the unloaded answer)")
+	var workloads workloadFlags
+	flag.Var(&workloads, "workload", "workload as name=expr[@sigma] (repeatable; default: the Table III t1/t2/t3 templates plus their mix)")
+	flag.Parse()
+
+	if len(workloads) == 0 {
+		t1, t2, t3 := experiments.T1Expr(5), experiments.T2Expr(0, 5), experiments.T3Expr(1, 5)
+		workloads = workloadFlags{
+			{name: "t1", exprs: []string{t1}},
+			{name: "t2", exprs: []string{t2}},
+			{name: "t3", exprs: []string{t3}},
+			{name: "mixed", exprs: []string{t1, t2, t3}},
+		}
+	}
+	for i := range workloads {
+		if workloads[i].sigma == 0 {
+			workloads[i].sigma = *sigma
+		}
+	}
+
+	b := &bench{
+		addr:        strings.TrimRight(*addr, "/"),
+		dataset:     *dataset,
+		algorithm:   *algorithm,
+		distributed: *distributed,
+		apiKey:      *apiKey,
+		timeoutMS:   *timeoutMS,
+		client: &http.Client{
+			Timeout: time.Duration(*timeoutMS)*time.Millisecond + 5*time.Second,
+			Transport: &http.Transport{
+				MaxIdleConnsPerHost: *concurrency + 4,
+			},
+		},
+	}
+
+	// Calibrate twice — before the first workload and after the last — and
+	// keep the overall minimum: a transient busy period (process start-up,
+	// the daemon draining) can inflate one window, but almost never both,
+	// and noise only ever slows the fixed loop down.
+	calibrationNS := calibrate()
+
+	pass := benchcmp.ServingPass{Workloads: make(map[string]benchcmp.ServingWorkload)}
+	shedTotal, errTotal := 0, 0
+	for _, wl := range workloads {
+		res, err := b.run(wl, *duration, *concurrency, *rate)
+		if err != nil {
+			fatal(fmt.Errorf("workload %s: %w", wl.name, err))
+		}
+		pass.Workloads[wl.name] = res
+		shedTotal += res.Shed
+		errTotal += res.Errors
+		fmt.Fprintf(os.Stderr, "seqmine-bench: %-8s %6d req  p50 %8.2fms  p99 %8.2fms  %8.1f req/s  shed %5.1f%%  errors %d\n",
+			wl.name, res.Requests, res.P50MS, res.P99MS, res.ThroughputRPS, 100*res.ShedRate, res.Errors)
+	}
+
+	calibrationNS = math.Min(calibrationNS, calibrate())
+
+	baseline := &benchcmp.ServingBaseline{
+		Schema:        benchcmp.ServingSchemaVersion,
+		Command:       strings.Join(os.Args, " "),
+		GoVersion:     runtime.Version(),
+		CalibrationNS: calibrationNS,
+		Passes:        map[string]benchcmp.ServingPass{*passName: pass},
+	}
+	if err := writeResults(*out, *merge, *passName, baseline); err != nil {
+		fatal(err)
+	}
+	if *requireShed && shedTotal == 0 {
+		fatal(fmt.Errorf("-require-shed: the run shed no requests — the daemon was never overloaded"))
+	}
+	if *failOnErrors && errTotal > 0 {
+		fatal(fmt.Errorf("%d requests hard-errored (see per-workload counts above)", errTotal))
+	}
+}
+
+type bench struct {
+	addr        string
+	dataset     string
+	algorithm   string
+	distributed bool
+	apiKey      string
+	timeoutMS   int64
+	client      *http.Client
+}
+
+// mineRequest mirrors the wire fields of service.MineRequest that the bench
+// uses (kept local so the tool builds against the HTTP API, like any client).
+type mineRequest struct {
+	Dataset     string `json:"dataset"`
+	Pattern     string `json:"pattern"`
+	Sigma       int64  `json:"sigma"`
+	Algorithm   string `json:"algorithm,omitempty"`
+	Distributed bool   `json:"distributed,omitempty"`
+	TimeoutMS   int64  `json:"timeout_ms,omitempty"`
+}
+
+type mineResponse struct {
+	Patterns []struct {
+		Items []string `json:"items"`
+		Freq  int64    `json:"freq"`
+	} `json:"patterns"`
+	Total int `json:"total"`
+}
+
+// outcome is one request's result.
+type outcome struct {
+	latency time.Duration
+	status  int // 200, 429, or anything else
+	failed  bool
+}
+
+func (b *bench) run(wl workload, duration time.Duration, concurrency int, rate float64) (benchcmp.ServingWorkload, error) {
+	// Prime: one unloaded request per expression establishes the canonical
+	// answer each loaded response must match byte for byte.
+	expected := make([]string, len(wl.exprs))
+	for i, expr := range wl.exprs {
+		hash, status, err := b.mine(expr, wl.sigma)
+		if err != nil {
+			return benchcmp.ServingWorkload{}, fmt.Errorf("priming %q: %w", expr, err)
+		}
+		if status != http.StatusOK {
+			return benchcmp.ServingWorkload{}, fmt.Errorf("priming %q: HTTP %d", expr, status)
+		}
+		expected[i] = hash
+	}
+
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+		next     int
+	)
+	record := func(o outcome) {
+		mu.Lock()
+		outcomes = append(outcomes, o)
+		mu.Unlock()
+	}
+	// pick assigns expressions round-robin across all clients.
+	pick := func() int {
+		mu.Lock()
+		i := next % len(wl.exprs)
+		next++
+		mu.Unlock()
+		return i
+	}
+	shoot := func() {
+		i := pick()
+		start := time.Now()
+		hash, status, err := b.mine(wl.exprs[i], wl.sigma)
+		o := outcome{latency: time.Since(start), status: status}
+		switch {
+		case err != nil:
+			o.failed = true
+		case status == http.StatusOK:
+			o.failed = hash != expected[i] // diverged from the unloaded answer
+		case status == http.StatusTooManyRequests:
+			// ok: shed; mine() already validated Retry-After
+		default:
+			o.failed = true
+		}
+		record(o)
+	}
+
+	start := time.Now()
+	deadline := start.Add(duration)
+	var wg sync.WaitGroup
+	if rate > 0 {
+		// Open loop: fixed arrival schedule regardless of completions, so
+		// queueing delay shows up in the latencies instead of being hidden by
+		// coordinated omission.
+		interval := time.Duration(float64(time.Second) / rate)
+		for t := start; t.Before(deadline); t = t.Add(interval) {
+			time.Sleep(time.Until(t))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				shoot()
+			}()
+		}
+	} else {
+		for c := 0; c < concurrency; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					shoot()
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var latencies []float64
+	res := benchcmp.ServingWorkload{Requests: len(outcomes)}
+	for _, o := range outcomes {
+		switch {
+		case o.failed:
+			res.Errors++
+		case o.status == http.StatusTooManyRequests:
+			res.Shed++
+		default:
+			latencies = append(latencies, float64(o.latency)/float64(time.Millisecond))
+		}
+	}
+	if len(latencies) == 0 {
+		return res, fmt.Errorf("no request succeeded (of %d issued)", res.Requests)
+	}
+	sort.Float64s(latencies)
+	res.P50MS = percentile(latencies, 0.50)
+	res.P99MS = percentile(latencies, 0.99)
+	res.ThroughputRPS = float64(len(latencies)) / elapsed.Seconds()
+	if res.Requests > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Requests)
+	}
+	res.ResultHash = combineHashes(expected)
+	return res, nil
+}
+
+// mine issues one query and returns the canonical response hash (for 200s),
+// the HTTP status, and an error for transport failures or protocol violations
+// (a 429 without a usable Retry-After is a violation, not a shed).
+func (b *bench) mine(expr string, sigma int64) (hash string, status int, err error) {
+	body, _ := json.Marshal(mineRequest{
+		Dataset:     b.dataset,
+		Pattern:     expr,
+		Sigma:       sigma,
+		Algorithm:   b.algorithm,
+		Distributed: b.distributed,
+		TimeoutMS:   b.timeoutMS,
+	})
+	req, err := http.NewRequest(http.MethodPost, b.addr+"/mine", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if b.apiKey != "" {
+		req.Header.Set("X-Api-Key", b.apiKey)
+	}
+	resp, err := b.client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var mr mineResponse
+		if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+			return "", resp.StatusCode, fmt.Errorf("decoding response: %w", err)
+		}
+		return hashResponse(&mr), resp.StatusCode, nil
+	case http.StatusTooManyRequests:
+		io.Copy(io.Discard, resp.Body)
+		if ra := resp.Header.Get("Retry-After"); ra == "" {
+			return "", resp.StatusCode, fmt.Errorf("429 without Retry-After header")
+		}
+		return "", resp.StatusCode, nil
+	default:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", resp.StatusCode, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+}
+
+// hashResponse canonicalizes a mining answer: one "items\tfreq" line per
+// pattern, sorted, hashed. Identical pattern sets hash identically regardless
+// of tie order in the response.
+func hashResponse(mr *mineResponse) string {
+	lines := make([]string, len(mr.Patterns))
+	for i, p := range mr.Patterns {
+		lines[i] = fmt.Sprintf("%s\t%d", strings.Join(p.Items, " "), p.Freq)
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	fmt.Fprintf(h, "total %d\n", mr.Total)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// combineHashes folds the per-expression hashes of a workload into one stable
+// hash (single-expression workloads keep their hash as-is).
+func combineHashes(hashes []string) string {
+	if len(hashes) == 1 {
+		return hashes[0]
+	}
+	h := sha256.New()
+	for _, x := range hashes {
+		h.Write([]byte(x))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// percentile interpolates the p-quantile of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// calibrate measures the fixed splitmix64 CPU workload of
+// BenchmarkCalibration (ns per 1<<22-step loop, median of 5), giving the
+// machine-speed factor that `benchgate serving` divides out of cross-machine
+// latency ratios.
+func calibrate() float64 {
+	// Minimum of several runs, not the median: scheduler and neighbor noise
+	// can only ever slow the fixed loop down, so the minimum is the stable
+	// estimate of the machine's true speed (a noisy median here would shift
+	// every gated latency ratio by the same factor).
+	best := math.Inf(1)
+	for i := 0; i < 9; i++ {
+		start := time.Now()
+		var acc uint64
+		for j := uint64(0); j < 1<<22; j++ {
+			x := j + 0x9e3779b97f4a7c15
+			x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+			x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+			acc ^= x ^ (x >> 31)
+		}
+		if d := float64(time.Since(start)); d < best {
+			best = d
+		}
+		if acc == 42 {
+			panic("unreachable; keeps the loop from being optimized away")
+		}
+	}
+	return best
+}
+
+// writeResults emits the run's baseline file, optionally merging this run's
+// pass into an existing file's passes (so local and cluster passes accumulate
+// into one BENCH_serving.json).
+func writeResults(path string, merge bool, passName string, b *benchcmp.ServingBaseline) error {
+	if path == "" {
+		return benchcmp.WriteServingBaseline(os.Stdout, b)
+	}
+	if merge {
+		if f, err := os.Open(path); err == nil {
+			prev, perr := benchcmp.ReadServingBaseline(f)
+			f.Close()
+			if perr != nil {
+				return fmt.Errorf("-merge: %w", perr)
+			}
+			for name, pass := range prev.Passes {
+				if name != passName {
+					b.Passes[name] = pass
+				}
+			}
+			// Keep the fastest calibration either run observed: both ran
+			// on this machine, and noise only ever inflates the sample.
+			if prev.CalibrationNS > 0 {
+				b.CalibrationNS = math.Min(b.CalibrationNS, prev.CalibrationNS)
+			}
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := benchcmp.WriteServingBaseline(f, b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seqmine-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,272 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seqmine/internal/benchcmp"
+)
+
+// stubDaemon serves a canned /mine answer, optionally shedding every Nth
+// request with (or without) a Retry-After header.
+func stubDaemon(t *testing.T, shedEvery int64, retryAfter string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := served.Add(1)
+		if shedEvery > 0 && n%shedEvery == 0 {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"overloaded"}`))
+			return
+		}
+		var req mineRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"patterns": []map[string]any{
+				{"items": []string{"a", req.Pattern}, "freq": 3},
+				{"items": []string{"b"}, "freq": 2},
+			},
+			"total": 2,
+		})
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &served
+}
+
+func testBench(addr string) *bench {
+	return &bench{
+		addr:      addr,
+		dataset:   "bench",
+		timeoutMS: 5000,
+		client:    &http.Client{Timeout: 10 * time.Second},
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	srv, served := stubDaemon(t, 0, "")
+	b := testBench(srv.URL)
+	wl := workload{name: "w", exprs: []string{"e1", "e2"}, sigma: 5}
+	res, err := b.run(wl, 200*time.Millisecond, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Errors != 0 || res.Shed != 0 {
+		t.Fatalf("result = %+v, want successful requests only", res)
+	}
+	if res.P50MS <= 0 || res.P99MS < res.P50MS || res.ThroughputRPS <= 0 {
+		t.Fatalf("percentiles = %+v", res)
+	}
+	if res.ResultHash == "" {
+		t.Fatal("no combined result hash")
+	}
+	if served.Load() < int64(res.Requests) {
+		t.Fatalf("server saw %d requests, bench recorded %d", served.Load(), res.Requests)
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	srv, _ := stubDaemon(t, 0, "")
+	b := testBench(srv.URL)
+	wl := workload{name: "w", exprs: []string{"e"}, sigma: 5}
+	res, err := b.run(wl, 300*time.Millisecond, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 arrivals/s over 300ms plus the priming request: roughly 15.
+	if res.Requests < 5 || res.Requests > 40 {
+		t.Fatalf("open loop issued %d requests, want ~15", res.Requests)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+}
+
+func TestRunCountsShedsWithRetryAfter(t *testing.T) {
+	srv, _ := stubDaemon(t, 2, "1") // every 2nd request sheds, properly
+	b := testBench(srv.URL)
+	// Priming must succeed: request 1 is served, request 2 sheds during load.
+	wl := workload{name: "w", exprs: []string{"e"}, sigma: 5}
+	res, err := b.run(wl, 150*time.Millisecond, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("result = %+v, want sheds counted", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("proper 429s must not count as errors: %+v", res)
+	}
+	if res.ShedRate <= 0 || res.ShedRate >= 1 {
+		t.Fatalf("shed rate = %v", res.ShedRate)
+	}
+}
+
+func TestRunFlags429WithoutRetryAfterAsError(t *testing.T) {
+	srv, _ := stubDaemon(t, 2, "") // sheds WITHOUT Retry-After: protocol violation
+	b := testBench(srv.URL)
+	wl := workload{name: "w", exprs: []string{"e"}, sigma: 5}
+	res, err := b.run(wl, 150*time.Millisecond, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatalf("result = %+v, want bare 429s counted as errors", res)
+	}
+}
+
+func TestMineHashIsCanonical(t *testing.T) {
+	// Two servers answer with the same pattern set in different order: the
+	// canonical hash must agree.
+	answer := func(reorder bool) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			ps := []map[string]any{
+				{"items": []string{"x", "y"}, "freq": 5},
+				{"items": []string{"z"}, "freq": 4},
+			}
+			if reorder {
+				ps[0], ps[1] = ps[1], ps[0]
+			}
+			json.NewEncoder(w).Encode(map[string]any{"patterns": ps, "total": 2})
+		}
+	}
+	srv1 := httptest.NewServer(answer(false))
+	defer srv1.Close()
+	srv2 := httptest.NewServer(answer(true))
+	defer srv2.Close()
+	h1, status, err := testBench(srv1.URL).mine("e", 5)
+	if err != nil || status != http.StatusOK {
+		t.Fatal(status, err)
+	}
+	h2, _, err := testBench(srv2.URL).mine("e", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("hash depends on response order: %s vs %s", h1, h2)
+	}
+}
+
+func TestMineReportsServerErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no such dataset", http.StatusNotFound)
+	}))
+	defer srv.Close()
+	_, status, err := testBench(srv.URL).mine("e", 5)
+	if status != http.StatusNotFound || err == nil || !strings.Contains(err.Error(), "no such dataset") {
+		t.Fatalf("status = %d err = %v, want surfaced 404", status, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	if p := percentile(sorted, 0.5); p != 25 {
+		t.Fatalf("p50 = %v, want 25 (interpolated)", p)
+	}
+	if p := percentile(sorted, 0.99); p <= 39 || p > 40 {
+		t.Fatalf("p99 = %v, want just under 40", p)
+	}
+	if p := percentile([]float64{7}, 0.99); p != 7 {
+		t.Fatalf("single sample p99 = %v, want 7", p)
+	}
+	if p := percentile(sorted, 1); p != 40 {
+		t.Fatalf("p100 = %v, want the max", p)
+	}
+}
+
+func TestCombineHashes(t *testing.T) {
+	if got := combineHashes([]string{"solo"}); got != "solo" {
+		t.Fatalf("single hash = %q, want pass-through", got)
+	}
+	ab := combineHashes([]string{"a", "b"})
+	if ab == combineHashes([]string{"b", "a"}) {
+		t.Fatal("combined hash must be order-sensitive (expressions are positional)")
+	}
+	if ab != combineHashes([]string{"a", "b"}) {
+		t.Fatal("combined hash must be deterministic")
+	}
+}
+
+func TestWorkloadFlags(t *testing.T) {
+	var w workloadFlags
+	if err := w.Set("t9=[.*(A)]{1,2}@25"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Set("plain=(B)"); err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 || w[0].name != "t9" || w[0].sigma != 25 || w[0].exprs[0] != "[.*(A)]{1,2}" {
+		t.Fatalf("parsed = %+v", w)
+	}
+	if w[1].sigma != 0 || w[1].exprs[0] != "(B)" {
+		t.Fatalf("parsed = %+v", w[1])
+	}
+	if w.String() == "" {
+		t.Fatal("String() empty")
+	}
+	for _, bad := range []string{"noequals", "=expr", "name=", "name=e@x"} {
+		if err := w.Set(bad); err == nil {
+			t.Fatalf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWriteResultsMerge(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_serving.json")
+	first := &benchcmp.ServingBaseline{
+		Schema:        benchcmp.ServingSchemaVersion,
+		CalibrationNS: 100,
+		Passes: map[string]benchcmp.ServingPass{
+			"local": {Workloads: map[string]benchcmp.ServingWorkload{"t1": {Requests: 1, P50MS: 1, P99MS: 2}}},
+		},
+	}
+	if err := writeResults(path, false, "local", first); err != nil {
+		t.Fatal(err)
+	}
+	second := &benchcmp.ServingBaseline{
+		Schema:        benchcmp.ServingSchemaVersion,
+		CalibrationNS: 250, // slower sample: the merge must keep the faster one
+		Passes: map[string]benchcmp.ServingPass{
+			"cluster": {Workloads: map[string]benchcmp.ServingWorkload{"t1": {Requests: 1, P50MS: 3, P99MS: 4}}},
+		},
+	}
+	if err := writeResults(path, true, "cluster", second); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	merged, err := benchcmp.ReadServingBaseline(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Passes) != 2 {
+		t.Fatalf("merged passes = %v", merged.Passes)
+	}
+	if merged.CalibrationNS != 100 {
+		t.Fatalf("merged calibration = %v, want the faster 100", merged.CalibrationNS)
+	}
+}
+
+func TestCalibrateIsPositiveAndFinite(t *testing.T) {
+	ns := calibrate()
+	if ns <= 0 || math.IsInf(ns, 1) {
+		t.Fatalf("calibration = %v", ns)
+	}
+}

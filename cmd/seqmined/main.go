@@ -40,6 +40,11 @@ func main() {
 	cacheSize := flag.Int("cache-size", 128, "compiled-pattern cache capacity (entries)")
 	workers := flag.Int("workers", 0, "default per-query worker pool size (0 = all CPUs)")
 	maxConcurrent := flag.Int("max-concurrent", 0, "maximum queries mining at once (0 = unbounded)")
+	maxInflight := flag.Int("max-inflight", 0, "alias of -max-concurrent (the admission gate's in-flight bound)")
+	queueDepth := flag.Int("queue-depth", 0, "queries that may wait for a mining slot before shedding with 429 (0 = 4x the in-flight bound, negative = no waiting room)")
+	resultCache := flag.Int("result-cache", 1024, "result cache capacity (entries), keyed by dataset generation, pattern, sigma and algorithm (0 = disabled)")
+	apiKeys := flag.String("api-keys", "", "JSON file of API keys ([{\"key\":...,\"tenant\":...,\"max_inflight\":...,\"max_datasets\":...}]); empty = no authentication")
+	catalogDir := flag.String("catalog-dir", "", "persistent dataset catalog directory: registrations survive restarts and may be shared by replicas (empty = in-memory only)")
 	timeout := flag.Duration("timeout", 0, "default per-query deadline (0 = none)")
 	clusterWorkers := flag.String("cluster", "", "comma-separated seqmine-worker control URLs used by queries with \"distributed\": true")
 	spillThreshold := flag.Int64("spill-threshold", 0, "default shuffle bytes a query holds in memory before spilling to disk (0 = never spill; queries override with \"spill_threshold_bytes\")")
@@ -71,10 +76,38 @@ func main() {
 			}
 		}
 	}
+	inflight := *maxConcurrent
+	if inflight == 0 {
+		inflight = *maxInflight
+	}
+	var auth *service.Authenticator
+	if *apiKeys != "" {
+		keys, err := service.LoadAPIKeys(*apiKeys)
+		if err == nil {
+			auth, err = service.NewAuthenticator(keys)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqmined: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var catalog *service.Catalog
+	if *catalogDir != "" {
+		var err error
+		if catalog, err = service.OpenCatalog(*catalogDir); err != nil {
+			fmt.Fprintf(os.Stderr, "seqmined: %v\n", err)
+			os.Exit(1)
+		}
+		defer catalog.Close()
+	}
 	svc := service.New(service.Config{
 		CacheSize:        *cacheSize,
 		Workers:          *workers,
-		MaxConcurrent:    *maxConcurrent,
+		MaxConcurrent:    inflight,
+		QueueDepth:       *queueDepth,
+		ResultCacheSize:  *resultCache,
+		Auth:             auth,
+		Catalog:          catalog,
 		DefaultTimeout:   *timeout,
 		ClusterWorkers:   clusterURLs,
 		SpillThreshold:   *spillThreshold,
@@ -87,6 +120,16 @@ func main() {
 		Obs:              obs.NewRegistry(),
 		Recorder:         obs.NewRecorder("seqmined", *traceBuffer),
 	})
+	if catalog != nil {
+		n, err := svc.RestoreCatalog()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seqmined: restoring catalog: %v\n", err)
+			os.Exit(1)
+		}
+		if n > 0 {
+			log.Printf("restored %d dataset(s) from catalog %s", n, catalog.Dir())
+		}
+	}
 	for _, spec := range loads {
 		name, paths, ok := strings.Cut(spec, "=")
 		if !ok || name == "" {
@@ -125,7 +168,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("seqmined listening on %s (%d datasets)", *addr, len(loads))
+		log.Printf("seqmined listening on %s (%d datasets)", *addr, len(svc.Datasets()))
 		errCh <- srv.ListenAndServe()
 	}()
 

@@ -354,14 +354,28 @@ func WriteBaseline(w io.Writer, b *Baseline) error {
 	return enc.Encode(b)
 }
 
-// ReadBaseline parses BENCH_baseline.json.
+// ReadBaseline parses BENCH_baseline.json. A stale or foreign file fails with
+// a message that says what to do about it, not just that a number was wrong:
+// the gate's most common operational failure is a baseline left behind by an
+// older (or newer) toolchain, and "unsupported schema 3" alone sends people
+// diffing JSON instead of re-recording.
 func ReadBaseline(r io.Reader) (*Baseline, error) {
 	var b Baseline
 	if err := json.NewDecoder(r).Decode(&b); err != nil {
 		return nil, fmt.Errorf("benchcmp: parsing baseline: %w", err)
 	}
-	if b.Schema != 1 && b.Schema != 2 {
-		return nil, fmt.Errorf("benchcmp: unsupported baseline schema %d", b.Schema)
+	switch {
+	case b.Schema == 0:
+		return nil, fmt.Errorf("benchcmp: baseline has no schema field — this is not a benchgate baseline " +
+			"(or predates schema versioning); re-record it with `benchgate record`")
+	case b.Schema > 2:
+		return nil, fmt.Errorf("benchcmp: baseline schema %d is newer than this benchgate understands (max 2); "+
+			"update the tool or re-record the baseline with `benchgate record`", b.Schema)
+	case b.Schema != 1 && b.Schema != 2:
+		return nil, fmt.Errorf("benchcmp: unsupported baseline schema %d; re-record with `benchgate record`", b.Schema)
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchcmp: baseline (schema %d) holds no benchmarks; re-record with `benchgate record`", b.Schema)
 	}
 	return &b, nil
 }

@@ -15,7 +15,7 @@ import (
 // failing gate is an error.
 func RunCLI(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: benchgate record|compare|emit|normalize [flags]")
+		return fmt.Errorf("usage: benchgate record|compare|emit|normalize|serving [flags]")
 	}
 	switch cmd := args[0]; cmd {
 	case "record":
@@ -26,8 +26,10 @@ func RunCLI(args []string, stdin io.Reader, stdout io.Writer) error {
 		return runEmit(args[1:], stdout)
 	case "normalize":
 		return runNormalize(args[1:], stdin, stdout)
+	case "serving":
+		return runServing(args[1:], stdout)
 	default:
-		return fmt.Errorf("benchgate: unknown subcommand %q (want record, compare, emit or normalize)", cmd)
+		return fmt.Errorf("benchgate: unknown subcommand %q (want record, compare, emit, normalize or serving)", cmd)
 	}
 }
 
@@ -160,6 +162,77 @@ func runNormalize(args []string, stdin io.Reader, stdout io.Writer) error {
 		BytesPerOp:  samples.Bytes,
 		AllocsPerOp: samples.Allocs,
 	})
+}
+
+// runServing gates a seqmine-bench run (BENCH_serving.json produced with
+// -out) against the committed serving baseline: p99 latency per workload,
+// calibration-scaled, plus result-hash equivalence.
+func runServing(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("serving", flag.ContinueOnError)
+	baselinePath := fs.String("baseline", "BENCH_serving.json", "committed serving baseline to compare against")
+	currentPath := fs.String("current", "", "serving results of this run (seqmine-bench -out file; required)")
+	maxRatio := fs.Float64("max-p99-ratio", 1.15, "fail when the geomean p99 ratio exceeds this bound")
+	summaryPath := fs.String("summary", "", "append the comparison as a markdown table to this file (e.g. $GITHUB_STEP_SUMMARY; empty disables)")
+	jsonPath := fs.String("json", "", "write the raw comparison report as JSON to this file (empty disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *currentPath == "" {
+		return fmt.Errorf("benchgate serving: -current is required")
+	}
+	baseline, err := readServingFile(*baselinePath)
+	if err != nil {
+		return err
+	}
+	current, err := readServingFile(*currentPath)
+	if err != nil {
+		return err
+	}
+	rep, err := CompareServing(baseline, current)
+	if err != nil {
+		return err
+	}
+	rep.Format(stdout, *maxRatio)
+	if *summaryPath != "" {
+		f, err := os.OpenFile(*summaryPath, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		rep.FormatMarkdown(f, *maxRatio)
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if len(rep.MissingInCurrent) > 0 {
+		return fmt.Errorf("benchgate: %d baseline serving workloads were not run; the gate cannot pass on partial results", len(rep.MissingInCurrent))
+	}
+	if len(rep.HashMismatches) > 0 {
+		return fmt.Errorf("benchgate: %d workload result hashes diverged from the baseline — mining output changed "+
+			"(re-record the baseline if intentional)", len(rep.HashMismatches))
+	}
+	if rep.Geomean > *maxRatio {
+		return fmt.Errorf("benchgate: serving p99 geomean ratio %.3f exceeds the %.3f gate — latency regression", rep.Geomean, *maxRatio)
+	}
+	fmt.Fprintln(stdout, "benchgate: PASS")
+	return nil
+}
+
+func readServingFile(path string) (*ServingBaseline, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadServingBaseline(f)
 }
 
 func readBaselineFile(path string) (*Baseline, error) {

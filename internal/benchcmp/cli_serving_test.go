@@ -1,0 +1,124 @@
+package benchcmp_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seqmine/internal/benchcmp"
+)
+
+func writeServing(t *testing.T, path string, cal float64, p99 map[string]float64, hash string) {
+	t.Helper()
+	wls := make(map[string]benchcmp.ServingWorkload, len(p99))
+	for name, v := range p99 {
+		wls[name] = benchcmp.ServingWorkload{
+			Requests: 50, P50MS: v / 2, P99MS: v, ThroughputRPS: 20, ResultHash: hash,
+		}
+	}
+	b := &benchcmp.ServingBaseline{
+		Schema:        benchcmp.ServingSchemaVersion,
+		CalibrationNS: cal,
+		Passes:        map[string]benchcmp.ServingPass{"local": {Workloads: wls}},
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := benchcmp.WriteServingBaseline(f, b); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCLIServingGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_serving.json")
+	current := filepath.Join(dir, "current.json")
+	writeServing(t, baseline, 100, map[string]float64{"t1": 10, "t2": 40}, "h1")
+
+	// Identical run passes, writes the summary table and the JSON report.
+	writeServing(t, current, 100, map[string]float64{"t1": 10, "t2": 40}, "h1")
+	summary := filepath.Join(dir, "summary.md")
+	report := filepath.Join(dir, "report.json")
+	out, err := runCLI(t, []string{"serving", "-baseline", baseline, "-current", current,
+		"-summary", summary, "-json", report}, "")
+	if err != nil {
+		t.Fatalf("identical run: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "benchgate: PASS") {
+		t.Errorf("output: %q", out)
+	}
+	md, err := os.ReadFile(summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "| local/t1 |") {
+		t.Errorf("summary markdown lacks the workload row:\n%s", md)
+	}
+	var rep benchcmp.ServingReport
+	buf, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 2 || rep.Geomean != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// A uniform 2x latency regression fails the 1.15 gate.
+	writeServing(t, current, 100, map[string]float64{"t1": 20, "t2": 80}, "h1")
+	if _, err := runCLI(t, []string{"serving", "-baseline", baseline, "-current", current}, ""); err == nil ||
+		!strings.Contains(err.Error(), "latency regression") {
+		t.Fatalf("regressed run: err = %v, want latency regression failure", err)
+	}
+
+	// The same 2x on a machine whose calibration also doubled is machine
+	// speed, not regression: it passes.
+	writeServing(t, current, 200, map[string]float64{"t1": 20, "t2": 80}, "h1")
+	if out, err := runCLI(t, []string{"serving", "-baseline", baseline, "-current", current}, ""); err != nil {
+		t.Fatalf("calibrated run: %v\n%s", err, out)
+	}
+
+	// A diverged result hash fails even when latency is fine.
+	writeServing(t, current, 100, map[string]float64{"t1": 10, "t2": 40}, "h2")
+	if _, err := runCLI(t, []string{"serving", "-baseline", baseline, "-current", current}, ""); err == nil ||
+		!strings.Contains(err.Error(), "mining output changed") {
+		t.Fatalf("hash mismatch: err = %v, want output-changed failure", err)
+	}
+
+	// A partial run (missing workload) cannot pass the gate.
+	writeServing(t, current, 100, map[string]float64{"t1": 10}, "h1")
+	if _, err := runCLI(t, []string{"serving", "-baseline", baseline, "-current", current}, ""); err == nil ||
+		!strings.Contains(err.Error(), "partial") {
+		t.Fatalf("partial run: err = %v, want partial-results failure", err)
+	}
+}
+
+func TestCLIServingRequiresCurrent(t *testing.T) {
+	if _, err := runCLI(t, []string{"serving"}, ""); err == nil ||
+		!strings.Contains(err.Error(), "-current is required") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCLIServingStaleBaselineIsActionable(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "BENCH_serving.json")
+	current := filepath.Join(dir, "current.json")
+	writeServing(t, current, 100, map[string]float64{"t1": 10}, "")
+	// A pre-schema file (e.g. a hand-written or foreign JSON) must fail with
+	// a pointer at the re-record script, not a nil-map panic or a bare
+	// unmarshal error.
+	if err := os.WriteFile(baseline, []byte(`{"passes":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := runCLI(t, []string{"serving", "-baseline", baseline, "-current", current}, "")
+	if err == nil || !strings.Contains(err.Error(), "serving-baseline.sh") {
+		t.Fatalf("err = %v, want re-record guidance", err)
+	}
+}

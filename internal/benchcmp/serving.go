@@ -1,0 +1,275 @@
+package benchcmp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// The serving-latency gate. Where BENCH_baseline.json gates micro-benchmarks
+// (ns/op of `go test -bench`), BENCH_serving.json gates the serving tier
+// end to end: cmd/seqmine-bench drives a live seqmined over HTTP with the
+// Table III workloads and records tail latencies, throughput and shed rates
+// per workload, grouped into passes (local execution, cluster execution).
+// CI re-runs the bench and fails when p99 regresses past the gate.
+//
+// Like the micro-benchmark gate, cross-machine comparability comes from a
+// calibration workload: seqmine-bench runs the same fixed splitmix64 loop as
+// BenchmarkCalibration and stores its per-iteration nanoseconds in the file,
+// so the comparison can divide the machine-speed factor out of every latency
+// ratio.
+
+// ServingSchemaVersion is the current BENCH_serving.json schema.
+const ServingSchemaVersion = 1
+
+// ServingBaseline is the committed serving benchmark reference
+// (BENCH_serving.json).
+type ServingBaseline struct {
+	Schema    int    `json:"schema"`
+	Command   string `json:"command,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	// CalibrationNS is the wall-clock nanoseconds of one calibration loop
+	// iteration (the splitmix64 workload of BenchmarkCalibration) on the
+	// machine that produced the samples.
+	CalibrationNS float64 `json:"calibration_ns"`
+	// Passes groups workload results by serving configuration, e.g. "local"
+	// (in-process execution) and "cluster" (distributed over workers).
+	Passes map[string]ServingPass `json:"passes"`
+}
+
+// ServingPass is the result of one bench pass: every workload's measurements.
+type ServingPass struct {
+	Workloads map[string]ServingWorkload `json:"workloads"`
+}
+
+// ServingWorkload is the measured outcome of one workload in one pass.
+type ServingWorkload struct {
+	// Requests/Errors/Shed count all issued requests, hard failures
+	// (non-2xx other than 429), and shed requests (429).
+	Requests int `json:"requests"`
+	Errors   int `json:"errors"`
+	Shed     int `json:"shed"`
+	// P50MS/P99MS are latency percentiles over successful requests, in
+	// milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// ThroughputRPS is successful requests per second of wall time.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// ShedRate is Shed / Requests.
+	ShedRate float64 `json:"shed_rate"`
+	// ResultHash is the canonical hash of the workload's mining answer
+	// (identical across runs unless mining output changed).
+	ResultHash string `json:"result_hash,omitempty"`
+}
+
+// WriteServingBaseline serializes a serving baseline as indented JSON.
+func WriteServingBaseline(w io.Writer, b *ServingBaseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadServingBaseline parses BENCH_serving.json, failing with an actionable
+// message on stale or foreign files (see ReadBaseline for the rationale).
+func ReadServingBaseline(r io.Reader) (*ServingBaseline, error) {
+	var b ServingBaseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("benchcmp: parsing serving baseline: %w", err)
+	}
+	switch {
+	case b.Schema == 0:
+		return nil, fmt.Errorf("benchcmp: serving baseline has no schema field — this is not a seqmine-bench " +
+			"baseline; re-record it with scripts/serving-baseline.sh")
+	case b.Schema > ServingSchemaVersion:
+		return nil, fmt.Errorf("benchcmp: serving baseline schema %d is newer than this benchgate understands (max %d); "+
+			"update the tool or re-record with scripts/serving-baseline.sh", b.Schema, ServingSchemaVersion)
+	case b.Schema != ServingSchemaVersion:
+		return nil, fmt.Errorf("benchcmp: unsupported serving baseline schema %d; re-record with scripts/serving-baseline.sh", b.Schema)
+	}
+	if len(b.Passes) == 0 {
+		return nil, fmt.Errorf("benchcmp: serving baseline holds no passes; re-record with scripts/serving-baseline.sh")
+	}
+	if b.CalibrationNS <= 0 {
+		return nil, fmt.Errorf("benchcmp: serving baseline has no calibration sample; re-record with scripts/serving-baseline.sh")
+	}
+	return &b, nil
+}
+
+// ServingResult is one workload's comparison against the serving baseline.
+type ServingResult struct {
+	Pass     string `json:"pass"`
+	Workload string `json:"workload"`
+	// BaselineP99MS / CurrentP99MS are raw (uncalibrated) milliseconds.
+	BaselineP99MS float64 `json:"baseline_p99_ms"`
+	CurrentP99MS  float64 `json:"current_p99_ms"`
+	// Ratio is (current/baseline) p99 after dividing out the machine-speed
+	// calibration scale.
+	Ratio float64 `json:"ratio"`
+	// BaselineHash/CurrentHash carry the result hashes when both sides
+	// recorded one; HashMismatch flags a divergence (mining output changed).
+	HashMismatch bool `json:"hash_mismatch,omitempty"`
+	// ThroughputRatio is current/baseline successful-requests-per-second,
+	// calibration-scaled the other way (informational, not gated).
+	ThroughputRatio float64 `json:"throughput_ratio"`
+}
+
+// ServingReport is the outcome of a serving comparison.
+type ServingReport struct {
+	Results []ServingResult `json:"results"`
+	// Geomean is the geometric mean of the p99 ratios.
+	Geomean float64 `json:"p99_geomean"`
+	// CalibrationScale is the machine-speed factor (current calibration ns /
+	// baseline calibration ns) divided out of every ratio.
+	CalibrationScale float64 `json:"calibration_scale"`
+	// MissingInCurrent are baseline pass/workload pairs absent from the
+	// current run (the gate refuses to pass on partial runs).
+	MissingInCurrent []string `json:"missing_in_current,omitempty"`
+	// MissingInBaseline are current pass/workload pairs with no baseline
+	// entry (informational).
+	MissingInBaseline []string `json:"missing_in_baseline,omitempty"`
+	// HashMismatches lists pass/workload pairs whose result hashes diverged.
+	HashMismatches []string `json:"hash_mismatches,omitempty"`
+}
+
+// CompareServing evaluates a current serving run against the baseline: every
+// baseline workload must be present, p99 ratios are calibration-scaled, and
+// result hashes (when recorded on both sides) must agree.
+func CompareServing(baseline, current *ServingBaseline) (*ServingReport, error) {
+	rep := &ServingReport{CalibrationScale: 1}
+	if baseline.CalibrationNS > 0 && current.CalibrationNS > 0 {
+		rep.CalibrationScale = current.CalibrationNS / baseline.CalibrationNS
+	}
+	logSum, n := 0.0, 0
+	for _, pass := range sortedPassNames(baseline.Passes) {
+		basePass := baseline.Passes[pass]
+		curPass, ok := current.Passes[pass]
+		if !ok {
+			for _, wl := range sortedWorkloadNames(basePass.Workloads) {
+				rep.MissingInCurrent = append(rep.MissingInCurrent, pass+"/"+wl)
+			}
+			continue
+		}
+		for _, wl := range sortedWorkloadNames(basePass.Workloads) {
+			base := basePass.Workloads[wl]
+			cur, ok := curPass.Workloads[wl]
+			if !ok {
+				rep.MissingInCurrent = append(rep.MissingInCurrent, pass+"/"+wl)
+				continue
+			}
+			if base.P99MS <= 0 || cur.P99MS <= 0 {
+				return nil, fmt.Errorf("benchcmp: non-positive p99 for %s/%s", pass, wl)
+			}
+			res := ServingResult{
+				Pass:          pass,
+				Workload:      wl,
+				BaselineP99MS: base.P99MS,
+				CurrentP99MS:  cur.P99MS,
+				Ratio:         (cur.P99MS / base.P99MS) / rep.CalibrationScale,
+			}
+			if base.ThroughputRPS > 0 && cur.ThroughputRPS > 0 {
+				res.ThroughputRatio = (cur.ThroughputRPS / base.ThroughputRPS) * rep.CalibrationScale
+			}
+			if base.ResultHash != "" && cur.ResultHash != "" && base.ResultHash != cur.ResultHash {
+				res.HashMismatch = true
+				rep.HashMismatches = append(rep.HashMismatches, pass+"/"+wl)
+			}
+			rep.Results = append(rep.Results, res)
+			logSum += math.Log(res.Ratio)
+			n++
+		}
+	}
+	for _, pass := range sortedPassNames(current.Passes) {
+		for _, wl := range sortedWorkloadNames(current.Passes[pass].Workloads) {
+			basePass, ok := baseline.Passes[pass]
+			if !ok {
+				rep.MissingInBaseline = append(rep.MissingInBaseline, pass+"/"+wl)
+				continue
+			}
+			if _, ok := basePass.Workloads[wl]; !ok {
+				rep.MissingInBaseline = append(rep.MissingInBaseline, pass+"/"+wl)
+			}
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("benchcmp: no serving workload overlaps the baseline")
+	}
+	rep.Geomean = math.Exp(logSum / float64(n))
+	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Ratio > rep.Results[j].Ratio })
+	return rep, nil
+}
+
+// Format renders the serving report as an aligned table.
+func (r *ServingReport) Format(w io.Writer, maxRatio float64) {
+	fmt.Fprintf(w, "%-32s %14s %14s %8s %10s\n", "pass/workload", "base p99 ms", "cur p99 ms", "ratio", "thru ratio")
+	for _, res := range r.Results {
+		marker := ""
+		if res.Ratio > maxRatio {
+			marker = "  <-- above gate"
+		}
+		if res.HashMismatch {
+			marker += "  <-- result hash diverged"
+		}
+		fmt.Fprintf(w, "%-32s %14.2f %14.2f %8.3f %10.3f%s\n",
+			res.Pass+"/"+res.Workload, res.BaselineP99MS, res.CurrentP99MS, res.Ratio, res.ThroughputRatio, marker)
+	}
+	if r.CalibrationScale != 1 {
+		fmt.Fprintf(w, "calibration scale (machine speed factor): %.3f\n", r.CalibrationScale)
+	}
+	for _, name := range r.MissingInCurrent {
+		fmt.Fprintf(w, "warning: %s is in the baseline but was not run\n", name)
+	}
+	for _, name := range r.MissingInBaseline {
+		fmt.Fprintf(w, "note: %s has no baseline entry (not gated)\n", name)
+	}
+	fmt.Fprintf(w, "p99 geomean ratio %.3f (gate %.3f)\n", r.Geomean, maxRatio)
+}
+
+// FormatMarkdown renders the serving report as a GitHub-flavored markdown
+// table for CI step summaries.
+func (r *ServingReport) FormatMarkdown(w io.Writer, maxRatio float64) {
+	fmt.Fprintf(w, "### Serving benchmark comparison\n\n")
+	fmt.Fprintf(w, "| pass/workload | baseline p99 ms | current p99 ms | p99 ratio | throughput ratio |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|\n")
+	for _, res := range r.Results {
+		cell := fmt.Sprintf("%.3f", res.Ratio)
+		if res.Ratio > maxRatio {
+			cell = fmt.Sprintf("**%.3f** ⚠", res.Ratio)
+		}
+		if res.HashMismatch {
+			cell += " (hash diverged)"
+		}
+		fmt.Fprintf(w, "| %s | %.2f | %.2f | %s | %.3f |\n",
+			res.Pass+"/"+res.Workload, res.BaselineP99MS, res.CurrentP99MS, cell, res.ThroughputRatio)
+	}
+	fmt.Fprintf(w, "\np99 geomean **%.3f** (gate %.3f)", r.Geomean, maxRatio)
+	if r.CalibrationScale != 1 {
+		fmt.Fprintf(w, ", calibration scale %.3f", r.CalibrationScale)
+	}
+	fmt.Fprintf(w, "\n")
+	for _, name := range r.MissingInCurrent {
+		fmt.Fprintf(w, "\n⚠ `%s` is in the baseline but was not run\n", name)
+	}
+	for _, name := range r.HashMismatches {
+		fmt.Fprintf(w, "\n⚠ `%s` result hash diverged from the baseline\n", name)
+	}
+}
+
+func sortedPassNames(m map[string]ServingPass) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func sortedWorkloadNames(m map[string]ServingWorkload) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

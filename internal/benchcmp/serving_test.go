@@ -1,0 +1,133 @@
+package benchcmp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func servingWL(p99 float64, hash string) ServingWorkload {
+	return ServingWorkload{Requests: 100, P50MS: p99 / 2, P99MS: p99, ThroughputRPS: 50, ResultHash: hash}
+}
+
+func servingBaseline(cal float64, passes map[string]ServingPass) *ServingBaseline {
+	return &ServingBaseline{Schema: ServingSchemaVersion, CalibrationNS: cal, Passes: passes}
+}
+
+func TestServingBaselineRoundTrip(t *testing.T) {
+	b := servingBaseline(3.5, map[string]ServingPass{
+		"local": {Workloads: map[string]ServingWorkload{"t1": servingWL(12, "abc")}},
+	})
+	var buf bytes.Buffer
+	if err := WriteServingBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadServingBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CalibrationNS != 3.5 || got.Passes["local"].Workloads["t1"].P99MS != 12 {
+		t.Fatalf("round trip = %+v", got)
+	}
+}
+
+func TestReadServingBaselineRejectsStaleFiles(t *testing.T) {
+	cases := []struct {
+		name, json, want string
+	}{
+		{"no schema", `{"passes":{"local":{"workloads":{}}}}`, "no schema field"},
+		{"future schema", `{"schema":99,"calibration_ns":1,"passes":{"local":{"workloads":{}}}}`, "newer than this benchgate"},
+		{"no passes", `{"schema":1,"calibration_ns":1}`, "no passes"},
+		{"no calibration", `{"schema":1,"passes":{"local":{"workloads":{}}}}`, "no calibration sample"},
+		{"not json", `bench: 42 ns/op`, "parsing serving baseline"},
+	}
+	for _, c := range cases {
+		_, err := ReadServingBaseline(strings.NewReader(c.json))
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want mention of %q", c.name, err, c.want)
+		}
+		// Every rejection must tell the user how to fix it.
+		if err != nil && c.name != "not json" && !strings.Contains(err.Error(), "serving-baseline.sh") {
+			t.Errorf("%s: err %v does not point at scripts/serving-baseline.sh", c.name, err)
+		}
+	}
+}
+
+func TestCompareServingCalibrationScale(t *testing.T) {
+	base := servingBaseline(2, map[string]ServingPass{
+		"local": {Workloads: map[string]ServingWorkload{"t1": servingWL(10, "h")}},
+	})
+	// The current machine is 2x slower (calibration 4ns vs 2ns) and measured
+	// 2x the latency: after dividing out machine speed the ratio is 1.0.
+	cur := servingBaseline(4, map[string]ServingPass{
+		"local": {Workloads: map[string]ServingWorkload{"t1": servingWL(20, "h")}},
+	})
+	rep, err := CompareServing(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CalibrationScale != 2 {
+		t.Fatalf("scale = %v, want 2", rep.CalibrationScale)
+	}
+	if math.Abs(rep.Geomean-1) > 1e-9 {
+		t.Fatalf("geomean = %v, want 1.0 after calibration", rep.Geomean)
+	}
+	if len(rep.Results) != 1 || math.Abs(rep.Results[0].Ratio-1) > 1e-9 {
+		t.Fatalf("results = %+v", rep.Results)
+	}
+	if math.Abs(rep.Results[0].ThroughputRatio-2) > 1e-9 {
+		t.Fatalf("throughput ratio = %v, want 2 (same rps on a 2x slower machine)", rep.Results[0].ThroughputRatio)
+	}
+}
+
+func TestCompareServingFlagsMissingAndMismatched(t *testing.T) {
+	base := servingBaseline(1, map[string]ServingPass{
+		"local": {Workloads: map[string]ServingWorkload{
+			"t1": servingWL(10, "aaa"),
+			"t2": servingWL(10, "bbb"),
+		}},
+		"cluster": {Workloads: map[string]ServingWorkload{"t1": servingWL(30, "")}},
+	})
+	cur := servingBaseline(1, map[string]ServingPass{
+		"local": {Workloads: map[string]ServingWorkload{
+			"t1": servingWL(11, "zzz"), // hash diverged
+			"t3": servingWL(5, ""),     // new workload, not in baseline
+		}},
+		// the whole cluster pass is missing
+	})
+	rep, err := CompareServing(base, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMissing := []string{"local/t2", "cluster/t1"}
+	if len(rep.MissingInCurrent) != 2 {
+		t.Fatalf("missing in current = %v, want %v", rep.MissingInCurrent, wantMissing)
+	}
+	if len(rep.HashMismatches) != 1 || rep.HashMismatches[0] != "local/t1" {
+		t.Fatalf("hash mismatches = %v, want [local/t1]", rep.HashMismatches)
+	}
+	if len(rep.MissingInBaseline) != 1 || rep.MissingInBaseline[0] != "local/t3" {
+		t.Fatalf("missing in baseline = %v, want [local/t3]", rep.MissingInBaseline)
+	}
+	var buf bytes.Buffer
+	rep.Format(&buf, 1.15)
+	out := buf.String()
+	for _, want := range []string{"local/t1", "result hash diverged", "in the baseline but was not run"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareServingNoOverlapErrors(t *testing.T) {
+	base := servingBaseline(1, map[string]ServingPass{
+		"local": {Workloads: map[string]ServingWorkload{"t1": servingWL(10, "")}},
+	})
+	cur := servingBaseline(1, map[string]ServingPass{
+		"other": {Workloads: map[string]ServingWorkload{"t9": servingWL(10, "")}},
+	})
+	if _, err := CompareServing(base, cur); err == nil {
+		t.Fatal("disjoint runs should not produce a comparable report")
+	}
+}

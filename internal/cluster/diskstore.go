@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// BundleDir is the on-disk half of the content-addressed dataset store: a
+// directory of immutable bundle files named <id>.bundle. Because bundles are
+// content-addressed, the directory may be shared by any number of processes
+// (N stateless seqmined replicas, a catalog, workers warming their caches) —
+// writers of the same id write identical bytes, and Put is atomic (write to a
+// temp file, rename into place), so a reader never observes a torn bundle.
+type BundleDir struct {
+	dir string
+}
+
+// OpenBundleDir creates (if needed) and opens a bundle directory.
+func OpenBundleDir(dir string) (*BundleDir, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cluster: bundle directory must not be empty")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: creating bundle directory: %w", err)
+	}
+	return &BundleDir{dir: dir}, nil
+}
+
+// Dir returns the directory path.
+func (b *BundleDir) Dir() string { return b.dir }
+
+func (b *BundleDir) path(id string) (string, error) {
+	// Ids are hex digests with a scheme prefix; refuse anything that could
+	// escape the directory.
+	if id == "" || strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
+		return "", fmt.Errorf("cluster: invalid bundle id %q", id)
+	}
+	return filepath.Join(b.dir, id+".bundle"), nil
+}
+
+// Has reports whether a bundle is present.
+func (b *BundleDir) Has(id string) bool {
+	p, err := b.path(id)
+	if err != nil {
+		return false
+	}
+	_, err = os.Stat(p)
+	return err == nil
+}
+
+// Put stores bundle bytes under their content id. The data is verified
+// against the id, written to a temp file and renamed into place; storing an
+// id that already exists is a no-op (bundles are immutable).
+func (b *BundleDir) Put(id string, data []byte) error {
+	if got := BundleID(data); got != id {
+		return fmt.Errorf("cluster: bundle content hash %s does not match id %s", got, id)
+	}
+	p, err := b.path(id)
+	if err != nil {
+		return err
+	}
+	if _, err := os.Stat(p); err == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(b.dir, ".bundle-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// Get reads a bundle's bytes, verifying them against the id (a corrupted
+// file is reported, not returned).
+func (b *BundleDir) Get(id string) ([]byte, error) {
+	p, err := b.path(id)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return nil, err
+	}
+	if got := BundleID(data); got != id {
+		return nil, fmt.Errorf("cluster: bundle file %s is corrupt (content hash %s)", p, got)
+	}
+	return data, nil
+}
+
+// List returns the stored bundle ids, sorted.
+func (b *BundleDir) List() ([]string, error) {
+	entries, err := os.ReadDir(b.dir)
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if name, ok := strings.CutSuffix(e.Name(), ".bundle"); ok && !strings.HasPrefix(name, ".") {
+			ids = append(ids, name)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestBundleDirRoundTrip(t *testing.T) {
+	bd, err := OpenBundleDir(filepath.Join(t.TempDir(), "bundles"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("bundle payload")
+	id := BundleID(data)
+	if bd.Has(id) {
+		t.Fatal("Has before Put")
+	}
+	if err := bd.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	if !bd.Has(id) {
+		t.Fatal("Has after Put")
+	}
+	// Idempotent: storing the same immutable bundle again is a no-op.
+	if err := bd.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := bd.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, data) {
+		t.Fatalf("Get = %q, want %q", got, data)
+	}
+	other := []byte("second bundle")
+	if err := bd.Put(BundleID(other), other); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := bd.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || !sortedStrings(ids) {
+		t.Fatalf("List = %v, want 2 sorted ids", ids)
+	}
+	if bd.Dir() == "" {
+		t.Fatal("empty Dir()")
+	}
+}
+
+func sortedStrings(s []string) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i-1] > s[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBundleDirRejectsMismatchedContent(t *testing.T) {
+	bd, err := OpenBundleDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bd.Put("sha256:deadbeef", []byte("not that content")); err == nil {
+		t.Fatal("Put accepted content not matching its id")
+	}
+}
+
+func TestBundleDirRejectsTraversalIDs(t *testing.T) {
+	bd, err := OpenBundleDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../escape", "a/b", `a\b`, "a..b"} {
+		if err := bd.Put(id, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted a traversal-capable id", id)
+		}
+		if bd.Has(id) {
+			t.Fatalf("Has(%q) = true", id)
+		}
+		if _, err := bd.Get(id); err == nil {
+			t.Fatalf("Get(%q) succeeded", id)
+		}
+	}
+}
+
+func TestBundleDirGetVerifiesHash(t *testing.T) {
+	dir := t.TempDir()
+	bd, err := OpenBundleDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("good bytes")
+	id := BundleID(data)
+	if err := bd.Put(id, data); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the file on disk: Get must refuse to return mismatching bytes.
+	if err := os.WriteFile(filepath.Join(dir, id+".bundle"), []byte("tampered"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bd.Get(id); err == nil {
+		t.Fatal("Get returned tampered content")
+	}
+}
+
+func TestOpenBundleDirRejectsEmpty(t *testing.T) {
+	if _, err := OpenBundleDir(""); err == nil {
+		t.Fatal("OpenBundleDir(\"\") succeeded")
+	}
+}

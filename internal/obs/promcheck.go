@@ -14,6 +14,11 @@ type ExpositionStats struct {
 	// SeriesByName counts samples per sample name (the full name including
 	// _bucket/_sum/_count suffixes for histograms).
 	SeriesByName map[string]int
+	// MaxByName records the largest sample value observed per sample name
+	// (across all label sets), so CI can assert bounds on gauges and counters
+	// — e.g. that an admission queue's high-watermark never exceeded its
+	// configured depth.
+	MaxByName map[string]float64
 }
 
 // ValidateExposition parses r as Prometheus text exposition format (0.0.4)
@@ -29,7 +34,7 @@ type ExpositionStats struct {
 //
 // It is a smoke validator for CI, not a full OpenMetrics parser.
 func ValidateExposition(r io.Reader) (*ExpositionStats, error) {
-	stats := &ExpositionStats{SeriesByName: make(map[string]int)}
+	stats := &ExpositionStats{SeriesByName: make(map[string]int), MaxByName: make(map[string]float64)}
 	types := make(map[string]string)              // family -> type
 	sampled := make(map[string]bool)              // family already has samples
 	histParts := make(map[string]map[string]bool) // histogram family -> suffixes seen
@@ -49,7 +54,7 @@ func ValidateExposition(r io.Reader) (*ExpositionStats, error) {
 			}
 			continue
 		}
-		name, labels, err := parseSample(line)
+		name, labels, value, err := parseSample(line)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineno, err)
 		}
@@ -77,6 +82,9 @@ func ValidateExposition(r io.Reader) (*ExpositionStats, error) {
 		}
 		sampled[fam] = true
 		stats.Samples++
+		if stats.SeriesByName[name] == 0 || value > stats.MaxByName[name] {
+			stats.MaxByName[name] = value
+		}
 		stats.SeriesByName[name]++
 	}
 	if err := sc.Err(); err != nil {
@@ -148,7 +156,7 @@ func familyOf(name string, types map[string]string) (fam, suffix string) {
 	return name, ""
 }
 
-func parseSample(line string) (name string, labels map[string]string, err error) {
+func parseSample(line string) (name string, labels map[string]string, value float64, err error) {
 	rest := line
 	i := 0
 	for i < len(rest) && rest[i] != '{' && rest[i] != ' ' && rest[i] != '\t' {
@@ -156,30 +164,31 @@ func parseSample(line string) (name string, labels map[string]string, err error)
 	}
 	name = rest[:i]
 	if !validMetricName(name) {
-		return "", nil, fmt.Errorf("invalid metric name in sample %q", line)
+		return "", nil, 0, fmt.Errorf("invalid metric name in sample %q", line)
 	}
 	rest = rest[i:]
 	labels = make(map[string]string)
 	if strings.HasPrefix(rest, "{") {
 		rest, err = parseLabels(rest[1:], labels)
 		if err != nil {
-			return "", nil, fmt.Errorf("sample %q: %w", line, err)
+			return "", nil, 0, fmt.Errorf("sample %q: %w", line, err)
 		}
 	}
 	rest = strings.TrimLeft(rest, " \t")
 	fields := strings.Fields(rest)
 	if len(fields) == 0 || len(fields) > 2 {
-		return "", nil, fmt.Errorf("sample %q: want value [timestamp], got %q", line, rest)
+		return "", nil, 0, fmt.Errorf("sample %q: want value [timestamp], got %q", line, rest)
 	}
-	if _, err := parsePromFloat(fields[0]); err != nil {
-		return "", nil, fmt.Errorf("sample %q: bad value %q", line, fields[0])
+	value, err = parsePromFloat(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("sample %q: bad value %q", line, fields[0])
 	}
 	if len(fields) == 2 {
 		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
-			return "", nil, fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
+			return "", nil, 0, fmt.Errorf("sample %q: bad timestamp %q", line, fields[1])
 		}
 	}
-	return name, labels, nil
+	return name, labels, value, nil
 }
 
 func parseLabels(s string, out map[string]string) (rest string, err error) {

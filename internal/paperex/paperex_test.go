@@ -1,0 +1,71 @@
+package paperex
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqmine/internal/dict"
+)
+
+func TestDictMatchesFigure2(t *testing.T) {
+	d := Dict()
+	// Fig. 2c total order: b < A < d < a1 < c < e < a2 → fids 1..7.
+	want := []struct {
+		name string
+		fid  dict.ItemID
+	}{
+		{"b", 1}, {"A", 2}, {"d", 3}, {"a1", 4}, {"c", 5}, {"e", 6}, {"a2", 7},
+	}
+	for _, w := range want {
+		if got, ok := d.Fid(w.name); !ok || got != w.fid {
+			t.Fatalf("Fid(%s) = %d, %v — want %d", w.name, got, ok, w.fid)
+		}
+	}
+}
+
+func TestDBEncodesEverySequence(t *testing.T) {
+	d := Dict()
+	db := DB(d)
+	raw := RawDB()
+	if len(db) != len(raw) {
+		t.Fatalf("DB has %d sequences, RawDB %d", len(db), len(raw))
+	}
+	for i := range db {
+		if len(db[i]) != len(raw[i]) {
+			t.Fatalf("sequence %d: %d fids vs %d items", i, len(db[i]), len(raw[i]))
+		}
+	}
+	// RawDB hands out copies: mutating one must not corrupt the fixture.
+	raw[0][0] = "mutated"
+	if RawDB()[0][0] != "a1" {
+		t.Fatal("RawDB aliases its backing array")
+	}
+}
+
+func TestRandomDatabaseIsDeterministic(t *testing.T) {
+	d1, db1 := RandomDatabase(rand.New(rand.NewSource(42)), 20, 8)
+	d2, db2 := RandomDatabase(rand.New(rand.NewSource(42)), 20, 8)
+	if d1.Size() != d2.Size() || len(db1) != len(db2) {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := range db1 {
+		if len(db1[i]) != len(db2[i]) {
+			t.Fatalf("sequence %d lengths differ", i)
+		}
+		for j := range db1[i] {
+			if db1[i][j] != db2[i][j] {
+				t.Fatalf("sequence %d item %d differs", i, j)
+			}
+		}
+		if len(db1[i]) == 0 || len(db1[i]) > 8 {
+			t.Fatalf("sequence %d length %d out of [1,8]", i, len(db1[i]))
+		}
+	}
+}
+
+func TestExpectedFrequentIsTheKnownAnswer(t *testing.T) {
+	want := ExpectedFrequent()
+	if len(want) != 3 || want["a1 b"] != 3 || want["a1 A b"] != 2 || want["a1 a1 b"] != 2 {
+		t.Fatalf("fixture answer drifted: %v", want)
+	}
+}

@@ -1,0 +1,88 @@
+package seqdb_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seqmine/internal/dict"
+	"seqmine/internal/paperex"
+	"seqmine/internal/seqdb"
+)
+
+func writeExampleDataset(t *testing.T, dir string) (seqPath, hierPath string) {
+	t.Helper()
+	var seqs strings.Builder
+	for _, s := range paperex.RawDB() {
+		seqs.WriteString(strings.Join(s, " "))
+		seqs.WriteByte('\n')
+	}
+	seqPath = filepath.Join(dir, "sequences.txt")
+	if err := os.WriteFile(seqPath, []byte(seqs.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hierPath = filepath.Join(dir, "hierarchy.txt")
+	if err := os.WriteFile(hierPath, []byte("a1\tA\na2\tA\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return seqPath, hierPath
+}
+
+func TestReadFiles(t *testing.T) {
+	seqPath, hierPath := writeExampleDataset(t, t.TempDir())
+	db, err := seqdb.ReadFiles(seqPath, hierPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumSequences() != len(paperex.RawDB()) {
+		t.Fatalf("NumSequences = %d, want %d", db.NumSequences(), len(paperex.RawDB()))
+	}
+	// The hierarchy must have taken effect: "A" is an ancestor item in the dict.
+	if _, ok := db.Dict.Fid("A"); !ok {
+		t.Fatal("ancestor item A missing from the dictionary")
+	}
+
+	// Omitting the hierarchy is allowed and yields a flat dictionary.
+	flat, err := seqdb.ReadFiles(seqPath, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.NumSequences() != db.NumSequences() {
+		t.Fatalf("flat NumSequences = %d", flat.NumSequences())
+	}
+
+	if _, err := seqdb.ReadFiles(filepath.Join(t.TempDir(), "absent.txt"), ""); err == nil {
+		t.Fatal("missing sequences file accepted")
+	}
+	if _, err := seqdb.ReadFiles(seqPath, filepath.Join(t.TempDir(), "absent.txt")); err == nil {
+		t.Fatal("missing hierarchy file accepted")
+	}
+}
+
+func TestCompact(t *testing.T) {
+	seqs := [][]dict.ItemID{{1, 2, 3}, nil, {4}, {5, 6}}
+	out := seqdb.Compact(seqs)
+	if len(out) != len(seqs) {
+		t.Fatalf("len = %d, want %d", len(out), len(seqs))
+	}
+	for i := range seqs {
+		if len(out[i]) != len(seqs[i]) {
+			t.Fatalf("sequence %d: len %d, want %d", i, len(out[i]), len(seqs[i]))
+		}
+		for j := range seqs[i] {
+			if out[i][j] != seqs[i][j] {
+				t.Fatalf("sequence %d item %d = %d, want %d", i, j, out[i][j], seqs[i][j])
+			}
+		}
+	}
+	// Sub-slices are capacity-capped so appends cannot clobber a neighbor.
+	if cap(out[0]) != len(out[0]) {
+		t.Fatalf("sub-slice capacity %d leaks past its end (len %d)", cap(out[0]), len(out[0]))
+	}
+	// The output is a copy: mutating the input must not change it.
+	seqs[0][0] = 99
+	if out[0][0] != 1 {
+		t.Fatal("Compact aliases its input")
+	}
+}

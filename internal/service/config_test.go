@@ -1,0 +1,102 @@
+package service_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"seqmine/internal/paperex"
+	"seqmine/internal/service"
+)
+
+func TestLoadAPIKeys(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keys.json")
+	content := `[
+  {"key": "s3cret", "tenant": "analytics", "max_inflight": 4, "max_datasets": 8},
+  {"key": "t0ken",  "tenant": "ops"}
+]`
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := service.LoadAPIKeys(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0].Tenant != "analytics" || keys[0].MaxInFlight != 4 || keys[0].MaxDatasets != 8 {
+		t.Fatalf("keys = %+v", keys)
+	}
+	auth, err := service.NewAuthenticator(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !auth.Enabled() {
+		t.Fatal("authenticator not enabled")
+	}
+	var disabled *service.Authenticator
+	if disabled.Enabled() {
+		t.Fatal("nil authenticator claims enabled")
+	}
+
+	if _, err := service.LoadAPIKeys(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := service.LoadAPIKeys(bad); err == nil || !strings.Contains(err.Error(), "parsing API key file") {
+		t.Fatalf("bad file err = %v", err)
+	}
+}
+
+// writeExampleFiles writes the running example as the on-disk text formats.
+func writeExampleFiles(t *testing.T, dir string) (seqPath, hierPath string) {
+	t.Helper()
+	var seqs strings.Builder
+	for _, s := range paperex.RawDB() {
+		seqs.WriteString(strings.Join(s, " "))
+		seqs.WriteByte('\n')
+	}
+	seqPath = filepath.Join(dir, "sequences.txt")
+	if err := os.WriteFile(seqPath, []byte(seqs.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hierPath = filepath.Join(dir, "hierarchy.txt")
+	if err := os.WriteFile(hierPath, []byte("a1\tA\na2\tA\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return seqPath, hierPath
+}
+
+func TestLoadDatasetFromFiles(t *testing.T) {
+	seqPath, hierPath := writeExampleFiles(t, t.TempDir())
+	svc := service.New(service.Config{})
+	gen, err := svc.LoadDataset("ex", seqPath, hierPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 1 {
+		t.Fatalf("generation = %d, want 1", gen)
+	}
+	resp, err := svc.Mine(context.Background(), service.Query{
+		Dataset: "ex", Expression: paperex.PatternExpression, Sigma: paperex.Sigma,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Patterns) == 0 {
+		t.Fatal("no patterns from a file-loaded dataset")
+	}
+	if _, err := svc.LoadDataset("nope", filepath.Join(t.TempDir(), "absent.txt"), ""); err == nil {
+		t.Fatal("loading a missing file succeeded")
+	}
+	if !svc.RemoveDataset("ex") {
+		t.Fatal("RemoveDataset failed")
+	}
+	if svc.RemoveDataset("ex") {
+		t.Fatal("second RemoveDataset claimed success")
+	}
+}

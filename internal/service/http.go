@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"seqmine/internal/obs"
@@ -119,6 +121,14 @@ type errorResponse struct {
 //
 // POST /mine honors an incoming X-Seqmine-Trace header (joining the caller's
 // trace) and echoes the query's trace id in the same response header.
+//
+// When the service is configured with an Authenticator, every endpoint except
+// /healthz, /metrics and /debug/ requires an API key ("Authorization: Bearer
+// <key>" or X-Api-Key) and runs as the key's tenant: queries are charged
+// against the tenant's in-flight quota, dataset registrations against its
+// dataset quota, and a tenant may only delete its own datasets. Shed queries
+// (admission queue full, tenant quota exhausted) answer 429 Too Many Requests
+// with a Retry-After header.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -230,25 +240,30 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid JSON body: %w", err))
 			return
 		}
+		tenant := TenantFrom(r.Context())
 		var err error
 		switch {
 		case req.Path != "" && req.Sequences != nil:
 			writeError(w, http.StatusBadRequest, fmt.Errorf("specify either path or sequences, not both"))
 			return
 		case req.Path != "":
-			_, err = s.LoadDataset(name, req.Path, req.HierarchyPath)
+			var db *seqdb.Database
+			db, err = seqdb.ReadFiles(req.Path, req.HierarchyPath)
+			if err == nil {
+				_, err = s.RegisterDatasetAs(name, db, tenant)
+			}
 		case req.Sequences != nil:
 			var db *seqdb.Database
 			db, err = seqdb.Build(req.Sequences, seqdb.Hierarchy(req.Hierarchy))
 			if err == nil {
-				_, err = s.RegisterDataset(name, db)
+				_, err = s.RegisterDatasetAs(name, db, tenant)
 			}
 		default:
 			writeError(w, http.StatusBadRequest, fmt.Errorf("specify path or sequences"))
 			return
 		}
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, statusFor(err), err)
 			return
 		}
 		info, err := s.DatasetInfo(name)
@@ -260,16 +275,46 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("DELETE /datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
-		if !s.RemoveDataset(name) {
+		ok, err := s.RemoveDatasetAs(name, TenantFrom(r.Context()))
+		if err != nil {
+			writeError(w, statusFor(err), err)
+			return
+		}
+		if !ok {
 			writeError(w, http.StatusNotFound, fmt.Errorf("service: unknown dataset %q", name))
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
-	return mux
+	return withAuth(s, mux)
+}
+
+// withAuth enforces API-key authentication on every endpoint except the
+// unauthenticated operational plane (/healthz, /metrics, /debug/). With no
+// authenticator configured it passes everything through as the anonymous
+// tenant.
+func withAuth(s *Service, next http.Handler) http.Handler {
+	if s.cfg.Auth == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/") {
+			next.ServeHTTP(w, r)
+			return
+		}
+		tenant, err := s.cfg.Auth.Authenticate(r)
+		if err != nil {
+			writeError(w, http.StatusUnauthorized, err)
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(WithTenant(r.Context(), tenant)))
+	})
 }
 
 func statusFor(err error) int {
+	if _, ok := IsOverload(err); ok {
+		return http.StatusTooManyRequests
+	}
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -277,6 +322,12 @@ func statusFor(err error) int {
 		return 499 // client closed request
 	case errors.Is(err, ErrUnknownDataset):
 		return http.StatusNotFound
+	case errors.Is(err, ErrQuotaExceeded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrUnauthenticated):
+		return http.StatusUnauthorized
+	case errors.Is(err, ErrForbidden):
+		return http.StatusForbidden
 	default:
 		return http.StatusBadRequest
 	}
@@ -291,5 +342,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	// Every 429 carries a Retry-After: the admission gate's priced hint when
+	// it shed the query, a conservative second otherwise.
+	if status == http.StatusTooManyRequests {
+		retry := 1
+		if oe, ok := IsOverload(err); ok {
+			retry = int(oe.RetryAfter / time.Second)
+			if retry < 1 {
+				retry = 1
+			}
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+	}
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }

@@ -20,6 +20,10 @@ type QueryMetrics struct {
 	// compiled-pattern cache (including piggybacking on an in-flight
 	// compilation) rather than compiled by this query.
 	CacheHit bool `json:"cache_hit"`
+	// ResultCacheHit reports whether the whole answer was served from the
+	// result cache (including sharing an identical in-flight query's answer):
+	// no admission slot was consumed and no mining ran.
+	ResultCacheHit bool `json:"result_cache_hit,omitempty"`
 	// CompileTime is the time spent obtaining the compiled FST. On a cache
 	// hit it is the (near-zero) lookup time.
 	CompileTime time.Duration `json:"compile_time_ns"`
@@ -51,6 +55,7 @@ type aggregator struct {
 	active           int64
 	patterns         uint64
 	cacheHits        uint64
+	resultCacheHits  uint64
 	compileTimeNS    int64
 	mineTimeNS       int64
 	spilledBytes     int64
@@ -72,6 +77,9 @@ func (a *aggregator) record(m QueryMetrics) {
 	a.patterns += uint64(m.Patterns)
 	if m.CacheHit {
 		a.cacheHits++
+	}
+	if m.ResultCacheHit {
+		a.resultCacheHits++
 	}
 	a.compileTimeNS += int64(m.CompileTime)
 	a.mineTimeNS += int64(m.MineTime)
@@ -103,14 +111,17 @@ func (a *aggregator) addActive(delta int64) {
 
 // Snapshot is a point-in-time view of the aggregate service metrics.
 type Snapshot struct {
-	Queries       uint64        `json:"queries"`
-	Errors        uint64        `json:"errors"`
-	ActiveQueries int64         `json:"active_queries"`
-	PatternsFound uint64        `json:"patterns_found"`
-	CacheHits     uint64        `json:"query_cache_hits"`
-	CacheHitRate  float64       `json:"query_cache_hit_rate"`
-	CompileTime   time.Duration `json:"compile_time_total_ns"`
-	MineTime      time.Duration `json:"mine_time_total_ns"`
+	Queries       uint64  `json:"queries"`
+	Errors        uint64  `json:"errors"`
+	ActiveQueries int64   `json:"active_queries"`
+	PatternsFound uint64  `json:"patterns_found"`
+	CacheHits     uint64  `json:"query_cache_hits"`
+	CacheHitRate  float64 `json:"query_cache_hit_rate"`
+	// ResultCacheHits counts queries served entirely from the result cache
+	// (no admission slot, no mining).
+	ResultCacheHits uint64        `json:"result_cache_hits"`
+	CompileTime     time.Duration `json:"compile_time_total_ns"`
+	MineTime        time.Duration `json:"mine_time_total_ns"`
 	// SpilledBytes/SpillCount/StreamedBatches/SendOverflowSegments total the
 	// shuffle's disk and streaming activity across all served queries
 	// (per-query values live in each response's MapReduce metrics).
@@ -122,14 +133,20 @@ type Snapshot struct {
 	// scheduler's fault-tolerance activity, and DatasetStoreHits/Misses/
 	// PutBytes its dataset-store traffic, across all cluster-executed
 	// queries.
-	ClusterAttempts      int64         `json:"cluster_attempts_total"`
-	ClusterRetries       int64         `json:"cluster_retries_total"`
-	SpeculativeAttempts  int64         `json:"speculative_attempts_total"`
-	DatasetStoreHits     int64         `json:"dataset_store_hits_total"`
-	DatasetStoreMisses   int64         `json:"dataset_store_misses_total"`
-	DatasetStorePutBytes int64         `json:"dataset_store_put_bytes_total"`
-	Cache                cacheStats    `json:"compiled_pattern_cache"`
-	Datasets             []DatasetInfo `json:"datasets"`
+	ClusterAttempts      int64      `json:"cluster_attempts_total"`
+	ClusterRetries       int64      `json:"cluster_retries_total"`
+	SpeculativeAttempts  int64      `json:"speculative_attempts_total"`
+	DatasetStoreHits     int64      `json:"dataset_store_hits_total"`
+	DatasetStoreMisses   int64      `json:"dataset_store_misses_total"`
+	DatasetStorePutBytes int64      `json:"dataset_store_put_bytes_total"`
+	Cache                cacheStats `json:"compiled_pattern_cache"`
+	// ResultCache reports the result cache's occupancy and hit counters
+	// (all-zero when result caching is disabled).
+	ResultCache cacheStats `json:"result_cache"`
+	// Admission reports the admission gate's live and cumulative load
+	// counters (all-zero when MaxConcurrent is 0, i.e. admission disabled).
+	Admission admissionStats `json:"admission"`
+	Datasets  []DatasetInfo  `json:"datasets"`
 	// Registry flattens the typed metrics registry (stage-latency and engine
 	// histograms, per-algorithm counters) into the JSON view; the same series
 	// back the Prometheus exposition at GET /metrics?format=prometheus.
@@ -145,6 +162,7 @@ func (a *aggregator) snapshot() Snapshot {
 		ActiveQueries:        a.active,
 		PatternsFound:        a.patterns,
 		CacheHits:            a.cacheHits,
+		ResultCacheHits:      a.resultCacheHits,
 		CompileTime:          time.Duration(a.compileTimeNS),
 		MineTime:             time.Duration(a.mineTimeNS),
 		SpilledBytes:         a.spilledBytes,

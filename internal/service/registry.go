@@ -29,6 +29,7 @@ type Registry struct {
 type datasetEntry struct {
 	name  string
 	gen   uint64
+	owner string // tenant that registered the dataset ("" = anonymous/admin)
 	db    *seqdb.Database
 	stats seqdb.Stats  // computed once at registration; the database is immutable
 	refs  atomic.Int64 // active queries holding this entry
@@ -61,6 +62,9 @@ type DatasetInfo struct {
 	Generation    uint64      `json:"generation"`
 	ActiveQueries int64       `json:"active_queries"`
 	Stats         seqdb.Stats `json:"stats"`
+	// Tenant is the owner recorded at registration ("" for datasets loaded
+	// by the daemon itself or registered without authentication).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // NewRegistry returns an empty registry.
@@ -71,6 +75,12 @@ func NewRegistry() *Registry {
 // Register adds (or replaces) a database under the given name and returns its
 // generation number.
 func (r *Registry) Register(name string, db *seqdb.Database) (uint64, error) {
+	return r.RegisterOwned(name, db, "")
+}
+
+// RegisterOwned is Register with an owning tenant recorded for quota
+// accounting and deletion policy.
+func (r *Registry) RegisterOwned(name string, db *seqdb.Database, owner string) (uint64, error) {
 	if name == "" {
 		return 0, fmt.Errorf("dataset name must not be empty")
 	}
@@ -78,11 +88,35 @@ func (r *Registry) Register(name string, db *seqdb.Database) (uint64, error) {
 		return 0, fmt.Errorf("dataset %q: database must not be nil", name)
 	}
 	gen := r.nextGen.Add(1)
-	e := &datasetEntry{name: name, gen: gen, db: db, stats: db.Stats()}
+	e := &datasetEntry{name: name, gen: gen, owner: owner, db: db, stats: db.Stats()}
 	r.mu.Lock()
 	r.entries[name] = e
 	r.mu.Unlock()
 	return gen, nil
+}
+
+// Owner returns the owning tenant of a dataset and whether it is registered.
+func (r *Registry) Owner(name string) (string, bool) {
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return "", false
+	}
+	return e.owner, true
+}
+
+// CountOwned returns how many datasets the tenant currently owns.
+func (r *Registry) CountOwned(owner string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	n := 0
+	for _, e := range r.entries {
+		if e.owner == owner {
+			n++
+		}
+	}
+	return n
 }
 
 // LoadFiles reads a database from a sequence file (and optional hierarchy
@@ -148,6 +182,7 @@ func (r *Registry) List() []DatasetInfo {
 			Generation:    e.gen,
 			ActiveQueries: e.refs.Load(),
 			Stats:         e.stats,
+			Tenant:        e.owner,
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

@@ -20,6 +20,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strconv"
 	"time"
@@ -39,9 +40,30 @@ type Config struct {
 	// Workers bounds each query's worker pool when the query does not set
 	// its own; 0 uses all CPUs.
 	Workers int
-	// MaxConcurrent bounds the number of queries mining at once; excess
-	// queries wait (respecting their context). 0 means unbounded.
+	// MaxConcurrent bounds the number of queries mining at once (the
+	// admission gate's in-flight bound). Excess queries wait in the bounded
+	// admission queue (QueueDepth); past that they are shed with an
+	// OverloadError. 0 means unbounded (no queueing, no shedding).
 	MaxConcurrent int
+	// QueueDepth is the admission queue bound: how many queries may wait for
+	// a mining slot before the service sheds load. 0 defaults to
+	// 4×MaxConcurrent; negative means no waiting room (immediate shed when
+	// all slots are busy). Ignored when MaxConcurrent is 0.
+	QueueDepth int
+	// ResultCacheSize is the capacity (entries) of the mined-result cache,
+	// keyed by (dataset generation, expression, sigma, algorithm) with
+	// singleflight deduplication of concurrent identical queries. 0 disables
+	// result caching.
+	ResultCacheSize int
+	// Auth, when non-nil, requires an API key on every query and dataset
+	// mutation and charges tenants' quotas. Nil disables authentication
+	// (everything runs as the anonymous admin tenant).
+	Auth *Authenticator
+	// Catalog, when non-nil, persists dataset registrations: every
+	// Register/Load writes the dataset as a content-addressed bundle plus a
+	// journaled name binding, and RestoreCatalog re-registers the cataloged
+	// datasets after a restart.
+	Catalog *Catalog
 	// DefaultTimeout is applied to queries that carry no deadline; 0 means
 	// no default deadline.
 	DefaultTimeout time.Duration
@@ -98,54 +120,147 @@ type Config struct {
 // Service is a concurrent mining service. All methods are safe for
 // concurrent use.
 type Service struct {
-	cfg   Config
-	reg   *Registry
-	cache *fstCache
-	agg   aggregator
-	slots chan struct{} // nil when MaxConcurrent == 0
+	cfg     Config
+	reg     *Registry
+	cache   *fstCache
+	results *resultCache // nil when ResultCacheSize == 0
+	adm     *admission
+	agg     aggregator
 }
+
+// ErrQuotaExceeded is returned (wrapped) when a tenant's dataset quota is
+// exhausted; the HTTP layer maps it to 429.
+var ErrQuotaExceeded = errors.New("tenant quota exceeded")
+
+// ErrForbidden is returned (wrapped) when a tenant acts on another tenant's
+// dataset; the HTTP layer maps it to 403.
+var ErrForbidden = errors.New("forbidden")
 
 // New creates a Service.
 func New(cfg Config) *Service {
-	s := &Service{
-		cfg:   cfg,
-		reg:   NewRegistry(),
-		cache: newFSTCache(cfg.CacheSize),
+	queueDepth := cfg.QueueDepth
+	if queueDepth == 0 && cfg.MaxConcurrent > 0 {
+		queueDepth = 4 * cfg.MaxConcurrent
 	}
-	if cfg.MaxConcurrent > 0 {
-		s.slots = make(chan struct{}, cfg.MaxConcurrent)
+	return &Service{
+		cfg:     cfg,
+		reg:     NewRegistry(),
+		cache:   newFSTCache(cfg.CacheSize),
+		results: newResultCache(cfg.ResultCacheSize),
+		adm:     newAdmission(cfg.MaxConcurrent, queueDepth, cfg.Obs),
 	}
-	return s
+}
+
+// Auth returns the service's authenticator (nil when auth is disabled).
+func (s *Service) Auth() *Authenticator { return s.cfg.Auth }
+
+// RestoreCatalog re-registers every dataset of the configured catalog (the
+// persisted registrations of previous runs) and returns how many it
+// restored. Call it once after New, before serving; with no catalog it is a
+// no-op.
+func (s *Service) RestoreCatalog() (int, error) {
+	if s.cfg.Catalog == nil {
+		return 0, nil
+	}
+	n := 0
+	for _, e := range s.cfg.Catalog.Entries() {
+		db, err := s.cfg.Catalog.Load(e)
+		if err != nil {
+			return n, err
+		}
+		if _, err := s.reg.RegisterOwned(e.Name, db, e.Tenant); err != nil {
+			return n, fmt.Errorf("restoring dataset %q: %w", e.Name, err)
+		}
+		n++
+	}
+	return n, nil
 }
 
 // RegisterDataset adds (or replaces) a database under the given name.
-// Replacement drops the previous generation's cached FSTs so the LRU is not
-// left holding unreachable entries.
+// Replacement drops the previous generation's cached FSTs and results so the
+// LRUs are not left holding unreachable entries.
 func (s *Service) RegisterDataset(name string, db *seqdb.Database) (uint64, error) {
-	gen, err := s.reg.Register(name, db)
+	return s.RegisterDatasetAs(name, db, nil)
+}
+
+// RegisterDatasetAs is RegisterDataset on behalf of an authenticated tenant:
+// the registration is charged against the tenant's dataset quota and the
+// tenant is recorded as the owner. A nil tenant registers unowned (admin).
+func (s *Service) RegisterDatasetAs(name string, db *seqdb.Database, tenant *Tenant) (uint64, error) {
+	if err := s.checkDatasetQuota(name, tenant); err != nil {
+		return 0, err
+	}
+	owner := ""
+	if tenant != nil {
+		owner = tenant.Name
+	}
+	// Persist before registering: a catalog failure must not leave a
+	// registration that would silently vanish on restart.
+	if s.cfg.Catalog != nil {
+		if _, err := s.cfg.Catalog.Put(name, db, owner); err != nil {
+			return 0, fmt.Errorf("persisting dataset %q: %w", name, err)
+		}
+	}
+	gen, err := s.reg.RegisterOwned(name, db, owner)
 	if err == nil && gen > 1 {
 		s.cache.invalidateDataset(name)
+		s.results.invalidateDataset(name)
 	}
 	return gen, err
+}
+
+// checkDatasetQuota enforces a tenant's MaxDatasets bound. Replacing a
+// dataset the tenant already owns does not consume quota.
+func (s *Service) checkDatasetQuota(name string, tenant *Tenant) error {
+	if tenant == nil || tenant.maxDatasets <= 0 {
+		return nil
+	}
+	if owner, ok := s.reg.Owner(name); ok && owner == tenant.Name {
+		return nil
+	}
+	if s.reg.CountOwned(tenant.Name) >= tenant.maxDatasets {
+		return fmt.Errorf("%w: tenant %q already holds %d datasets",
+			ErrQuotaExceeded, tenant.Name, tenant.maxDatasets)
+	}
+	return nil
 }
 
 // LoadDataset reads a database from files and registers it.
 func (s *Service) LoadDataset(name, sequencesPath, hierarchyPath string) (uint64, error) {
-	gen, err := s.reg.LoadFiles(name, sequencesPath, hierarchyPath)
-	if err == nil && gen > 1 {
-		s.cache.invalidateDataset(name)
+	db, err := seqdb.ReadFiles(sequencesPath, hierarchyPath)
+	if err != nil {
+		return 0, err
 	}
-	return gen, err
+	return s.RegisterDatasetAs(name, db, nil)
 }
 
-// RemoveDataset unregisters a dataset and drops its cached FSTs. In-flight
-// queries are unaffected.
+// RemoveDataset unregisters a dataset and drops its cached FSTs and results.
+// In-flight queries are unaffected.
 func (s *Service) RemoveDataset(name string) bool {
+	ok, _ := s.RemoveDatasetAs(name, nil)
+	return ok
+}
+
+// RemoveDatasetAs is RemoveDataset on behalf of an authenticated tenant.
+// A tenant may only remove datasets it owns; the nil (anonymous/admin)
+// tenant may remove anything.
+func (s *Service) RemoveDatasetAs(name string, tenant *Tenant) (bool, error) {
+	if tenant != nil {
+		if owner, ok := s.reg.Owner(name); ok && owner != tenant.Name {
+			return false, fmt.Errorf("%w: dataset %q is not owned by tenant %q", ErrForbidden, name, tenant.Name)
+		}
+	}
 	ok := s.reg.Unregister(name)
 	if ok {
 		s.cache.invalidateDataset(name)
+		s.results.invalidateDataset(name)
+		if s.cfg.Catalog != nil {
+			if err := s.cfg.Catalog.Delete(name); err != nil {
+				return true, fmt.Errorf("unpersisting dataset %q: %w", name, err)
+			}
+		}
 	}
-	return ok
+	return ok, nil
 }
 
 // Datasets lists the registered datasets.
@@ -166,6 +281,7 @@ func (s *Service) DatasetInfo(name string) (DatasetInfo, error) {
 		Generation:    ds.Gen,
 		ActiveQueries: ds.entry.refs.Load() - 1, // exclude our own lease
 		Stats:         ds.entry.stats,
+		Tenant:        ds.entry.owner,
 	}, nil
 }
 
@@ -274,36 +390,9 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 		defer cancel()
 	}
 
-	// The concurrency slot, active counter and dataset lease are held for
-	// the true lifetime of the mining work: a query abandoned on deadline
-	// keeps its resources until the background goroutine finishes, so
-	// MaxConcurrent genuinely bounds concurrent mining.
-	if s.slots != nil {
-		select {
-		case s.slots <- struct{}{}:
-		case <-ctx.Done():
-			return nil, fail(ctx.Err())
-		}
-	}
-	s.agg.addActive(1)
-	activeGauge := s.cfg.Obs.Gauge("seqmine_active_queries", "Queries currently holding a mining slot.")
-	activeGauge.Add(1)
-	release := func() {
-		s.agg.addActive(-1)
-		activeGauge.Add(-1)
-		if s.slots != nil {
-			<-s.slots
-		}
-	}
-
 	ds, err := s.reg.Acquire(q.Dataset)
 	if err != nil {
-		release()
 		return nil, fail(err)
-	}
-	cleanup := func() {
-		ds.Release()
-		release()
 	}
 
 	m := QueryMetrics{
@@ -316,6 +405,72 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 		m.Algorithm = AlgoDSeq
 	}
 	span.SetAttr("algorithm", string(m.Algorithm))
+
+	// Result cache: a hit (or piggybacking on an identical in-flight query)
+	// serves the answer without consuming an admission slot — the cheap path
+	// that keeps repeated analyst queries off the mining pool entirely.
+	rkey := resultKey{dataset: ds.Name, generation: ds.Gen, expression: q.Expression,
+		sigma: q.Sigma, algorithm: m.Algorithm}
+	lookupStart := time.Now()
+	var flight *resultFlight
+	if cached, hit, fl, err := s.results.lookup(rkey); hit || err != nil {
+		ds.Release()
+		if err != nil {
+			return nil, fail(err)
+		}
+		m.ResultCacheHit = true
+		m.CacheHit = true // the FST never needed compiling either
+		m.MineTime = time.Since(lookupStart)
+		m.Patterns = len(cached.patterns)
+		s.agg.record(m)
+		s.cfg.Obs.Counter("seqmine_result_cache_hits_total",
+			"Queries served from the result cache (including shared in-flight answers).").Inc()
+		s.cfg.Obs.Counter("seqmine_queries_total",
+			"Queries served successfully.", "algorithm", string(m.Algorithm)).Inc()
+		span.SetAttr("result_cache_hit", "true")
+		span.SetAttrInt("patterns", int64(m.Patterns))
+		return &Response{Patterns: cached.patterns, Dict: cached.dict, Metrics: m, TraceID: span.TraceID()}, nil
+	} else if fl != nil {
+		// This query now owns the flight: every return path below must
+		// resolve it exactly once or concurrent identical queries would block
+		// forever. All error returns run through fail (wrapped here); the one
+		// success return resolves with the answer.
+		flight = fl
+		origFail := fail
+		fail = func(err error) error {
+			s.results.resolve(rkey, flight, cachedResult{}, err)
+			return origFail(err)
+		}
+		s.cfg.Obs.Counter("seqmine_result_cache_misses_total",
+			"Queries that missed the result cache and mined.").Inc()
+	}
+
+	// Admission: the bounded queue and the tenant's in-flight quota. Shed
+	// queries error with OverloadError (HTTP 429 + Retry-After).
+	tenant := TenantFrom(ctx)
+	admitStart := time.Now()
+	release, err := s.adm.acquire(ctx, tenant)
+	if err != nil {
+		ds.Release()
+		return nil, fail(err)
+	}
+	s.stageHist("queue").Observe(time.Since(admitStart).Seconds())
+	s.agg.addActive(1)
+	activeGauge := s.cfg.Obs.Gauge("seqmine_active_queries", "Queries currently holding a mining slot.")
+	activeGauge.Add(1)
+	served := time.Now()
+
+	// The admission slot, active counter and dataset lease are held for the
+	// true lifetime of the mining work: a query abandoned on deadline keeps
+	// its resources until the background goroutine finishes, so MaxConcurrent
+	// genuinely bounds concurrent mining.
+	cleanup := func() {
+		ds.Release()
+		s.agg.addActive(-1)
+		activeGauge.Add(-1)
+		s.adm.done(time.Since(served))
+		release()
+	}
 
 	key := cacheKey{dataset: ds.Name, generation: ds.Gen, expression: q.Expression}
 	compileStart := time.Now()
@@ -344,6 +499,9 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 	m.Patterns = len(patterns)
 	m.Exec = exec
 	m.MapReduce = mrm
+	if flight != nil {
+		s.results.resolve(rkey, flight, cachedResult{patterns: patterns, dict: ds.DB.Dict}, nil)
+	}
 	s.agg.record(m)
 	s.cfg.Obs.Counter("seqmine_queries_total",
 		"Queries served successfully.", "algorithm", string(m.Algorithm)).Inc()
@@ -373,6 +531,8 @@ func (s *Service) Decode(dataset string, p miner.Pattern) (string, error) {
 func (s *Service) Metrics() Snapshot {
 	snap := s.agg.snapshot()
 	snap.Cache = s.cache.stats()
+	snap.ResultCache = s.results.stats()
+	snap.Admission = s.adm.stats()
 	snap.Datasets = s.reg.List()
 	snap.Registry = s.cfg.Obs.Snapshot()
 	return snap

@@ -1,0 +1,125 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"seqmine/internal/paperex"
+)
+
+// postMine issues one POST /mine against a test server and returns the
+// response (body left open for the caller via t.Cleanup).
+func postMine(t *testing.T, url, apiKey string, body string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/mine", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if apiKey != "" {
+		req.Header.Set("X-Api-Key", apiKey)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestMineShedsOverHTTP holds the only mining slot and checks the HTTP
+// contract of a shed query: 429 Too Many Requests, a whole-second Retry-After
+// header, a JSON error body — and recovery once the slot frees.
+func TestMineShedsOverHTTP(t *testing.T) {
+	svc := New(Config{MaxConcurrent: 1, QueueDepth: -1})
+	if _, err := svc.RegisterDataset("ex", catalogDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	// Occupy the slot as a long-running query would.
+	release, err := svc.adm.acquire(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	body := `{"dataset":"ex","pattern":"` + paperex.PatternExpression + `","sigma":2}`
+	resp := postMine(t, srv.URL, "", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a whole number of seconds >= 1", ra)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || !strings.Contains(e.Error, "overloaded") {
+		t.Fatalf("error body = %+v (%v), want an overloaded message", e, err)
+	}
+
+	release()
+	svc.adm.done(time.Millisecond)
+	resp2 := postMine(t, srv.URL, "", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-release status = %d, want 200", resp2.StatusCode)
+	}
+	if snap := svc.Metrics(); snap.Admission.ShedQueueFull != 1 {
+		t.Fatalf("admission stats = %+v, want 1 queue-full shed", snap.Admission)
+	}
+}
+
+// TestTenantQuotaShedsOverHTTP charges a tenant to its in-flight quota and
+// checks that its next query is shed with 429 while another tenant still
+// mines.
+func TestTenantQuotaShedsOverHTTP(t *testing.T) {
+	auth, err := NewAuthenticator([]APIKey{
+		{Key: "k-acme", Tenant: "acme", MaxInFlight: 1},
+		{Key: "k-ops", Tenant: "ops"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := New(Config{MaxConcurrent: 8, Auth: auth})
+	if _, err := svc.RegisterDataset("ex", catalogDB(t)); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	acme := auth.Tenant("acme")
+	if !acme.acquire() { // simulate acme's one in-flight query
+		t.Fatal("could not charge acme's quota")
+	}
+	body := `{"dataset":"ex","pattern":"` + paperex.PatternExpression + `","sigma":2}`
+	resp := postMine(t, srv.URL, "k-acme", body)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("acme status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("tenant-quota 429 without Retry-After header")
+	}
+	// Another tenant is unaffected by acme's quota.
+	resp2 := postMine(t, srv.URL, "k-ops", body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("ops status = %d, want 200", resp2.StatusCode)
+	}
+	acme.release()
+	resp3 := postMine(t, srv.URL, "k-acme", body)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("acme post-release status = %d, want 200", resp3.StatusCode)
+	}
+	if snap := svc.Metrics(); snap.Admission.ShedTenant != 1 {
+		t.Fatalf("admission stats = %+v, want 1 tenant shed", snap.Admission)
+	}
+}

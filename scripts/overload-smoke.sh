@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Overload smoke test: run seqmined with deliberately tiny admission bounds
+# (-max-inflight 2, -queue-depth 4) and drive it at roughly 2x what it can
+# serve. The serving tier must degrade the contract, not the answers:
+#
+#   - every rejected request is a 429 carrying a Retry-After header
+#     (seqmine-bench counts a 429 without one as a hard error);
+#   - every accepted answer is byte-identical to the unloaded answer
+#     (seqmine-bench primes each workload before loading and hashes every
+#     200 against the primed hash);
+#   - no silent drops: every issued request is accounted as a 200, a 429, or
+#     a counted error, and -fail-on-errors makes any error fail the run;
+#   - at least one request actually shed (-require-shed), otherwise the test
+#     is vacuous;
+#   - the queue never exceeded its bound and shedding is visible in the
+#     Prometheus exposition (promcheck -max/-min on the admission gauges).
+#
+# Used by CI (.github/workflows/ci.yml, overload-smoke job) and runnable
+# locally: ./scripts/overload-smoke.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export GOMAXPROCS=${GOMAXPROCS:-2}
+
+workdir=$(mktemp -d)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$workdir/bin/" ./cmd/seqgen ./cmd/seqmined ./cmd/seqmine-bench ./cmd/promcheck
+
+echo "== generating dataset"
+"$workdir/bin/seqgen" -dataset nyt -n 400 -seed 7 -out "$workdir/data"
+
+max_inflight=2
+queue_depth=4
+
+echo "== starting seqmined (-max-inflight $max_inflight -queue-depth $queue_depth -result-cache 0)"
+"$workdir/bin/seqmined" -addr 127.0.0.1:18081 -result-cache 0 \
+    -max-inflight "$max_inflight" -queue-depth "$queue_depth" \
+    -load "bench=$workdir/data/sequences.txt,$workdir/data/hierarchy.txt" &
+
+daemon=http://127.0.0.1:18081
+for _ in $(seq 1 100); do
+    if curl -fsS "$daemon/healthz" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+curl -fsS "$daemon/healthz" >/dev/null
+
+echo "== overloading: 16 closed-loop clients against $max_inflight slots + $queue_depth queue"
+"$workdir/bin/seqmine-bench" -addr "$daemon" -dataset bench -sigma 40 \
+    -duration "${OVERLOAD_DURATION:-3s}" -concurrency 16 \
+    -pass overload -require-shed -out "$workdir/overload.json"
+
+echo "== checking the admission exposition (queue bound + shed visibility)"
+curl -fsS "$daemon/metrics?format=prometheus" | tee "$workdir/metrics.prom" |
+    "$workdir/bin/promcheck" \
+        -require seqmine_admission_inflight \
+        -require seqmine_admission_shed_total \
+        -max "seqmine_admission_queue_depth_max=$queue_depth" \
+        -min seqmine_admission_shed_total=1
+
+if [ -n "${OVERLOAD_ARTIFACT_DIR:-}" ]; then
+    mkdir -p "$OVERLOAD_ARTIFACT_DIR"
+    cp "$workdir/overload.json" "$workdir/metrics.prom" "$OVERLOAD_ARTIFACT_DIR/"
+fi
+
+echo "== overload smoke test passed"

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerate BENCH_serving.json, the committed reference for the CI
+# serving-bench regression gate. Run it whenever the serving tier changes
+# deliberately (new workloads, changed admission defaults, a performance
+# change that shifts tail latencies) — ideally on the CI runner class, though
+# the embedded calibration sample normalizes moderate machine differences.
+#
+# The file records, per pass (local / cluster) and per Table III workload:
+# request counts, p50/p99 latency, throughput, shed rate, and the canonical
+# result hash (so CI also catches mining-output drift under load).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# The recording run uses the same window length as the CI gate run
+# (serving-bench.sh's default): p99 over a longer window systematically
+# includes a deeper tail, so asymmetric durations would bias every ratio.
+SERVING_RECORD=1 exec ./scripts/serving-bench.sh

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Serving-tier benchmark: drive a live seqmined over HTTP with the Table III
+# workloads (cmd/seqmine-bench) in two passes — local in-process execution
+# and distributed execution over a 2-worker cluster — and gate the measured
+# p99 latencies against the committed BENCH_serving.json.
+#
+# Used by CI (.github/workflows/ci.yml, serving-bench job) and runnable
+# locally:
+#
+#	./scripts/serving-bench.sh                 # run + gate
+#	SERVING_RECORD=1 ./scripts/serving-bench.sh  # run + overwrite BENCH_serving.json
+#	                                             # (see scripts/serving-baseline.sh)
+#
+# The daemon runs with -result-cache 0 so repeated identical workload
+# requests actually mine (a warm result cache would measure map lookups, not
+# the serving path), and without admission bounds so nothing sheds — this
+# benchmark measures latency, scripts/overload-smoke.sh measures shedding.
+# seqmine-bench primes every workload unloaded first and fails the run if any
+# loaded response diverges from the primed answer, so the gate also certifies
+# output equivalence under load. Cross-machine comparability comes from the
+# embedded calibration sample (the BenchmarkCalibration splitmix64 loop);
+# benchgate serving divides the machine-speed factor out of every ratio.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export GOMAXPROCS=${GOMAXPROCS:-2}
+duration=${SERVING_DURATION:-3s}
+concurrency=${SERVING_CONCURRENCY:-8}
+out=${SERVING_OUT:-serving-current.json}
+
+workdir=$(mktemp -d)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$workdir/bin/" ./cmd/seqgen ./cmd/seqmined ./cmd/seqmine-worker ./cmd/seqmine-bench
+
+echo "== generating dataset"
+"$workdir/bin/seqgen" -dataset nyt -n 400 -seed 7 -out "$workdir/data"
+
+wait_healthy() {
+    local url=$1 what=$2
+    for _ in $(seq 1 100); do
+        if curl -fsS "$url/healthz" >/dev/null 2>&1; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "$what did not come up at $url" >&2
+    exit 1
+}
+
+daemon=http://127.0.0.1:18080
+
+echo "== pass local: seqmined, in-process execution"
+"$workdir/bin/seqmined" -addr 127.0.0.1:18080 -result-cache 0 \
+    -load "bench=$workdir/data/sequences.txt,$workdir/data/hierarchy.txt" &
+daemon_pid=$!
+wait_healthy "$daemon" seqmined
+
+"$workdir/bin/seqmine-bench" -addr "$daemon" -dataset bench -sigma 40 \
+    -duration "$duration" -concurrency "$concurrency" \
+    -pass local -out "$out"
+
+kill "$daemon_pid" 2>/dev/null || true
+wait "$daemon_pid" 2>/dev/null || true
+
+echo "== pass cluster: seqmined over a 2-worker cluster"
+"$workdir/bin/seqmine-worker" -listen 127.0.0.1:18091 -data-listen 127.0.0.1:18191 &
+"$workdir/bin/seqmine-worker" -listen 127.0.0.1:18092 -data-listen 127.0.0.1:18192 &
+wait_healthy http://127.0.0.1:18091 "worker 1"
+wait_healthy http://127.0.0.1:18092 "worker 2"
+
+"$workdir/bin/seqmined" -addr 127.0.0.1:18080 -result-cache 0 \
+    -cluster http://127.0.0.1:18091,http://127.0.0.1:18092 \
+    -load "bench=$workdir/data/sequences.txt,$workdir/data/hierarchy.txt" &
+wait_healthy "$daemon" seqmined
+
+"$workdir/bin/seqmine-bench" -addr "$daemon" -dataset bench -sigma 40 \
+    -duration "$duration" -concurrency "$concurrency" \
+    -distributed -pass cluster -merge -out "$out"
+
+if [ "${SERVING_RECORD:-0}" = 1 ]; then
+    echo "== recording BENCH_serving.json"
+    cp "$out" BENCH_serving.json
+    exit 0
+fi
+
+echo "== gating against BENCH_serving.json"
+gate_args=(-baseline BENCH_serving.json -current "$out" -max-p99-ratio "${SERVING_MAX_RATIO:-1.15}")
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    gate_args+=(-summary "$GITHUB_STEP_SUMMARY")
+fi
+if [ -n "${SERVING_JSON:-}" ]; then
+    gate_args+=(-json "$SERVING_JSON")
+fi
+go run ./cmd/benchgate serving "${gate_args[@]}"

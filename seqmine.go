@@ -313,8 +313,18 @@ type ServiceOptions struct {
 	// its own; 0 uses all CPUs.
 	Workers int
 	// MaxConcurrent bounds the number of queries mining at once; 0 means
-	// unbounded.
+	// unbounded. Excess queries wait in the bounded admission queue
+	// (QueueDepth) and past that are shed with an overload error.
 	MaxConcurrent int
+	// QueueDepth is the admission queue bound: how many queries may wait for
+	// a mining slot before the service sheds load. 0 defaults to
+	// 4×MaxConcurrent; negative means no waiting room. Ignored when
+	// MaxConcurrent is 0.
+	QueueDepth int
+	// ResultCacheSize is the capacity (entries) of the mined-result cache,
+	// keyed by (dataset generation, expression, sigma, algorithm); 0 disables
+	// result caching.
+	ResultCacheSize int
 	// DefaultTimeout is the per-query deadline applied when the caller's
 	// context has none; 0 means no default deadline.
 	DefaultTimeout time.Duration
@@ -360,6 +370,8 @@ func NewService(opts ServiceOptions) *Service {
 		CacheSize:        opts.CacheSize,
 		Workers:          opts.Workers,
 		MaxConcurrent:    opts.MaxConcurrent,
+		QueueDepth:       opts.QueueDepth,
+		ResultCacheSize:  opts.ResultCacheSize,
 		DefaultTimeout:   opts.DefaultTimeout,
 		ClusterWorkers:   opts.ClusterWorkers,
 		SpillThreshold:   opts.SpillThreshold,
