@@ -14,6 +14,7 @@ package benchcmp
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // Baseline is the committed benchmark reference (BENCH_baseline.json).
@@ -308,36 +310,65 @@ func (r *Report) Format(w io.Writer, maxRatio float64) {
 	}
 }
 
-// FormatMarkdown renders the report as GitHub-flavored markdown tables, for
-// publication as a CI step summary. Ratios above the gates are bolded and
-// flagged.
-func (r *Report) FormatMarkdown(w io.Writer, maxRatio, maxAllocRatio float64) {
-	fmt.Fprintf(w, "### Benchmark comparison\n\n")
-	fmt.Fprintf(w, "| benchmark | baseline ns/op | current ns/op | ratio |\n")
-	fmt.Fprintf(w, "|---|---:|---:|---:|\n")
-	for _, res := range r.Results {
+// mapPhaseBench reports whether name is one of the map-side kernel benchmarks
+// (pivot analysis and candidate counting) that the CI step summary calls out
+// in their own table section, separate from the end-to-end runs.
+func mapPhaseBench(name string) bool {
+	for _, prefix := range []string{"BenchmarkPivotAnalyze", "BenchmarkAnalyze", "BenchmarkMineCount"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// markdownTable renders one comparison table, returning how many rows it wrote.
+func markdownTable(w io.Writer, results []Result, unit string, gate float64, keep func(string) bool) int {
+	rows := 0
+	for _, res := range results {
+		if !keep(res.Name) {
+			continue
+		}
+		if rows == 0 {
+			fmt.Fprintf(w, "| benchmark | baseline %s | current %s | ratio |\n", unit, unit)
+			fmt.Fprintf(w, "|---|---:|---:|---:|\n")
+		}
+		rows++
 		cell := fmt.Sprintf("%.3f", res.Ratio)
-		if res.Ratio > maxRatio {
+		if res.Ratio > gate {
 			cell = fmt.Sprintf("**%.3f** ⚠", res.Ratio)
 		}
 		fmt.Fprintf(w, "| %s | %.0f | %.0f | %s |\n", res.Name, res.Baseline, res.Current, cell)
 	}
+	return rows
+}
+
+// FormatMarkdown renders the report as GitHub-flavored markdown tables, for
+// publication as a CI step summary. Ratios above the gates are bolded and
+// flagged; the map-phase kernel benchmarks get their own section below the
+// end-to-end tables.
+func (r *Report) FormatMarkdown(w io.Writer, maxRatio, maxAllocRatio float64) {
+	notMapPhase := func(name string) bool { return !mapPhaseBench(name) }
+	fmt.Fprintf(w, "### Benchmark comparison\n\n")
+	markdownTable(w, r.Results, "ns/op", maxRatio, notMapPhase)
 	fmt.Fprintf(w, "\nTime geomean **%.3f** (gate %.3f)", r.Geomean, maxRatio)
 	if r.CalibrationScale != 1 {
 		fmt.Fprintf(w, ", calibration scale %.3f", r.CalibrationScale)
 	}
 	fmt.Fprintf(w, "\n")
 	if len(r.AllocResults) > 0 {
-		fmt.Fprintf(w, "\n| benchmark | baseline allocs/op | current allocs/op | ratio |\n")
-		fmt.Fprintf(w, "|---|---:|---:|---:|\n")
-		for _, res := range r.AllocResults {
-			cell := fmt.Sprintf("%.3f", res.Ratio)
-			if res.Ratio > maxAllocRatio {
-				cell = fmt.Sprintf("**%.3f** ⚠", res.Ratio)
-			}
-			fmt.Fprintf(w, "| %s | %.0f | %.0f | %s |\n", res.Name, res.Baseline, res.Current, cell)
-		}
+		fmt.Fprintf(w, "\n")
+		markdownTable(w, r.AllocResults, "allocs/op", maxAllocRatio, notMapPhase)
 		fmt.Fprintf(w, "\nAllocation geomean **%.3f** (gate %.3f)\n", r.AllocGeomean, maxAllocRatio)
+	}
+	var mapMd bytes.Buffer
+	n := markdownTable(&mapMd, r.Results, "ns/op", maxRatio, mapPhaseBench)
+	if n > 0 {
+		mapMd.WriteString("\n")
+	}
+	n += markdownTable(&mapMd, r.AllocResults, "allocs/op", maxAllocRatio, mapPhaseBench)
+	if n > 0 {
+		fmt.Fprintf(w, "\n#### Map-phase kernels\n\n%s", mapMd.String())
 	}
 	for _, name := range r.MissingInCurrent {
 		fmt.Fprintf(w, "\n⚠ `%s` is in the baseline but was not run\n", name)

@@ -337,3 +337,52 @@ func TestFormatMarkdown(t *testing.T) {
 		}
 	}
 }
+
+// TestFormatMarkdownMapPhaseSection: the map-phase kernel benchmarks are
+// pulled out of the main tables into their own section of the step summary.
+func TestFormatMarkdownMapPhaseSection(t *testing.T) {
+	base := &benchcmp.Baseline{
+		Schema: 2,
+		Benchmarks: map[string][]float64{
+			"BenchmarkAlgorithms_T3/D-SEQ":  {100},
+			"BenchmarkPivotAnalyze_T3/Grid": {50},
+			"BenchmarkMineCount":            {40},
+		},
+		AllocsPerOp: map[string][]float64{
+			"BenchmarkPivotAnalyze_T3/Grid": {10},
+		},
+	}
+	cur := &benchcmp.Samples{
+		Ns: map[string][]float64{
+			"BenchmarkAlgorithms_T3/D-SEQ":  {100},
+			"BenchmarkPivotAnalyze_T3/Grid": {50},
+			"BenchmarkMineCount":            {40},
+		},
+		Allocs: map[string][]float64{
+			"BenchmarkPivotAnalyze_T3/Grid": {10},
+		},
+	}
+	rep, err := benchcmp.CompareFull(base, cur, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var md bytes.Buffer
+	rep.FormatMarkdown(&md, 1.15, 1.15)
+	out := md.String()
+	if !strings.Contains(out, "#### Map-phase kernels") {
+		t.Fatalf("markdown output missing the map-phase section:\n%s", out)
+	}
+	mapSection := out[strings.Index(out, "#### Map-phase kernels"):]
+	mainSection := out[:strings.Index(out, "#### Map-phase kernels")]
+	for _, name := range []string{"BenchmarkPivotAnalyze_T3/Grid", "BenchmarkMineCount"} {
+		if strings.Contains(mainSection, name) {
+			t.Errorf("%s should only appear in the map-phase section:\n%s", name, out)
+		}
+		if !strings.Contains(mapSection, name) {
+			t.Errorf("%s missing from the map-phase section:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(mainSection, "BenchmarkAlgorithms_T3/D-SEQ") {
+		t.Errorf("end-to-end benchmark missing from the main table:\n%s", out)
+	}
+}

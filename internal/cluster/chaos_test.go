@@ -64,7 +64,7 @@ func (c *chaosWorker) handler() http.Handler {
 func TestChaosKillWorkerMidShuffle(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	db, err := datagen.NYT(datagen.NYTConfig{NumSentences: 500, Seed: 7})
+	db, err := datagen.NYT(datagen.NYTConfig{NumSentences: 4000, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -664,12 +664,22 @@ func (s *scheduler) launch() error {
 }
 
 // classify condenses a finished attempt's per-member errors into one outcome.
+// Blame for a failed attempt is assigned by evidence strength: a member whose
+// own control request failed at the transport level is known dead first hand,
+// whereas a failed_peer report is hearsay — a healthy member whose shuffle
+// stream broke may be seeing the cascade of another member aborting, not the
+// root cause. Direct evidence therefore outranks the reports, and among
+// reports the most-accused peer wins, so a single cascaded broken pipe cannot
+// evict a healthy survivor from the pool.
 func (s *scheduler) classify(a *attempt, errs []error) {
 	if dead := a.heartbeatDeath(); dead != nil {
 		a.err = fmt.Errorf("worker %s stopped answering heartbeats", dead.url)
 		a.failed = dead
 		return
 	}
+	votes := make([]int, len(a.gang))
+	reportErr := make([]error, len(a.gang))
+	reporter := make([]int, len(a.gang))
 	for gi, err := range errs {
 		if err == nil {
 			continue
@@ -700,11 +710,24 @@ func (s *scheduler) classify(a *attempt, errs []error) {
 				a.repush = a.gang[gi]
 			}
 		case herr.failedPeer >= 0 && herr.failedPeer < len(a.gang):
-			if a.failed == nil {
-				a.failed = a.gang[herr.failedPeer]
-				a.err = fmt.Errorf("worker %d (%s) reports peer %d (%s) dead: %w",
-					gi, a.gang[gi].url, herr.failedPeer, a.gang[herr.failedPeer].url, err)
+			if reportErr[herr.failedPeer] == nil {
+				reportErr[herr.failedPeer] = err
+				reporter[herr.failedPeer] = gi
 			}
+			votes[herr.failedPeer]++
+		}
+	}
+	if a.failed == nil {
+		accused := -1
+		for peer, n := range votes {
+			if n > 0 && (accused < 0 || n > votes[accused]) {
+				accused = peer
+			}
+		}
+		if accused >= 0 {
+			a.failed = a.gang[accused]
+			a.err = fmt.Errorf("worker %d (%s) reports peer %d (%s) dead: %w",
+				reporter[accused], a.gang[reporter[accused]].url, accused, a.gang[accused].url, reportErr[accused])
 		}
 	}
 	if a.err == nil && s.ctx.Err() != nil {

@@ -132,6 +132,20 @@ func buildJob(f *fst.FST, sigma int64, opts Options) mapreduce.Job[[]dict.ItemID
 	if opts.Prefilter {
 		flat = f.Flatten()
 	}
+	// For frequency-sorted dictionaries (every Builder-built dictionary) the
+	// per-output frequency check is one compare against the largest frequent
+	// fid, hoisted out of the run enumeration.
+	byFid := sigma > 0 && d.FrequencySorted()
+	var limit dict.ItemID
+	if byFid {
+		limit = d.MaxFrequentFid(sigma)
+	}
+	frequent := func(w dict.ItemID) bool {
+		if byFid {
+			return w <= limit
+		}
+		return d.IsFrequent(w, sigma)
+	}
 
 	job := mapreduce.Job[[]dict.ItemID, dict.ItemID, value, miner.Pattern]{
 		Map: func(T []dict.ItemID, emit func(dict.ItemID, value)) {
@@ -150,7 +164,7 @@ func buildJob(f *fst.FST, sigma int64, opts Options) mapreduce.Job[[]dict.ItemID
 					}
 					keep := make([]dict.ItemID, 0, len(set))
 					for _, w := range set {
-						if d.IsFrequent(w, sigma) {
+						if frequent(w) {
 							keep = append(keep, w)
 						}
 					}
@@ -219,7 +233,7 @@ func buildJob(f *fst.FST, sigma int64, opts Options) mapreduce.Job[[]dict.ItemID
 	job.Codec = &c
 	if opts.Aggregate {
 		job.Combine = dminer.GroupCombiner[dict.ItemID](
-			func(v value) string { return string(v.data) },
+			func(buf []byte, v value) []byte { return append(buf, v.data...) },
 			func(dst *value, src value) { dst.weight += src.weight },
 		)
 	}

@@ -375,3 +375,54 @@ func TestParentsAndNumSequences(t *testing.T) {
 		t.Errorf("Parents(out of range) = %v, want nil", ps)
 	}
 }
+
+// TestPackKeyRoundTrip pins the canonical packed sequence-key encoding shared
+// by the miner's pattern keys, the D-SEQ combiner fingerprints and the flat
+// candidate tables: 4 bytes little endian per item, loss-free round trip.
+func TestPackKeyRoundTrip(t *testing.T) {
+	seqs := [][]dict.ItemID{
+		nil,
+		{1},
+		{1, 2, 300},
+		{0x01020304, 0x7fffffff, 0},
+	}
+	for _, seq := range seqs {
+		key := dict.PackKey(seq)
+		if len(key) != 4*len(seq) {
+			t.Fatalf("PackKey(%v): %d bytes, want %d", seq, len(key), 4*len(seq))
+		}
+		got := dict.UnpackKey(key)
+		if len(seq) == 0 {
+			if len(got) != 0 {
+				t.Fatalf("UnpackKey of empty key = %v", got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got, seq) {
+			t.Fatalf("round trip of %v = %v", seq, got)
+		}
+	}
+	if got := dict.UnpackKey("abc"); got != nil {
+		t.Errorf("UnpackKey of a non-multiple-of-4 key = %v, want nil", got)
+	}
+	// AppendPackedKey appends behind existing bytes.
+	buf := dict.AppendPackedKey([]byte("x"), []dict.ItemID{7})
+	if string(buf) != "x"+dict.PackKey([]dict.ItemID{7}) {
+		t.Errorf("AppendPackedKey did not append: %q", buf)
+	}
+}
+
+// TestHashItems pins that the canonical sequence hash depends on content and
+// order, and agrees across equal slices.
+func TestHashItems(t *testing.T) {
+	a := []dict.ItemID{1, 2, 3}
+	if dict.HashItems(a) != dict.HashItems([]dict.ItemID{1, 2, 3}) {
+		t.Error("equal sequences must hash equal")
+	}
+	if dict.HashItems(a) == dict.HashItems([]dict.ItemID{3, 2, 1}) {
+		t.Error("hash should depend on order")
+	}
+	if dict.HashItems(nil) == dict.HashItems(a) {
+		t.Error("empty and non-empty sequences should differ")
+	}
+}

@@ -8,6 +8,8 @@
 package dminer
 
 import (
+	"sync"
+
 	"seqmine/internal/mapreduce"
 	"seqmine/internal/miner"
 )
@@ -58,28 +60,42 @@ func MinePeer[I any, K comparable, V any](inputs []I, cfg mapreduce.Config, sc m
 	return out, metrics, nil
 }
 
+// groupScratch is the pooled working memory of a GroupCombiner call: the
+// fingerprint append buffer and the fingerprint → group-index map. Pooling
+// keeps the map's buckets (and the interned key strings' lookup cost) across
+// calls; only first-seen fingerprints allocate, as map key strings.
+type groupScratch struct {
+	buf []byte
+	idx map[string]int
+}
+
+var groupPool = sync.Pool{New: func() any { return &groupScratch{idx: make(map[string]int)} }}
+
 // GroupCombiner builds the combiner shared by the weighted-record miners: it
 // groups a key's values by fingerprint, merging duplicates into the first
 // occurrence (in first-seen order, so combining is deterministic given the
-// input order).
-func GroupCombiner[K comparable, V any](fingerprint func(V) string, merge func(dst *V, src V)) func(K, []V) []V {
+// input order). appendKey renders a value's fingerprint into the scratch
+// buffer; fingerprints of duplicate values are looked up without allocating,
+// so a combine pass only allocates one key string per distinct group. The
+// grouped values are compacted into vs in place.
+func GroupCombiner[K comparable, V any](appendKey func(buf []byte, v V) []byte, merge func(dst *V, src V)) func(K, []V) []V {
 	return func(_ K, vs []V) []V {
-		grouped := make(map[string]*V, len(vs))
-		order := make([]string, 0, len(vs))
+		if len(vs) < 2 {
+			return vs
+		}
+		sc := groupPool.Get().(*groupScratch)
+		clear(sc.idx)
+		out := vs[:0]
 		for _, v := range vs {
-			fp := fingerprint(v)
-			if g, ok := grouped[fp]; ok {
-				merge(g, v)
+			sc.buf = appendKey(sc.buf[:0], v)
+			if i, ok := sc.idx[string(sc.buf)]; ok {
+				merge(&out[i], v)
 				continue
 			}
-			vc := v
-			grouped[fp] = &vc
-			order = append(order, fp)
+			sc.idx[string(sc.buf)] = len(out)
+			out = append(out, v)
 		}
-		out := make([]V, 0, len(order))
-		for _, fp := range order {
-			out = append(out, *grouped[fp])
-		}
+		groupPool.Put(sc)
 		return out
 	}
 }

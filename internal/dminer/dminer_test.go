@@ -129,12 +129,15 @@ func TestGroupCombiner(t *testing.T) {
 		weight int64
 	}
 	combine := GroupCombiner[int](
-		func(r rec) string { return r.id },
+		func(buf []byte, r rec) []byte { return append(buf, r.id...) },
 		func(dst *rec, src rec) { dst.weight += src.weight },
 	)
 	got := combine(0, []rec{{"a", 1}, {"b", 2}, {"a", 3}, {"c", 1}, {"b", 1}})
 	want := []rec{{"a", 4}, {"b", 3}, {"c", 1}}
 	if !reflect.DeepEqual(got, want) {
 		t.Errorf("GroupCombiner = %+v, want %+v (first-seen order, merged weights)", got, want)
+	}
+	if single := combine(0, []rec{{"a", 7}}); !reflect.DeepEqual(single, []rec{{"a", 7}}) {
+		t.Errorf("GroupCombiner on a single value = %+v, want it unchanged", single)
 	}
 }

@@ -55,11 +55,9 @@ func DefaultOptions() Options {
 }
 
 // value is the communicated record: a (possibly rewritten) input sequence
-// with a weight.
-type value struct {
-	items  []dict.ItemID
-	weight int64
-}
+// with a weight. It is the miner's weighted-sequence type, so a reduce
+// partition feeds MineDFS directly without a per-record conversion copy.
+type value = miner.WeightedSequence
 
 // codec is the wire encoding of one D-SEQ shuffle record: the pivot key and
 // each value as varints (weight, item count, items). The same encoding backs
@@ -74,9 +72,9 @@ func codec() mapreduce.FrameCodec[dict.ItemID, value] {
 			return dict.ItemID(v), pos, err
 		},
 		AppendValue: func(buf []byte, v value) []byte {
-			buf = mapreduce.AppendUvarint(buf, uint64(v.weight))
-			buf = mapreduce.AppendUvarint(buf, uint64(len(v.items)))
-			for _, w := range v.items {
+			buf = mapreduce.AppendUvarint(buf, uint64(v.Weight))
+			buf = mapreduce.AppendUvarint(buf, uint64(len(v.Items)))
+			for _, w := range v.Items {
 				buf = mapreduce.AppendUvarint(buf, uint64(w))
 			}
 			return buf
@@ -94,15 +92,15 @@ func codec() mapreduce.FrameCodec[dict.ItemID, value] {
 			if n > uint64(len(data)-pos) {
 				return v, 0, fmt.Errorf("dseq: sequence claims %d items in %d bytes", n, len(data)-pos)
 			}
-			v.weight = int64(weight)
-			v.items = make([]dict.ItemID, n)
-			for i := range v.items {
+			v.Weight = int64(weight)
+			v.Items = make([]dict.ItemID, n)
+			for i := range v.Items {
 				w, np, err := mapreduce.ReadUvarint(data, pos)
 				if err != nil {
 					return v, 0, err
 				}
 				pos = np
-				v.items[i] = dict.ItemID(w)
+				v.Items[i] = dict.ItemID(w)
 			}
 			return v, pos, nil
 		},
@@ -113,8 +111,8 @@ func codec() mapreduce.FrameCodec[dict.ItemID, value] {
 // per-record contribution to ShuffleBytes.
 func recordSize(k dict.ItemID, v value) int {
 	size := mapreduce.UvarintLen(uint64(k)) + mapreduce.UvarintLen(1) +
-		mapreduce.UvarintLen(uint64(v.weight)) + mapreduce.UvarintLen(uint64(len(v.items)))
-	for _, w := range v.items {
+		mapreduce.UvarintLen(uint64(v.Weight)) + mapreduce.UvarintLen(uint64(len(v.Items)))
+	for _, w := range v.Items {
 		size += mapreduce.UvarintLen(uint64(w))
 	}
 	return size
@@ -163,15 +161,11 @@ func buildJob(f *fst.FST, sigma int64, opts Options) mapreduce.Job[[]dict.ItemID
 				if opts.Rewrite {
 					rho = searcher.Rewrite(T, analysis, k)
 				}
-				emit(k, value{items: rho, weight: 1})
+				emit(k, value{Items: rho, Weight: 1})
 			}
 		},
 		Reduce: func(k dict.ItemID, vs []value, emit func(miner.Pattern)) {
-			part := make([]miner.WeightedSequence, len(vs))
-			for i, v := range vs {
-				part[i] = miner.WeightedSequence{Items: v.items, Weight: v.weight}
-			}
-			patterns := miner.MineDFS(f, part, sigma, miner.DFSOptions{
+			patterns := miner.MineDFS(f, vs, sigma, miner.DFSOptions{
 				Pivot:         k,
 				EarlyStopping: opts.EarlyStopping,
 				Prefilter:     opts.Prefilter,
@@ -187,18 +181,10 @@ func buildJob(f *fst.FST, sigma int64, opts Options) mapreduce.Job[[]dict.ItemID
 	job.Codec = &c
 	if opts.Aggregate {
 		job.Combine = dminer.GroupCombiner[dict.ItemID](
-			func(v value) string { return seqKey(v.items) },
-			func(dst *value, src value) { dst.weight += src.weight },
+			func(buf []byte, v value) []byte { return dict.AppendPackedKey(buf, v.Items) },
+			func(dst *value, src value) { dst.Weight += src.Weight },
 		)
 	}
 
 	return job
-}
-
-func seqKey(seq []dict.ItemID) string {
-	buf := make([]byte, 0, len(seq)*4)
-	for _, w := range seq {
-		buf = append(buf, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
-	}
-	return string(buf)
 }

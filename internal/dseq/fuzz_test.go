@@ -18,8 +18,8 @@ func FuzzSequenceBatchCodec(f *testing.F) {
 	seed := c.EncodeBatch(nil, mapreduce.KeyBatch[dict.ItemID, value]{
 		Key: 7,
 		Values: []value{
-			{items: []dict.ItemID{1, 2, 300}, weight: 4},
-			{items: nil, weight: 1},
+			{Items: []dict.ItemID{1, 2, 300}, Weight: 4},
+			{Items: nil, Weight: 1},
 		},
 	})
 	f.Add(seed)

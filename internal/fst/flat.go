@@ -41,6 +41,11 @@ type Flat struct {
 	// input item (anc(t) ∩ desc(w)); nil entries mean the label does not
 	// match that item. Indexed like match by transition, then by item fid.
 	upTo [][][]dict.ItemID
+
+	// sigmaViews caches the frequency-filtered views built by Sigma, one per
+	// minimum support threshold.
+	sigmaMu    sync.Mutex
+	sigmaViews map[int64]*SigmaView
 }
 
 // Output behaviour classes of a transition, precomputed from its Label.

@@ -90,47 +90,45 @@ func MineCount(f *fst.FST, db []WeightedSequence, sigma int64) []Pattern {
 	return MineCountOpts(f, db, sigma, CountOptions{})
 }
 
-// MineCountOpts is MineCount with options.
+// MineCountOpts is MineCount with options. The counting loop runs entirely on
+// the flat FST form: candidates are enumerated by Flat.ForEachDistinctCandidate
+// (scratch-backed, deduplicated per sequence) and aggregated in a pooled
+// open-addressing table over interned item slices, so steady-state counting
+// allocates only arena growth and the reported patterns.
 func MineCountOpts(f *fst.FST, db []WeightedSequence, sigma int64, opts CountOptions) []Pattern {
-	counts := make(map[string]int64)
-	seqs := make(map[string][]dict.ItemID)
-	var flat *fst.Flat
-	if opts.Prefilter {
-		flat = f.Flatten()
+	fl := f.Flatten()
+	tab := candPool.Get().(*candTable)
+	tab.reset()
+	var weight int64
+	add := func(cand []dict.ItemID) bool {
+		i, _ := tab.intern(cand)
+		tab.entries[i].count += weight
+		return true
 	}
 	for _, ws := range db {
-		if flat != nil && !flat.CanAccept(ws.Items) {
+		if opts.Prefilter && !fl.CanAccept(ws.Items) {
 			continue
 		}
-		for _, cand := range f.EnumerateCandidates(ws.Items, sigma) {
-			key := keyOf(cand)
-			if _, ok := seqs[key]; !ok {
-				seqs[key] = cand
-			}
-			counts[key] += ws.Weight
-		}
+		weight = ws.Weight
+		fl.ForEachDistinctCandidate(ws.Items, sigma, add)
 	}
 	var out []Pattern
-	for key, freq := range counts {
-		if freq >= sigma {
-			out = append(out, Pattern{Items: seqs[key], Freq: freq})
+	for i := range tab.entries {
+		e := &tab.entries[i]
+		if e.count >= sigma {
+			items := append([]dict.ItemID(nil), tab.arena[e.off:e.off+e.n]...)
+			out = append(out, Pattern{Items: items, Freq: e.count})
 		}
 	}
 	SortPatterns(out)
+	candPool.Put(tab)
 	return out
 }
 
-func keyOf(seq []dict.ItemID) string {
-	buf := make([]byte, 0, len(seq)*4)
-	for _, v := range seq {
-		buf = append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
-	}
-	return string(buf)
-}
-
 // Key returns a compact string key identifying a pattern, suitable for use as
-// a map key when merging partial results across database partitions.
-func Key(seq []dict.ItemID) string { return keyOf(seq) }
+// a map key when merging partial results across database partitions. It is the
+// canonical packed encoding of dict.PackKey; dict.UnpackKey decodes it.
+func Key(seq []dict.ItemID) string { return dict.PackKey(seq) }
 
 // SupportOf computes the exact support in db of every pattern present in the
 // candidates set (keyed by Key). It is the counting phase of two-phase
@@ -143,24 +141,138 @@ func SupportOf(f *fst.FST, db []WeightedSequence, sigma int64, candidates map[st
 	return SupportOfOpts(f, db, sigma, candidates, CountOptions{})
 }
 
-// SupportOfOpts is SupportOf with options.
+// SupportOfOpts is SupportOf with options. Like MineCountOpts, the counting
+// loop runs on the flat candidate enumeration: the candidate set is interned
+// into a pooled open-addressing table once up front and each enumerated
+// candidate is matched against it without forming a string key.
 func SupportOfOpts(f *fst.FST, db []WeightedSequence, sigma int64, candidates map[string]bool, opts CountOptions) map[string]int64 {
-	counts := make(map[string]int64, len(candidates))
-	var flat *fst.Flat
-	if opts.Prefilter {
-		flat = f.Flatten()
-	}
-	for _, ws := range db {
-		if flat != nil && !flat.CanAccept(ws.Items) {
+	fl := f.Flatten()
+	tab := candPool.Get().(*candTable)
+	tab.reset()
+	keys := make([]string, 0, len(candidates))
+	for key, want := range candidates {
+		if !want {
 			continue
 		}
-		for _, cand := range f.EnumerateCandidates(ws.Items, sigma) {
-			if k := keyOf(cand); candidates[k] {
-				counts[k] += ws.Weight
+		if i, inserted := tab.intern(dict.UnpackKey(key)); inserted {
+			for len(keys) <= i {
+				keys = append(keys, "")
 			}
+			keys[i] = key
 		}
 	}
+	hit := make([]bool, len(tab.entries))
+	var weight int64
+	add := func(cand []dict.ItemID) bool {
+		if i := tab.find(cand); i >= 0 {
+			tab.entries[i].count += weight
+			hit[i] = true
+		}
+		return true
+	}
+	for _, ws := range db {
+		if opts.Prefilter && !fl.CanAccept(ws.Items) {
+			continue
+		}
+		weight = ws.Weight
+		fl.ForEachDistinctCandidate(ws.Items, sigma, add)
+	}
+	counts := make(map[string]int64, len(tab.entries))
+	for i := range tab.entries {
+		if hit[i] {
+			counts[keys[i]] = tab.entries[i].count
+		}
+	}
+	candPool.Put(tab)
 	return counts
+}
+
+// candTable is an open-addressing hash table from candidate item sequences to
+// weighted counts. Candidates are interned back-to-back in one arena and slots
+// hold entry indices, so lookups and counting allocate nothing beyond arena
+// growth; keys are hashed with dict.HashItems, the slice-level twin of the
+// packed string keys (dict.PackKey) used across partition boundaries.
+type candTable struct {
+	arena   []dict.ItemID
+	entries []candEntry
+	slots   []int32 // entry index + 1; 0 = empty
+}
+
+type candEntry struct {
+	off, n int32
+	hash   uint64
+	count  int64
+}
+
+var candPool = sync.Pool{New: func() any { return new(candTable) }}
+
+func (ct *candTable) reset() {
+	ct.arena = ct.arena[:0]
+	ct.entries = ct.entries[:0]
+	if len(ct.slots) == 0 {
+		ct.slots = make([]int32, 256)
+	} else {
+		clear(ct.slots)
+	}
+}
+
+// find returns the entry index of cand, or -1 when absent.
+func (ct *candTable) find(cand []dict.ItemID) int {
+	h := dict.HashItems(cand)
+	mask := uint64(len(ct.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := ct.slots[i]
+		if s == 0 {
+			return -1
+		}
+		e := &ct.entries[s-1]
+		if e.hash == h && slices.Equal(ct.arena[e.off:e.off+e.n], cand) {
+			return int(s - 1)
+		}
+	}
+}
+
+// intern returns the entry index of cand, inserting a zero-count entry (and
+// copying the items into the arena) when absent. The second result reports
+// whether a new entry was created.
+func (ct *candTable) intern(cand []dict.ItemID) (int, bool) {
+	h := dict.HashItems(cand)
+	mask := uint64(len(ct.slots) - 1)
+	i := h & mask
+	for {
+		s := ct.slots[i]
+		if s == 0 {
+			break
+		}
+		e := &ct.entries[s-1]
+		if e.hash == h && slices.Equal(ct.arena[e.off:e.off+e.n], cand) {
+			return int(s - 1), false
+		}
+		i = (i + 1) & mask
+	}
+	idx := len(ct.entries)
+	off := int32(len(ct.arena))
+	ct.arena = append(ct.arena, cand...)
+	ct.entries = append(ct.entries, candEntry{off: off, n: int32(len(cand)), hash: h})
+	ct.slots[i] = int32(idx + 1)
+	if 4*len(ct.entries) >= 3*len(ct.slots) {
+		ct.grow()
+	}
+	return idx, true
+}
+
+// grow doubles the slot table and reinserts the live entries.
+func (ct *candTable) grow() {
+	size := 2 * len(ct.slots)
+	ct.slots = make([]int32, size)
+	mask := uint64(size - 1)
+	for idx := range ct.entries {
+		i := ct.entries[idx].hash & mask
+		for ct.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		ct.slots[i] = int32(idx + 1)
+	}
 }
 
 // DFSOptions configures MineDFS.

@@ -266,3 +266,38 @@ func TestPrefilterPreservesResults(t *testing.T) {
 		}
 	}
 }
+
+// TestSupportOfWeighted pins the aggregation semantics of the flat counting
+// path: weights of duplicate generated candidates sum per sequence weight, a
+// candidate touched only by zero-weight sequences still appears (with count
+// 0), candidates never generated stay absent, and want=false entries are
+// excluded from the query.
+func TestSupportOfWeighted(t *testing.T) {
+	d, f, db := runningExample(t)
+	weighted := miner.Weighted(db)
+	weighted[0].Weight = 0 // T1 contributes structure but no support
+	weighted[4].Weight = 3 // T5 counts three times
+
+	enc := func(names ...string) string {
+		seq, err := d.EncodeSequence(names)
+		if err != nil {
+			t.Fatalf("encode %v: %v", names, err)
+		}
+		return miner.Key(seq)
+	}
+	a1b := enc("a1", "b")
+	t1only := enc("a1", "c", "d", "c", "b")
+	absent := enc("b")
+	excluded := enc("a1", "a1", "b")
+	cands := map[string]bool{a1b: true, t1only: true, absent: true, excluded: false}
+
+	// sigma=1: no output filtering, so the expectations follow Fig. 1 directly.
+	got := miner.SupportOf(f, weighted, 1, cands)
+	want := map[string]int64{
+		a1b:    4, // T2 (1) + T5 (3); T1 has weight 0
+		t1only: 0, // generated only by the zero-weight T1
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SupportOf = %v, want %v", got, want)
+	}
+}

@@ -104,18 +104,19 @@ func buildJob(f *fst.FST, sigma int64, variant Variant, opts Options) mapreduce.
 	if variant == SemiNaive {
 		genSigma = sigma
 	}
-	var flat *fst.Flat
-	if opts.Prefilter {
-		flat = f.Flatten()
-	}
+	flat := f.Flatten()
 	job := mapreduce.Job[[]dict.ItemID, string, int64, miner.Pattern]{
 		Map: func(T []dict.ItemID, emit func(string, int64)) {
-			if flat != nil && !flat.CanAccept(T) {
+			if opts.Prefilter && !flat.CanAccept(T) {
 				return
 			}
-			for _, cand := range f.EnumerateCandidates(T, genSigma) {
+			// The flat enumerator deduplicates per sequence, so each distinct
+			// candidate is emitted exactly once — the same multiset of records
+			// EnumerateCandidates produced, without materializing the list.
+			flat.ForEachDistinctCandidate(T, genSigma, func(cand []dict.ItemID) bool {
 				emit(EncodeSequence(cand), 1)
-			}
+				return true
+			})
 		},
 		Combine: func(_ string, vs []int64) []int64 {
 			var s int64

@@ -2,9 +2,11 @@ package pivot_test
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"seqmine/internal/dict"
+	"seqmine/internal/experiments"
 	"seqmine/internal/fst"
 	"seqmine/internal/paperex"
 	"seqmine/internal/pivot"
@@ -72,5 +74,62 @@ func BenchmarkMerge(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pivot.Merge(u, q)
+	}
+}
+
+var (
+	t3Once sync.Once
+	t3FST  *fst.FST
+	t3DB   [][]dict.ItemID
+	t3Err  error
+)
+
+// t3Workload builds the AMZN-F dataset and the loose T3 constraint of the
+// end-to-end BenchmarkAlgorithms_T3, scaled down to the map phase: the
+// returned database is what D-SEQ's map workers analyze per sequence.
+func t3Workload(b *testing.B) (*fst.FST, [][]dict.ItemID) {
+	b.Helper()
+	t3Once.Do(func() {
+		ds, err := experiments.Generate(experiments.Scale{
+			NYTSentences: 1, AmazonCustomers: 500, ClueWebSentences: 1, Workers: 2, Seed: 1,
+		})
+		if err != nil {
+			t3Err = err
+			return
+		}
+		t3FST = fst.MustCompile(experiments.T3Expr(1, 5), ds.AMZNF.Dict)
+		t3DB = ds.AMZNF.Sequences
+	})
+	if t3Err != nil {
+		b.Fatal(t3Err)
+	}
+	return t3FST, t3DB
+}
+
+// BenchmarkPivotAnalyze_T3 measures one full map-phase pivot analysis pass
+// (grid and run-enumeration ablation) over the AMZN-F T3 workload — the
+// per-sequence kernel behind BenchmarkAlgorithms_T3/D-SEQ.
+func BenchmarkPivotAnalyze_T3(b *testing.B) {
+	f, db := t3Workload(b)
+	for _, cfg := range []struct {
+		name string
+		opts pivot.Options
+	}{
+		{"Grid", pivot.DefaultOptions()},
+		{"Runs", pivot.Options{UseGrid: false}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s := pivot.NewSearcher(f, 10, cfg.opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, T := range db {
+					a := s.Analyze(T)
+					for _, k := range a.Pivots {
+						s.Rewrite(T, a, k)
+					}
+				}
+			}
+		})
 	}
 }

@@ -5,10 +5,18 @@
 // (Theorem 1) and a position–state grid (memoized FST simulation). It also
 // determines the first and last relevant positions per pivot item, which are
 // the basis of the sequence rewriting ρk(T) of Sec. V-B.
+//
+// The grid runs entirely on the flattened FST form (fst.Flat): reachability is
+// a bitset accept matrix, transitions are walked by index in the flat int32
+// table, frequent-output filtering is precomputed per (FST, σ) in an
+// fst.SigmaView, and the per-state pivot sets K(i, q) live as (offset, length)
+// regions of one pooled arena — steady-state analysis allocates only the
+// Analysis result itself.
 package pivot
 
 import (
-	"sort"
+	"slices"
+	"sync"
 
 	"seqmine/internal/dict"
 	"seqmine/internal/fst"
@@ -21,7 +29,8 @@ import (
 //
 // Sets are sorted ascending slices of fids; dict.None (0) represents ε and is
 // smaller than every item. Empty input sets are treated as {ε}. The result is
-// sorted and duplicate free.
+// sorted and duplicate free. Because the inputs are sorted, each side's
+// filtered subset is a suffix, so the merge is a single linear union pass.
 func Merge(u, q []dict.ItemID) []dict.ItemID {
 	minU, minQ := dict.None, dict.None
 	if len(u) > 0 {
@@ -30,19 +39,16 @@ func Merge(u, q []dict.ItemID) []dict.ItemID {
 	if len(q) > 0 {
 		minQ = q[0]
 	}
-	out := make([]dict.ItemID, 0, len(u)+len(q))
-	for _, w := range u {
-		if w >= minQ {
-			out = append(out, w)
-		}
+	return unionSorted(suffixFrom(u, minQ), suffixFrom(q, minU))
+}
+
+// suffixFrom returns the suffix of the sorted set s whose items are >= min.
+func suffixFrom(s []dict.ItemID, min dict.ItemID) []dict.ItemID {
+	i := 0
+	for i < len(s) && s[i] < min {
+		i++
 	}
-	for _, w := range q {
-		if w >= minU {
-			out = append(out, w)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return dedupSorted(out)
+	return s[i:]
 }
 
 func dedupSorted(s []dict.ItemID) []dict.ItemID {
@@ -96,6 +102,8 @@ func DefaultOptions() Options { return Options{UseGrid: true} }
 // It is safe for concurrent use.
 type Searcher struct {
 	fst   *fst.FST
+	flat  *fst.Flat
+	sv    *fst.SigmaView
 	dict  *dict.Dictionary
 	sigma int64
 	opts  Options
@@ -103,7 +111,8 @@ type Searcher struct {
 
 // NewSearcher returns a Searcher for the constraint and minimum support.
 func NewSearcher(f *fst.FST, sigma int64, opts Options) *Searcher {
-	return &Searcher{fst: f, dict: f.Dict(), sigma: sigma, opts: opts}
+	fl := f.Flatten()
+	return &Searcher{fst: f, flat: fl, sv: fl.Sigma(sigma), dict: f.Dict(), sigma: sigma, opts: opts}
 }
 
 // Analysis is the result of analyzing one input sequence.
@@ -112,10 +121,12 @@ type Analysis struct {
 	// Gσπ(T), sorted ascending.
 	Pivots []dict.ItemID
 
-	n        int
-	haveRel  bool
-	firstRel map[dict.ItemID]int
-	lastRel  map[dict.ItemID]int
+	n       int
+	haveRel bool
+	// relFirst/relLast hold the relevant-position range per pivot, indexed
+	// parallel to Pivots.
+	relFirst []int32
+	relLast  []int32
 }
 
 // Range returns the first and last relevant position (0-based, inclusive) of
@@ -125,12 +136,11 @@ func (a *Analysis) Range(k dict.ItemID) (first, last int) {
 	if !a.haveRel {
 		return 0, a.n - 1
 	}
-	f, ok1 := a.firstRel[k]
-	l, ok2 := a.lastRel[k]
-	if !ok1 || !ok2 {
+	i, ok := slices.BinarySearch(a.Pivots, k)
+	if !ok || i >= len(a.relFirst) {
 		return 0, a.n - 1
 	}
-	return f, l
+	return int(a.relFirst[i]), int(a.relLast[i])
 }
 
 // Analyze computes K(T) and the per-pivot relevant-position ranges for T.
@@ -167,7 +177,7 @@ func (s *Searcher) analyzeRuns(T []dict.ItemID) *Analysis {
 	for w := range pivotSet {
 		a.Pivots = append(a.Pivots, w)
 	}
-	sort.Slice(a.Pivots, func(i, j int) bool { return a.Pivots[i] < a.Pivots[j] })
+	slices.Sort(a.Pivots)
 	return a
 }
 
@@ -189,106 +199,209 @@ func (s *Searcher) filterOutputs(set []dict.ItemID) []dict.ItemID {
 	return out
 }
 
+// gridScratch is the pooled per-call working memory of analyzeGrid: the bitset
+// accept matrix, the per-state K(i, q) regions of the current and next grid
+// column (offset and length into one append-only arena; offset -1 = inactive
+// coordinate), and the per-position relevance summary. The arena is append
+// only within a call, so regions handed out earlier stay valid while new
+// merged sets are written behind them.
+type gridScratch struct {
+	reach []uint64
+	arena []dict.ItemID
+
+	curOff, curLen   []int32
+	nextOff, nextLen []int32
+
+	stateChange []bool
+	minOutput   []dict.ItemID
+	pivots      []dict.ItemID
+	one         [1]dict.ItemID
+}
+
+var gridPool = sync.Pool{New: func() any { return new(gridScratch) }}
+
+func (sc *gridScratch) prepare(n, words, numStates int) {
+	need := (n + 1) * words
+	if cap(sc.reach) < need {
+		sc.reach = make([]uint64, need)
+	}
+	sc.reach = sc.reach[:need]
+	clear(sc.reach)
+	sc.arena = sc.arena[:0]
+	if cap(sc.curOff) < numStates {
+		sc.curOff = make([]int32, numStates)
+		sc.curLen = make([]int32, numStates)
+		sc.nextOff = make([]int32, numStates)
+		sc.nextLen = make([]int32, numStates)
+	}
+	sc.curOff = sc.curOff[:numStates]
+	sc.curLen = sc.curLen[:numStates]
+	sc.nextOff = sc.nextOff[:numStates]
+	sc.nextLen = sc.nextLen[:numStates]
+	for q := 0; q < numStates; q++ {
+		sc.curOff[q] = -1
+		sc.nextOff[q] = -1
+	}
+	if cap(sc.stateChange) < n {
+		sc.stateChange = make([]bool, n)
+		sc.minOutput = make([]dict.ItemID, n)
+	}
+	sc.stateChange = sc.stateChange[:n]
+	sc.minOutput = sc.minOutput[:n]
+	clear(sc.stateChange)
+	clear(sc.minOutput)
+	sc.pivots = sc.pivots[:0]
+}
+
+// mergeInto appends the region for U ⊕ outs to the arena, where U is the arena
+// region (off, n) and outs is a non-empty sorted frequent output set.
+func (sc *gridScratch) mergeInto(off, n int32, outs []dict.ItemID) (int32, int32) {
+	u := sc.arena[off : off+n]
+	minU := dict.None
+	if len(u) > 0 {
+		minU = u[0]
+	}
+	return sc.unionInto(suffixFrom(u, outs[0]), suffixFrom(outs, minU))
+}
+
+// unionInto appends the sorted duplicate-free union of a and b to the arena
+// and returns the new region. Reading a and b while appending is safe even
+// when they alias the arena: the arena is append only, so a reallocation
+// leaves the source regions intact in the old backing array.
+func (sc *gridScratch) unionInto(a, b []dict.ItemID) (int32, int32) {
+	start := int32(len(sc.arena))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			sc.arena = append(sc.arena, a[i])
+			i++
+		case a[i] > b[j]:
+			sc.arena = append(sc.arena, b[j])
+			j++
+		default:
+			sc.arena = append(sc.arena, a[i])
+			i++
+			j++
+		}
+	}
+	sc.arena = append(sc.arena, a[i:]...)
+	sc.arena = append(sc.arena, b[j:]...)
+	return start, int32(len(sc.arena)) - start
+}
+
 // analyzeGrid computes K(T) with the position–state grid: one forward pass
 // over the coordinates that lie on accepting runs, maintaining the pivot sets
-// K(i, q) and the relevance information per position.
+// K(i, q) and the relevance information per position. The pass walks the flat
+// transition table against the bitset accept matrix and keeps every K(i, q)
+// as a region of the pooled arena; ε edges propagate their source region
+// without copying.
 func (s *Searcher) analyzeGrid(T []dict.ItemID) *Analysis {
-	a := &Analysis{n: len(T), haveRel: true, firstRel: map[dict.ItemID]int{}, lastRel: map[dict.ItemID]int{}}
+	a := &Analysis{n: len(T), haveRel: true}
 	n := len(T)
 	if n == 0 {
 		return a
 	}
-	reach := s.fst.AcceptMatrix(T)
-	init := s.fst.Initial()
-	if !reach[0][init] {
+	fl := s.flat
+	words := fl.Words()
+	numStates := fl.NumStates()
+	sc := gridPool.Get().(*gridScratch)
+	sc.prepare(n, words, numStates)
+	fl.AcceptBits(T, sc.reach)
+	init := fl.Initial()
+	if sc.reach[uint(init)>>6]&(1<<(uint(init)&63)) == 0 {
+		gridPool.Put(sc)
 		return a
 	}
-	numStates := s.fst.NumStates()
 
-	// K(i, q) for the active coordinates of column i. nil = inactive.
-	cur := make([][]dict.ItemID, numStates)
-	next := make([][]dict.ItemID, numStates)
-	cur[init] = []dict.ItemID{dict.None}
-
-	// Per-position relevance summary: did any accepting-run edge at position i
-	// change state, and what is the smallest frequent output item produced at
-	// position i on any accepting-run edge (None if none)?
-	stateChange := make([]bool, n)
-	minOutput := make([]dict.ItemID, n)
+	sc.arena = append(sc.arena, dict.None)
+	sc.curOff[init], sc.curLen[init] = 0, 1
 
 	for i := 0; i < n; i++ {
-		for q := range next {
-			next[q] = nil
-		}
 		t := T[i]
+		next := sc.reach[(i+1)*words:]
 		for q := 0; q < numStates; q++ {
-			kset := cur[q]
-			if kset == nil {
+			ko, kl := sc.curOff[q], sc.curLen[q]
+			if ko < 0 {
 				continue
 			}
-			for _, tr := range s.fst.Transitions(q) {
-				if !reach[i+1][tr.To] || !tr.Label.Matches(s.dict, t) {
+			lo, hi := fl.TransitionsOf(q)
+			for tr := int(lo); tr < int(hi); tr++ {
+				to := int(fl.To(tr))
+				if next[uint(to)>>6]&(1<<(uint(to)&63)) == 0 || !fl.Matches(tr, t) {
 					continue
 				}
-				outs := s.filterOutputs(tr.Label.Outputs(s.dict, t))
-				if outs == nil && tr.Label.ProducesOutput() {
+				single, set, ok := s.sv.OutputsFor(tr, t)
+				if !ok {
 					// Only infrequent outputs: edge cannot contribute Gσ
 					// candidates.
 					continue
 				}
-				if q != tr.To {
-					stateChange[i] = true
+				if q != to {
+					sc.stateChange[i] = true
 				}
-				merged := kset
-				if outs != nil {
-					if minOutput[i] == dict.None || outs[0] < minOutput[i] {
-						minOutput[i] = outs[0]
+				if single != dict.None {
+					sc.one[0] = single
+					set = sc.one[:]
+				}
+				mo, ml := ko, kl
+				if set != nil {
+					if sc.minOutput[i] == dict.None || set[0] < sc.minOutput[i] {
+						sc.minOutput[i] = set[0]
 					}
-					merged = Merge(kset, outs)
+					mo, ml = sc.mergeInto(ko, kl, set)
 				}
-				if next[tr.To] == nil {
-					next[tr.To] = merged
+				if sc.nextOff[to] < 0 {
+					sc.nextOff[to], sc.nextLen[to] = mo, ml
 				} else {
-					next[tr.To] = unionSorted(next[tr.To], merged)
+					uo, ul := sc.nextOff[to], sc.nextLen[to]
+					sc.nextOff[to], sc.nextLen[to] =
+						sc.unionInto(sc.arena[uo:uo+ul], sc.arena[mo:mo+ml])
 				}
 			}
 		}
-		cur, next = next, cur
+		sc.curOff, sc.nextOff = sc.nextOff, sc.curOff
+		sc.curLen, sc.nextLen = sc.nextLen, sc.curLen
+		for q := 0; q < numStates; q++ {
+			sc.nextOff[q] = -1
+		}
 	}
 
-	pivotSet := map[dict.ItemID]bool{}
 	for q := 0; q < numStates; q++ {
-		if cur[q] == nil || !s.fst.IsFinal(q) {
+		if sc.curOff[q] < 0 || !fl.IsFinal(q) {
 			continue
 		}
-		for _, w := range dropEps(cur[q]) {
-			pivotSet[w] = true
-		}
+		region := sc.arena[sc.curOff[q] : sc.curOff[q]+sc.curLen[q]]
+		sc.pivots = append(sc.pivots, dropEps(region)...)
 	}
-	for w := range pivotSet {
-		a.Pivots = append(a.Pivots, w)
-	}
-	sort.Slice(a.Pivots, func(i, j int) bool { return a.Pivots[i] < a.Pivots[j] })
-
-	// Relevant-position ranges per pivot: position i is relevant for pivot k
-	// if an accepting-run edge at i changes state or can output a frequent
-	// item <= k.
-	for _, k := range a.Pivots {
-		first, last := -1, -1
-		for i := 0; i < n; i++ {
-			if stateChange[i] || (minOutput[i] != dict.None && minOutput[i] <= k) {
-				if first < 0 {
-					first = i
+	slices.Sort(sc.pivots)
+	pivots := dedupSorted(sc.pivots)
+	if m := len(pivots); m > 0 {
+		a.Pivots = make([]dict.ItemID, m)
+		copy(a.Pivots, pivots)
+		// Relevant-position ranges per pivot: position i is relevant for pivot
+		// k if an accepting-run edge at i changes state or can output a
+		// frequent item <= k. Both range slices share one backing array.
+		rel := make([]int32, 2*m)
+		a.relFirst, a.relLast = rel[:m:m], rel[m:]
+		for idx, k := range a.Pivots {
+			first, last := -1, -1
+			for i := 0; i < n; i++ {
+				if sc.stateChange[i] || (sc.minOutput[i] != dict.None && sc.minOutput[i] <= k) {
+					if first < 0 {
+						first = i
+					}
+					last = i
 				}
-				last = i
 			}
+			if first < 0 {
+				first, last = 0, n-1
+			}
+			a.relFirst[idx] = int32(first)
+			a.relLast[idx] = int32(last)
 		}
-		if first < 0 {
-			first, last = 0, n-1
-		}
-		a.firstRel[k] = first
-		a.lastRel[k] = last
 	}
+	gridPool.Put(sc)
 	return a
 }
 

@@ -293,3 +293,39 @@ func TestAnalyzeEmptySequence(t *testing.T) {
 		t.Errorf("empty sequence must have no pivots, got %v", a.Pivots)
 	}
 }
+
+// TestRewriteEdgeCases pins the defensive paths of ρk(T): nil analysis, empty
+// sequences and non-pivot items must all return the input unchanged.
+func TestRewriteEdgeCases(t *testing.T) {
+	d := paperex.Dict()
+	f := fst.MustCompile(paperex.PatternExpression, d)
+	db := paperex.DB(d)
+	s := pivot.NewSearcher(f, paperex.Sigma, pivot.DefaultOptions())
+	T2 := db[1]
+
+	if got := s.Rewrite(T2, nil, d.MustFid("a1")); !reflect.DeepEqual(got, T2) {
+		t.Errorf("nil analysis: Rewrite = %v, want input unchanged", got)
+	}
+	aEmpty := s.Analyze(nil)
+	if got := s.Rewrite(nil, aEmpty, d.MustFid("a1")); len(got) != 0 {
+		t.Errorf("empty sequence: Rewrite = %v, want empty", got)
+	}
+	// A non-pivot item falls back to the full relevance range.
+	a := s.Analyze(T2)
+	nonPivot := d.MustFid("c") // K(T2) = {a1}
+	if first, last := a.Range(nonPivot); first != 0 || last != len(T2)-1 {
+		t.Errorf("Range(non-pivot) = (%d,%d), want full range", first, last)
+	}
+	if got := s.Rewrite(T2, a, nonPivot); !reflect.DeepEqual(got, T2) {
+		t.Errorf("non-pivot Rewrite = %v, want input unchanged", got)
+	}
+	// A sequence without accepting runs has no pivots and an unrestricted range.
+	T3 := db[2]
+	a3 := s.Analyze(T3)
+	if len(a3.Pivots) != 0 {
+		t.Fatalf("K(T3) = %v, want empty", a3.Pivots)
+	}
+	if got := s.Rewrite(T3, a3, d.MustFid("a1")); !reflect.DeepEqual(got, T3) {
+		t.Errorf("no-pivot Rewrite = %v, want input unchanged", got)
+	}
+}

@@ -12,8 +12,15 @@
 #   - root:               BenchmarkAlgorithms_N1/*, BenchmarkAlgorithms_T3/*,
 #                         BenchmarkSpanOverhead/* (tracing-cost budget)
 #   - internal/mapreduce: the shuffle/spill engine
-#   - internal/miner:     the local miners
-#   - internal/pivot:     the pivot search
+#   - internal/miner:     the local miners (BenchmarkMineCount rides the flat
+#                         candidate enumeration — a map-phase kernel)
+#   - internal/pivot:     the pivot search, including BenchmarkPivotAnalyze_T3
+#                         (grid and run-enumeration over the AMZN-F T3
+#                         workload — the per-sequence D-SEQ map kernel)
+#
+# The map-phase kernels (BenchmarkPivotAnalyze*, BenchmarkAnalyze*,
+# BenchmarkMineCount*) are called out in their own table section of the CI
+# bench-compare step summary (benchcmp.FormatMarkdown).
 #
 # BenchmarkCalibration is recorded alongside them for machine-speed
 # normalization; it is excluded from the gate's geomean.
