@@ -58,6 +58,7 @@ func main() {
 	algorithm := flag.String("algorithm", "dcand", "algorithm: dseq or dcand (submit mode)")
 	spillThreshold := flag.Int64("spill-threshold", 0, "shuffle bytes each worker holds in memory before spilling to disk (0 = never spill, submit mode)")
 	sendBuffer := flag.Int64("send-buffer", 0, "per-peer streaming send-buffer bytes on each worker (0 = barrier mode, submit mode)")
+	sendBufferMax := flag.Int64("send-buffer-max", 0, "adaptive send-buffer bound in bytes on each worker (0 or <= -send-buffer = fixed buffers, submit mode)")
 	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress the workers' spill segments (submit mode)")
 	prefilter := flag.Bool("prefilter", false, "workers skip sequences with no accepting run via a cheap two-pass reachability scan before mining (output is identical either way, submit mode)")
 	taskRetries := flag.Int("task-retries", 2, "failed attempts relaunched on surviving workers before the job fails (negative = no retries, submit mode)")
@@ -79,7 +80,7 @@ func main() {
 		runSubmit(submitConfig{
 			workers: *workers, data: *data, hierarchy: *hierarchy,
 			pattern: *pattern, sigma: *sigma, algorithm: *algorithm,
-			spillThreshold: *spillThreshold, sendBuffer: *sendBuffer, compressSpill: *compressSpill, prefilter: *prefilter,
+			spillThreshold: *spillThreshold, sendBuffer: *sendBuffer, sendBufferMax: *sendBufferMax, compressSpill: *compressSpill, prefilter: *prefilter,
 			taskRetries: *taskRetries, speculativeAfter: *speculativeAfter, taskPartitions: *taskPartitions,
 			top: *top, showMetrics: *showMetrics, traceOut: *traceOut,
 		})
@@ -144,6 +145,7 @@ func runWorker(listen, dataListen, dataAdvertise, spillDir, debugAddr string, da
 type submitConfig struct {
 	workers, data, hierarchy, pattern, algorithm string
 	sigma, spillThreshold, sendBuffer            int64
+	sendBufferMax                                int64
 	compressSpill, prefilter                     bool
 	taskRetries, taskPartitions                  int
 	speculativeAfter                             time.Duration
@@ -180,6 +182,7 @@ func runSubmit(sc submitConfig) {
 	copts := cluster.DefaultOptions()
 	copts.SpillThresholdBytes = sc.spillThreshold
 	copts.SendBufferBytes = sc.sendBuffer
+	copts.SendBufferMaxBytes = sc.sendBufferMax
 	copts.CompressSpill = sc.compressSpill
 	copts.Prefilter = sc.prefilter
 	copts.ApplyRetryKnobs(sc.taskRetries, sc.speculativeAfter)

@@ -27,6 +27,7 @@ func main() {
 	spillThreshold := flag.Int64("spill-threshold", 0, "shuffle bytes held in memory before spilling to disk (distributed algorithms; 0 = never spill)")
 	spillDir := flag.String("spill-dir", "", "directory for shuffle spill segments (default: system temp dir)")
 	sendBuffer := flag.Int64("send-buffer", 0, "per-peer streaming send-buffer bytes: map workers stream the shuffle while mapping instead of after a barrier (distributed algorithms; 0 = barrier mode)")
+	sendBufferMax := flag.Int64("send-buffer-max", 0, "adaptive send-buffer bound in bytes: destinations that keep filling their share grow their buffer up to this bound (0 or <= -send-buffer = fixed buffers)")
 	compressSpill := flag.Bool("compress-spill", false, "DEFLATE-compress shuffle spill segments")
 	prefilter := flag.Bool("prefilter", false, "skip sequences with no accepting run via a cheap two-pass reachability scan before mining (output is identical either way)")
 	clusterWorkers := flag.String("cluster", "", "comma-separated seqmine-worker control URLs: run dseq/dcand on this cluster with the fault-tolerant scheduler instead of in-process")
@@ -76,6 +77,7 @@ func main() {
 	opts.SpillThreshold = *spillThreshold
 	opts.SpillTmpDir = *spillDir
 	opts.SendBufferBytes = *sendBuffer
+	opts.SendBufferMaxBytes = *sendBufferMax
 	opts.CompressSpill = *compressSpill
 	opts.Prefilter = *prefilter
 	for _, u := range strings.Split(*clusterWorkers, ",") {

@@ -47,6 +47,14 @@ type Baseline struct {
 	// samples (schema 2; gated like time, but without calibration because
 	// allocation counts are machine-independent).
 	AllocsPerOp map[string][]float64 `json:"allocs_per_op,omitempty"`
+	// Tolerance maps a normalized benchmark name to its own time-ratio
+	// gate. A toleranced benchmark is excluded from both geomeans (its
+	// noise would otherwise dominate the mean) and gated individually at
+	// this bound instead — for inherently noisy wall-clock benchmarks like
+	// the TCP shuffle-overlap runs, whose medians swing 2-3x between
+	// otherwise identical runs. Recorded with `benchgate record
+	// -tolerance name=ratio`.
+	Tolerance map[string]float64 `json:"tolerance,omitempty"`
 }
 
 // Samples holds one benchmark run's parsed samples per metric, keyed by
@@ -148,12 +156,27 @@ type Result struct {
 	Ratio    float64 `json:"ratio"`    // current/baseline (time: after calibration scaling; allocs: +1-smoothed)
 }
 
+// TolerancedResult is one toleranced benchmark's comparison: gated at its own
+// bound instead of contributing to the geomean.
+type TolerancedResult struct {
+	Result
+	// Gate is the benchmark's individual ratio bound (Baseline.Tolerance).
+	Gate float64 `json:"gate"`
+}
+
 // Report is the outcome of a comparison.
 type Report struct {
 	// Results holds the compared time benchmarks, sorted by descending ratio.
 	Results []Result `json:"time"`
 	// Geomean is the geometric mean of the time ratios.
 	Geomean float64 `json:"time_geomean"`
+	// Toleranced holds the benchmarks with per-benchmark tolerance bounds
+	// (excluded from Geomean; time ratios, after calibration scaling).
+	Toleranced []TolerancedResult `json:"toleranced,omitempty"`
+	// TolerancedAllocs holds the toleranced benchmarks' allocs/op
+	// comparisons (excluded from AllocGeomean, gated at the same
+	// per-benchmark bound; +1-smoothed like AllocResults).
+	TolerancedAllocs []TolerancedResult `json:"toleranced_allocs,omitempty"`
 	// CalibrationScale is the machine-speed factor divided out of every
 	// time ratio (1 when no calibration benchmark was present on both sides).
 	CalibrationScale float64 `json:"calibration_scale"`
@@ -211,7 +234,12 @@ func Compare(baseline *Baseline, current map[string][]float64, calibration strin
 			return nil, fmt.Errorf("benchcmp: non-positive median for %s", name)
 		}
 		ratio := (cur / base) / rep.CalibrationScale
-		rep.Results = append(rep.Results, Result{Name: name, Baseline: base, Current: cur, Ratio: ratio})
+		res := Result{Name: name, Baseline: base, Current: cur, Ratio: ratio}
+		if tol, ok := baseline.Tolerance[name]; ok && tol > 0 {
+			rep.Toleranced = append(rep.Toleranced, TolerancedResult{Result: res, Gate: tol})
+			continue
+		}
+		rep.Results = append(rep.Results, res)
 		logSum += math.Log(ratio)
 		n++
 	}
@@ -228,9 +256,28 @@ func Compare(baseline *Baseline, current map[string][]float64, calibration strin
 	}
 	rep.Geomean = math.Exp(logSum / float64(n))
 	sort.Slice(rep.Results, func(i, j int) bool { return rep.Results[i].Ratio > rep.Results[j].Ratio })
+	sort.Slice(rep.Toleranced, func(i, j int) bool { return rep.Toleranced[i].Ratio > rep.Toleranced[j].Ratio })
 	sort.Strings(rep.MissingInCurrent)
 	sort.Strings(rep.MissingInBaseline)
 	return rep, nil
+}
+
+// GateFailures lists the toleranced benchmarks whose ratio exceeds their own
+// bound, as ready-to-print failure messages. The geomean gates do not cover
+// these benchmarks, so a caller enforcing the gates must check this too.
+func (r *Report) GateFailures() []string {
+	var fails []string
+	for _, res := range r.Toleranced {
+		if res.Ratio > res.Gate {
+			fails = append(fails, fmt.Sprintf("%s time ratio %.3f exceeds its %.3f tolerance", res.Name, res.Ratio, res.Gate))
+		}
+	}
+	for _, res := range r.TolerancedAllocs {
+		if res.Ratio > res.Gate {
+			fails = append(fails, fmt.Sprintf("%s allocs/op ratio %.3f exceeds its %.3f tolerance", res.Name, res.Ratio, res.Gate))
+		}
+	}
+	return fails
 }
 
 // CompareFull is Compare plus the allocation gate of schema-2 baselines: when
@@ -263,7 +310,12 @@ func CompareFull(baseline *Baseline, current *Samples, calibration string) (*Rep
 			return nil, fmt.Errorf("benchcmp: negative allocation median for %s", name)
 		}
 		ratio := (cur + 1) / (base + 1)
-		rep.AllocResults = append(rep.AllocResults, Result{Name: name, Baseline: base, Current: cur, Ratio: ratio})
+		res := Result{Name: name, Baseline: base, Current: cur, Ratio: ratio}
+		if tol, ok := baseline.Tolerance[name]; ok && tol > 0 {
+			rep.TolerancedAllocs = append(rep.TolerancedAllocs, TolerancedResult{Result: res, Gate: tol})
+			continue
+		}
+		rep.AllocResults = append(rep.AllocResults, res)
 		logSum += math.Log(ratio)
 		n++
 	}
@@ -271,6 +323,7 @@ func CompareFull(baseline *Baseline, current *Samples, calibration string) (*Rep
 		rep.AllocGeomean = math.Exp(logSum / float64(n))
 	}
 	sort.Slice(rep.AllocResults, func(i, j int) bool { return rep.AllocResults[i].Ratio > rep.AllocResults[j].Ratio })
+	sort.Slice(rep.TolerancedAllocs, func(i, j int) bool { return rep.TolerancedAllocs[i].Ratio > rep.TolerancedAllocs[j].Ratio })
 	sort.Strings(rep.MissingInCurrent)
 	return rep, nil
 }
@@ -285,10 +338,17 @@ func (r *Report) Format(w io.Writer, maxRatio float64) {
 		}
 		fmt.Fprintf(w, "%-52s %14.0f %14.0f %8.3f%s\n", res.Name, res.Baseline, res.Current, res.Ratio, marker)
 	}
+	for _, res := range r.Toleranced {
+		marker := ""
+		if res.Ratio > res.Gate {
+			marker = "  <-- above tolerance"
+		}
+		fmt.Fprintf(w, "%-52s %14.0f %14.0f %8.3f (toleranced, gate %.2f)%s\n", res.Name, res.Baseline, res.Current, res.Ratio, res.Gate, marker)
+	}
 	if r.CalibrationScale != 1 {
 		fmt.Fprintf(w, "calibration scale (machine speed factor): %.3f\n", r.CalibrationScale)
 	}
-	if len(r.AllocResults) > 0 {
+	if len(r.AllocResults) > 0 || len(r.TolerancedAllocs) > 0 {
 		fmt.Fprintf(w, "%-52s %14s %14s %8s\n", "benchmark", "base allocs/op", "cur allocs/op", "ratio")
 		for _, res := range r.AllocResults {
 			marker := ""
@@ -296,6 +356,13 @@ func (r *Report) Format(w io.Writer, maxRatio float64) {
 				marker = "  <-- above gate"
 			}
 			fmt.Fprintf(w, "%-52s %14.0f %14.0f %8.3f%s\n", res.Name, res.Baseline, res.Current, res.Ratio, marker)
+		}
+		for _, res := range r.TolerancedAllocs {
+			marker := ""
+			if res.Ratio > res.Gate {
+				marker = "  <-- above tolerance"
+			}
+			fmt.Fprintf(w, "%-52s %14.0f %14.0f %8.3f (toleranced, gate %.2f)%s\n", res.Name, res.Baseline, res.Current, res.Ratio, res.Gate, marker)
 		}
 	}
 	for _, name := range r.MissingInCurrent {
@@ -369,6 +436,23 @@ func (r *Report) FormatMarkdown(w io.Writer, maxRatio, maxAllocRatio float64) {
 	n += markdownTable(&mapMd, r.AllocResults, "allocs/op", maxAllocRatio, mapPhaseBench)
 	if n > 0 {
 		fmt.Fprintf(w, "\n#### Map-phase kernels\n\n%s", mapMd.String())
+	}
+	if len(r.Toleranced) > 0 || len(r.TolerancedAllocs) > 0 {
+		fmt.Fprintf(w, "\n#### Toleranced benchmarks (own gates, excluded from geomeans)\n\n")
+		fmt.Fprintf(w, "| benchmark | metric | baseline | current | ratio | gate |\n|---|---|---:|---:|---:|---:|\n")
+		tolRow := func(res TolerancedResult, unit string) {
+			cell := fmt.Sprintf("%.3f", res.Ratio)
+			if res.Ratio > res.Gate {
+				cell = fmt.Sprintf("**%.3f** ⚠", res.Ratio)
+			}
+			fmt.Fprintf(w, "| %s | %s | %.0f | %.0f | %s | %.2f |\n", res.Name, unit, res.Baseline, res.Current, cell, res.Gate)
+		}
+		for _, res := range r.Toleranced {
+			tolRow(res, "ns/op")
+		}
+		for _, res := range r.TolerancedAllocs {
+			tolRow(res, "allocs/op")
+		}
 	}
 	for _, name := range r.MissingInCurrent {
 		fmt.Fprintf(w, "\n⚠ `%s` is in the baseline but was not run\n", name)

@@ -86,6 +86,52 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+func TestCompareTolerance(t *testing.T) {
+	base := baseline(map[string][]float64{
+		"BenchmarkA":     {100},
+		"BenchmarkNoisy": {100},
+	})
+	base.Tolerance = map[string]float64{"BenchmarkNoisy": 2.0}
+	base.AllocsPerOp = map[string][]float64{
+		"BenchmarkA":     {9},
+		"BenchmarkNoisy": {9},
+	}
+
+	// The noisy benchmark triples while staying out of both geomeans.
+	rep, err := benchcmp.CompareFull(base, &benchcmp.Samples{
+		Ns:     map[string][]float64{"BenchmarkA": {100}, "BenchmarkNoisy": {300}},
+		Allocs: map[string][]float64{"BenchmarkA": {9}, "BenchmarkNoisy": {39}},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Geomean-1.0) > 1e-9 || math.Abs(rep.AllocGeomean-1.0) > 1e-9 {
+		t.Errorf("geomeans = %v / %v, want 1.0: toleranced benchmarks must not contribute", rep.Geomean, rep.AllocGeomean)
+	}
+	if len(rep.Toleranced) != 1 || rep.Toleranced[0].Name != "BenchmarkNoisy" || math.Abs(rep.Toleranced[0].Ratio-3.0) > 1e-9 {
+		t.Errorf("Toleranced = %+v, want BenchmarkNoisy at ratio 3.0", rep.Toleranced)
+	}
+	if len(rep.TolerancedAllocs) != 1 || math.Abs(rep.TolerancedAllocs[0].Ratio-4.0) > 1e-9 {
+		t.Errorf("TolerancedAllocs = %+v, want BenchmarkNoisy at smoothed ratio 4.0", rep.TolerancedAllocs)
+	}
+	if fails := rep.GateFailures(); len(fails) != 2 {
+		t.Errorf("GateFailures = %v, want both the time and alloc tolerance breaches", fails)
+	}
+
+	// Within tolerance: 1.8x would breach the 1.15 geomean gate but passes
+	// the benchmark's own 2.0 bound.
+	rep, err = benchcmp.CompareFull(base, &benchcmp.Samples{
+		Ns:     map[string][]float64{"BenchmarkA": {100}, "BenchmarkNoisy": {180}},
+		Allocs: map[string][]float64{"BenchmarkA": {9}, "BenchmarkNoisy": {9}},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := rep.GateFailures(); len(fails) != 0 {
+		t.Errorf("GateFailures = %v, want none within tolerance", fails)
+	}
+}
+
 func TestCompareCalibration(t *testing.T) {
 	base := baseline(map[string][]float64{
 		"BenchmarkA":           {100},

@@ -7,7 +7,27 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 )
+
+// toleranceFlags collects repeated -tolerance name=ratio flags.
+type toleranceFlags map[string]float64
+
+func (t toleranceFlags) String() string { return fmt.Sprintf("%v", map[string]float64(t)) }
+
+func (t toleranceFlags) Set(v string) error {
+	name, ratioStr, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=ratio, got %q", v)
+	}
+	ratio, err := strconv.ParseFloat(ratioStr, 64)
+	if err != nil || ratio <= 0 {
+		return fmt.Errorf("want a positive ratio in %q", v)
+	}
+	t[name] = ratio
+	return nil
+}
 
 // RunCLI executes one benchgate subcommand (record, compare, emit,
 // normalize) with injected streams, so cmd/benchgate stays a thin shim and
@@ -37,6 +57,8 @@ func runRecord(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("record", flag.ContinueOnError)
 	out := fs.String("out", "BENCH_baseline.json", "baseline file to write")
 	command := fs.String("command", "go test -run '^$' -bench . -benchtime=3x -count=5", "provenance note stored in the baseline")
+	tolerance := toleranceFlags{}
+	fs.Var(tolerance, "tolerance", "per-benchmark time-ratio gate as name=ratio (repeatable): the benchmark leaves the geomeans and is gated individually at this bound")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +77,14 @@ func runRecord(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if len(samples.Allocs) > 0 {
 		b.AllocsPerOp = samples.Allocs
+	}
+	if len(tolerance) > 0 {
+		for name := range tolerance {
+			if _, ok := samples.Ns[name]; !ok {
+				return fmt.Errorf("benchgate: -tolerance names %s, which the recorded run does not contain", name)
+			}
+		}
+		b.Tolerance = tolerance
 	}
 	f, err := os.Create(*out)
 	if err != nil {
@@ -129,6 +159,9 @@ func runCompare(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	if rep.AllocGeomean > *maxAllocRatio {
 		return fmt.Errorf("benchgate: allocation geomean ratio %.3f exceeds the %.3f gate — allocation regression", rep.AllocGeomean, *maxAllocRatio)
+	}
+	if fails := rep.GateFailures(); len(fails) > 0 {
+		return fmt.Errorf("benchgate: %s", strings.Join(fails, "; "))
 	}
 	fmt.Fprintln(stdout, "benchgate: PASS")
 	return nil

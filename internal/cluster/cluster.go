@@ -69,6 +69,10 @@ type Options struct {
 	// drained over the TCP fabric while mapping continues, overlapping map
 	// compute with network transfer. 0 keeps the phase-synchronous barrier.
 	SendBufferBytes int64 `json:"send_buffer_bytes,omitempty"`
+	// SendBufferMaxBytes, when > SendBufferBytes, lets each worker's
+	// streaming shuffle grow a destination's send buffer adaptively up to
+	// this bound; 0 (or <= SendBufferBytes) keeps the buffers fixed.
+	SendBufferMaxBytes int64 `json:"send_buffer_max_bytes,omitempty"`
 	// CompressSpill compresses the workers' spill segments (receive-side
 	// runs and map-side send overflow) with DEFLATE.
 	CompressSpill bool `json:"compress_spill,omitempty"`

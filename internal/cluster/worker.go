@@ -119,10 +119,11 @@ func (w *Worker) Run(ctx context.Context, spec JobSpec) (result *JobResult, err 
 		Context:       ctx,
 		Obs:           w.Obs,
 		Shuffle: mapreduce.ShuffleConfig{
-			SpillThreshold:  spec.Options.SpillThresholdBytes,
-			TmpDir:          spillDir,
-			SendBufferBytes: spec.Options.SendBufferBytes,
-			Compression:     spec.Options.CompressSpill,
+			SpillThreshold:     spec.Options.SpillThresholdBytes,
+			TmpDir:             spillDir,
+			SendBufferBytes:    spec.Options.SendBufferBytes,
+			SendBufferMaxBytes: spec.Options.SendBufferMaxBytes,
+			Compression:        spec.Options.CompressSpill,
 		},
 	}
 	var (

@@ -10,6 +10,7 @@ package dcand
 
 import (
 	"fmt"
+	"sync"
 
 	"seqmine/internal/dict"
 	"seqmine/internal/dminer"
@@ -93,6 +94,42 @@ func codec() mapreduce.FrameCodec[dict.ItemID, value] {
 	}
 }
 
+// mapScratch is the pooled per-call working memory of the map phase. The run
+// enumeration is the hot loop of D-CAND: every accepting run filters its
+// output sets, merges pivots and cuts one path per pivot, so all of that
+// works out of reused buffers. Filtered sets and per-pivot paths are regions
+// of one append-only arena (items) — a reallocation while appending leaves
+// earlier regions intact in the old backing array, exactly like the pivot
+// grid's arena. Builders are recycled across sequences via nfa.Builder.Reset,
+// which is safe because every NFA a builder produced is serialized before the
+// builder returns to the free list.
+type mapScratch struct {
+	builders map[dict.ItemID]*nfa.Builder
+	free     []*nfa.Builder
+	merge    pivot.MergeScratch
+	filtered [][]dict.ItemID
+	path     [][]dict.ItemID
+	items    []dict.ItemID
+}
+
+var mapScratchPool = sync.Pool{New: func() any {
+	return &mapScratch{builders: map[dict.ItemID]*nfa.Builder{}}
+}}
+
+func (sc *mapScratch) getBuilder() *nfa.Builder {
+	if n := len(sc.free); n > 0 {
+		b := sc.free[n-1]
+		sc.free = sc.free[:n-1]
+		return b
+	}
+	return nfa.NewBuilder()
+}
+
+func (sc *mapScratch) putBuilder(b *nfa.Builder) {
+	b.Reset()
+	sc.free = append(sc.free, b)
+}
+
 // recordSize is the exact single-record wire size of (k, v), replacing the
 // earlier hard-coded `len(data) + 2 + 2` guess so ShuffleBytes stays honest
 // across codecs.
@@ -152,58 +189,62 @@ func buildJob(f *fst.FST, sigma int64, opts Options) mapreduce.Job[[]dict.ItemID
 			if flat != nil && !flat.CanAccept(T) {
 				return
 			}
-			builders := map[dict.ItemID]*nfa.Builder{}
+			sc := mapScratchPool.Get().(*mapScratch)
 			f.ForEachRun(T, func(outputs [][]dict.ItemID) bool {
 				// Filter infrequent items from the output sets; skip the run
 				// if a position retains no output choice.
-				filtered := make([][]dict.ItemID, 0, len(outputs))
+				sc.filtered = sc.filtered[:0]
+				sc.items = sc.items[:0]
 				for _, set := range outputs {
 					if set == nil {
-						filtered = append(filtered, nil)
+						sc.filtered = append(sc.filtered, nil)
 						continue
 					}
-					keep := make([]dict.ItemID, 0, len(set))
+					off := len(sc.items)
 					for _, w := range set {
 						if frequent(w) {
-							keep = append(keep, w)
+							sc.items = append(sc.items, w)
 						}
 					}
-					if len(keep) == 0 {
+					if len(sc.items) == off {
 						return true // no Gσ candidate passes through this run
 					}
-					filtered = append(filtered, keep)
+					sc.filtered = append(sc.filtered, sc.items[off:len(sc.items):len(sc.items)])
 				}
 				// Pivot items of the run (Theorem 1).
-				pivots := pivot.MergeAll(filtered...)
+				pivots := sc.merge.MergeAll(sc.filtered)
 				for _, k := range pivots {
-					path := make([][]dict.ItemID, 0, len(filtered))
-					for _, set := range filtered {
+					mark := len(sc.items)
+					sc.path = sc.path[:0]
+					for _, set := range sc.filtered {
 						if set == nil {
 							continue
 						}
-						keep := make([]dict.ItemID, 0, len(set))
+						off := len(sc.items)
 						for _, w := range set {
 							if w <= k {
-								keep = append(keep, w)
+								sc.items = append(sc.items, w)
 							}
 						}
-						if len(keep) > 0 {
-							path = append(path, keep)
+						if len(sc.items) > off {
+							sc.path = append(sc.path, sc.items[off:len(sc.items):len(sc.items)])
 						}
 					}
-					if len(path) == 0 {
-						continue
+					if len(sc.path) > 0 {
+						b := sc.builders[k]
+						if b == nil {
+							b = sc.getBuilder()
+							sc.builders[k] = b
+						}
+						// AddPath copies the labels into the builder's own
+						// arena, so the path regions are free to be reused.
+						b.AddPath(sc.path)
 					}
-					b := builders[k]
-					if b == nil {
-						b = nfa.NewBuilder()
-						builders[k] = b
-					}
-					b.AddPath(path)
+					sc.items = sc.items[:mark]
 				}
 				return true
 			})
-			for k, b := range builders {
+			for k, b := range sc.builders {
 				var automaton *nfa.NFA
 				if opts.Minimize {
 					automaton = b.Minimize()
@@ -211,7 +252,10 @@ func buildJob(f *fst.FST, sigma int64, opts Options) mapreduce.Job[[]dict.ItemID
 					automaton = b.Trie()
 				}
 				emit(k, value{data: automaton.Serialize(), weight: 1})
+				sc.putBuilder(b)
 			}
+			clear(sc.builders)
+			mapScratchPool.Put(sc)
 		},
 		Reduce: func(k dict.ItemID, vs []value, emit func(miner.Pattern)) {
 			weighted := make([]nfa.Weighted, 0, len(vs))

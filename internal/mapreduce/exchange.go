@@ -172,6 +172,63 @@ func (c FrameCodec[K, V]) DecodeBatch(frame []byte) (KeyBatch[K, V], error) {
 	return b, err
 }
 
+// frameHeader is the parsed prefix of one encoded batch frame: the encoded-key
+// length and the value count, located without decoding any value. valsStart is
+// the offset of the first encoded value byte. It is the unit the raw shuffle
+// spine works in — receive-side grouping, spill segments and the reduce merge
+// all operate on these (keyBytes, count, value-bytes) triples and only decode
+// values when a fully assembled group reaches the reduce callback.
+type frameHeader struct {
+	keyLen    int
+	count     int
+	valsStart int
+}
+
+// parseFrameHeader splits one batch frame into its encoded key, value count
+// and value-byte region. Values are not decoded; the only validation is the
+// structural minimum (every encoded value occupies at least one byte), so a
+// frame with corrupt value bytes surfaces its error at decode time.
+func (c FrameCodec[K, V]) parseFrameHeader(frame []byte) (frameHeader, error) {
+	var h frameHeader
+	_, keyLen, err := c.ReadKey(frame, 0)
+	if err != nil {
+		return h, err
+	}
+	count, pos, err := ReadUvarint(frame, keyLen)
+	if err != nil {
+		return h, err
+	}
+	if count > uint64(len(frame)-pos) {
+		return h, fmt.Errorf("mapreduce: batch claims %d values in %d bytes", count, len(frame)-pos)
+	}
+	if count == 0 && pos != len(frame) {
+		return h, fmt.Errorf("mapreduce: %d trailing bytes after empty batch", len(frame)-pos)
+	}
+	h.keyLen = keyLen
+	h.count = int(count)
+	h.valsStart = pos
+	return h, nil
+}
+
+// appendValues decodes count encoded values from raw into vals. The byte
+// region must hold exactly count values (the concatenation of one or more
+// frames' value regions of the same key).
+func (c FrameCodec[K, V]) appendValues(vals []V, raw []byte, count int) ([]V, error) {
+	pos := 0
+	for i := 0; i < count; i++ {
+		v, np, err := c.ReadValue(raw, pos)
+		if err != nil {
+			return vals, err
+		}
+		pos = np
+		vals = append(vals, v)
+	}
+	if pos != len(raw) {
+		return vals, fmt.Errorf("mapreduce: %d trailing bytes after %d values", len(raw)-pos, count)
+	}
+	return vals, nil
+}
+
 // decodeBatchKeyed is DecodeBatch returning also the length of the frame's
 // encoded-key prefix, so callers that need the raw key bytes (the spill
 // merge orders runs by them) decode each frame exactly once.
@@ -271,6 +328,39 @@ func (e *frameExchange[K, V]) Recv() (KeyBatch[K, V], error) {
 		return KeyBatch[K, V]{}, err // io.EOF once every remote peer closed
 	}
 	return e.codec.DecodeBatch(frame)
+}
+
+// FrameSource is implemented by exchanges that can surface received batches
+// as raw encoded frames. When the engine detects it (and the job has a
+// codec), the receive side skips DecodeBatch entirely: frames are grouped by
+// their encoded-key prefix and values stay encoded until the reduce callback.
+type FrameSource interface {
+	// RecvFrame returns the next batch frame destined for this peer, in
+	// EncodeBatch wire form. It returns io.EOF after every peer has closed
+	// its sending side. The returned slice is owned by the caller.
+	RecvFrame() ([]byte, error)
+}
+
+// FrameSender is implemented by exchanges that accept pre-encoded batch
+// frames. The streaming shuffle uses it to relay send-overflow segments —
+// whose on-disk record form is exactly the wire form — without the
+// decode→re-encode round trip of Send.
+type FrameSender interface {
+	// SendFrame routes one EncodeBatch-form frame to peer dst. The frame is
+	// not retained after the call returns.
+	SendFrame(dst int, frame []byte) error
+}
+
+func (e *frameExchange[K, V]) RecvFrame() ([]byte, error) { return e.bx.Recv() }
+
+func (e *frameExchange[K, V]) SendFrame(dst int, frame []byte) error {
+	if dst == e.bx.Self() {
+		return errors.New("mapreduce: self-delivery must be short-circuited by the caller")
+	}
+	if dst < 0 || dst >= len(e.peers) {
+		return fmt.Errorf("mapreduce: send to unknown peer %d of %d", dst, len(e.peers))
+	}
+	return e.bx.Send(dst, frame)
 }
 
 // ---------------------------------------------------------------------------

@@ -32,14 +32,13 @@ func FuzzSpillSegmentReader(f *testing.F) {
 	const maxFrame = 1 << 16
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := newSegmentReader(&codec, bufio.NewReader(bytes.NewReader(data)), maxFrame)
-		frames := 0
+		decFrames := 0
+		var decErr error
 		for {
 			keyBytes, batch, err := r.next()
-			if err == io.EOF {
-				return
-			}
 			if err != nil {
-				return
+				decErr = err
+				break
 			}
 			if len(keyBytes) == 0 {
 				t.Fatal("decoded frame with empty key bytes")
@@ -50,9 +49,53 @@ func FuzzSpillSegmentReader(f *testing.F) {
 			if _, err := codec.DecodeBatch(frame); err != nil {
 				t.Fatalf("re-encoded batch does not decode: %v", err)
 			}
-			if frames++; frames > 1<<20 {
+			if decFrames++; decFrames > 1<<20 {
 				t.Fatal("reader yielded implausibly many frames")
 			}
+		}
+
+		// Raw-relay form: the same bytes through nextRaw (the k-way merge's
+		// path) must terminate too, and yield headers consistent with the
+		// frame they came from. The raw path validates only the frame header,
+		// so it may legally read past a value corruption that stops the
+		// decoded reader — but a cleanly decodable segment must raw-read
+		// cleanly to the same frame count.
+		rr := newSegmentReader(&codec, bufio.NewReader(bytes.NewReader(data)), maxFrame)
+		rawFrames := 0
+		var rawErr error
+		for {
+			keyBytes, vals, count, err := rr.nextRaw()
+			if err != nil {
+				rawErr = err
+				break
+			}
+			if len(keyBytes) == 0 {
+				t.Fatal("raw frame with empty key bytes")
+			}
+			if count < 0 {
+				t.Fatalf("raw frame with negative count %d", count)
+			}
+			frame := append([]byte(nil), keyBytes...)
+			frame = AppendUvarint(frame, uint64(count))
+			frame = append(frame, vals...)
+			h, err := codec.parseFrameHeader(frame)
+			if err != nil {
+				t.Fatalf("reassembled raw frame does not parse: %v", err)
+			}
+			if h.keyLen != len(keyBytes) || h.count != count {
+				t.Fatalf("reassembled header (keyLen %d, count %d) != raw read (keyLen %d, count %d)",
+					h.keyLen, h.count, len(keyBytes), count)
+			}
+			if rawFrames++; rawFrames > 1<<20 {
+				t.Fatal("raw reader yielded implausibly many frames")
+			}
+		}
+		if decErr == io.EOF && (rawErr != io.EOF || rawFrames != decFrames) {
+			t.Fatalf("decoded read ended cleanly after %d frames, raw read gave %d frames, err %v",
+				decFrames, rawFrames, rawErr)
+		}
+		if rawFrames < decFrames {
+			t.Fatalf("raw read stopped after %d frames, decoded read managed %d", rawFrames, decFrames)
 		}
 	})
 }
@@ -101,6 +144,46 @@ func FuzzSpillSegmentRoundTrip(f *testing.F) {
 		for i := range got {
 			if got[i] != values[i] {
 				t.Fatalf("value %d: got %d want %d", i, got[i], values[i])
+			}
+		}
+
+		// Raw-relay readback: the same segment through nextRaw must carry the
+		// same values, still encoded, with frame counts that sum to the
+		// original value count (writeKey may split a large batch across
+		// frames; each raw frame must decode independently).
+		rr := newSegmentReader(&codec, bufio.NewReader(bytes.NewReader(buf.Bytes())), maxSpillFrame)
+		var raw []int
+		rawCount := 0
+		for {
+			keyBytes, vals, count, err := rr.nextRaw()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("nextRaw: %v", err)
+			}
+			frame := append([]byte(nil), keyBytes...)
+			frame = AppendUvarint(frame, uint64(count))
+			frame = append(frame, vals...)
+			batch, err := codec.DecodeBatch(frame)
+			if err != nil {
+				t.Fatalf("raw frame does not decode: %v", err)
+			}
+			if batch.Key != key {
+				t.Fatalf("raw key %q, want %q", batch.Key, key)
+			}
+			if len(batch.Values) != count {
+				t.Fatalf("raw frame decoded %d values, header says %d", len(batch.Values), count)
+			}
+			raw = append(raw, batch.Values...)
+			rawCount += count
+		}
+		if rawCount != len(values) {
+			t.Fatalf("raw frame counts sum to %d, want %d", rawCount, len(values))
+		}
+		for i := range raw {
+			if raw[i] != values[i] {
+				t.Fatalf("raw value %d: got %d want %d", i, raw[i], values[i])
 			}
 		}
 	})

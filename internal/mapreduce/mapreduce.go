@@ -13,6 +13,7 @@ import (
 	"errors"
 	"io"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -214,12 +215,38 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 	// phase: peers running a streaming shuffle deliver while this peer still
 	// maps, and even in barrier mode a peer that finishes mapping early may
 	// start sending.
+	//
+	// When the exchange can surface raw frames (a wire exchange with a
+	// codec), the receiver never decodes: frames are grouped by their
+	// encoded-key prefix and values stay encoded until the reduce callback.
 	acc := newShuffleAccumulator(runCtx, cfg.Shuffle, cfg.Obs, job.Codec, job.SizeOf)
+	acc.combine = job.Combine
 	defer acc.cleanup()
+	frames, rawRecv := ex.(FrameSource)
+	rawRecv = rawRecv && job.Codec != nil
 	recvDone := make(chan error, 1)
-	go func() {
+	go pprof.Do(runCtx, pprof.Labels("seqmine_stage", "shuffle_recv"), func(context.Context) {
 		var accErr error
 		for {
+			if rawRecv {
+				frame, err := frames.RecvFrame()
+				if err == io.EOF {
+					recvDone <- accErr
+					return
+				}
+				if err != nil {
+					if accErr == nil {
+						accErr = err
+					}
+					recvDone <- accErr
+					return
+				}
+				if accErr != nil {
+					continue // keep draining so remote senders are not wedged
+				}
+				accErr = acc.addRaw(frame)
+				continue
+			}
 			b, err := ex.Recv()
 			if err == io.EOF {
 				recvDone <- accErr
@@ -237,7 +264,7 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 			}
 			accErr = acc.add(b)
 		}
-	}()
+	})
 
 	// ---- Map + shuffle (up to the end-frame barrier) ----------------------
 	// On a wire exchange the SizeOf estimate would be discarded in favor of
@@ -290,7 +317,7 @@ func RunExchange[I any, K comparable, V any, O any](inputs []I, cfg Config, job 
 	if acc.spilled() {
 		out, reduceErr = reduceStreaming(cfg, job, acc, &metrics)
 	} else {
-		out = reduceInMemory(cfg, job, acc.mem, &metrics)
+		out, reduceErr = reduceInMemory(cfg, job, acc, &metrics)
 	}
 	obs.Observe(runCtx, "mapreduce.reduce", reduceStart, time.Since(reduceStart),
 		obs.Int("partitions", metrics.Partitions))
@@ -454,8 +481,16 @@ func runStreamingMapShuffle[I any, K comparable, V any, O any](inputs []I, cfg C
 }
 
 // reduceInMemory is the historical reduce path: the whole shuffle fit in
-// memory, so keys are bucketed across the reduce workers by hash.
-func reduceInMemory[I any, K comparable, V any, O any](cfg Config, job Job[I, K, V, O], merged map[K][]V, metrics *Metrics) []O {
+// memory, so keys are bucketed across the reduce workers by hash. Raw groups
+// (encoded wire frames) are decoded here — once per group, after the
+// barrier — and a job combiner runs once more over each fully assembled
+// group, merging the equal-key records different peers and workers shipped
+// (the combiner contract, reduce∘combine == reduce, keeps output identical).
+func reduceInMemory[I any, K comparable, V any, O any](cfg Config, job Job[I, K, V, O], acc *shuffleAccumulator[K, V], metrics *Metrics) ([]O, error) {
+	if err := acc.materializeRaw(); err != nil {
+		return nil, err
+	}
+	merged := acc.mem
 	metrics.Partitions = int64(len(merged))
 	for _, vs := range merged {
 		if int64(len(vs)) > metrics.MaxPartitionRecords {
@@ -476,13 +511,19 @@ func reduceInMemory[I any, K comparable, V any, O any](cfg Config, job Job[I, K,
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			emit := func(o O) { outs[w] = append(outs[w], o) }
-			for _, k := range buckets[w] {
-				if cfg.Context.Err() != nil {
-					return // canceled: the caller discards the output
+			pprof.Do(cfg.Context, pprof.Labels("seqmine_stage", "reduce"), func(context.Context) {
+				emit := func(o O) { outs[w] = append(outs[w], o) }
+				for _, k := range buckets[w] {
+					if cfg.Context.Err() != nil {
+						return // canceled: the caller discards the output
+					}
+					vs := merged[k]
+					if job.Combine != nil && len(vs) > 1 {
+						vs = job.Combine(k, vs)
+					}
+					job.Reduce(k, vs, emit)
 				}
-				job.Reduce(k, merged[k], emit)
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -490,7 +531,7 @@ func reduceInMemory[I any, K comparable, V any, O any](cfg Config, job Job[I, K,
 	for _, os := range outs {
 		out = append(out, os...)
 	}
-	return out
+	return out, nil
 }
 
 // reduceStreaming reduces a spilled shuffle: a k-way merge over the on-disk
@@ -506,22 +547,31 @@ func reduceStreaming[I any, K comparable, V any, O any](cfg Config, job Job[I, K
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			emit := func(o O) { outs[w] = append(outs[w], o) }
-			for g := range groups {
-				job.Reduce(g.Key, g.Values, emit)
-			}
+			pprof.Do(cfg.Context, pprof.Labels("seqmine_stage", "reduce"), func(context.Context) {
+				emit := func(o O) { outs[w] = append(outs[w], o) }
+				for g := range groups {
+					vs := g.Values
+					if job.Combine != nil && len(vs) > 1 {
+						vs = job.Combine(g.Key, vs)
+					}
+					job.Reduce(g.Key, vs, emit)
+				}
+			})
 		}(w)
 	}
-	mergeErr := acc.merge(func(k K, vs []V) error {
-		if err := cfg.Context.Err(); err != nil {
-			return err
-		}
-		metrics.Partitions++
-		if int64(len(vs)) > metrics.MaxPartitionRecords {
-			metrics.MaxPartitionRecords = int64(len(vs))
-		}
-		groups <- KeyBatch[K, V]{Key: k, Values: vs}
-		return nil
+	var mergeErr error
+	pprof.Do(cfg.Context, pprof.Labels("seqmine_stage", "shuffle_merge"), func(context.Context) {
+		mergeErr = acc.merge(func(k K, vs []V) error {
+			if err := cfg.Context.Err(); err != nil {
+				return err
+			}
+			metrics.Partitions++
+			if int64(len(vs)) > metrics.MaxPartitionRecords {
+				metrics.MaxPartitionRecords = int64(len(vs))
+			}
+			groups <- KeyBatch[K, V]{Key: k, Values: vs}
+			return nil
+		})
 	})
 	close(groups)
 	wg.Wait()

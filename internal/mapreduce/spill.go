@@ -52,6 +52,14 @@ type ShuffleConfig struct {
 	// the sender drains later, so a slow network never stalls map compute
 	// and never grows sender memory. Requires the job to carry a Codec.
 	SendBufferBytes int64
+	// SendBufferMaxBytes, when > SendBufferBytes, lets the streaming shuffle
+	// grow a destination's send buffer adaptively: a peer whose buffer keeps
+	// flushing at full occupancy while its sender keeps up (no overflow to
+	// disk) doubles its share, up to this bound. Buffers start at
+	// SendBufferBytes, so the configured value stays the floor and
+	// SendBufferMaxBytes the ceiling of per-peer sender memory. 0 (or any
+	// value <= SendBufferBytes) disables adaptation.
+	SendBufferMaxBytes int64
 	// Compression compresses spill segments (receive-side runs and map-side
 	// send overflow) with DEFLATE. Metrics.SpilledBytes then reports the
 	// compressed on-disk size.
@@ -85,13 +93,27 @@ const (
 // in-memory group-by; past it, the current run is sorted by encoded key and
 // written to a temp-file segment in the FrameCodec wire encoding, and the
 // reduce phase streams a k-way merge over the segments plus the final
-// in-memory run. add is safe for concurrent use (the engine's sender and
-// receiver both feed it); merge and cleanup are called after the shuffle
-// barrier, single-goroutine.
+// in-memory run. add and addRaw are safe for concurrent use (the engine's
+// sender and receiver both feed it); merge and cleanup are called after the
+// shuffle barrier, single-goroutine.
+//
+// The accumulator holds two kinds of runs. Decoded batches (self-delivered
+// and loopback batches, which are zero-copy Go values) group into mem.
+// Encoded frames from a wire exchange group into raw, keyed by the frame's
+// encoded-key prefix: the value bytes of equal-key frames are concatenated
+// without decoding a single record, and stay encoded through spilling and
+// the k-way merge until a fully assembled group reaches the reduce
+// callback. A key may legitimately appear in both runs (a peer owns part of
+// its own partition); the merge and the in-memory reduce reunite them.
 type shuffleAccumulator[K comparable, V any] struct {
 	codec  *FrameCodec[K, V]
 	cfg    ShuffleConfig
 	sizeOf func(K, V) int
+	// combine, when non-nil, is the job's combiner. The accumulator applies
+	// it to the decoded run before spilling (cross-flush external combine:
+	// equal keys re-delivered across buffers collapse before paying disk);
+	// the reduce paths apply it once more on fully assembled groups.
+	combine func(K, []V) []V
 
 	// ctx carries the job's trace recorder (spill spans); segHist observes
 	// segment sizes. Both are no-ops when observability is not wired up.
@@ -100,12 +122,30 @@ type shuffleAccumulator[K comparable, V any] struct {
 
 	mu       sync.Mutex
 	mem      map[K][]V
+	raw      map[string]*rawGroup
 	memBytes int64
 	dir      string // lazily created spill directory, removed by cleanup
 	segs     []*os.File
 
 	spilledBytes int64
 	buf          []byte // scratch encode buffer, reused across spills
+}
+
+// rawGroup accumulates the still-encoded values one peer received for one
+// key: the value regions of every frame carrying that key, concatenated in
+// arrival order, plus the frame boundaries (spilling re-frames along them so
+// a segment frame never has to split an encoded value).
+type rawGroup struct {
+	vals   []byte
+	chunks []rawChunk
+}
+
+// rawChunk is one received frame's contribution to a rawGroup: count values
+// ending at offset end of vals (the region starts at the previous chunk's
+// end).
+type rawChunk struct {
+	end   int
+	count int
 }
 
 // newShuffleAccumulator builds the accumulator for one RunExchange call.
@@ -143,10 +183,46 @@ func (a *shuffleAccumulator[K, V]) add(b KeyBatch[K, V]) error {
 	return a.spillLocked()
 }
 
-// spillLocked writes the current in-memory run, sorted by encoded key, as one
-// length-prefixed segment file and resets the run.
+// addRaw appends one received wire frame to the current run without decoding
+// it: the frame's value bytes are appended to the group of its encoded-key
+// prefix. The group lookup allocates only on a key's first appearance (the
+// string conversion for the lookup itself does not escape). Buffered raw
+// bytes count toward the spill threshold at their exact wire size.
+func (a *shuffleAccumulator[K, V]) addRaw(frame []byte) error {
+	h, err := a.codec.parseFrameHeader(frame)
+	if err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.raw == nil {
+		a.raw = make(map[string]*rawGroup)
+	}
+	g, ok := a.raw[string(frame[:h.keyLen])]
+	if !ok {
+		g = &rawGroup{}
+		a.raw[string(frame[:h.keyLen])] = g
+	}
+	g.vals = append(g.vals, frame[h.valsStart:]...)
+	g.chunks = append(g.chunks, rawChunk{end: len(g.vals), count: h.count})
+	if !a.cfg.Enabled() {
+		return nil
+	}
+	a.memBytes += int64(len(frame))
+	if a.memBytes < a.cfg.SpillThreshold {
+		return nil
+	}
+	return a.spillLocked()
+}
+
+// spillLocked writes the current run — the decoded and raw groups
+// interleaved in encoded-key order — as one length-prefixed segment file and
+// resets the run. The decoded groups are combined first when the job has a
+// combiner (equal keys buffered across several adds collapse before paying
+// disk); raw groups are written as straight byte copies along their received
+// frame boundaries, coalesced up to the chunk bound.
 func (a *shuffleAccumulator[K, V]) spillLocked() error {
-	if len(a.mem) == 0 {
+	if len(a.mem) == 0 && len(a.raw) == 0 {
 		return nil
 	}
 	start := time.Now()
@@ -157,17 +233,43 @@ func (a *shuffleAccumulator[K, V]) spillLocked() error {
 		}
 		a.dir = dir
 	}
-	keys := a.sortedRun()
+	memKeys := a.sortedRun()
+	rawKeys := a.sortedRawKeys()
 
 	sink, err := newSegmentSink(a.dir, len(a.segs), a.cfg.Compression)
 	if err != nil {
 		return err
 	}
 	w := segmentWriter[K, V]{codec: a.codec, bw: sink.bw, vbuf: a.buf}
-	for _, kr := range keys {
-		if err := w.writeKey(kr.keyBytes, a.mem[kr.key]); err != nil {
-			sink.abort()
-			return fmt.Errorf("mapreduce: writing spill segment: %w", err)
+	mi, ri := 0, 0
+	for mi < len(memKeys) || ri < len(rawKeys) {
+		// Two-pointer merge of the sorted runs. A key present in both is
+		// written as consecutive frames under the same key bytes, which the
+		// reduce merge reunites like any duplicate key.
+		writeMem, writeRaw := ri >= len(rawKeys), mi >= len(memKeys)
+		if !writeMem && !writeRaw {
+			c := bytes.Compare(memKeys[mi].keyBytes, []byte(rawKeys[ri]))
+			writeMem, writeRaw = c <= 0, c >= 0
+		}
+		if writeMem {
+			kr := memKeys[mi]
+			mi++
+			vs := a.mem[kr.key]
+			if a.combine != nil && len(vs) > 1 {
+				vs = a.combine(kr.key, vs)
+			}
+			if err := w.writeKey(kr.keyBytes, vs); err != nil {
+				sink.abort()
+				return fmt.Errorf("mapreduce: writing spill segment: %w", err)
+			}
+		}
+		if writeRaw {
+			ks := rawKeys[ri]
+			ri++
+			if err := w.writeRawGroup(ks, a.raw[ks]); err != nil {
+				sink.abort()
+				return fmt.Errorf("mapreduce: writing spill segment: %w", err)
+			}
 		}
 	}
 	if err := sink.finish(); err != nil {
@@ -179,8 +281,57 @@ func (a *shuffleAccumulator[K, V]) spillLocked() error {
 	obs.Observe(a.ctx, "mapreduce.spill", start, time.Since(start),
 		obs.Int("bytes", sink.cw.n), obs.Int("segment", int64(len(a.segs)-1)))
 	a.mem = make(map[K][]V, len(a.mem))
+	if a.raw != nil {
+		a.raw = make(map[string]*rawGroup, len(a.raw))
+	}
 	a.memBytes = 0
 	a.buf = w.vbuf // keep the grown scratch buffer for the next spill
+	return nil
+}
+
+// sortedRawKeys returns the raw run's encoded keys in byte order (string
+// comparison and encoded-byte comparison agree).
+func (a *shuffleAccumulator[K, V]) sortedRawKeys() []string {
+	if len(a.raw) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(a.raw))
+	for ks := range a.raw {
+		keys = append(keys, ks)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// materializeRaw decodes the raw run into the decoded run, merging groups of
+// keys present in both. The in-memory reduce path calls it once after the
+// barrier: every group is decoded exactly once, into a slice sized for its
+// full value count.
+func (a *shuffleAccumulator[K, V]) materializeRaw() error {
+	if len(a.raw) == 0 {
+		return nil
+	}
+	for ks, g := range a.raw {
+		a.buf = append(a.buf[:0], ks...)
+		k, _, err := a.codec.ReadKey(a.buf, 0)
+		if err != nil {
+			return fmt.Errorf("mapreduce: decoding shuffled key: %w", err)
+		}
+		total := 0
+		for _, c := range g.chunks {
+			total += c.count
+		}
+		vs := a.mem[k]
+		if vs == nil && total > 0 {
+			vs = make([]V, 0, total)
+		}
+		vs, err = a.codec.appendValues(vs, g.vals, total)
+		if err != nil {
+			return fmt.Errorf("mapreduce: decoding shuffled values: %w", err)
+		}
+		a.mem[k] = vs
+	}
+	a.raw = nil
 	return nil
 }
 
@@ -245,18 +396,28 @@ func openSegment[K comparable, V any](codec *FrameCodec[K, V], f *os.File, compr
 }
 
 // keyedRun is one key of the current in-memory run with its encoded form,
-// the sort key of segments and of the merge.
+// the sort key of segments and of the merge. keyBytes aliases the run's key
+// arena (off and end locate it there while the arena is still growing).
 type keyedRun[K comparable] struct {
 	keyBytes []byte
+	off, end int
 	key      K
 }
 
 // sortedRun returns the current in-memory run's keys sorted by encoded key
-// bytes — the order segments are written in and the merge consumes.
+// bytes — the order segments are written in and the merge consumes. All keys
+// encode into one arena (two allocations per run instead of one per key);
+// the returned keyBytes alias it.
 func (a *shuffleAccumulator[K, V]) sortedRun() []keyedRun[K] {
 	keys := make([]keyedRun[K], 0, len(a.mem))
+	arena := []byte(nil)
 	for k := range a.mem {
-		keys = append(keys, keyedRun[K]{keyBytes: a.codec.AppendKey(nil, k), key: k})
+		off := len(arena)
+		arena = a.codec.AppendKey(arena, k)
+		keys = append(keys, keyedRun[K]{off: off, end: len(arena), key: k})
+	}
+	for i := range keys {
+		keys[i].keyBytes = arena[keys[i].off:keys[i].end]
 	}
 	sort.Slice(keys, func(i, j int) bool { return bytes.Compare(keys[i].keyBytes, keys[j].keyBytes) < 0 })
 	return keys
@@ -270,14 +431,19 @@ func (a *shuffleAccumulator[K, V]) stats() (spilledBytes int64, spillCount int64
 	return a.spilledBytes, int64(len(a.segs))
 }
 
-// merge streams every key group — the union of all on-disk segments and the
-// final in-memory run — to fn in encoded-key order. Each key is delivered
-// exactly once with all of its values; fn therefore sees the same groups an
-// in-memory shuffle would have built, just one at a time.
+// merge streams every key group — the union of all on-disk segments, the
+// final decoded run and the final raw run — to fn in encoded-key order. Each
+// key is delivered exactly once with all of its values; fn therefore sees
+// the same groups an in-memory shuffle would have built, just one at a time.
+// Segment and raw-run entries stay encoded on the heap — ordering needs only
+// their key bytes — and are decoded exactly once, when the fully assembled
+// group is handed to fn.
 func (a *shuffleAccumulator[K, V]) merge(fn func(K, []V) error) error {
-	// Sort the final in-memory run like a segment.
+	// Sort the final in-memory runs like segments.
 	memRun := a.sortedRun()
 	memNext := 0
+	rawRun := a.sortedRawKeys()
+	rawNext := 0
 
 	h := &mergeHeap[K, V]{}
 	readers := make([]*segmentReader[K, V], len(a.segs))
@@ -289,51 +455,112 @@ func (a *shuffleAccumulator[K, V]) merge(fn func(K, []V) error) error {
 		readers[i] = r
 	}
 	// advance pushes source src's next entry onto the heap. Source index
-	// len(readers) is the in-memory run.
+	// len(readers) is the decoded in-memory run, len(readers)+1 the raw one.
+	memSrc, rawSrc := len(readers), len(readers)+1
 	advance := func(src int) error {
-		if src == len(readers) {
+		switch src {
+		case memSrc:
 			if memNext < len(memRun) {
 				e := memRun[memNext]
 				memNext++
-				heap.Push(h, mergeEntry[K, V]{keyBytes: e.keyBytes, batch: KeyBatch[K, V]{Key: e.key, Values: a.mem[e.key]}, src: src})
+				heap.Push(h, mergeEntry[K, V]{keyBytes: e.keyBytes, key: e.key, hasKey: true, decoded: true, vals: a.mem[e.key], src: src})
+			}
+			return nil
+		case rawSrc:
+			if rawNext < len(rawRun) {
+				ks := rawRun[rawNext]
+				rawNext++
+				g := a.raw[ks]
+				count := 0
+				for _, c := range g.chunks {
+					count += c.count
+				}
+				heap.Push(h, mergeEntry[K, V]{keyBytes: []byte(ks), raw: g.vals, count: count, src: src})
 			}
 			return nil
 		}
-		keyBytes, batch, err := readers[src].next()
+		keyBytes, vals, count, err := readers[src].nextRaw()
 		if err == io.EOF {
 			return nil
 		}
 		if err != nil {
 			return fmt.Errorf("mapreduce: reading spill segment %d: %w", src, err)
 		}
-		heap.Push(h, mergeEntry[K, V]{keyBytes: keyBytes, batch: batch, src: src})
+		heap.Push(h, mergeEntry[K, V]{keyBytes: keyBytes, raw: vals, count: count, src: src})
 		return nil
 	}
-	for src := 0; src <= len(readers); src++ {
+	for src := 0; src <= rawSrc; src++ {
 		if err := advance(src); err != nil {
 			return err
 		}
 	}
 
+	var entries []mergeEntry[K, V] // reused across groups; contents are consumed by the end of each iteration
 	for h.Len() > 0 {
 		top := heap.Pop(h).(mergeEntry[K, V])
 		if err := advance(top.src); err != nil {
 			return err
 		}
-		key := top.batch.Key
-		values := top.batch.Values
+		entries = append(entries[:0], top)
 		for h.Len() > 0 && bytes.Equal((*h)[0].keyBytes, top.keyBytes) {
 			next := heap.Pop(h).(mergeEntry[K, V])
-			values = append(values, next.batch.Values...)
+			entries = append(entries, next)
 			if err := advance(next.src); err != nil {
 				return err
 			}
+		}
+		key, values, err := a.assembleGroup(top.keyBytes, entries)
+		if err != nil {
+			return err
 		}
 		if err := fn(key, values); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// assembleGroup decodes one merged key group. The values slice is freshly
+// built per group (fn may hand it to a concurrent reducer) — except for the
+// common single-source decoded case, which stays zero-copy.
+func (a *shuffleAccumulator[K, V]) assembleGroup(keyBytes []byte, entries []mergeEntry[K, V]) (K, []V, error) {
+	var key K
+	gotKey := false
+	total := 0
+	for _, e := range entries {
+		if e.decoded {
+			total += len(e.vals)
+			if e.hasKey {
+				key = e.key
+				gotKey = true
+			}
+		} else {
+			total += e.count
+		}
+	}
+	if !gotKey {
+		k, _, err := a.codec.ReadKey(keyBytes, 0)
+		if err != nil {
+			return key, nil, fmt.Errorf("mapreduce: decoding shuffled key: %w", err)
+		}
+		key = k
+	}
+	if len(entries) == 1 && entries[0].decoded {
+		return key, entries[0].vals, nil
+	}
+	values := make([]V, 0, total)
+	for _, e := range entries {
+		if e.decoded {
+			values = append(values, e.vals...)
+			continue
+		}
+		var err error
+		values, err = a.codec.appendValues(values, e.raw, e.count)
+		if err != nil {
+			return key, nil, fmt.Errorf("mapreduce: decoding shuffled values: %w", err)
+		}
+	}
+	return key, values, nil
 }
 
 // cleanup removes the spill segments and their directory. Safe to call when
@@ -349,9 +576,18 @@ func (a *shuffleAccumulator[K, V]) cleanup() {
 	}
 }
 
+// mergeEntry is one run head on the merge heap. Decoded entries (the
+// in-memory decoded run) carry Go values; encoded entries (segments and the
+// in-memory raw run) carry the still-encoded value bytes, which only
+// assembleGroup decodes.
 type mergeEntry[K comparable, V any] struct {
 	keyBytes []byte
-	batch    KeyBatch[K, V]
+	key      K
+	hasKey   bool
+	decoded  bool
+	vals     []V    // decoded values (decoded == true)
+	raw      []byte // encoded values (decoded == false)
+	count    int    // number of encoded values in raw
 	src      int
 }
 
@@ -457,6 +693,47 @@ func (w *segmentWriter[K, V]) writeKey(keyBytes []byte, values []V) error {
 	return err
 }
 
+// writeRawGroup spills one raw group as straight byte copies: frames are cut
+// along the group's received-frame boundaries (an encoded value is never
+// split), coalescing consecutive chunks up to spillChunkBytes per frame. key
+// is the group's encoded-key bytes (the raw map's key string).
+func (w *segmentWriter[K, V]) writeRawGroup(key string, g *rawGroup) error {
+	bound := w.maxFrame
+	if bound <= 0 {
+		bound = maxSpillFrame
+	}
+	start := 0
+	for i := 0; i < len(g.chunks); {
+		end := g.chunks[i].end
+		count := g.chunks[i].count
+		i++
+		for i < len(g.chunks) && g.chunks[i].end-start <= spillChunkBytes {
+			end = g.chunks[i].end
+			count += g.chunks[i].count
+			i++
+		}
+		frameLen := len(key) + UvarintLen(uint64(count)) + (end - start)
+		if frameLen > bound {
+			return fmt.Errorf("frame of %d encoded bytes exceeds the %d-byte spill frame bound", frameLen, bound)
+		}
+		var hdr [binary.MaxVarintLen64]byte
+		if _, err := w.bw.Write(hdr[:binary.PutUvarint(hdr[:], uint64(frameLen))]); err != nil {
+			return err
+		}
+		if _, err := w.bw.WriteString(key); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(AppendUvarint(hdr[:0], uint64(count))); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(g.vals[start:end]); err != nil {
+			return err
+		}
+		start = end
+	}
+	return nil
+}
+
 // segmentReader streams the frames of one spill segment back as decoded
 // batches. It is robust against corrupt input (truncated prefixes, oversized
 // frames, trailing garbage) and never allocates more than maxFrame per frame,
@@ -478,28 +755,55 @@ func newSegmentReader[K comparable, V any](codec *FrameCodec[K, V], br *bufio.Re
 // returns io.EOF at a clean end of the segment.
 func (r *segmentReader[K, V]) next() ([]byte, KeyBatch[K, V], error) {
 	var zero KeyBatch[K, V]
-	n, err := binary.ReadUvarint(r.br)
-	if err == io.EOF {
-		return nil, zero, io.EOF
-	}
+	frame, err := r.readFrame()
 	if err != nil {
-		return nil, zero, fmt.Errorf("reading frame length: %w", err)
-	}
-	if n == 0 || n > uint64(r.maxFrame) {
-		return nil, zero, fmt.Errorf("frame length %d out of range (max %d)", n, r.maxFrame)
-	}
-	frame := make([]byte, n)
-	if _, err := io.ReadFull(r.br, frame); err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
-		}
-		return nil, zero, fmt.Errorf("reading %d-byte frame: %w", n, err)
+		return nil, zero, err
 	}
 	batch, keyLen, err := r.codec.decodeBatchKeyed(frame)
 	if err != nil {
 		return nil, zero, err
 	}
 	return frame[:keyLen], batch, nil
+}
+
+// nextRaw returns the next frame's encoded key, still-encoded value bytes
+// and value count without decoding a single value — the form the k-way merge
+// orders and regroups in. The returned slices alias one fresh per-frame
+// buffer and stay valid after further reads. It returns io.EOF at a clean
+// end of the segment.
+func (r *segmentReader[K, V]) nextRaw() (keyBytes, vals []byte, count int, err error) {
+	frame, err := r.readFrame()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	h, err := r.codec.parseFrameHeader(frame)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return frame[:h.keyLen], frame[h.valsStart:], h.count, nil
+}
+
+// readFrame reads one length-prefixed frame into a fresh buffer, guarding
+// against corrupt lengths. It returns io.EOF at a clean segment end.
+func (r *segmentReader[K, V]) readFrame() ([]byte, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err == io.EOF {
+		return nil, io.EOF
+	}
+	if err != nil {
+		return nil, fmt.Errorf("reading frame length: %w", err)
+	}
+	if n == 0 || n > uint64(r.maxFrame) {
+		return nil, fmt.Errorf("frame length %d out of range (max %d)", n, r.maxFrame)
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r.br, frame); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("reading %d-byte frame: %w", n, err)
+	}
+	return frame, nil
 }
 
 // errShuffleNeedsCodec is returned when spilling or streaming is requested

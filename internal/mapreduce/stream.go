@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -27,6 +29,13 @@ const sendOverflowGrace = 100 * time.Millisecond
 // stalling flushes into more spill), so segments wait for a genuinely idle
 // queue — or the end of the map phase, which drains them unconditionally.
 const senderIdleCheck = 20 * time.Millisecond
+
+// sendBufferGrowthFlushes is how many consecutive capacity-triggered flushes
+// a destination absorbs — with its sender keeping up — before the adaptive
+// send buffer (ShuffleConfig.SendBufferMaxBytes) doubles its share. Flushing
+// at full occupancy that often means the buffer, not the network, is the
+// bottleneck: bigger buffers mean fewer, larger flushes and better combining.
+const sendBufferGrowthFlushes = 4
 
 // This file implements the streaming pipelined shuffle
 // (ShuffleConfig.SendBufferBytes > 0): instead of accumulating the whole map
@@ -79,7 +88,11 @@ type streamShuffle[K comparable, V any] struct {
 	codec    *FrameCodec[K, V]
 	wire     bool
 	nshards  int
-	shardCap int64 // per-shard byte share of SendBufferBytes
+	shardCap int64 // initial per-shard byte share of SendBufferBytes
+	// maxShardCap bounds the adaptive per-shard share
+	// (SendBufferMaxBytes/nshards); equal to shardCap when adaptation is
+	// disabled.
+	maxShardCap int64
 
 	acc    *shuffleAccumulator[K, V]
 	dests  []*destSendState[K, V]
@@ -116,6 +129,17 @@ type destSendState[K comparable, V any] struct {
 	// occupancy is the summed buffered bytes across the destination's shards
 	// (the quantity SendBufferBytes bounds; observed by the test probe).
 	occupancy atomic.Int64
+	// shardCap is this destination's current per-shard byte share; starts at
+	// the owner's shardCap and doubles (up to maxShardCap) after
+	// sendBufferGrowthFlushes consecutive capacity flushes with the sender
+	// keeping up (see noteFullFlush).
+	shardCap atomic.Int64
+	// capFlushes counts the consecutive capacity-triggered flushes feeding
+	// the adaptive growth decision.
+	capFlushes atomic.Int32
+	// free recycles flushed batch slices from the sender back to the flush
+	// path (bounded; misses fall back to allocation).
+	free chan []KeyBatch[K, V]
 
 	// queue hands flushed runs to the sender goroutine (remote peers only).
 	// Its small capacity absorbs scheduler jitter — the sender losing the
@@ -192,9 +216,15 @@ func newStreamShuffle[K comparable, V any](cfg Config, job jobShape[K, V], acc *
 			"Per-destination streaming send-buffer occupancy, observed at each flush.", obs.ByteBuckets),
 		segHist: spillSegmentHist(cfg.Obs),
 	}
+	s.maxShardCap = s.shardCap
+	if cfg.Shuffle.SendBufferMaxBytes > cfg.Shuffle.SendBufferBytes {
+		s.maxShardCap = cfg.Shuffle.SendBufferMaxBytes / int64(nshards)
+	}
 	self := ex.Self()
 	for p := range s.dests {
-		st := &destSendState[K, V]{owner: s, dst: p, self: p == self}
+		st := &destSendState[K, V]{owner: s, dst: p, self: p == self,
+			free: make(chan []KeyBatch[K, V], 8)}
+		st.shardCap.Store(s.shardCap)
 		s.dests[p] = st
 		for i := 0; i < nshards; i++ {
 			s.shards[p*nshards+i] = &sendShard[K, V]{dest: st, groups: make(map[K][]V)}
@@ -204,9 +234,59 @@ func newStreamShuffle[K comparable, V any](cfg Config, job jobShape[K, V], acc *
 		}
 		st.queue = make(chan []KeyBatch[K, V], 4)
 		s.senders.Add(1)
-		go st.runSender(ex)
+		go pprof.Do(ctx, pprof.Labels("seqmine_stage", "shuffle_send", "peer", strconv.Itoa(p)),
+			func(context.Context) { st.runSender(ex) })
 	}
 	return s
+}
+
+// getBatches returns a recycled batch slice for one flush, or a fresh one.
+func (st *destSendState[K, V]) getBatches(n int) []KeyBatch[K, V] {
+	select {
+	case b := <-st.free:
+		return b
+	default:
+		return make([]KeyBatch[K, V], 0, n)
+	}
+}
+
+// putBatches recycles a fully consumed batch slice. References to keys and
+// value slices are dropped first so recycling never retains shuffle data.
+func (st *destSendState[K, V]) putBatches(b []KeyBatch[K, V]) {
+	clear(b)
+	select {
+	case st.free <- b[:0]:
+	default:
+	}
+}
+
+// noteFullFlush records one capacity-triggered flush for the adaptive send
+// buffer. After sendBufferGrowthFlushes in a row — none of which found the
+// sender lagging — the destination's per-shard share doubles, up to
+// maxShardCap. A lagging sender resets the streak: a buffer that overflows
+// to disk is bounded by the network, and growing it would only grow the
+// overflow.
+func (st *destSendState[K, V]) noteFullFlush() {
+	s := st.owner
+	if s.maxShardCap <= s.shardCap {
+		return // adaptation disabled
+	}
+	if st.lagging.Load() {
+		st.capFlushes.Store(0)
+		return
+	}
+	if st.capFlushes.Add(1) < sendBufferGrowthFlushes {
+		return
+	}
+	st.capFlushes.Store(0)
+	cur := st.shardCap.Load()
+	next := cur * 2
+	if next > s.maxShardCap {
+		next = s.maxShardCap
+	}
+	if next > cur {
+		st.shardCap.Store(next)
+	}
 }
 
 // emit routes one record from map worker w into the owning peer's send-buffer
@@ -227,7 +307,7 @@ func (s *streamShuffle[K, V]) emit(w, dst int, k K, v V) {
 		sh.mu.Unlock()
 		return
 	}
-	if sh.bytes > 0 && sh.bytes+sz > s.shardCap {
+	if sh.bytes > 0 && sh.bytes+sz > st.shardCap.Load() {
 		if err := sh.flushLocked(false); err != nil {
 			st.dead.Store(true)
 			sh.groups = nil
@@ -235,6 +315,7 @@ func (s *streamShuffle[K, V]) emit(w, dst int, k K, v V) {
 			s.fail(err)
 			return
 		}
+		st.noteFullFlush()
 	}
 	sh.groups[k] = append(sh.groups[k], v)
 	sh.bytes += sz
@@ -259,7 +340,7 @@ func (sh *sendShard[K, V]) flushLocked(final bool) error {
 	st := sh.dest
 	s := st.owner
 	s.occHist.Observe(float64(st.occupancy.Load()))
-	batches := make([]KeyBatch[K, V], 0, len(sh.groups))
+	batches := st.getBatches(len(sh.groups))
 	var records, sizeBytes int64
 	for k, vs := range sh.groups {
 		if s.combine != nil {
@@ -277,7 +358,9 @@ func (sh *sendShard[K, V]) flushLocked(final bool) error {
 	st.sizeBytes.Add(sizeBytes)
 	st.batches.Add(int64(len(batches)))
 	st.occupancy.Add(-sh.bytes)
-	sh.groups = make(map[K][]V, len(sh.groups))
+	// The map is cleared, not reallocated: its buckets are reused by the
+	// next fill (the value slices were handed off in batches).
+	clear(sh.groups)
 	sh.bytes = 0
 
 	if st.self {
@@ -286,6 +369,7 @@ func (sh *sendShard[K, V]) flushLocked(final bool) error {
 				return err
 			}
 		}
+		st.putBatches(batches)
 		return nil
 	}
 	if final {
@@ -312,7 +396,11 @@ func (sh *sendShard[K, V]) flushLocked(final bool) error {
 			st.lagging.Store(true)
 		}
 	}
-	return st.spillRun(batches)
+	if err := st.spillRun(batches); err != nil {
+		return err
+	}
+	st.putBatches(batches)
+	return nil
 }
 
 // spillRun writes one flushed run to a fresh overflow segment the sender
@@ -377,17 +465,22 @@ func (st *destSendState[K, V]) popSegment() *os.File {
 func (st *destSendState[K, V]) runSender(ex Exchange[K, V]) {
 	s := st.owner
 	defer s.senders.Done()
+	// A FrameSender exchange relays overflow segments as raw frames: the
+	// on-disk record form is exactly the EncodeBatch wire form, so replay is
+	// read → send with no decode→re-encode round trip.
+	frames, _ := ex.(FrameSender)
 	failed := false
 	send := func(batches []KeyBatch[K, V]) {
 		for _, b := range batches {
 			if failed {
-				return
+				break
 			}
 			if err := ex.Send(st.dst, b); err != nil {
 				s.fail(err)
 				failed = true
 			}
 		}
+		st.putBatches(batches)
 	}
 	replaySegment := func(f *os.File) {
 		name := f.Name()
@@ -405,6 +498,22 @@ func (st *destSendState[K, V]) runSender(ex Exchange[K, V]) {
 			return
 		}
 		for !failed {
+			if frames != nil {
+				frame, err := r.readFrame()
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					s.fail(fmt.Errorf("mapreduce: replaying send-overflow segment: %w", err))
+					failed = true
+					return
+				}
+				if err := frames.SendFrame(st.dst, frame); err != nil {
+					s.fail(err)
+					failed = true
+				}
+				continue
+			}
 			_, b, err := r.next()
 			if err == io.EOF {
 				return
@@ -414,7 +523,10 @@ func (st *destSendState[K, V]) runSender(ex Exchange[K, V]) {
 				failed = true
 				return
 			}
-			send([]KeyBatch[K, V]{b})
+			if err := ex.Send(st.dst, b); err != nil {
+				s.fail(err)
+				failed = true
+			}
 		}
 	}
 	drainSegments := func() {

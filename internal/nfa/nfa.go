@@ -11,8 +11,9 @@ package nfa
 import (
 	"errors"
 	"fmt"
+	"math/bits"
+	"slices"
 	"sort"
-	"strings"
 
 	"seqmine/internal/dict"
 	"seqmine/internal/miner"
@@ -104,51 +105,102 @@ func labelKey(items []dict.ItemID) string {
 }
 
 // Builder accumulates the accepting-run paths of one input sequence for one
-// pivot item as a trie and turns them into a (optionally minimized) NFA.
+// pivot item as a trie and turns them into a (optionally minimized) NFA. A
+// Builder can be Reset and reused across sequences; the map phase of D-CAND
+// pools them, so the per-state and per-label storage is amortized across a
+// whole input split instead of being reallocated per sequence.
 type Builder struct {
-	edges  [][]Edge
-	final  []bool
-	lookup []map[string]int // child lookup per state keyed by label
+	edges [][]Edge
+	final []bool
+	// labelArena backs the edge labels. Labels are immutable once inserted,
+	// so aliasing survives arena growth (older labels keep pointing into the
+	// superseded backing arrays, which stay alive through them).
+	labelArena []dict.ItemID
+
+	// Minimize scratch, reused across calls.
+	sigBuf   []byte
+	esBuf    []Edge
+	classBuf []Edge
 }
 
 // NewBuilder returns a Builder containing only the root state.
 func NewBuilder() *Builder {
 	return &Builder{
-		edges:  [][]Edge{nil},
-		final:  []bool{false},
-		lookup: []map[string]int{nil},
+		edges: [][]Edge{nil},
+		final: []bool{false},
 	}
 }
 
 // Empty reports whether no path has been added yet.
 func (b *Builder) Empty() bool { return len(b.edges) == 1 && !b.final[0] }
 
+// Reset returns the Builder to the empty state while keeping its storage for
+// reuse. NFAs previously produced by this Builder (and their serialized
+// forms' label slices) alias the Builder's arenas, so they must be fully
+// consumed before Reset.
+func (b *Builder) Reset() {
+	for i := range b.edges {
+		b.edges[i] = b.edges[i][:0]
+	}
+	b.edges = b.edges[:1]
+	b.final = b.final[:1]
+	b.final[0] = false
+	b.labelArena = b.labelArena[:0]
+}
+
+// newState appends one fresh state, reusing the per-state edge slices a
+// previous use of the Builder left behind.
+func (b *Builder) newState() int {
+	q := len(b.edges)
+	if q < cap(b.edges) {
+		b.edges = b.edges[:q+1]
+		b.edges[q] = b.edges[q][:0]
+	} else {
+		b.edges = append(b.edges, nil)
+	}
+	b.final = append(b.final, false)
+	return q
+}
+
 // AddPath inserts one accepting-run path: a sequence of non-empty output
 // sets (ε sets must already be removed by the caller). Paths of length zero
-// are ignored.
+// are ignored. Children are matched by a linear scan over the state's edges —
+// trie fan-out is small, and the scan beats hashing the label for it.
 func (b *Builder) AddPath(sets [][]dict.ItemID) {
 	if len(sets) == 0 {
 		return
 	}
 	cur := 0
 	for _, set := range sets {
-		key := labelKey(set)
-		if b.lookup[cur] == nil {
-			b.lookup[cur] = map[string]int{}
+		next := -1
+		for _, e := range b.edges[cur] {
+			if labelsEqual(e.Label, set) {
+				next = e.To
+				break
+			}
 		}
-		next, ok := b.lookup[cur][key]
-		if !ok {
-			next = len(b.edges)
-			b.edges = append(b.edges, nil)
-			b.final = append(b.final, false)
-			b.lookup = append(b.lookup, nil)
-			label := append([]dict.ItemID(nil), set...)
+		if next == -1 {
+			next = b.newState()
+			off := len(b.labelArena)
+			b.labelArena = append(b.labelArena, set...)
+			label := b.labelArena[off:len(b.labelArena):len(b.labelArena)]
 			b.edges[cur] = append(b.edges[cur], Edge{Label: label, To: next})
-			b.lookup[cur][key] = next
 		}
 		cur = next
 	}
 	b.final[cur] = true
+}
+
+func labelsEqual(a, b []dict.ItemID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Trie returns the accumulated automaton without suffix sharing.
@@ -160,10 +212,40 @@ func (b *Builder) Trie() *NFA {
 	return &NFA{edges: edges, final: append([]bool(nil), b.final...)}
 }
 
+// cmpLabel orders labels by the little-endian byte encoding labelKey used to
+// produce — the historical signature and edge order, which serialized outputs
+// depend on byte-for-byte. Lexicographic LE-byte order equals numeric order
+// of the byte-reversed item values.
+func cmpLabel(a, b []dict.ItemID) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			x, y := bits.ReverseBytes32(uint32(a[i])), bits.ReverseBytes32(uint32(b[i]))
+			if x < y {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
 // Minimize returns the automaton with equivalent suffixes merged. Because the
 // trie is acyclic, a single bottom-up pass (processing states in reverse
 // topological order and hashing their behaviour) yields the minimal
 // deterministic automaton over output-set labels, in linear time (Revuz).
+// State signatures are built in a reused byte buffer and interned with a
+// non-escaping map lookup, so the pass allocates per distinct class, not per
+// state or per edge.
 func (b *Builder) Minimize() *NFA {
 	n := len(b.edges)
 	order := make([]int, 0, n)
@@ -186,36 +268,48 @@ func (b *Builder) Minimize() *NFA {
 	}
 	signatures := map[string]int{}
 	type classInfo struct {
-		final bool
-		edges []Edge // labels + class ids
+		final    bool
+		off, end int // class edges in b.classBuf (labels + class ids)
 	}
 	var classes []classInfo
 	for _, q := range order {
-		sigParts := make([]string, 0, len(b.edges[q])+1)
-		if b.final[q] {
-			sigParts = append(sigParts, "F")
-		}
-		es := make([]Edge, 0, len(b.edges[q]))
+		es := b.esBuf[:0]
 		for _, e := range b.edges[q] {
 			es = append(es, Edge{Label: e.Label, To: classOf[e.To]})
 		}
-		sort.Slice(es, func(i, j int) bool {
-			if ki, kj := labelKey(es[i].Label), labelKey(es[j].Label); ki != kj {
-				return ki < kj
+		slices.SortFunc(es, func(x, y Edge) int {
+			if c := cmpLabel(x.Label, y.Label); c != 0 {
+				return c
 			}
-			return es[i].To < es[j].To
+			return x.To - y.To
 		})
-		for _, e := range es {
-			sigParts = append(sigParts, fmt.Sprintf("%s>%d", labelKey(e.Label), e.To))
+		b.esBuf = es
+		// The signature encodes the state's behaviour injectively: finality,
+		// then each edge's label length, label items (LE bytes, the labelKey
+		// form) and target class.
+		sig := b.sigBuf[:0]
+		if b.final[q] {
+			sig = append(sig, 'F')
+		} else {
+			sig = append(sig, '-')
 		}
-		sig := strings.Join(sigParts, "|")
-		if c, ok := signatures[sig]; ok {
+		for _, e := range es {
+			sig = appendUvarint(sig, uint64(len(e.Label)))
+			for _, v := range e.Label {
+				sig = append(sig, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+			}
+			sig = appendUvarint(sig, uint64(e.To))
+		}
+		b.sigBuf = sig
+		if c, ok := signatures[string(sig)]; ok {
 			classOf[q] = c
 			continue
 		}
 		c := len(classes)
-		signatures[sig] = c
-		classes = append(classes, classInfo{final: b.final[q], edges: es})
+		signatures[string(sig)] = c
+		off := len(b.classBuf)
+		b.classBuf = append(b.classBuf, es...)
+		classes = append(classes, classInfo{final: b.final[q], off: off, end: len(b.classBuf)})
 		classOf[q] = c
 	}
 
@@ -232,7 +326,7 @@ func (b *Builder) Minimize() *NFA {
 	for len(queue) > 0 {
 		c := queue[0]
 		queue = queue[1:]
-		for _, e := range classes[c].edges {
+		for _, e := range b.classBuf[classes[c].off:classes[c].end] {
 			if id[e.To] == -1 {
 				id[e.To] = next
 				next++
@@ -247,10 +341,16 @@ func (b *Builder) Minimize() *NFA {
 		}
 		q := id[c]
 		out.final[q] = info.final
-		for _, e := range info.edges {
-			out.edges[q] = append(out.edges[q], Edge{Label: e.Label, To: id[e.To]})
+		ces := b.classBuf[info.off:info.end]
+		if len(ces) > 0 {
+			qes := make([]Edge, 0, len(ces))
+			for _, e := range ces {
+				qes = append(qes, Edge{Label: e.Label, To: id[e.To]})
+			}
+			out.edges[q] = qes
 		}
 	}
+	b.classBuf = b.classBuf[:0]
 	return out
 }
 
@@ -313,12 +413,15 @@ func (n *NFA) Serialize() []byte {
 	return buf
 }
 
-// Deserialize decodes an NFA produced by Serialize.
+// Deserialize decodes an NFA produced by Serialize. All labels decode into
+// one arena sized by the payload (every label item occupies at least one
+// encoded byte), so decoding allocates per automaton, not per edge.
 func Deserialize(data []byte) (*NFA, error) {
 	n := &NFA{edges: [][]Edge{nil}, final: []bool{false}}
 	pos := 0
 	prevTarget := 0
 	byID := []int{0} // serialization id -> state index
+	arena := make([]dict.ItemID, 0, len(data))
 	for pos < len(data) {
 		flags := data[pos]
 		pos++
@@ -350,15 +453,16 @@ func Deserialize(data []byte) (*NFA, error) {
 		if count > uint64(len(data)-pos) {
 			return nil, fmt.Errorf("nfa: label claims %d items in %d bytes", count, len(data)-pos)
 		}
-		label := make([]dict.ItemID, count)
-		for i := range label {
+		off := len(arena)
+		for i := uint64(0); i < count; i++ {
 			v, np, err := readUvarint(data, pos)
 			if err != nil {
 				return nil, err
 			}
 			pos = np
-			label[i] = dict.ItemID(v)
+			arena = append(arena, dict.ItemID(v))
 		}
+		label := arena[off:len(arena):len(arena)]
 		var target int
 		if flags&flagTargetGiven != 0 {
 			v, np, err := readUvarint(data, pos)
@@ -424,15 +528,17 @@ type Weighted struct {
 // item are reported.
 func MinePartition(nfas []Weighted, sigma int64, pivot dict.ItemID) []miner.Pattern {
 	m := &nfaMiner{nfas: nfas, sigma: sigma, pivot: pivot}
-	// Root projection: every non-empty NFA at its root state.
+	// Root projection: every non-empty NFA at its root state. The state list
+	// is the same for every entry, so all of them share one.
+	rootState := [1]int{0}
 	root := make([]projEntry, 0, len(nfas))
 	for i, wn := range nfas {
 		if wn.N == nil || wn.N.NumStates() == 0 {
 			continue
 		}
-		root = append(root, projEntry{nfa: i, states: []int{0}})
+		root = append(root, projEntry{nfa: i, states: rootState[:]})
 	}
-	m.expand(nil, root)
+	m.expand(0, root)
 	miner.SortPatterns(m.out)
 	return m.out
 }
@@ -442,16 +548,62 @@ type projEntry struct {
 	states []int
 }
 
-type nfaMiner struct {
-	nfas  []Weighted
-	sigma int64
-	pivot dict.ItemID
-	out   []miner.Pattern
+// expTarget dedups (projection entry, item, target state) triples within one
+// expansion pass. Keying by the nfa index is equivalent to the historical
+// per-entry dedup map because a projection holds each NFA at most once.
+type expTarget struct {
+	nfa, state int
+	item       dict.ItemID
 }
 
-func (m *nfaMiner) expand(prefix []dict.ItemID, proj []projEntry) {
+// itemExp is the projection being built for one expansion item. proj and its
+// nested state slices are reused across passes at the same depth.
+type itemExp struct {
+	proj    []projEntry
+	lastNFA int
+}
+
+// addTarget appends target state to the projection, extending the current
+// NFA's entry or reusing a retired one.
+func (ie *itemExp) addTarget(nfa, state int) {
+	if ie.lastNFA != nfa {
+		if len(ie.proj) < cap(ie.proj) {
+			ie.proj = ie.proj[:len(ie.proj)+1]
+			pe := &ie.proj[len(ie.proj)-1]
+			pe.nfa = nfa
+			pe.states = pe.states[:0]
+		} else {
+			ie.proj = append(ie.proj, projEntry{nfa: nfa})
+		}
+		ie.lastNFA = nfa
+	}
+	pe := &ie.proj[len(ie.proj)-1]
+	pe.states = append(pe.states, state)
+}
+
+// exLevel is the reusable expansion scratch of one recursion depth: maps are
+// cleared (buckets kept), slices truncated, and the itemExp pool — including
+// its nested projection slices — is recycled entry by entry.
+type exLevel struct {
+	exp     map[dict.ItemID]int // item -> index into entries[:used]
+	seen    map[expTarget]bool
+	items   []dict.ItemID
+	entries []itemExp
+	used    int
+}
+
+type nfaMiner struct {
+	nfas   []Weighted
+	sigma  int64
+	pivot  dict.ItemID
+	out    []miner.Pattern
+	prefix []dict.ItemID
+	levels []*exLevel
+}
+
+func (m *nfaMiner) expand(depth int, proj []projEntry) {
 	// Support of the prefix as a complete candidate.
-	if len(prefix) > 0 {
+	if depth > 0 {
 		var freq int64
 		for _, p := range proj {
 			n := m.nfas[p.nfa].N
@@ -462,55 +614,55 @@ func (m *nfaMiner) expand(prefix []dict.ItemID, proj []projEntry) {
 				}
 			}
 		}
-		if freq >= m.sigma && (m.pivot == dict.None || containsItem(prefix, m.pivot)) {
-			m.out = append(m.out, miner.Pattern{Items: append([]dict.ItemID(nil), prefix...), Freq: freq})
+		if freq >= m.sigma && (m.pivot == dict.None || containsItem(m.prefix, m.pivot)) {
+			m.out = append(m.out, miner.Pattern{Items: append([]dict.ItemID(nil), m.prefix...), Freq: freq})
 		}
 	}
 
-	// Expansions per item.
-	type expState struct {
-		proj    []projEntry
-		lastNFA int
+	// Expansions per item, grouped into this depth's reused scratch. A child
+	// call only reads its projection and writes deeper levels, so the scratch
+	// stays valid while the item loop below recurses.
+	if depth >= len(m.levels) {
+		m.levels = append(m.levels, &exLevel{exp: map[dict.ItemID]int{}, seen: map[expTarget]bool{}})
 	}
-	expansions := map[dict.ItemID]*expState{}
+	lv := m.levels[depth]
+	clear(lv.exp)
+	clear(lv.seen)
+	lv.items = lv.items[:0]
+	lv.used = 0
 	for _, p := range proj {
 		n := m.nfas[p.nfa].N
-		type target struct {
-			item  dict.ItemID
-			state int
-		}
-		seen := map[target]bool{}
 		for _, q := range p.states {
 			for _, e := range n.Edges(q) {
 				for _, w := range e.Label {
-					tg := target{item: w, state: e.To}
-					if seen[tg] {
+					tg := expTarget{nfa: p.nfa, state: e.To, item: w}
+					if lv.seen[tg] {
 						continue
 					}
-					seen[tg] = true
-					es := expansions[w]
-					if es == nil {
-						es = &expState{lastNFA: -1}
-						expansions[w] = es
+					lv.seen[tg] = true
+					idx, ok := lv.exp[w]
+					if !ok {
+						idx = lv.used
+						if idx < len(lv.entries) {
+							ie := &lv.entries[idx]
+							ie.proj = ie.proj[:0]
+							ie.lastNFA = -1
+						} else {
+							lv.entries = append(lv.entries, itemExp{lastNFA: -1})
+						}
+						lv.used++
+						lv.exp[w] = idx
+						lv.items = append(lv.items, w)
 					}
-					if es.lastNFA != p.nfa {
-						es.proj = append(es.proj, projEntry{nfa: p.nfa})
-						es.lastNFA = p.nfa
-					}
-					last := &es.proj[len(es.proj)-1]
-					last.states = append(last.states, e.To)
+					lv.entries[idx].addTarget(p.nfa, e.To)
 				}
 			}
 		}
 	}
 
-	items := make([]dict.ItemID, 0, len(expansions))
-	for w := range expansions {
-		items = append(items, w)
-	}
-	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
-	for _, w := range items {
-		es := expansions[w]
+	slices.Sort(lv.items)
+	for _, w := range lv.items {
+		es := &lv.entries[lv.exp[w]]
 		var support int64
 		for _, p := range es.proj {
 			support += m.nfas[p.nfa].Weight
@@ -518,7 +670,9 @@ func (m *nfaMiner) expand(prefix []dict.ItemID, proj []projEntry) {
 		if support < m.sigma {
 			continue
 		}
-		m.expand(append(prefix, w), es.proj)
+		m.prefix = append(m.prefix, w)
+		m.expand(depth+1, es.proj)
+		m.prefix = m.prefix[:len(m.prefix)-1]
 	}
 }
 

@@ -85,6 +85,56 @@ func dropEps(s []dict.ItemID) []dict.ItemID {
 	return s
 }
 
+// epsSet is the {ε} singleton empty input sets stand for.
+var epsSet = []dict.ItemID{dict.None}
+
+// MergeScratch is caller-owned working memory for MergeAll: the fold's
+// accumulator double-buffer, reused across calls so a hot loop (the D-CAND
+// run enumeration calls MergeAll once per accepting run) allocates nothing
+// once the buffers are warm.
+type MergeScratch struct {
+	a, b []dict.ItemID
+}
+
+// MergeAll is pivot.MergeAll computed in the scratch's reused buffers. The
+// returned slice aliases the scratch and is valid until the next call.
+func (ms *MergeScratch) MergeAll(sets [][]dict.ItemID) []dict.ItemID {
+	acc := append(ms.a[:0], dict.None)
+	buf := ms.b[:0]
+	for _, s := range sets {
+		if len(s) == 0 {
+			s = epsSet
+		}
+		minU, minQ := acc[0], s[0]
+		buf = appendUnion(buf[:0], suffixFrom(acc, minQ), suffixFrom(s, minU))
+		acc, buf = buf, acc
+	}
+	ms.a, ms.b = acc, buf
+	return dropEps(acc)
+}
+
+// appendUnion appends the sorted duplicate-free union of a and b to dst. dst
+// must not alias a or b.
+func appendUnion(dst, a, b []dict.ItemID) []dict.ItemID {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
+}
+
 // Options configures a Searcher.
 type Options struct {
 	// UseGrid enables the position–state grid (memoized simulation). When

@@ -96,6 +96,12 @@ type ExecOptions struct {
 	// default (Config.SendBufferBytes) when run through Service.Mine; <= 0
 	// at Execute time keeps the phase-synchronous barrier.
 	SendBufferBytes int64
+	// SendBufferMaxBytes, when > SendBufferBytes, lets the streaming
+	// shuffle grow a destination's send buffer adaptively up to this
+	// bound. 0 inherits the service default (Config.SendBufferMaxBytes)
+	// when run through Service.Mine; <= SendBufferBytes at Execute time
+	// keeps the buffers fixed.
+	SendBufferMaxBytes int64
 	// CompressSpill compresses spill segments (receive-side runs and
 	// map-side send overflow) with DEFLATE; SpilledBytes then reports the
 	// compressed on-disk size.
@@ -332,6 +338,9 @@ func (o ExecOptions) shuffleConfig() mapreduce.ShuffleConfig {
 	}
 	if o.SendBufferBytes > 0 {
 		sc.SendBufferBytes = o.SendBufferBytes
+		if o.SendBufferMaxBytes > o.SendBufferBytes {
+			sc.SendBufferMaxBytes = o.SendBufferMaxBytes
+		}
 	}
 	if sc == (mapreduce.ShuffleConfig{}) {
 		return sc
@@ -377,6 +386,9 @@ func mineCluster(ctx context.Context, db *seqdb.Database, sigma int64, opts Exec
 	}
 	if opts.SendBufferBytes > 0 {
 		copts.SendBufferBytes = opts.SendBufferBytes
+		if opts.SendBufferMaxBytes > opts.SendBufferBytes {
+			copts.SendBufferMaxBytes = opts.SendBufferMaxBytes
+		}
 	}
 	copts.CompressSpill = opts.CompressSpill
 	// Retry/speculation knobs: 0 means "unset" all the way down (Service.Mine

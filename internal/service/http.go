@@ -49,6 +49,12 @@ type MineRequest struct {
 	// the daemon default (-send-buffer); a negative value forces the
 	// phase-synchronous barrier for this query.
 	SendBufferBytes int64 `json:"send_buffer_bytes,omitempty"`
+	// SendBufferMaxBytes, when greater than the effective send-buffer
+	// size, lets the streaming shuffle grow a destination's send buffer
+	// adaptively up to this bound. 0 uses the daemon default
+	// (-send-buffer-max); values <= the send-buffer size keep the buffers
+	// fixed.
+	SendBufferMaxBytes int64 `json:"send_buffer_max_bytes,omitempty"`
 	// CompressSpill is tri-state: absent inherits the daemon default
 	// (-compress-spill), true compresses this query's spill segments with
 	// DEFLATE, false keeps them uncompressed even when the daemon default
@@ -175,6 +181,7 @@ func NewHandler(s *Service) http.Handler {
 		opts.Shards = req.Shards
 		opts.SpillThreshold = req.SpillThresholdBytes
 		opts.SendBufferBytes = req.SendBufferBytes
+		opts.SendBufferMaxBytes = req.SendBufferMaxBytes
 		if req.CompressSpill != nil {
 			opts.CompressSpill = *req.CompressSpill
 			opts.CompressSpillSet = true

@@ -82,6 +82,11 @@ type Config struct {
 	// per peer applied to queries that do not set their own (see
 	// ExecOptions.SendBufferBytes); 0 keeps the phase-synchronous barrier.
 	SendBufferBytes int64
+	// SendBufferMaxBytes is the default adaptive send-buffer bound applied
+	// to queries that do not set their own (see
+	// ExecOptions.SendBufferMaxBytes); 0 (or <= the effective
+	// SendBufferBytes) keeps the buffers fixed.
+	SendBufferMaxBytes int64
 	// CompressSpill compresses spill segments with DEFLATE by default.
 	// Queries opt in or out per request with the tri-state "compress_spill"
 	// body field (ExecOptions.CompressSpillSet); a query that says nothing
@@ -356,6 +361,9 @@ func (s *Service) Mine(ctx context.Context, q Query) (*Response, error) {
 	}
 	if opts.SendBufferBytes == 0 {
 		opts.SendBufferBytes = s.cfg.SendBufferBytes
+	}
+	if opts.SendBufferMaxBytes == 0 {
+		opts.SendBufferMaxBytes = s.cfg.SendBufferMaxBytes
 	}
 	if !opts.CompressSpillSet && !opts.CompressSpill {
 		opts.CompressSpill = s.cfg.CompressSpill

@@ -62,7 +62,13 @@ cpus=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo '?')
 cpu_model=$(awk -F': ' '/model name/ {print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)
 env_note="GOMAXPROCS=$GOMAXPROCS cpus=$cpus cpu=\"$cpu_model\" kernel=$(uname -sr)"
 
+# The TCP shuffle-overlap benchmarks are wall-clock dominated (real sockets,
+# idle-gated overflow replay) and their medians swing 2-3x between identical
+# runs; they get their own wide per-benchmark gates instead of polluting the
+# geomeans.
 echo "== recording BENCH_baseline.json"
 go run ./cmd/benchgate record \
     -command "scripts/bench-baseline.sh (go test -bench tier-1 -benchtime=$benchtime -count=$count -cpu 2 -benchmem; spill/stream knobs disabled; $env_note)" \
+    -tolerance 'BenchmarkShuffleOverlapTCP/barrier=2.5' \
+    -tolerance 'BenchmarkShuffleOverlapTCP/streaming=2.5' \
     <"$out"

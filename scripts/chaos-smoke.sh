@@ -37,7 +37,10 @@ echo "== building binaries"
 go build -o "$workdir/bin/" ./cmd/seqgen ./cmd/seqmine ./cmd/seqmine-worker
 
 echo "== generating dataset"
-"$workdir/bin/seqgen" -dataset nyt -n 1200 -seed 7 -out "$workdir/data"
+# Large enough that a distributed job comfortably outlives the kill delay
+# below — the shuffle-spine and hot-path optimizations keep shortening the
+# job, and a job that finishes before the kill lands exercises nothing.
+"$workdir/bin/seqgen" -dataset nyt -n 6000 -seed 7 -out "$workdir/data"
 
 pattern='[.*(.)]{1,3}.*'
 sigma=60

@@ -75,3 +75,7 @@ curl -fsS "http://$addr/metrics?format=prometheus" -o "$outdir/metrics.prom"
 
 echo "== profiles written to $outdir/"
 echo "   go tool pprof -top $outdir/cpu.pprof"
+echo "   per-stage shuffle attribution (goroutine labels set by the engine):"
+echo "     go tool pprof -tags $outdir/cpu.pprof                                 # seqmine_stage breakdown"
+echo "     go tool pprof -top -tagfocus seqmine_stage=shuffle_merge $outdir/cpu.pprof"
+echo "     stages: shuffle_recv, shuffle_send (with a per-peer tag), shuffle_merge, reduce"

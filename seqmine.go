@@ -145,6 +145,12 @@ type Options struct {
 	// overlaps map compute and map-side memory is capped. 0 keeps the
 	// phase-synchronous barrier.
 	SendBufferBytes int64
+	// SendBufferMaxBytes, when > SendBufferBytes, lets the streaming
+	// shuffle grow a destination's send buffer adaptively: a destination
+	// that keeps filling its share while its sender keeps up doubles its
+	// buffer, up to this bound. 0 (or <= SendBufferBytes) keeps buffers
+	// fixed at SendBufferBytes.
+	SendBufferMaxBytes int64
 	// CompressSpill compresses spill segments with DEFLATE.
 	CompressSpill bool
 
@@ -261,6 +267,7 @@ func (o Options) execOptions(shards int) service.ExecOptions {
 		SpillThreshold:     o.SpillThreshold,
 		SpillTmpDir:        o.SpillTmpDir,
 		SendBufferBytes:    o.SendBufferBytes,
+		SendBufferMaxBytes: o.SendBufferMaxBytes,
 		CompressSpill:      o.CompressSpill,
 		TaskRetries:        o.TaskRetries,
 		SpeculativeAfter:   o.SpeculativeAfter,
@@ -348,6 +355,9 @@ type ServiceOptions struct {
 	// per peer for queries that do not set their own; 0 keeps the
 	// phase-synchronous barrier.
 	SendBufferBytes int64
+	// SendBufferMaxBytes is the default adaptive send-buffer bound for
+	// queries that do not set their own; see Options.SendBufferMaxBytes.
+	SendBufferMaxBytes int64
 	// CompressSpill compresses spill segments with DEFLATE by default.
 	CompressSpill bool
 	// Prefilter enables the two-pass reachability prefilter by default for
@@ -367,20 +377,21 @@ type Service struct {
 // NewService creates a mining service.
 func NewService(opts ServiceOptions) *Service {
 	return &Service{inner: service.New(service.Config{
-		CacheSize:        opts.CacheSize,
-		Workers:          opts.Workers,
-		MaxConcurrent:    opts.MaxConcurrent,
-		QueueDepth:       opts.QueueDepth,
-		ResultCacheSize:  opts.ResultCacheSize,
-		DefaultTimeout:   opts.DefaultTimeout,
-		ClusterWorkers:   opts.ClusterWorkers,
-		SpillThreshold:   opts.SpillThreshold,
-		SpillTmpDir:      opts.SpillTmpDir,
-		SendBufferBytes:  opts.SendBufferBytes,
-		CompressSpill:    opts.CompressSpill,
-		Prefilter:        opts.Prefilter,
-		TaskRetries:      opts.TaskRetries,
-		SpeculativeAfter: opts.SpeculativeAfter,
+		CacheSize:          opts.CacheSize,
+		Workers:            opts.Workers,
+		MaxConcurrent:      opts.MaxConcurrent,
+		QueueDepth:         opts.QueueDepth,
+		ResultCacheSize:    opts.ResultCacheSize,
+		DefaultTimeout:     opts.DefaultTimeout,
+		ClusterWorkers:     opts.ClusterWorkers,
+		SpillThreshold:     opts.SpillThreshold,
+		SpillTmpDir:        opts.SpillTmpDir,
+		SendBufferBytes:    opts.SendBufferBytes,
+		SendBufferMaxBytes: opts.SendBufferMaxBytes,
+		CompressSpill:      opts.CompressSpill,
+		Prefilter:          opts.Prefilter,
+		TaskRetries:        opts.TaskRetries,
+		SpeculativeAfter:   opts.SpeculativeAfter,
 	})}
 }
 
